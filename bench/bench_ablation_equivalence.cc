@@ -1,0 +1,86 @@
+/// \file Experiment E16 — ablation of the GroupEquivalent first step
+/// (Proposition 4.2.1): summarization with and without the distance-0
+/// equivalence grouping, on a MovieLens variant with duplicated user
+/// profiles so equivalence classes are non-trivial under
+/// Cancel-Single-Attribute valuations.
+
+#include <cstdio>
+
+#include "datasets/movielens.h"
+#include "harness/bench_util.h"
+#include "summarize/distance.h"
+#include "summarize/summarizer.h"
+
+using namespace prox;
+using namespace prox::bench;
+
+namespace {
+
+struct RunStats {
+  double dist = 0.0;
+  double size = 0.0;
+  double steps = 0.0;
+  double equivalence_merges = 0.0;
+  double time_ms = 0.0;
+};
+
+RunStats Run(bool group_equivalent, int num_seeds) {
+  RunStats stats;
+  for (int seed = 1; seed <= num_seeds; ++seed) {
+    // Few attribute combinations => many identical profiles.
+    MovieLensConfig config;
+    config.num_users = Scaled(30);
+    config.num_movies = Scaled(8);
+    config.ratings_per_user = 4;
+    config.seed = seed;
+    Dataset ds = MovieLensGenerator::Generate(config);
+    std::vector<Valuation> valuations =
+        ds.valuation_class->Generate(*ds.provenance, ds.ctx);
+    EnumeratedDistance oracle(ds.provenance.get(), ds.registry.get(),
+                              ds.val_func.get(), valuations);
+    SummarizerOptions options;
+    options.w_dist = 0.5;
+    options.w_size = 0.5;
+    options.max_steps = 15;
+    options.group_equivalent_first = group_equivalent;
+    options.phi = ds.phi;
+    Summarizer s(ds.provenance.get(), ds.registry.get(), &ds.ctx,
+                 &ds.constraints, &oracle, &valuations, options);
+    auto outcome = s.Run();
+    if (!outcome.ok()) continue;
+    stats.dist += outcome.value().final_distance / num_seeds;
+    stats.size += static_cast<double>(outcome.value().final_size) / num_seeds;
+    stats.steps += static_cast<double>(outcome.value().steps.size()) /
+                   num_seeds;
+    stats.equivalence_merges +=
+        static_cast<double>(outcome.value().equivalence_merges) / num_seeds;
+    stats.time_ms += outcome.value().total_nanos / 1e6 / num_seeds;
+  }
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  const int num_seeds = 3;
+  std::printf("GroupEquivalent ablation (MovieLens) — Proposition 4.2.1's "
+              "free first step\n");
+  std::printf("wDist = 0.5, max 15 greedy steps, %d seeds, scale %.2f\n",
+              num_seeds, BenchScale());
+
+  TablePrinter table({"equivalence", "eq-merges", "steps", "distance",
+                      "size", "time-ms"});
+  table.PrintTitle("With vs without the distance-0 grouping");
+  table.PrintHeader();
+  for (bool on : {true, false}) {
+    RunStats stats = Run(on, num_seeds);
+    table.PrintRow({on ? "on" : "off", Cell(stats.equivalence_merges, 1),
+                    Cell(stats.steps, 1), Cell(stats.dist),
+                    Cell(stats.size, 1), Cell(stats.time_ms, 2)});
+  }
+  std::printf("\nExpected: with the grouping on, part of the compression is "
+              "obtained for free\n(distance 0) before any greedy step, "
+              "yielding a smaller final size at equal\nstep budget and "
+              "distance.\n");
+  return 0;
+}

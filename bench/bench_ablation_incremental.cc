@@ -1,0 +1,66 @@
+/// \file Experiment E17 — incremental vs naive candidate scoring: same
+/// choices by construction (verified by the test suite), so the only
+/// question is wall time. Measures full summarization runs (wDist = 1,
+/// 30 steps) at growing input sizes with both scorers.
+
+#include <cstdio>
+
+#include "datasets/movielens.h"
+#include "harness/bench_util.h"
+#include "summarize/distance.h"
+#include "summarize/summarizer.h"
+
+using namespace prox;
+using namespace prox::bench;
+
+namespace {
+
+double RunOnce(int users, SummarizerOptions::Incremental mode,
+               int64_t* final_size) {
+  MovieLensConfig config;
+  config.num_users = users;
+  config.num_movies = 10;
+  config.ratings_per_user = 4;
+  config.seed = 11;
+  Dataset ds = MovieLensGenerator::Generate(config);
+  auto valuations = ds.valuation_class->Generate(*ds.provenance, ds.ctx);
+  EnumeratedDistance oracle(ds.provenance.get(), ds.registry.get(),
+                            ds.val_func.get(), valuations);
+  SummarizerOptions options;
+  options.w_dist = 1.0;
+  options.w_size = 0.0;
+  options.max_steps = 30;
+  options.incremental = mode;
+  options.phi = ds.phi;
+  Summarizer s(ds.provenance.get(), ds.registry.get(), &ds.ctx,
+               &ds.constraints, &oracle, &valuations, options);
+  auto outcome = s.Run();
+  if (!outcome.ok()) return 0.0;
+  if (final_size != nullptr) *final_size = outcome.value().final_size;
+  return outcome.value().total_nanos / 1e6;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Incremental-scoring ablation (MovieLens) — identical "
+              "choices, different cost\n");
+  std::printf("wDist = 1, 30 steps, scale %.2f\n", BenchScale());
+
+  TablePrinter table({"users", "naive-ms", "incremental-ms", "speedup",
+                      "size(=)"});
+  table.PrintTitle("Summarization wall time per scorer");
+  table.PrintHeader();
+  for (int users : {16, 24, 32, 40}) {
+    int scaled = Scaled(users);
+    int64_t size_naive = 0, size_fast = 0;
+    double naive =
+        RunOnce(scaled, SummarizerOptions::Incremental::kOff, &size_naive);
+    double fast = RunOnce(scaled, SummarizerOptions::Incremental::kEuclidean,
+                          &size_fast);
+    table.PrintRow({std::to_string(scaled), Cell(naive, 2), Cell(fast, 2),
+                    Cell(fast > 0 ? naive / fast : 0.0, 2),
+                    size_naive == size_fast ? "yes" : "NO"});
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+/// \file Experiment E14 — ablation of the CandidateScore design choices
+/// Definition 3.2.4 leaves open: normalized ranks (distance in [0,1], size
+/// relative to the input) versus ordinal ranks among the step's candidates,
+/// and the taxonomy tie-breaking criterion (MAX vs SUM of Wu-Palmer
+/// distances vs arbitrary-first) on the Wikipedia dataset.
+
+#include <cstdio>
+
+#include "harness/bench_util.h"
+
+using namespace prox;
+using namespace prox::bench;
+
+int main() {
+  const int num_seeds = 3;
+  std::printf("Scoring ablation (Wikipedia) — rank form and tie-breaking\n");
+  std::printf("wDist = 0.5, max 15 steps, %d seeds, scale %.2f\n\n",
+              num_seeds, BenchScale());
+
+  TablePrinter table({"ranks", "tie-break", "distance", "size"});
+  table.PrintTitle("CandidateScore variants");
+  table.PrintHeader();
+
+  struct Variant {
+    const char* rank_name;
+    bool ordinal;
+    const char* tie_name;
+    TieBreak tie;
+  };
+  const Variant variants[] = {
+      {"normalized", false, "taxonomy-MAX", TieBreak::kTaxonomyMax},
+      {"normalized", false, "taxonomy-SUM", TieBreak::kTaxonomySum},
+      {"normalized", false, "first", TieBreak::kFirst},
+      {"ordinal", true, "taxonomy-MAX", TieBreak::kTaxonomyMax},
+      {"ordinal", true, "first", TieBreak::kFirst},
+  };
+
+  for (const Variant& variant : variants) {
+    double dist = 0.0, size = 0.0;
+    for (int seed = 1; seed <= num_seeds; ++seed) {
+      Dataset ds = MakeDataset(DatasetKind::kWikipedia, seed);
+      RunConfig config;
+      config.w_dist = 0.5;
+      config.max_steps = 15;
+      config.use_ordinal_ranks = variant.ordinal;
+      config.tie_break = variant.tie;
+      AlgoResult r = RunProvApprox(&ds, config);
+      dist += r.distance / num_seeds;
+      size += r.size / num_seeds;
+    }
+    table.PrintRow({variant.rank_name, variant.tie_name, Cell(dist),
+                    Cell(size, 1)});
+  }
+  return 0;
+}

@@ -1,0 +1,143 @@
+/// \file Experiment E12 — google-benchmark micro-benchmarks of the core
+/// operations every experiment is built from: expression evaluation,
+/// homomorphism application, distance estimation, equivalence grouping,
+/// candidate generation, DDP evaluation and polynomial arithmetic.
+
+#include <benchmark/benchmark.h>
+
+#include "datasets/ddp.h"
+#include "datasets/movielens.h"
+#include "semiring/polynomial.h"
+#include "summarize/candidates.h"
+#include "summarize/distance.h"
+#include "summarize/equivalence.h"
+
+using namespace prox;
+
+namespace {
+
+Dataset MakeMovies(int users) {
+  MovieLensConfig config;
+  config.num_users = users;
+  config.num_movies = 12;
+  config.seed = 3;
+  return MovieLensGenerator::Generate(config);
+}
+
+void BM_AggregateEvaluate(benchmark::State& state) {
+  Dataset ds = MakeMovies(static_cast<int>(state.range(0)));
+  MaterializedValuation v(ds.registry->size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ds.provenance->Evaluate(v));
+  }
+  state.SetItemsProcessed(state.iterations() * ds.provenance->Size());
+}
+BENCHMARK(BM_AggregateEvaluate)->Arg(20)->Arg(40)->Arg(80);
+
+void BM_AggregateApplyHomomorphism(benchmark::State& state) {
+  Dataset ds = MakeMovies(static_cast<int>(state.range(0)));
+  auto users = ds.registry->AnnotationsInDomain(ds.domain("user"));
+  AnnotationId summary =
+      ds.registry->AddSummary(ds.domain("user"), "Merged");
+  Homomorphism h;
+  h.Set(users[0], summary);
+  h.Set(users[1], summary);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ds.provenance->Apply(h));
+  }
+}
+BENCHMARK(BM_AggregateApplyHomomorphism)->Arg(20)->Arg(40)->Arg(80);
+
+void BM_EnumeratedDistanceOneCandidate(benchmark::State& state) {
+  Dataset ds = MakeMovies(static_cast<int>(state.range(0)));
+  std::vector<Valuation> valuations =
+      ds.valuation_class->Generate(*ds.provenance, ds.ctx);
+  EnumeratedDistance oracle(ds.provenance.get(), ds.registry.get(),
+                            ds.val_func.get(), valuations);
+  auto users = ds.registry->AnnotationsInDomain(ds.domain("user"));
+  AnnotationId summary =
+      ds.registry->AddSummary(ds.domain("user"), "Merged");
+  MappingState mapping(ds.registry.get(), ds.phi);
+  mapping.Merge({users[0], users[1]}, summary);
+  Homomorphism h;
+  h.Set(users[0], summary);
+  h.Set(users[1], summary);
+  auto cand = ds.provenance->Apply(h);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.Distance(*cand, mapping));
+  }
+  state.counters["valuations"] = static_cast<double>(valuations.size());
+}
+BENCHMARK(BM_EnumeratedDistanceOneCandidate)->Arg(20)->Arg(40);
+
+void BM_SampledDistanceOneCandidate(benchmark::State& state) {
+  Dataset ds = MakeMovies(20);
+  SampledDistance::Options options;
+  options.num_samples = static_cast<int>(state.range(0));
+  SampledDistance oracle(ds.provenance.get(), ds.registry.get(),
+                         ds.val_func.get(), options);
+  auto users = ds.registry->AnnotationsInDomain(ds.domain("user"));
+  AnnotationId summary =
+      ds.registry->AddSummary(ds.domain("user"), "Merged");
+  MappingState mapping(ds.registry.get(), ds.phi);
+  mapping.Merge({users[0], users[1]}, summary);
+  Homomorphism h;
+  h.Set(users[0], summary);
+  h.Set(users[1], summary);
+  auto cand = ds.provenance->Apply(h);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.Distance(*cand, mapping));
+  }
+}
+BENCHMARK(BM_SampledDistanceOneCandidate)->Arg(100)->Arg(1000);
+
+void BM_EquivalenceClasses(benchmark::State& state) {
+  Dataset ds = MakeMovies(static_cast<int>(state.range(0)));
+  std::vector<Valuation> valuations =
+      ds.valuation_class->Generate(*ds.provenance, ds.ctx);
+  std::vector<AnnotationId> anns;
+  ds.provenance->CollectAnnotations(&anns);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        EquivalenceClasses(anns, valuations, *ds.registry));
+  }
+}
+BENCHMARK(BM_EquivalenceClasses)->Arg(20)->Arg(80);
+
+void BM_CandidateGeneration(benchmark::State& state) {
+  Dataset ds = MakeMovies(static_cast<int>(state.range(0)));
+  CandidateGenerator gen(&ds.constraints, &ds.ctx);
+  MappingState mapping(ds.registry.get(), ds.phi);
+  CandidateOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.Generate(*ds.provenance, mapping, options));
+  }
+}
+BENCHMARK(BM_CandidateGeneration)->Arg(20)->Arg(40);
+
+void BM_DdpEvaluate(benchmark::State& state) {
+  DdpConfig config;
+  config.num_executions = static_cast<int>(state.range(0));
+  Dataset ds = DdpGenerator::Generate(config);
+  MaterializedValuation v(ds.registry->size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ds.provenance->Evaluate(v));
+  }
+}
+BENCHMARK(BM_DdpEvaluate)->Arg(8)->Arg(32);
+
+void BM_PolynomialMultiply(benchmark::State& state) {
+  Polynomial a, b;
+  for (int i = 0; i < state.range(0); ++i) {
+    a += Polynomial::FromVar(static_cast<Polynomial::Var>(i));
+    b += Polynomial::FromVar(static_cast<Polynomial::Var>(i + 100));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+}
+BENCHMARK(BM_PolynomialMultiply)->Arg(4)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,13 @@
+/// \file Experiment E10 — Figures 6.8b and 6.9b: the TARGET-SIZE and
+/// TARGET-DIST experiments on the DDP dataset.
+
+#include "harness/experiments.h"
+
+int main() {
+  prox::bench::RunTargetSizeExperiment(prox::bench::DatasetKind::kDdp, "DDP",
+                                       "Figure 6.8b", /*num_seeds=*/3);
+  std::printf("\n");
+  prox::bench::RunTargetDistExperiment(prox::bench::DatasetKind::kDdp, "DDP",
+                                       "Figure 6.9b", /*num_seeds=*/3);
+  return 0;
+}

@@ -1,0 +1,13 @@
+/// \file Experiment E9 — Figures 6.8a and 6.9a: the wDist experiment on
+/// the DDP dataset (Cancel-Single-Attribute valuations, tropical
+/// aggregation, at most 10 steps). No Clustering competitor: feature
+/// vectors cannot be constructed for DDP provenance (§6.10).
+
+#include "harness/experiments.h"
+
+int main() {
+  prox::bench::RunWdistExperiment(prox::bench::DatasetKind::kDdp, "DDP",
+                                  "Figures 6.8a / 6.9a",
+                                  /*max_steps=*/10, /*num_seeds=*/3);
+  return 0;
+}

@@ -1,0 +1,82 @@
+/// \file Experiment E6 — Figures 6.5a and 6.5b: candidate-computation time
+/// and summarization time as functions of provenance size (MovieLens,
+/// wDist = 1, up to 50 steps). Panel (a) uses the per-step records of one
+/// run: as the expression shrinks, evaluating one candidate gets cheaper.
+/// Panel (b) sweeps input sizes: smaller inputs summarize faster.
+
+#include <cstdio>
+
+#include "datasets/movielens.h"
+#include "harness/bench_util.h"
+#include "summarize/distance.h"
+#include "summarize/summarizer.h"
+
+using namespace prox;
+using namespace prox::bench;
+
+int main() {
+  std::printf("Summarization-time experiment (MovieLens) — "
+              "Figures 6.5a / 6.5b\n");
+  std::printf("wDist = 1, max 50 steps, scale %.2f\n", BenchScale());
+
+  // --- Panel (a): per-candidate time vs current expression size, from the
+  // step records of a single large run.
+  {
+    MovieLensConfig config;
+    config.num_users = Scaled(40);
+    config.num_movies = Scaled(12);
+    config.seed = 17;
+    Dataset ds = MovieLensGenerator::Generate(config);
+    std::vector<Valuation> valuations =
+        ds.valuation_class->Generate(*ds.provenance, ds.ctx);
+    EnumeratedDistance oracle(ds.provenance.get(), ds.registry.get(),
+                              ds.val_func.get(), valuations);
+    SummarizerOptions options;
+    options.w_dist = 1.0;
+    options.w_size = 0.0;
+    options.max_steps = 50;
+    options.phi = ds.phi;
+    Summarizer summarizer(ds.provenance.get(), ds.registry.get(), &ds.ctx,
+                          &ds.constraints, &oracle, &valuations, options);
+    auto outcome = summarizer.Run();
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "run failed: %s\n",
+                   outcome.status().ToString().c_str());
+      return 1;
+    }
+    TablePrinter table({"size", "us/candidate", "candidates", "step-ms"});
+    table.PrintTitle(
+        "Time per candidate vs provenance size, one run (Fig 6.5a)");
+    table.PrintHeader();
+    for (const StepRecord& step : outcome.value().steps) {
+      table.PrintRow({std::to_string(step.size),
+                      Cell(step.candidate_eval_nanos / 1e3, 2),
+                      std::to_string(step.num_candidates),
+                      Cell(step.step_nanos / 1e6, 3)});
+    }
+  }
+
+  // --- Panel (b): total summarization time vs input provenance size.
+  {
+    TablePrinter table({"input-size", "summarize-ms", "steps",
+                        "us/candidate"});
+    table.PrintTitle("Summarization time vs input size (Fig 6.5b)");
+    table.PrintHeader();
+    for (int users : {10, 16, 22, 28, 34, 40}) {
+      MovieLensConfig config;
+      config.num_users = Scaled(users);
+      config.num_movies = Scaled(12);
+      config.seed = 29;
+      Dataset ds = MovieLensGenerator::Generate(config);
+      int64_t input_size = ds.provenance->Size();
+      RunConfig run;
+      run.w_dist = 1.0;
+      run.max_steps = 50;
+      AlgoResult r = RunProvApprox(&ds, run);
+      table.PrintRow({std::to_string(input_size), Cell(r.total_nanos / 1e6, 2),
+                      std::to_string(r.steps),
+                      Cell(r.avg_candidate_nanos / 1e3, 2)});
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,11 @@
+/// \file Experiment E3 — Figure 6.2b: average size as a function of
+/// TARGET-DIST on the MovieLens dataset (wDist = 0, TARGET-SIZE cancelled).
+
+#include "harness/experiments.h"
+
+int main() {
+  prox::bench::RunTargetDistExperiment(prox::bench::DatasetKind::kMovieLens,
+                                       "MovieLens", "Figure 6.2b",
+                                       /*num_seeds=*/3);
+  return 0;
+}

@@ -1,0 +1,11 @@
+/// \file Experiment E2 — Figure 6.1b: average distance as a function of
+/// TARGET-SIZE on the MovieLens dataset (wDist = 1, TARGET-DIST cancelled).
+
+#include "harness/experiments.h"
+
+int main() {
+  prox::bench::RunTargetSizeExperiment(prox::bench::DatasetKind::kMovieLens,
+                                       "MovieLens", "Figure 6.1b",
+                                       /*num_seeds=*/3);
+  return 0;
+}

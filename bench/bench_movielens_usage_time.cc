@@ -1,0 +1,157 @@
+/// \file Experiment E5 — Figures 6.4a and 6.4b: usage-time ratio (average
+/// time to evaluate 10 random valuations on the summary, divided by the
+/// time on the original provenance) as a function of wDist, for 20 and 30
+/// step budgets. Ratios below 1 mean the summary is faster to use;
+/// Prov-Approx's ratio grows with wDist (larger summaries) and shrinks
+/// with more steps, as in the thesis.
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "harness/bench_util.h"
+#include "summarize/distance.h"
+#include "summarize/summarizer.h"
+
+using namespace prox;
+using namespace prox::bench;
+
+namespace {
+
+constexpr int kNumValuations = 10;
+constexpr int kTimingReps = 200;
+
+/// Times evaluation of `expr` under each valuation (transformed through
+/// `state` when given), repeated for a stable reading. Returns total ns.
+double TimeEvaluations(const ProvenanceExpression& expr,
+                       const MappingState* state,
+                       const std::vector<Valuation>& valuations, size_t n) {
+  Timer timer;
+  double sink = 0.0;
+  for (int rep = 0; rep < kTimingReps; ++rep) {
+    for (const Valuation& v : valuations) {
+      MaterializedValuation mat =
+          state != nullptr ? state->Transform(v, n)
+                           : MaterializedValuation(v, n);
+      EvalResult r = expr.Evaluate(mat);
+      sink += r.kind() == EvalResult::Kind::kVector
+                  ? (r.coords().empty() ? 0.0 : r.coords()[0].value)
+                  : r.scalar();
+    }
+  }
+  // Keep the optimizer honest.
+  if (sink == -1.0) std::printf("impossible\n");
+  return static_cast<double>(timer.ElapsedNanos());
+}
+
+struct RatioRow {
+  double pa = 0.0;
+  double clustering = 0.0;
+  double random = 0.0;
+};
+
+/// Summarizes with each algorithm and returns usage-time ratios.
+RatioRow UsageRatios(double w_dist, int max_steps, int num_seeds) {
+  RatioRow out;
+  int cl_runs = 0;
+  for (int seed = 1; seed <= num_seeds; ++seed) {
+    Dataset ds = MakeDataset(DatasetKind::kMovieLens, seed);
+    std::vector<Valuation> all =
+        ds.valuation_class->Generate(*ds.provenance, ds.ctx);
+    // 10 random valuations from the class (§6.8).
+    Rng rng(91 + seed);
+    std::vector<Valuation> sample;
+    for (int i = 0; i < kNumValuations; ++i) {
+      sample.push_back(all[rng.PickIndex(all.size())]);
+    }
+
+    RunConfig config;
+    config.w_dist = w_dist;
+    config.max_steps = max_steps;
+    config.random_seed = 500 + seed;
+
+    // Summarize first (mutates the registry), then time both sides with
+    // the final registry size.
+    EnumeratedDistance oracle(ds.provenance.get(), ds.registry.get(),
+                              ds.val_func.get(), all);
+    SummarizerOptions options;
+    options.w_dist = w_dist;
+    options.w_size = 1.0 - w_dist;
+    options.max_steps = max_steps;
+    options.phi = ds.phi;
+    Summarizer summarizer(ds.provenance.get(), ds.registry.get(), &ds.ctx,
+                          &ds.constraints, &oracle, &all, options);
+    auto pa = summarizer.Run();
+
+    Result<SummaryOutcome> cl = Status::Unimplemented("skipped");
+    {
+      ClusteringOptions cl_options;
+      cl_options.max_steps = max_steps;
+      cl_options.phi = ds.phi;
+      EnumeratedDistance cl_oracle(ds.provenance.get(), ds.registry.get(),
+                                   ds.val_func.get(), all);
+      ClusteringSummarizer cs(ds.provenance.get(), ds.registry.get(),
+                              &ds.ctx, &ds.constraints, &cl_oracle,
+                              cl_options);
+      for (const auto& [domain, features] : ds.features) {
+        cs.SetFeatures(domain, features);
+      }
+      cl = cs.Run();
+    }
+
+    EnumeratedDistance rd_oracle(ds.provenance.get(), ds.registry.get(),
+                                 ds.val_func.get(), all);
+    RandomSummarizerOptions rd_options;
+    rd_options.max_steps = max_steps;
+    rd_options.seed = config.random_seed;
+    rd_options.phi = ds.phi;
+    RandomSummarizer rs(ds.provenance.get(), ds.registry.get(), &ds.ctx,
+                        &ds.constraints, &rd_oracle, rd_options);
+    auto rd = rs.Run();
+
+    const size_t n = ds.registry->size();
+    double base = TimeEvaluations(*ds.provenance, nullptr, sample, n);
+    if (pa.ok()) {
+      out.pa += TimeEvaluations(*pa.value().summary, &pa.value().state,
+                                sample, n) /
+                base / num_seeds;
+    }
+    if (cl.ok()) {
+      out.clustering += TimeEvaluations(*cl.value().summary,
+                                        &cl.value().state, sample, n) /
+                        base;
+      ++cl_runs;
+    }
+    if (rd.ok()) {
+      out.random += TimeEvaluations(*rd.value().summary, &rd.value().state,
+                                    sample, n) /
+                    base / num_seeds;
+    }
+  }
+  if (cl_runs > 0) out.clustering /= cl_runs;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const int num_seeds = 2;
+  std::printf("Usage-time experiment (MovieLens) — Figures 6.4a / 6.4b\n");
+  std::printf("%d random valuations, %d timing reps, %d seeds, scale %.2f\n",
+              kNumValuations, kTimingReps, num_seeds, BenchScale());
+
+  for (int steps : {20, 30}) {
+    TablePrinter table({"wDist", "ProvApprox", "Clustering", "Random"});
+    table.PrintTitle("Usage-time ratio (summary/original), " +
+                     std::to_string(steps) + " steps (Fig 6.4" +
+                     (steps == 20 ? "a" : "b") + ")");
+    table.PrintHeader();
+    for (int i = 0; i <= 10; i += 2) {
+      const double w_dist = i / 10.0;
+      RatioRow row = UsageRatios(w_dist, steps, num_seeds);
+      table.PrintRow({Cell(w_dist, 1), Cell(row.pa, 3),
+                      Cell(row.clustering, 3), Cell(row.random, 3)});
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,13 @@
+/// \file Experiment E1 — Figures 6.1a and 6.2a: average distance and size
+/// as a function of wDist on the MovieLens dataset (Cancel-Single-Attribute
+/// valuations, MAX aggregation, at most 20 steps), for Prov-Approx,
+/// Clustering and Random.
+
+#include "harness/experiments.h"
+
+int main() {
+  prox::bench::RunWdistExperiment(prox::bench::DatasetKind::kMovieLens,
+                                  "MovieLens", "Figures 6.1a / 6.2a",
+                                  /*max_steps=*/20, /*num_seeds=*/3);
+  return 0;
+}

@@ -1,0 +1,15 @@
+/// \file Experiment E8 — Figures 6.6b and 6.7b: the TARGET-SIZE and
+/// TARGET-DIST experiments on the Wikipedia dataset.
+
+#include "harness/experiments.h"
+
+int main() {
+  prox::bench::RunTargetSizeExperiment(prox::bench::DatasetKind::kWikipedia,
+                                       "Wikipedia", "Figure 6.6b",
+                                       /*num_seeds=*/3);
+  std::printf("\n");
+  prox::bench::RunTargetDistExperiment(prox::bench::DatasetKind::kWikipedia,
+                                       "Wikipedia", "Figure 6.7b",
+                                       /*num_seeds=*/3);
+  return 0;
+}

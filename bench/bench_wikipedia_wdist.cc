@@ -1,0 +1,12 @@
+/// \file Experiment E7 — Figures 6.6a and 6.7a: the wDist experiment on
+/// the Wikipedia dataset (taxonomy-consistent Cancel-Single-Annotation
+/// valuations, SUM aggregation, at most 20 steps).
+
+#include "harness/experiments.h"
+
+int main() {
+  prox::bench::RunWdistExperiment(prox::bench::DatasetKind::kWikipedia,
+                                  "Wikipedia", "Figures 6.6a / 6.7a",
+                                  /*max_steps=*/20, /*num_seeds=*/3);
+  return 0;
+}

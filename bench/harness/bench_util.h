@@ -1,0 +1,83 @@
+#ifndef PROX_BENCH_HARNESS_BENCH_UTIL_H_
+#define PROX_BENCH_HARNESS_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baselines/clustering_summarizer.h"
+#include "baselines/random_summarizer.h"
+#include "datasets/dataset.h"
+#include "summarize/summarizer.h"
+
+namespace prox {
+namespace bench {
+
+/// Scale factor from the PROX_BENCH_SCALE env var (default 1.0). Workload
+/// sizes multiply by it, so `PROX_BENCH_SCALE=3 bench_...` reproduces the
+/// figures on larger inputs.
+double BenchScale();
+
+/// Rounds scale-adjusted sizes, keeping a sane minimum.
+int Scaled(int base, int minimum = 2);
+
+/// Which generator to use.
+enum class DatasetKind { kMovieLens, kWikipedia, kDdp };
+
+/// Builds a dataset of `kind` at the experiments' default sizes × scale.
+Dataset MakeDataset(DatasetKind kind, uint64_t seed);
+
+/// Common experiment knobs (subset of SummarizerOptions shared by all
+/// three algorithms).
+struct RunConfig {
+  double w_dist = 0.5;
+  double target_dist = 1.0;
+  int64_t target_size = 1;
+  int max_steps = 20;
+  int merge_arity = 2;
+  bool use_ordinal_ranks = false;
+  TieBreak tie_break = TieBreak::kTaxonomyMax;
+  uint64_t random_seed = 0xBADC0FFEE;
+};
+
+/// One algorithm run, reduced to the quantities the figures plot.
+struct AlgoResult {
+  double distance = 0.0;
+  double size = 0.0;
+  double total_nanos = 0.0;
+  double avg_candidate_nanos = 0.0;
+  int steps = 0;
+  bool ok = false;
+};
+
+/// Runs Prov-Approx (Algorithm 1) on the dataset's full provenance with
+/// its Table 5.1 defaults.
+AlgoResult RunProvApprox(Dataset* ds, const RunConfig& config);
+
+/// Runs the Clustering baseline (skips — ok=false — when the dataset has
+/// no feature vectors, like DDP; §6.10).
+AlgoResult RunClustering(Dataset* ds, const RunConfig& config);
+
+/// Runs the Random baseline.
+AlgoResult RunRandom(Dataset* ds, const RunConfig& config);
+
+/// Pretty table printing: fixed-width columns, one header + rows.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> columns, int width = 14);
+  void PrintTitle(const std::string& title) const;
+  void PrintHeader() const;
+  void PrintRow(const std::vector<std::string>& cells) const;
+
+ private:
+  std::vector<std::string> columns_;
+  int width_;
+};
+
+/// Formats a double for a table cell.
+std::string Cell(double value, int digits = 4);
+
+}  // namespace bench
+}  // namespace prox
+
+#endif  // PROX_BENCH_HARNESS_BENCH_UTIL_H_

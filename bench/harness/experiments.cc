@@ -1,0 +1,222 @@
+#include "harness/experiments.h"
+
+#include <cstdio>
+
+namespace prox {
+namespace bench {
+
+namespace {
+
+struct Averaged {
+  double pa_dist = 0, pa_size = 0;
+  double cl_dist = 0, cl_size = 0;
+  double rd_dist = 0, rd_size = 0;
+  bool has_clustering = false;
+};
+
+}  // namespace
+
+void RunWdistExperiment(DatasetKind kind, const std::string& dataset_name,
+                        const std::string& figure_label, int max_steps,
+                        int num_seeds) {
+  std::printf("wDist experiment (%s) — %s\n", dataset_name.c_str(),
+              figure_label.c_str());
+  std::printf("TARGET-DIST = 1, TARGET-SIZE = 1, max %d steps, %d seeds, "
+              "scale %.2f\n",
+              max_steps, num_seeds, BenchScale());
+
+  // Clustering / Random do not depend on wDist: run once per seed.
+  Averaged constant;
+  int clustering_runs = 0;
+  double original_size = 0.0;
+  for (int seed = 1; seed <= num_seeds; ++seed) {
+    Dataset ds = MakeDataset(kind, seed);
+    original_size += static_cast<double>(ds.provenance->Size()) / num_seeds;
+    RunConfig config;
+    config.max_steps = max_steps;
+    config.random_seed = 1000 + seed;
+    AlgoResult cl = RunClustering(&ds, config);
+    if (cl.ok) {
+      constant.cl_dist += cl.distance;
+      constant.cl_size += cl.size;
+      ++clustering_runs;
+    }
+    AlgoResult rd = RunRandom(&ds, config);
+    constant.rd_dist += rd.distance / num_seeds;
+    constant.rd_size += rd.size / num_seeds;
+  }
+  if (clustering_runs > 0) {
+    constant.cl_dist /= clustering_runs;
+    constant.cl_size /= clustering_runs;
+    constant.has_clustering = true;
+  }
+  std::printf("average original provenance size: %.1f\n", original_size);
+
+  std::vector<std::string> columns = {"wDist", "ProvApprox"};
+  if (constant.has_clustering) columns.push_back("Clustering");
+  columns.push_back("Random");
+
+  TablePrinter dist_table(columns);
+  TablePrinter size_table(columns);
+
+  std::vector<std::vector<std::string>> dist_rows, size_rows;
+  for (int i = 0; i <= 10; ++i) {
+    const double w_dist = i / 10.0;
+    double pa_dist = 0.0, pa_size = 0.0;
+    for (int seed = 1; seed <= num_seeds; ++seed) {
+      Dataset ds = MakeDataset(kind, seed);
+      RunConfig config;
+      config.w_dist = w_dist;
+      config.max_steps = max_steps;
+      AlgoResult pa = RunProvApprox(&ds, config);
+      pa_dist += pa.distance / num_seeds;
+      pa_size += pa.size / num_seeds;
+    }
+    std::vector<std::string> dist_row = {Cell(w_dist, 1), Cell(pa_dist)};
+    std::vector<std::string> size_row = {Cell(w_dist, 1), Cell(pa_size, 1)};
+    if (constant.has_clustering) {
+      dist_row.push_back(Cell(constant.cl_dist));
+      size_row.push_back(Cell(constant.cl_size, 1));
+    }
+    dist_row.push_back(Cell(constant.rd_dist));
+    size_row.push_back(Cell(constant.rd_size, 1));
+    dist_rows.push_back(std::move(dist_row));
+    size_rows.push_back(std::move(size_row));
+  }
+
+  dist_table.PrintTitle("Average distance as a function of wDist");
+  dist_table.PrintHeader();
+  for (const auto& row : dist_rows) dist_table.PrintRow(row);
+
+  size_table.PrintTitle("Average size as a function of wDist");
+  size_table.PrintHeader();
+  for (const auto& row : size_rows) size_table.PrintRow(row);
+}
+
+void RunTargetSizeExperiment(DatasetKind kind,
+                             const std::string& dataset_name,
+                             const std::string& figure_label,
+                             int num_seeds) {
+  std::printf("TARGET-SIZE experiment (%s) — %s\n", dataset_name.c_str(),
+              figure_label.c_str());
+  std::printf("wDist = 1, TARGET-DIST = 1, %d seeds, scale %.2f\n",
+              num_seeds, BenchScale());
+
+  // Calibrate the sweep between the size Prov-Approx can reach when
+  // unconstrained (all candidates exhausted) and the input size, so the
+  // bound always bites regardless of dataset scale.
+  Dataset probe = MakeDataset(kind, 1);
+  const int64_t base_size = probe.provenance->Size();
+  int64_t min_size = base_size;
+  {
+    RunConfig calibrate;
+    calibrate.w_dist = 1.0;
+    calibrate.max_steps = 100000;
+    AlgoResult r = RunProvApprox(&probe, calibrate);
+    if (r.ok) min_size = static_cast<int64_t>(r.size);
+  }
+  std::printf("original size %lld; reachable minimum %lld\n",
+              static_cast<long long>(base_size),
+              static_cast<long long>(min_size));
+  const double fractions[] = {0.0, 0.2, 0.4, 0.6, 0.8};
+
+  bool has_clustering = !probe.features.empty();
+  std::vector<std::string> columns = {"TARGET-SIZE", "ProvApprox"};
+  if (has_clustering) columns.push_back("Clustering");
+  columns.push_back("Random");
+  TablePrinter table(columns);
+  table.PrintTitle("Average distance as a function of TARGET-SIZE");
+  table.PrintHeader();
+
+  for (double fraction : fractions) {
+    const int64_t target =
+        min_size + static_cast<int64_t>((base_size - min_size) * fraction);
+    double pa = 0.0, cl = 0.0, rd = 0.0;
+    int cl_runs = 0;
+    for (int seed = 1; seed <= num_seeds; ++seed) {
+      Dataset ds = MakeDataset(kind, seed);
+      RunConfig config;
+      config.w_dist = 1.0;
+      config.target_size = target;
+      config.max_steps = 100000;
+      config.random_seed = 2000 + seed;
+      pa += RunProvApprox(&ds, config).distance / num_seeds;
+      AlgoResult c = RunClustering(&ds, config);
+      if (c.ok) {
+        cl += c.distance;
+        ++cl_runs;
+      }
+      rd += RunRandom(&ds, config).distance / num_seeds;
+    }
+    std::vector<std::string> row = {std::to_string(target), Cell(pa)};
+    if (has_clustering) row.push_back(Cell(cl_runs ? cl / cl_runs : 0.0));
+    row.push_back(Cell(rd));
+    table.PrintRow(row);
+  }
+}
+
+void RunTargetDistExperiment(DatasetKind kind,
+                             const std::string& dataset_name,
+                             const std::string& figure_label,
+                             int num_seeds) {
+  std::printf("TARGET-DIST experiment (%s) — %s\n", dataset_name.c_str(),
+              figure_label.c_str());
+  std::printf("wDist = 0, TARGET-SIZE = 1, %d seeds, scale %.2f\n",
+              num_seeds, BenchScale());
+
+  // Calibrate the sweep to the distance an unconstrained size-greedy run
+  // accumulates, so the bound produces a visible size/distance tradeoff on
+  // every dataset (the absolute scale of normalized distances depends on
+  // the dataset's max-error constant).
+  Dataset probe = MakeDataset(kind, 1);
+  std::printf("average original provenance size: %lld\n",
+              static_cast<long long>(probe.provenance->Size()));
+  bool has_clustering = !probe.features.empty();
+  double max_dist = 0.0;
+  {
+    RunConfig calibrate;
+    calibrate.w_dist = 0.0;
+    calibrate.max_steps = 100000;
+    AlgoResult r = RunProvApprox(&probe, calibrate);
+    if (r.ok) max_dist = r.distance;
+  }
+  if (max_dist <= 0.0) max_dist = 0.01;
+  std::printf("unbounded-run distance (sweep calibration): %.5f\n",
+              max_dist);
+
+  std::vector<std::string> columns = {"TARGET-DIST", "ProvApprox"};
+  if (has_clustering) columns.push_back("Clustering");
+  columns.push_back("Random");
+  TablePrinter table(columns);
+  table.PrintTitle("Average size as a function of TARGET-DIST");
+  table.PrintHeader();
+
+  const double bound_fractions[] = {0.05, 0.15, 0.3, 0.5, 0.75, 1.0, 1.5};
+  for (double fraction : bound_fractions) {
+    const double bound = fraction * max_dist;
+    double pa = 0.0, cl = 0.0, rd = 0.0;
+    int cl_runs = 0;
+    for (int seed = 1; seed <= num_seeds; ++seed) {
+      Dataset ds = MakeDataset(kind, seed);
+      RunConfig config;
+      config.w_dist = 0.0;
+      config.target_dist = bound;
+      config.max_steps = 100000;
+      config.random_seed = 3000 + seed;
+      pa += RunProvApprox(&ds, config).size / num_seeds;
+      AlgoResult c = RunClustering(&ds, config);
+      if (c.ok) {
+        cl += c.size;
+        ++cl_runs;
+      }
+      rd += RunRandom(&ds, config).size / num_seeds;
+    }
+    std::vector<std::string> row = {Cell(bound, 5), Cell(pa, 1)};
+    if (has_clustering) row.push_back(Cell(cl_runs ? cl / cl_runs : 0.0, 1));
+    row.push_back(Cell(rd, 1));
+    table.PrintRow(row);
+  }
+}
+
+}  // namespace bench
+}  // namespace prox

@@ -1,0 +1,38 @@
+#ifndef PROX_BENCH_HARNESS_EXPERIMENTS_H_
+#define PROX_BENCH_HARNESS_EXPERIMENTS_H_
+
+#include <string>
+
+#include "harness/bench_util.h"
+
+namespace prox {
+namespace bench {
+
+/// The wDist experiment (§6.4): sweeps wDist ∈ {0, 0.1, ..., 1} with
+/// TARGET-DIST = 1 and TARGET-SIZE = 1 (bounds cancelled) and a step
+/// budget, printing average distance and average size per algorithm —
+/// the (a) panels of Figures 6.1/6.2 (MovieLens), 6.6/6.7 (Wikipedia)
+/// and 6.8/6.9 (DDP). Clustering and Random ignore wDist, so their
+/// columns are seed-averaged constants, as in the thesis.
+void RunWdistExperiment(DatasetKind kind, const std::string& dataset_name,
+                        const std::string& figure_label, int max_steps,
+                        int num_seeds);
+
+/// The TARGET-SIZE experiment (§6.5): wDist = 1, sweeps the size bound and
+/// prints the average distance each algorithm reaches — the (b) panels of
+/// Figures 6.1 / 6.6 / 6.8.
+void RunTargetSizeExperiment(DatasetKind kind,
+                             const std::string& dataset_name,
+                             const std::string& figure_label, int num_seeds);
+
+/// The TARGET-DIST experiment (§6.6): wDist = 0, sweeps the distance bound
+/// and prints the average size each algorithm reaches — the (b) panels of
+/// Figures 6.2 / 6.7 / 6.9.
+void RunTargetDistExperiment(DatasetKind kind,
+                             const std::string& dataset_name,
+                             const std::string& figure_label, int num_seeds);
+
+}  // namespace bench
+}  // namespace prox
+
+#endif  // PROX_BENCH_HARNESS_EXPERIMENTS_H_

@@ -1,0 +1,204 @@
+/// \file prox_cli.cpp
+/// \brief A command-line stand-in for the PROX web UI (Chapter 7): drives
+/// the three views — selection, summarization, summary/evaluation — over a
+/// MovieLens-style dataset through the ProxSession façade.
+///
+/// Reads commands from stdin (scriptable); with no input it runs a demo
+/// script. Commands:
+///   titles                      list movie titles (selection view)
+///   search <substr>             search titles
+///   select <title>              select one movie's provenance
+///   selectall                   select everything
+///   summarize [wdist] [steps]   run Algorithm 1 (summarization view)
+///   expr                        print the summary expression
+///   groups                      print the summary groups
+///   eval <name> [<name> ...]    evaluate an assignment cancelling names
+///   evalattr <attr> <value>     cancel all carriers of attribute=value
+///   save <file>                 serialize the summary expression
+///   step <k>                    show the expression after k merges
+///   help | quit
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "datasets/movielens.h"
+#include "provenance/io.h"
+#include "service/session.h"
+#include "summarize/report.h"
+
+using namespace prox;
+
+namespace {
+
+void PrintReport(const char* label, const EvaluationReport& report) {
+  std::printf("%s (evaluated in %lld ns):\n", label,
+              static_cast<long long>(report.eval_nanos));
+  std::printf("  %-28s %s\n", "Movie", "Aggregated Rating");
+  for (const auto& [title, value] : report.rows) {
+    std::printf("  %-28s %.1f\n", title.c_str(), value);
+  }
+}
+
+int RunCommand(ProxSession& session, const std::string& line) {
+  std::istringstream in(line);
+  std::string cmd;
+  in >> cmd;
+  if (cmd.empty()) return 0;
+
+  if (cmd == "quit" || cmd == "exit") return 1;
+
+  if (cmd == "help") {
+    std::printf("commands: titles search select selectall summarize expr "
+                "groups eval evalattr quit\n");
+  } else if (cmd == "titles") {
+    SelectionService svc(&session.dataset());
+    for (const auto& t : svc.ListTitles()) std::printf("  %s\n", t.c_str());
+  } else if (cmd == "search") {
+    std::string needle;
+    std::getline(in, needle);
+    SelectionService svc(&session.dataset());
+    for (const auto& t : svc.SearchTitles(
+             std::string(needle.empty() ? "" : needle.substr(1)))) {
+      std::printf("  %s\n", t.c_str());
+    }
+  } else if (cmd == "select") {
+    std::string title;
+    std::getline(in, title);
+    if (!title.empty()) title = title.substr(1);
+    SelectionCriteria criteria;
+    criteria.titles = {title};
+    auto size = session.Select(criteria);
+    if (size.ok()) {
+      std::printf("selected provenance size: %lld\n",
+                  static_cast<long long>(size.value()));
+    } else {
+      std::printf("error: %s\n", size.status().ToString().c_str());
+    }
+  } else if (cmd == "selectall") {
+    std::printf("selected provenance size: %lld\n",
+                static_cast<long long>(session.SelectAll()));
+  } else if (cmd == "summarize") {
+    SummarizationRequest request;
+    request.w_dist = 0.5;
+    request.max_steps = 10;
+    in >> request.w_dist >> request.max_steps;
+    request.w_size = 1.0 - request.w_dist;
+    auto size = session.Summarize(request);
+    if (size.ok()) {
+      std::printf("summary size: %lld (distance %.4f)\n",
+                  static_cast<long long>(size.value()),
+                  session.outcome()->final_distance);
+    } else {
+      std::printf("error: %s\n", size.status().ToString().c_str());
+    }
+  } else if (cmd == "expr") {
+    auto expr = session.SummaryExpression();
+    if (expr.ok()) {
+      std::printf("%s\n", expr.value().c_str());
+    } else {
+      std::printf("error: %s\n", expr.status().ToString().c_str());
+    }
+  } else if (cmd == "groups") {
+    for (const auto& line_out : session.DescribeGroups()) {
+      std::printf("  %s\n", line_out.c_str());
+    }
+  } else if (cmd == "eval") {
+    Assignment assignment;
+    std::string name;
+    while (in >> name) assignment.false_annotations.push_back(name);
+    auto exact = session.EvaluateOnSelection(assignment);
+    auto approx = session.EvaluateOnSummary(assignment);
+    if (exact.ok()) PrintReport("exact (original provenance)", exact.value());
+    if (approx.ok()) PrintReport("approx (summary)", approx.value());
+    if (!exact.ok()) {
+      std::printf("error: %s\n", exact.status().ToString().c_str());
+    }
+  } else if (cmd == "evalattr") {
+    std::string attr, value;
+    in >> attr >> value;
+    Assignment assignment;
+    assignment.false_attributes = {{attr, value}};
+    auto exact = session.EvaluateOnSelection(assignment);
+    auto approx = session.EvaluateOnSummary(assignment);
+    if (exact.ok()) PrintReport("exact (original provenance)", exact.value());
+    if (approx.ok()) PrintReport("approx (summary)", approx.value());
+    if (!exact.ok()) {
+      std::printf("error: %s\n", exact.status().ToString().c_str());
+    }
+  } else if (cmd == "step") {
+    int k = 0;
+    in >> k;
+    if (session.outcome() == nullptr || session.selection() == nullptr) {
+      std::printf("error: no summary computed yet\n");
+    } else {
+      auto at = ExpressionAtStep(*session.selection(), *session.outcome(), k);
+      if (at.ok()) {
+        std::printf("after %d merge(s), size %lld:\n%s\n", k,
+                    static_cast<long long>(at.value()->Size()),
+                    at.value()
+                        ->ToString(*session.dataset().registry)
+                        .c_str());
+      } else {
+        std::printf("error: %s\n", at.status().ToString().c_str());
+      }
+    }
+  } else if (cmd == "save") {
+    std::string path;
+    in >> path;
+    if (session.outcome() == nullptr) {
+      std::printf("error: no summary computed yet\n");
+    } else if (path.empty()) {
+      std::printf("usage: save <file>\n");
+    } else {
+      std::string text = SerializeExpression(*session.outcome()->summary,
+                                             *session.dataset().registry);
+      std::ofstream out(path);
+      out << text;
+      std::printf("wrote %zu bytes to %s\n", text.size(), path.c_str());
+    }
+  } else {
+    std::printf("unknown command: %s (try 'help')\n", cmd.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  MovieLensConfig config;
+  config.num_users = 25;
+  config.num_movies = 8;
+  config.seed = 99;
+  ProxSession session(MovieLensGenerator::Generate(config));
+
+  std::printf("PROX — approximated provenance summarization "
+              "(type 'help')\n\n");
+
+  const bool demo = argc > 1 && std::string(argv[1]) == "--demo";
+  if (demo) {
+    const char* script[] = {"titles",
+                            "selectall",
+                            "summarize 0.7 8",
+                            "groups",
+                            "expr",
+                            "evalattr Gender M"};
+    for (const char* line : script) {
+      std::printf("prox> %s\n", line);
+      RunCommand(session, line);
+      std::printf("\n");
+    }
+    return 0;
+  }
+
+  std::string line;
+  std::printf("prox> ");
+  while (std::getline(std::cin, line)) {
+    if (RunCommand(session, line) != 0) break;
+    std::printf("prox> ");
+  }
+  return 0;
+}

@@ -1,0 +1,91 @@
+/// \file wiki_edits.cpp
+/// \brief The Wikipedia use case of Example 5.2.1: edit provenance
+/// `(Username·PageTitle) ⊗ (EditType, 1) ⊕ …` is summarized under
+/// taxonomy constraints, grouping pages below common WordNet concepts and
+/// users by contribution level, to answer questions like "do top
+/// contributors prefer guitarist pages over singer pages?".
+
+#include <cstdio>
+
+#include "datasets/wikipedia.h"
+#include "summarize/distance.h"
+#include "summarize/summarizer.h"
+
+using namespace prox;
+
+int main() {
+  WikipediaConfig config;
+  config.num_users = 18;
+  config.num_pages = 10;
+  config.seed = 5;
+  Dataset ds = WikipediaGenerator::Generate(config);
+
+  std::printf("Wikipedia edit provenance (size %lld):\n  %.220s…\n\n",
+              static_cast<long long>(ds.provenance->Size()),
+              ds.provenance->ToString(*ds.registry).c_str());
+
+  // Summarize: taxonomy-consistent cancel-single-annotation valuations,
+  // SUM aggregation, Euclidean VAL-FUNC (the Table 5.1 configuration).
+  std::vector<Valuation> valuations =
+      ds.valuation_class->Generate(*ds.provenance, ds.ctx);
+  EnumeratedDistance oracle(ds.provenance.get(), ds.registry.get(),
+                            ds.val_func.get(), valuations);
+  SummarizerOptions options;
+  options.w_dist = 0.6;
+  options.w_size = 0.4;
+  options.max_steps = 12;
+  options.tie_break = TieBreak::kTaxonomyMax;  // prefer specific concepts
+  options.phi = ds.phi;
+  Summarizer summarizer(ds.provenance.get(), ds.registry.get(), &ds.ctx,
+                        &ds.constraints, &oracle, &valuations, options);
+  auto outcome = summarizer.Run();
+  if (!outcome.ok()) {
+    std::printf("summarization failed: %s\n",
+                outcome.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("summary (size %lld, distance %.4f):\n  %s\n\n",
+              static_cast<long long>(outcome.value().final_size),
+              outcome.value().final_distance,
+              outcome.value().summary->ToString(*ds.registry).c_str());
+
+  std::printf("groups chosen by the algorithm:\n");
+  for (const auto& [summary, members] : outcome.value().state.summaries()) {
+    std::printf("  %s <- {", ds.registry->name(summary).c_str());
+    for (size_t i = 0; i < members.size(); ++i) {
+      std::printf("%s%s", i ? ", " : "",
+                  ds.registry->name(members[i]).c_str());
+    }
+    std::printf("}\n");
+  }
+
+  // Insight query: total major edits per concept group, for top
+  // contributors only — cancel everyone below TopContributor.
+  const EntityTable* users = ds.ctx.TableFor(ds.domain("wiki_user"));
+  AttrId level = users->FindAttribute("ContributionLevel").MoveValue();
+  std::vector<AnnotationId> cancelled;
+  for (AnnotationId u :
+       ds.registry->AnnotationsInDomain(ds.domain("wiki_user"))) {
+    if (ds.registry->is_summary(u)) continue;
+    uint32_t row = ds.registry->entity_row(u);
+    if (users->ValueNameOf(row, level) != "TopContributor") {
+      cancelled.push_back(u);
+    }
+  }
+  Valuation top_only(cancelled, "keep only top contributors");
+  MaterializedValuation exact_view(top_only, ds.registry->size());
+  MaterializedValuation approx_view =
+      outcome.value().state.Transform(top_only, ds.registry->size());
+
+  std::printf("\nmajor edits by top contributors (exact, per page):\n  %s\n",
+              ds.provenance->Evaluate(exact_view)
+                  .ToString(*ds.registry)
+                  .c_str());
+  std::printf("major edits by top contributors (summary, per group):\n  %s\n",
+              outcome.value()
+                  .summary->Evaluate(approx_view)
+                  .ToString(*ds.registry)
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Reproduces everything: build, full test suite, and every Chapter 6
+# figure/table (DESIGN.md §4), capturing the official outputs.
+#
+# Usage: scripts/reproduce.sh [scale]
+#   scale  optional PROX_BENCH_SCALE (default 1.0) to grow the workloads.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-1.0}"
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+PROX_BENCH_SCALE="$SCALE" bash -c \
+  'for b in build/bench/bench_*; do [ -x "$b" ] && "$b"; done' \
+  2>&1 | tee bench_output.txt
+
+echo
+echo "done: test_output.txt, bench_output.txt (scale $SCALE)"

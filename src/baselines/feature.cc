@@ -1,0 +1,56 @@
+#include "baselines/feature.h"
+
+#include <cmath>
+#include <vector>
+
+namespace prox {
+
+double PearsonCorrelation(const RatingVector& a, const RatingVector& b) {
+  std::vector<std::pair<double, double>> shared;
+  for (const auto& [key, va] : a) {
+    auto it = b.find(key);
+    if (it != b.end()) shared.emplace_back(va, it->second);
+  }
+  if (shared.size() < 2) return 0.0;
+  double mean_a = 0.0, mean_b = 0.0;
+  for (const auto& [va, vb] : shared) {
+    mean_a += va;
+    mean_b += vb;
+  }
+  mean_a /= shared.size();
+  mean_b /= shared.size();
+  double cov = 0.0, var_a = 0.0, var_b = 0.0;
+  for (const auto& [va, vb] : shared) {
+    cov += (va - mean_a) * (vb - mean_b);
+    var_a += (va - mean_a) * (va - mean_a);
+    var_b += (vb - mean_b) * (vb - mean_b);
+  }
+  if (var_a <= 0.0 || var_b <= 0.0) return 0.0;
+  return cov / std::sqrt(var_a * var_b);
+}
+
+double PearsonDissimilarity(const RatingVector& a, const RatingVector& b) {
+  std::vector<std::pair<double, double>> shared;
+  for (const auto& [key, va] : a) {
+    auto it = b.find(key);
+    if (it != b.end()) shared.emplace_back(va, it->second);
+  }
+  if (shared.size() < 2) return 1.0;
+  double mean_a = 0.0, mean_b = 0.0;
+  for (const auto& [va, vb] : shared) {
+    mean_a += va;
+    mean_b += vb;
+  }
+  mean_a /= shared.size();
+  mean_b /= shared.size();
+  double cov = 0.0, var_a = 0.0, var_b = 0.0;
+  for (const auto& [va, vb] : shared) {
+    cov += (va - mean_a) * (vb - mean_b);
+    var_a += (va - mean_a) * (va - mean_a);
+    var_b += (vb - mean_b) * (vb - mean_b);
+  }
+  if (var_a <= 0.0 || var_b <= 0.0) return 1.0;
+  return 1.0 - cov / std::sqrt(var_a * var_b);
+}
+
+}  // namespace prox

@@ -1,0 +1,29 @@
+#ifndef PROX_BASELINES_FEATURE_H_
+#define PROX_BASELINES_FEATURE_H_
+
+#include <map>
+
+#include "provenance/annotation.h"
+
+namespace prox {
+
+/// A numeric feature vector keyed by annotation id — e.g. a user's ratings
+/// keyed by movie, or a Wikipedia page's major-edit counts keyed by user
+/// (the "(MovieTitle₁ = Rating₁, ...)" feature of §6.2).
+using RatingVector = std::map<AnnotationId, double>;
+
+/// \brief Pearson-correlation dissimilarity between two rating vectors —
+/// the measure the thesis uses for the Clustering competitor (§6.2).
+///
+/// The correlation is computed over the keys the two vectors share. Pairs
+/// with fewer than two shared keys, or with zero variance on the shared
+/// keys, get the neutral dissimilarity 1 (no evidence either way).
+/// Returns 1 − r ∈ [0, 2]: identical ratings → 0, anti-correlated → 2.
+double PearsonDissimilarity(const RatingVector& a, const RatingVector& b);
+
+/// Pearson correlation coefficient over shared keys; 0 when undefined.
+double PearsonCorrelation(const RatingVector& a, const RatingVector& b);
+
+}  // namespace prox
+
+#endif  // PROX_BASELINES_FEATURE_H_

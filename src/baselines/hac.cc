@@ -1,0 +1,135 @@
+#include "baselines/hac.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace prox {
+
+const char* LinkageToString(Linkage linkage) {
+  switch (linkage) {
+    case Linkage::kSingle:
+      return "single";
+    case Linkage::kComplete:
+      return "complete";
+    case Linkage::kAverage:
+      return "average";
+    case Linkage::kWeighted:
+      return "weighted";
+    case Linkage::kCentroid:
+      return "centroid";
+    case Linkage::kMedian:
+      return "median";
+    case Linkage::kWard:
+      return "ward";
+  }
+  return "?";
+}
+
+namespace {
+
+struct LwCoeffs {
+  double ai, aj, beta, gamma;
+};
+
+LwCoeffs CoeffsFor(Linkage linkage, double ni, double nj, double nk) {
+  switch (linkage) {
+    case Linkage::kSingle:
+      return {0.5, 0.5, 0.0, -0.5};
+    case Linkage::kComplete:
+      return {0.5, 0.5, 0.0, 0.5};
+    case Linkage::kAverage:
+      return {ni / (ni + nj), nj / (ni + nj), 0.0, 0.0};
+    case Linkage::kWeighted:
+      return {0.5, 0.5, 0.0, 0.0};
+    case Linkage::kCentroid:
+      return {ni / (ni + nj), nj / (ni + nj),
+              -(ni * nj) / ((ni + nj) * (ni + nj)), 0.0};
+    case Linkage::kMedian:
+      return {0.5, 0.5, -0.25, 0.0};
+    case Linkage::kWard:
+      return {(ni + nk) / (ni + nj + nk), (nj + nk) / (ni + nj + nk),
+              -nk / (ni + nj + nk), 0.0};
+  }
+  return {0.5, 0.5, 0.0, 0.0};
+}
+
+}  // namespace
+
+HacClusterer::HacClusterer(std::vector<std::vector<double>> dissimilarity,
+                           Linkage linkage)
+    : linkage_(linkage), dist_(std::move(dissimilarity)) {
+  const int n = static_cast<int>(dist_.size());
+  members_.resize(n);
+  sizes_.resize(n, 1);
+  active_.resize(n);
+  for (int i = 0; i < n; ++i) {
+    members_[i] = {i};
+    active_[i] = i;
+  }
+}
+
+std::optional<std::pair<std::pair<int, int>, double>> HacClusterer::PeekNext()
+    const {
+  double best = std::numeric_limits<double>::infinity();
+  int bi = -1, bj = -1;
+  for (size_t x = 0; x < active_.size(); ++x) {
+    for (size_t y = x + 1; y < active_.size(); ++y) {
+      int i = active_[x], j = active_[y];
+      double d = Dist(i, j);
+      if (d < best) {
+        if (constraint_ && !constraint_(members_[i], members_[j])) continue;
+        best = d;
+        bi = i;
+        bj = j;
+      }
+    }
+  }
+  if (bi < 0) return std::nullopt;
+  return std::make_pair(std::make_pair(bi, bj), best);
+}
+
+std::optional<HacClusterer::MergeStep> HacClusterer::MergeNext() {
+  if (active_.size() < 2) return std::nullopt;
+  auto next = PeekNext();
+  if (!next.has_value()) return std::nullopt;
+  const auto [pair, d] = *next;
+  const auto [i, j] = pair;
+
+  // Create the merged cluster and extend the distance matrix via
+  // Lance-Williams.
+  const int merged = static_cast<int>(dist_.size());
+  const double ni = sizes_[i], nj = sizes_[j];
+  for (auto& row : dist_) row.push_back(0.0);
+  dist_.emplace_back(dist_.size() + 1, 0.0);
+  for (int k : active_) {
+    if (k == i || k == j) continue;
+    LwCoeffs c = CoeffsFor(linkage_, ni, nj, sizes_[k]);
+    double dk = c.ai * Dist(k, i) + c.aj * Dist(k, j) + c.beta * d +
+                c.gamma * std::abs(Dist(k, i) - Dist(k, j));
+    dist_[merged][k] = dk;
+    dist_[k][merged] = dk;
+  }
+
+  std::vector<int> merged_members = members_[i];
+  merged_members.insert(merged_members.end(), members_[j].begin(),
+                        members_[j].end());
+  std::sort(merged_members.begin(), merged_members.end());
+  members_.push_back(merged_members);
+  sizes_.push_back(sizes_[i] + sizes_[j]);
+
+  active_.erase(std::remove_if(active_.begin(), active_.end(),
+                               [&](int c) { return c == i || c == j; }),
+                active_.end());
+  active_.push_back(merged);
+
+  MergeStep step;
+  step.cluster_a = i;
+  step.cluster_b = j;
+  step.dissimilarity = d;
+  step.merged_cluster = merged;
+  step.members = std::move(merged_members);
+  return step;
+}
+
+}  // namespace prox

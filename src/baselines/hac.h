@@ -1,0 +1,93 @@
+#ifndef PROX_BASELINES_HAC_H_
+#define PROX_BASELINES_HAC_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace prox {
+
+/// Linkage criteria of the HAC library the thesis compares against (§6.2).
+enum class Linkage {
+  kSingle,    ///< min pairwise distance between opposite clusters
+  kComplete,  ///< max pairwise distance
+  kAverage,   ///< UPGMA: mean pairwise distance
+  kWeighted,  ///< WPGMA: average linkage with clusters weighted equally
+  kCentroid,  ///< UPGMC: distance between centroids
+  kMedian,    ///< WPGMC: distance between weighted centroids
+  kWard,      ///< minimal increase of within-cluster sum of squares
+};
+
+const char* LinkageToString(Linkage linkage);
+
+/// \brief Bottom-up agglomerative hierarchical clustering over an explicit
+/// dissimilarity matrix, with constraint-aware merging.
+///
+/// Implements all seven linkage criteria through the Lance-Williams update
+///   d(k, i∪j) = αᵢ·d(k,i) + αⱼ·d(k,j) + β·d(i,j) + γ·|d(k,i) − d(k,j)|,
+/// so a single O(n²)-per-merge engine covers the whole §6.2 family.
+///
+/// The thesis's *modified* HAC refuses merges whose members violate the
+/// summarization mapping constraints ("we do not allow two clusters to
+/// merge if the users ... do not have at least one attribute in common");
+/// the constraint callback reproduces that: each step merges the smallest-
+/// dissimilarity *allowed* pair.
+class HacClusterer {
+ public:
+  /// Decides whether two clusters (given as item-index member lists) may
+  /// merge. Defaults to always-true.
+  using ConstraintFn = std::function<bool(const std::vector<int>& members_a,
+                                          const std::vector<int>& members_b)>;
+
+  /// \param dissimilarity full symmetric n×n matrix (diagonal ignored)
+  HacClusterer(std::vector<std::vector<double>> dissimilarity,
+               Linkage linkage);
+
+  void set_constraint(ConstraintFn constraint) {
+    constraint_ = std::move(constraint);
+  }
+
+  /// A committed merge: the two active-cluster ids, their linkage
+  /// dissimilarity, and the merged member item indices.
+  struct MergeStep {
+    int cluster_a = -1;
+    int cluster_b = -1;
+    double dissimilarity = 0.0;
+    int merged_cluster = -1;
+    std::vector<int> members;
+  };
+
+  /// The smallest allowed pair and its dissimilarity, without merging;
+  /// nullopt when no allowed pair remains.
+  std::optional<std::pair<std::pair<int, int>, double>> PeekNext() const;
+
+  /// Merges the smallest allowed pair. nullopt when clustering is done
+  /// (single cluster left or every remaining pair disallowed).
+  std::optional<MergeStep> MergeNext();
+
+  /// Members (original item indices) of an active or historical cluster.
+  const std::vector<int>& MembersOf(int cluster) const {
+    return members_[cluster];
+  }
+
+  /// Number of currently active clusters.
+  int num_active() const { return static_cast<int>(active_.size()); }
+
+  /// Currently active cluster ids.
+  const std::vector<int>& active() const { return active_; }
+
+ private:
+  double Dist(int a, int b) const { return dist_[a][b]; }
+
+  Linkage linkage_;
+  ConstraintFn constraint_;
+  std::vector<std::vector<double>> dist_;  // grows as clusters are created
+  std::vector<std::vector<int>> members_;
+  std::vector<int> sizes_;
+  std::vector<int> active_;
+};
+
+}  // namespace prox
+
+#endif  // PROX_BASELINES_HAC_H_

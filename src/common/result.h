@@ -1,0 +1,79 @@
+#ifndef PROX_COMMON_RESULT_H_
+#define PROX_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace prox {
+
+/// \brief Either a value of type T or a non-OK Status.
+///
+/// The Result idiom (Arrow's arrow::Result) lets fallible factories return
+/// values without out-parameters. Accessing the value of an errored Result
+/// is a programming error, guarded by assert in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from a non-OK Status (failure). OK statuses are rejected.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok() &&
+           "Result constructed from an OK Status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Returns OK when a value is held, the error status otherwise.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  /// Moves the value out of the Result.
+  T MoveValue() {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& ValueOr(const T& fallback) const& {
+    return ok() ? std::get<T>(repr_) : fallback;
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its
+/// error status to the caller.
+#define PROX_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value();
+
+#define PROX_ASSIGN_OR_RETURN(lhs, expr) \
+  PROX_ASSIGN_OR_RETURN_IMPL(            \
+      PROX_CONCAT_(prox_result_, __LINE__), lhs, expr)
+
+#define PROX_CONCAT_INNER_(a, b) a##b
+#define PROX_CONCAT_(a, b) PROX_CONCAT_INNER_(a, b)
+
+}  // namespace prox
+
+#endif  // PROX_COMMON_RESULT_H_

@@ -1,0 +1,30 @@
+#ifndef PROX_COMMON_STR_UTIL_H_
+#define PROX_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace prox {
+
+/// Joins `parts` with `sep` ("a", "b" -> "a<sep>b").
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `text` on every occurrence of `sep`; empty fields are kept.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// True when `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Formats a double with `digits` digits after the decimal point.
+std::string FormatDouble(double value, int digits = 4);
+
+/// Lower-cases ASCII letters.
+std::string ToLowerAscii(std::string_view text);
+
+}  // namespace prox
+
+#endif  // PROX_COMMON_STR_UTIL_H_

@@ -1,0 +1,38 @@
+#ifndef PROX_COMMON_TIMER_H_
+#define PROX_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace prox {
+
+/// \brief Monotonic wall-clock stopwatch used by the benchmark harness and
+/// the evaluator service (the thesis UI reports evaluation times in
+/// nanoseconds; we do the same).
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Nanoseconds elapsed since construction / last Reset().
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  /// Convenience conversions.
+  double ElapsedMicros() const { return ElapsedNanos() / 1e3; }
+  double ElapsedMillis() const { return ElapsedNanos() / 1e6; }
+  double ElapsedSeconds() const { return ElapsedNanos() / 1e9; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace prox
+
+#endif  // PROX_COMMON_TIMER_H_

@@ -1,0 +1,50 @@
+#ifndef PROX_DATASETS_DATASET_H_
+#define PROX_DATASETS_DATASET_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "baselines/feature.h"
+#include "provenance/agg_value.h"
+#include "provenance/expression.h"
+#include "semantics/constraints.h"
+#include "semantics/context.h"
+#include "summarize/mapping_state.h"
+#include "summarize/val_func.h"
+#include "summarize/valuation_class.h"
+
+namespace prox {
+
+/// \brief One fully configured experimental input: the provenance
+/// expression plus everything Table 5.1 specifies for its dataset —
+/// annotation registry, entity tables / taxonomy, mapping constraints,
+/// aggregation, φ combiners, valuation class and VAL-FUNC — and the
+/// feature vectors the Clustering baseline needs.
+///
+/// Generators return Dataset by value; all internal pointers refer to the
+/// heap-allocated registry, so the struct is movable.
+struct Dataset {
+  std::unique_ptr<AnnotationRegistry> registry;
+  SemanticContext ctx;  // ctx.registry == registry.get()
+  ConstraintSet constraints;
+  std::unique_ptr<ProvenanceExpression> provenance;
+
+  /// Dataset defaults per Table 5.1.
+  AggKind agg = AggKind::kMax;
+  PhiConfig phi;
+  std::unique_ptr<ValuationClass> valuation_class;
+  std::unique_ptr<ValFunc> val_func;
+
+  /// Named domain handles ("user", "movie", ...).
+  std::map<std::string, DomainId> domains;
+
+  /// Clustering features per clusterable domain.
+  std::map<DomainId, std::map<AnnotationId, RatingVector>> features;
+
+  DomainId domain(const std::string& name) const { return domains.at(name); }
+};
+
+}  // namespace prox
+
+#endif  // PROX_DATASETS_DATASET_H_

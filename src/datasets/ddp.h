@@ -1,0 +1,46 @@
+#ifndef PROX_DATASETS_DDP_H_
+#define PROX_DATASETS_DDP_H_
+
+#include <cstdint>
+
+#include "datasets/dataset.h"
+
+namespace prox {
+
+/// Parameters of the synthetic data-dependent-process workload, following
+/// the constants of Example 5.2.2 (max cost 10 per transition, at most 5
+/// transitions per execution).
+struct DdpConfig {
+  int num_executions = 8;
+  int min_transitions = 2;
+  int max_transitions = 5;
+  int num_db_vars = 10;
+  int num_cost_vars = 8;
+  int max_cost = 10;
+  /// NumericToleranceRule slack for grouping cost variables whose costs
+  /// are "more or less the same".
+  double cost_tolerance = 2.0;
+  /// When true, the provenance is compiled from a random DDP state
+  /// machine (src/ddp/machine.h — the faithful [17] substrate) instead of
+  /// sampled execution templates; num_executions then caps the path
+  /// enumeration.
+  bool from_machine = false;
+  int machine_states = 5;
+  uint64_t seed = 13;
+};
+
+/// \brief Generates a DDP dataset per [17]'s structure (Example 5.2.2):
+/// each execution is a product of user transitions ⟨c_k, 1⟩ and
+/// database-dependent transitions ⟨0, [d_i·d_j] ≠/= 0⟩ over the tropical ×
+/// boolean semirings. Mapping constraints allow any DB-variable grouping
+/// and tolerance-bounded cost-variable grouping; valuations cancel single
+/// attributes (all cost variables of equal cost / all DB variables of one
+/// table); VAL-FUNC is the bounded absolute cost difference.
+class DdpGenerator {
+ public:
+  static Dataset Generate(const DdpConfig& config);
+};
+
+}  // namespace prox
+
+#endif  // PROX_DATASETS_DDP_H_

@@ -1,0 +1,34 @@
+#ifndef PROX_DATASETS_WIKIPEDIA_H_
+#define PROX_DATASETS_WIKIPEDIA_H_
+
+#include <cstdint>
+
+#include "datasets/dataset.h"
+
+namespace prox {
+
+/// Parameters of the synthetic Wikipedia-like workload.
+struct WikipediaConfig {
+  int num_users = 30;
+  int num_pages = 16;
+  /// Mean edits per user (jitter ±1, ≥1).
+  int edits_per_user = 4;
+  double zipf_skew = 0.8;
+  uint64_t seed = 11;
+};
+
+/// \brief Generates a Wikipedia-style dataset (substituting the MediaWiki
+/// crawl + YAGO taxonomy — see DESIGN.md §1): users with isRegistered /
+/// gender / contribution level, pages attached to leaves of a WordNet-style
+/// concept taxonomy, and a Table 5.1 provenance expression
+///   (Username·PageTitle) ⊗ (EditType, 1) ⊕ ...
+/// with SUM aggregation, page grouping constrained by common taxonomy
+/// ancestors, and taxonomy-consistent cancel-single-annotation valuations.
+class WikipediaGenerator {
+ public:
+  static Dataset Generate(const WikipediaConfig& config);
+};
+
+}  // namespace prox
+
+#endif  // PROX_DATASETS_WIKIPEDIA_H_

@@ -1,0 +1,58 @@
+#include "provenance/agg_value.h"
+
+#include <algorithm>
+
+namespace prox {
+
+const char* AggKindToString(AggKind kind) {
+  switch (kind) {
+    case AggKind::kMax:
+      return "MAX";
+    case AggKind::kMin:
+      return "MIN";
+    case AggKind::kSum:
+      return "SUM";
+    case AggKind::kCount:
+      return "COUNT";
+    case AggKind::kAvg:
+      return "AVG";
+  }
+  return "?";
+}
+
+AggValue MergeAggValues(AggKind kind, const AggValue& a, const AggValue& b) {
+  AggValue out;
+  out.count = a.count + b.count;
+  switch (kind) {
+    case AggKind::kMax:
+      out.value = std::max(a.value, b.value);
+      break;
+    case AggKind::kMin:
+      out.value = std::min(a.value, b.value);
+      break;
+    case AggKind::kSum:
+    case AggKind::kCount:
+    case AggKind::kAvg:  // (sum, count) pairs add component-wise
+      out.value = a.value + b.value;
+      break;
+  }
+  return out;
+}
+
+double FoldAggregate(AggKind kind, double acc, const AggValue& v, bool first) {
+  const double contribution = (kind == AggKind::kCount) ? v.count : v.value;
+  if (first) return contribution;
+  switch (kind) {
+    case AggKind::kMax:
+      return std::max(acc, contribution);
+    case AggKind::kMin:
+      return std::min(acc, contribution);
+    case AggKind::kSum:
+    case AggKind::kCount:
+    case AggKind::kAvg:  // callers divide by the folded counts afterwards
+      return acc + contribution;
+  }
+  return acc;
+}
+
+}  // namespace prox

@@ -1,0 +1,42 @@
+#ifndef PROX_PROVENANCE_AGG_VALUE_H_
+#define PROX_PROVENANCE_AGG_VALUE_H_
+
+#include <string>
+
+namespace prox {
+
+/// Aggregation function applied over tensor values (the monoid M of
+/// Section 2.2). The thesis evaluates MAX and SUM ("alternatively, we
+/// could use sum or any other aggregation function"); MIN, COUNT and AVG
+/// complete the natural family. For kAvg the tensor `value` field carries
+/// the *sum* of the contributions and `count` the contributor count — the
+/// (sum, count) pair monoid — and evaluation divides.
+enum class AggKind { kMax, kMin, kSum, kCount, kAvg };
+
+const char* AggKindToString(AggKind kind);
+
+/// \brief The monoid value carried by a tensor: an aggregated value plus a
+/// contributor count, e.g. `(5, 2)` = "MAX rating 5 collected from 2 users"
+/// (Example 3.1.1).
+struct AggValue {
+  double value = 0.0;
+  double count = 0.0;
+
+  bool operator==(const AggValue& other) const {
+    return value == other.value && count == other.count;
+  }
+};
+
+/// Combines two tensor values under the congruence
+/// `k ⊗ v₁ ⊕ k ⊗ v₂ ≡ k ⊗ (v₁ agg v₂)` used when a homomorphism makes two
+/// tensors share a monomial. Counts always add.
+AggValue MergeAggValues(AggKind kind, const AggValue& a, const AggValue& b);
+
+/// Folds a raw contribution `v` into a running aggregate `acc` during
+/// evaluation. `first` distinguishes the empty accumulator (important for
+/// MIN, which has no finite identity over arbitrary reals).
+double FoldAggregate(AggKind kind, double acc, const AggValue& v, bool first);
+
+}  // namespace prox
+
+#endif  // PROX_PROVENANCE_AGG_VALUE_H_

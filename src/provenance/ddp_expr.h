@@ -1,0 +1,106 @@
+#ifndef PROX_PROVENANCE_DDP_EXPR_H_
+#define PROX_PROVENANCE_DDP_EXPR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "provenance/expression.h"
+#include "provenance/monomial.h"
+
+namespace prox {
+
+/// \brief One transition of a data-dependent process execution
+/// (Example 5.2.2, after [17]).
+///
+/// Either a user-dependent transition `⟨c_k, 1⟩` carrying the cost variable
+/// `c_k` (the user's effort), or a database-dependent transition
+/// `⟨0, [d_i·d_j] ≠ 0⟩` / `⟨0, [d_i·d_j] = 0⟩` guarded by a product of DB
+/// tuple variables.
+struct DdpTransition {
+  enum class Kind { kUser, kDb };
+
+  Kind kind = Kind::kUser;
+  AnnotationId cost_var = kNoAnnotation;  // kUser only
+  Monomial db_factors;                    // kDb only
+  bool nonzero = true;                    // kDb: true = "≠ 0", false = "= 0"
+
+  static DdpTransition User(AnnotationId cost_var) {
+    DdpTransition t;
+    t.kind = Kind::kUser;
+    t.cost_var = cost_var;
+    return t;
+  }
+  static DdpTransition Db(Monomial factors, bool nonzero) {
+    DdpTransition t;
+    t.kind = Kind::kDb;
+    t.db_factors = std::move(factors);
+    t.nonzero = nonzero;
+    return t;
+  }
+
+  bool operator==(const DdpTransition& other) const;
+  bool operator<(const DdpTransition& other) const;
+};
+
+/// An execution: a ·-product of transitions.
+struct DdpExecution {
+  std::vector<DdpTransition> transitions;
+
+  bool operator==(const DdpExecution& other) const {
+    return transitions == other.transitions;
+  }
+  bool operator<(const DdpExecution& other) const {
+    return transitions < other.transitions;
+  }
+};
+
+/// \brief DDP provenance: a +-sum of executions over the tropical × boolean
+/// semiring pair of [17].
+///
+/// Evaluation under a valuation (which assigns booleans to DB variables and
+/// keep/cancel bits to cost variables) yields `⟨C, true⟩` where C is the
+/// minimum total user effort over executions whose DB guards hold, or
+/// `⟨0, false⟩` when no execution is feasible.
+///
+/// Simplification dedupes executions that become identical after a
+/// homomorphism (Example 5.2.2's collapse to a single execution) — sound
+/// because the tropical/existential interpretation is additively idempotent.
+class DdpExpression : public ProvenanceExpression {
+ public:
+  DdpExpression() = default;
+
+  void AddExecution(DdpExecution exec);
+
+  /// Associates a cost with a cost variable. When a homomorphism merges
+  /// cost variables, the summary variable's cost is the max of its members'
+  /// costs (consistent with the MAX φ combiner of Table 5.1).
+  void SetCost(AnnotationId cost_var, double cost);
+  double CostOf(AnnotationId cost_var) const;
+
+  const std::vector<DdpExecution>& executions() const { return executions_; }
+  const std::map<AnnotationId, double>& costs() const { return costs_; }
+
+  /// Sorts transitions within executions, sorts and dedupes executions.
+  void Simplify();
+
+  // ProvenanceExpression interface -----------------------------------------
+  int64_t Size() const override;
+  void CollectAnnotations(std::vector<AnnotationId>* out) const override;
+  std::unique_ptr<ProvenanceExpression> Apply(
+      const Homomorphism& h) const override;
+  EvalResult Evaluate(const MaterializedValuation& v) const override;
+  EvalResult ProjectEvalResult(const EvalResult& base,
+                               const Homomorphism& h) const override;
+  std::unique_ptr<ProvenanceExpression> Clone() const override;
+  std::string ToString(const AnnotationRegistry& registry) const override;
+
+ private:
+  std::vector<DdpExecution> executions_;
+  std::map<AnnotationId, double> costs_;
+};
+
+}  // namespace prox
+
+#endif  // PROX_PROVENANCE_DDP_EXPR_H_

@@ -1,0 +1,84 @@
+#include "provenance/eval_result.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+#include "provenance/annotation.h"
+
+namespace prox {
+
+EvalResult EvalResult::Scalar(double value) {
+  EvalResult r;
+  r.kind_ = Kind::kScalar;
+  r.scalar_ = value;
+  return r;
+}
+
+EvalResult EvalResult::Vector(std::vector<Coord> coords) {
+  EvalResult r;
+  r.kind_ = Kind::kVector;
+  std::sort(coords.begin(), coords.end(),
+            [](const Coord& a, const Coord& b) { return a.group < b.group; });
+  r.coords_ = std::move(coords);
+  return r;
+}
+
+EvalResult EvalResult::CostBool(double cost, bool feasible) {
+  EvalResult r;
+  r.kind_ = Kind::kCostBool;
+  r.scalar_ = cost;
+  r.feasible_ = feasible;
+  return r;
+}
+
+double EvalResult::CoordValue(AnnotationId group) const {
+  auto it = std::lower_bound(
+      coords_.begin(), coords_.end(), group,
+      [](const Coord& c, AnnotationId g) { return c.group < g; });
+  if (it == coords_.end() || it->group != group) return 0.0;
+  return it->value;
+}
+
+std::string EvalResult::ToString(const AnnotationRegistry& registry) const {
+  switch (kind_) {
+    case Kind::kScalar:
+      return FormatDouble(scalar_, 2);
+    case Kind::kCostBool: {
+      std::string out = "<";
+      out += FormatDouble(scalar_, 2);
+      out += ", ";
+      out += feasible_ ? "true" : "false";
+      out += ">";
+      return out;
+    }
+    case Kind::kVector: {
+      std::string out = "(";
+      for (size_t i = 0; i < coords_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += coords_[i].group == kNoAnnotation
+                   ? "*"
+                   : registry.name(coords_[i].group);
+        out += ": ";
+        out += FormatDouble(coords_[i].value, 2);
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+bool EvalResult::operator==(const EvalResult& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case Kind::kScalar:
+      return scalar_ == other.scalar_;
+    case Kind::kCostBool:
+      return scalar_ == other.scalar_ && feasible_ == other.feasible_;
+    case Kind::kVector:
+      return coords_ == other.coords_;
+  }
+  return false;
+}
+
+}  // namespace prox

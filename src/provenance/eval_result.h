@@ -1,0 +1,68 @@
+#ifndef PROX_PROVENANCE_EVAL_RESULT_H_
+#define PROX_PROVENANCE_EVAL_RESULT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "provenance/annotation.h"
+
+namespace prox {
+
+class AnnotationRegistry;
+
+/// \brief The value of a provenance expression under a truth valuation.
+///
+/// Three shapes occur in the thesis:
+///  * a single aggregated value (Example 2.3.1),
+///  * an aggregation *vector* keyed by group annotation — one coordinate per
+///    movie / Wikipedia page (Examples 4.2.3 and 5.2.1),
+///  * a DDP pair ⟨cost, feasible⟩ (Example 5.2.2).
+class EvalResult {
+ public:
+  enum class Kind { kScalar, kVector, kCostBool };
+
+  /// One coordinate of an aggregation vector. `count` carries the number
+  /// of contributors behind the value (populated for AVG aggregation,
+  /// where projections must re-weight); it is auxiliary and excluded from
+  /// equality.
+  struct Coord {
+    AnnotationId group;
+    double value;
+    double count = 0.0;
+    bool operator==(const Coord& other) const {
+      return group == other.group && value == other.value;
+    }
+  };
+
+  static EvalResult Scalar(double value);
+  /// Coordinates are sorted by group key internally.
+  static EvalResult Vector(std::vector<Coord> coords);
+  static EvalResult CostBool(double cost, bool feasible);
+
+  Kind kind() const { return kind_; }
+
+  double scalar() const { return scalar_; }
+  const std::vector<Coord>& coords() const { return coords_; }
+  double cost() const { return scalar_; }
+  bool feasible() const { return feasible_; }
+
+  /// Value of coordinate `group`, or 0 when absent (absent coordinates mean
+  /// no tensor contributed — the thesis treats them as 0, cf. Example 5.2.1).
+  double CoordValue(AnnotationId group) const;
+
+  /// Renders e.g. "(Adele: 0, CelineDion: 1)" / "3.0" / "<0, true>".
+  std::string ToString(const AnnotationRegistry& registry) const;
+
+  bool operator==(const EvalResult& other) const;
+
+ private:
+  Kind kind_ = Kind::kScalar;
+  double scalar_ = 0.0;                // scalar value, or DDP cost
+  bool feasible_ = false;              // DDP feasibility bit
+  std::vector<Coord> coords_;          // sorted by group
+};
+
+}  // namespace prox
+
+#endif  // PROX_PROVENANCE_EVAL_RESULT_H_

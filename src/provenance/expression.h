@@ -1,0 +1,57 @@
+#ifndef PROX_PROVENANCE_EXPRESSION_H_
+#define PROX_PROVENANCE_EXPRESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "provenance/annotation.h"
+#include "provenance/eval_result.h"
+#include "provenance/homomorphism.h"
+#include "provenance/valuation.h"
+
+namespace prox {
+
+/// \brief Abstract provenance expression — the object summarization acts on.
+///
+/// The summarizer (Algorithm 1), the baselines and the PROX services are
+/// written against this interface so the aggregate (movie / Wikipedia)
+/// structure and the DDP structure plug in interchangeably. Implementations
+/// must keep themselves *simplified* (canonical under the semiring axioms
+/// and tensor congruences) after Apply, since Size() feeds the candidate
+/// score directly.
+class ProvenanceExpression {
+ public:
+  virtual ~ProvenanceExpression() = default;
+
+  /// Number of annotation occurrences, with repetitions (Section 3.2's
+  /// provenance-size measure).
+  virtual int64_t Size() const = 0;
+
+  /// Appends every distinct annotation appearing in the expression
+  /// (including inside guards and group keys) to `out`, sorted and unique.
+  virtual void CollectAnnotations(std::vector<AnnotationId>* out) const = 0;
+
+  /// Applies a homomorphism and simplifies. The receiver is unchanged.
+  virtual std::unique_ptr<ProvenanceExpression> Apply(
+      const Homomorphism& h) const = 0;
+
+  /// Evaluates under a (materialized) truth valuation.
+  virtual EvalResult Evaluate(const MaterializedValuation& v) const = 0;
+
+  /// Projects an evaluation result of the *original* expression into this
+  /// expression's coordinate space through the cumulative homomorphism `h`
+  /// (Example 5.2.1: merged group keys merge coordinates under the
+  /// aggregation function). Identity for non-vector results.
+  virtual EvalResult ProjectEvalResult(const EvalResult& base,
+                                       const Homomorphism& h) const = 0;
+
+  virtual std::unique_ptr<ProvenanceExpression> Clone() const = 0;
+
+  /// Human-readable polynomial form as printed by the PROX expression view.
+  virtual std::string ToString(const AnnotationRegistry& registry) const = 0;
+};
+
+}  // namespace prox
+
+#endif  // PROX_PROVENANCE_EXPRESSION_H_

@@ -1,0 +1,59 @@
+#include "provenance/guard.h"
+
+#include "common/str_util.h"
+
+namespace prox {
+
+const char* CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+  }
+  return "?";
+}
+
+bool Guard::Evaluate(const MaterializedValuation& v) const {
+  const bool body_true =
+      factors_.EvaluateBool([&v](AnnotationId a) { return v.truth(a); });
+  const double value = body_true ? scalar_ : 0.0;
+  switch (op_) {
+    case CompareOp::kGt:
+      return value > threshold_;
+    case CompareOp::kGe:
+      return value >= threshold_;
+    case CompareOp::kLt:
+      return value < threshold_;
+    case CompareOp::kLe:
+      return value <= threshold_;
+    case CompareOp::kEq:
+      return value == threshold_;
+    case CompareOp::kNe:
+      return value != threshold_;
+  }
+  return false;
+}
+
+std::string Guard::ToString(const AnnotationRegistry& registry) const {
+  std::string out = "[";
+  out += factors_.ToString(registry);
+  out += "⊗";
+  out += FormatDouble(scalar_, 1);
+  out += " ";
+  out += CompareOpToString(op_);
+  out += " ";
+  out += FormatDouble(threshold_, 1);
+  out += "]";
+  return out;
+}
+
+}  // namespace prox

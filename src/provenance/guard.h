@@ -1,0 +1,63 @@
+#ifndef PROX_PROVENANCE_GUARD_H_
+#define PROX_PROVENANCE_GUARD_H_
+
+#include <compare>
+#include <string>
+
+#include "provenance/monomial.h"
+#include "provenance/valuation.h"
+
+namespace prox {
+
+/// Comparison operator of a guard token.
+enum class CompareOp { kGt, kGe, kLt, kLe, kEq, kNe };
+
+const char* CompareOpToString(CompareOp op);
+
+/// \brief A comparison guard `[m ⊗ s OP t]` — the (in)equality tokens that
+/// [7, 17] add to the semiring to capture nested aggregates and negation
+/// (Section 2.2, Example 2.2.1).
+///
+/// Under a truth valuation the tensor body `m ⊗ s` evaluates to `s` when
+/// every factor of the monomial `m` is true and to 0 otherwise; the guard
+/// then contributes 1 (comparison satisfied) or 0 to the enclosing product.
+class Guard {
+ public:
+  Guard() = default;
+  Guard(Monomial factors, double scalar, CompareOp op, double threshold)
+      : factors_(std::move(factors)),
+        scalar_(scalar),
+        op_(op),
+        threshold_(threshold) {}
+
+  const Monomial& factors() const { return factors_; }
+  double scalar() const { return scalar_; }
+  CompareOp op() const { return op_; }
+  double threshold() const { return threshold_; }
+
+  /// Number of annotation occurrences inside the guard.
+  int64_t Size() const { return factors_.Size(); }
+
+  /// Truth of the guard under a materialized valuation.
+  bool Evaluate(const MaterializedValuation& v) const;
+
+  /// Applies an annotation renaming to the guard body.
+  Guard Map(const std::function<AnnotationId(AnnotationId)>& h) const {
+    return Guard(factors_.Map(h), scalar_, op_, threshold_);
+  }
+
+  /// Renders e.g. "[S1·U1⊗5 > 2]".
+  std::string ToString(const AnnotationRegistry& registry) const;
+
+  auto operator<=>(const Guard& other) const = default;
+
+ private:
+  Monomial factors_;
+  double scalar_ = 0.0;
+  CompareOp op_ = CompareOp::kGt;
+  double threshold_ = 0.0;
+};
+
+}  // namespace prox
+
+#endif  // PROX_PROVENANCE_GUARD_H_

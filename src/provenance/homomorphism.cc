@@ -1,0 +1,33 @@
+#include "provenance/homomorphism.h"
+
+namespace prox {
+
+void Homomorphism::Set(AnnotationId from, AnnotationId to) {
+  if (from >= map_.size()) {
+    size_t old = map_.size();
+    map_.resize(from + 1);
+    for (size_t i = old; i < map_.size(); ++i) {
+      map_[i] = static_cast<AnnotationId>(i);
+    }
+  }
+  map_[from] = to;
+}
+
+Homomorphism Homomorphism::ComposeAfter(const Homomorphism& after) const {
+  Homomorphism out;
+  size_t n = std::max(map_.size(), after.map_.size());
+  out.map_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.map_[i] = after.Map(Map(static_cast<AnnotationId>(i)));
+  }
+  return out;
+}
+
+bool Homomorphism::IsIdentity() const {
+  for (size_t i = 0; i < map_.size(); ++i) {
+    if (map_[i] != static_cast<AnnotationId>(i)) return false;
+  }
+  return true;
+}
+
+}  // namespace prox

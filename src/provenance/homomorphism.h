@@ -1,0 +1,48 @@
+#ifndef PROX_PROVENANCE_HOMOMORPHISM_H_
+#define PROX_PROVENANCE_HOMOMORPHISM_H_
+
+#include <vector>
+
+#include "provenance/annotation.h"
+
+namespace prox {
+
+/// \brief A mapping h : Ann → Ann' of annotations to annotation summaries
+/// (Section 3.1), extended homomorphically to whole provenance expressions
+/// by the expression classes' Apply methods.
+///
+/// Stored as a dense id→id array defaulting to identity, so cumulative
+/// summarization homomorphisms compose cheaply and apply in O(1) per factor.
+class Homomorphism {
+ public:
+  Homomorphism() = default;
+
+  /// Identity on the whole annotation space (lazily extended).
+  static Homomorphism Identity() { return Homomorphism(); }
+
+  /// Maps `from` to `to`. Overwrites any previous image of `from`.
+  void Set(AnnotationId from, AnnotationId to);
+
+  /// Image of `a`; identity for annotations never Set.
+  AnnotationId Map(AnnotationId a) const {
+    if (a == kNoAnnotation || a >= map_.size()) return a;
+    return map_[a];
+  }
+
+  AnnotationId operator()(AnnotationId a) const { return Map(a); }
+
+  /// Returns `after ∘ this` (apply this first, then `after`), the
+  /// composition used to accumulate per-step mappings into the overall
+  /// summarization homomorphism.
+  Homomorphism ComposeAfter(const Homomorphism& after) const;
+
+  /// True when no annotation is remapped.
+  bool IsIdentity() const;
+
+ private:
+  std::vector<AnnotationId> map_;
+};
+
+}  // namespace prox
+
+#endif  // PROX_PROVENANCE_HOMOMORPHISM_H_

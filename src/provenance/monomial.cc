@@ -1,0 +1,66 @@
+#include "provenance/monomial.h"
+
+#include <algorithm>
+
+#include "provenance/annotation.h"
+
+namespace prox {
+
+Monomial::Monomial(std::initializer_list<AnnotationId> factors)
+    : factors_(factors) {
+  std::sort(factors_.begin(), factors_.end());
+}
+
+Monomial::Monomial(std::vector<AnnotationId> factors)
+    : factors_(std::move(factors)) {
+  std::sort(factors_.begin(), factors_.end());
+}
+
+void Monomial::MultiplyBy(AnnotationId a) {
+  factors_.insert(std::upper_bound(factors_.begin(), factors_.end(), a), a);
+}
+
+Monomial Monomial::operator*(const Monomial& other) const {
+  std::vector<AnnotationId> merged;
+  merged.reserve(factors_.size() + other.factors_.size());
+  std::merge(factors_.begin(), factors_.end(), other.factors_.begin(),
+             other.factors_.end(), std::back_inserter(merged));
+  Monomial out;
+  out.factors_ = std::move(merged);
+  return out;
+}
+
+bool Monomial::Contains(AnnotationId a) const {
+  return std::binary_search(factors_.begin(), factors_.end(), a);
+}
+
+bool Monomial::EvaluateBool(
+    const std::function<bool(AnnotationId)>& truth) const {
+  for (AnnotationId a : factors_) {
+    if (!truth(a)) return false;
+  }
+  return true;
+}
+
+Monomial Monomial::Map(
+    const std::function<AnnotationId(AnnotationId)>& h) const {
+  std::vector<AnnotationId> mapped;
+  mapped.reserve(factors_.size());
+  for (AnnotationId a : factors_) mapped.push_back(h(a));
+  std::sort(mapped.begin(), mapped.end());
+  Monomial out;
+  out.factors_ = std::move(mapped);
+  return out;
+}
+
+std::string Monomial::ToString(const AnnotationRegistry& registry) const {
+  if (factors_.empty()) return "1";
+  std::string out;
+  for (size_t i = 0; i < factors_.size(); ++i) {
+    if (i > 0) out += "·";
+    out += registry.name(factors_[i]);
+  }
+  return out;
+}
+
+}  // namespace prox

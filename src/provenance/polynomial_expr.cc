@@ -1,0 +1,28 @@
+#include "provenance/polynomial_expr.h"
+
+namespace prox {
+
+void PolynomialExpression::CollectAnnotations(
+    std::vector<AnnotationId>* out) const {
+  for (Polynomial::Var v : poly_.Variables()) out->push_back(v);
+}
+
+std::unique_ptr<ProvenanceExpression> PolynomialExpression::Apply(
+    const Homomorphism& h) const {
+  return std::make_unique<PolynomialExpression>(
+      poly_.MapVars([&h](Polynomial::Var v) { return h.Map(v); }));
+}
+
+EvalResult PolynomialExpression::Evaluate(
+    const MaterializedValuation& v) const {
+  return EvalResult::Scalar(static_cast<double>(
+      poly_.EvaluateBool([&v](Polynomial::Var a) { return v.truth(a); })));
+}
+
+std::string PolynomialExpression::ToString(
+    const AnnotationRegistry& registry) const {
+  return poly_.ToString(
+      [&registry](Polynomial::Var v) { return registry.name(v); });
+}
+
+}  // namespace prox

@@ -1,0 +1,29 @@
+#include "provenance/stats.h"
+
+namespace prox {
+
+ExpressionStats ComputeStats(const ProvenanceExpression& expr,
+                             const AnnotationRegistry& registry) {
+  ExpressionStats stats;
+  stats.size = expr.Size();
+  std::vector<AnnotationId> anns;
+  expr.CollectAnnotations(&anns);
+  stats.distinct_annotations = anns.size();
+  for (AnnotationId a : anns) {
+    if (registry.is_summary(a)) ++stats.summary_annotations;
+    ++stats.per_domain[registry.domain_name(registry.domain(a))];
+  }
+  return stats;
+}
+
+std::string ExpressionStats::ToString() const {
+  std::string out = "size " + std::to_string(size) + ", " +
+                    std::to_string(distinct_annotations) + " annotations (" +
+                    std::to_string(summary_annotations) + " summaries);";
+  for (const auto& [domain, count] : per_domain) {
+    out += " " + domain + ":" + std::to_string(count);
+  }
+  return out;
+}
+
+}  // namespace prox

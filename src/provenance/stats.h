@@ -1,0 +1,30 @@
+#ifndef PROX_PROVENANCE_STATS_H_
+#define PROX_PROVENANCE_STATS_H_
+
+#include <map>
+#include <string>
+
+#include "provenance/expression.h"
+
+namespace prox {
+
+/// \brief Size and composition statistics of a provenance expression —
+/// what the PROX UI surfaces as "Provenance Size: 126" plus a per-domain
+/// breakdown (how many users / movies / pages the expression mentions).
+struct ExpressionStats {
+  int64_t size = 0;                 ///< annotation occurrences
+  size_t distinct_annotations = 0;  ///< distinct annotations
+  size_t summary_annotations = 0;   ///< of which are summaries
+  /// Distinct annotations per domain name.
+  std::map<std::string, size_t> per_domain;
+
+  std::string ToString() const;
+};
+
+/// Computes statistics for `expr` against `registry`.
+ExpressionStats ComputeStats(const ProvenanceExpression& expr,
+                             const AnnotationRegistry& registry);
+
+}  // namespace prox
+
+#endif  // PROX_PROVENANCE_STATS_H_

@@ -1,0 +1,17 @@
+#include "provenance/valuation.h"
+
+#include <algorithm>
+
+namespace prox {
+
+Valuation::Valuation(std::vector<AnnotationId> false_annotations,
+                     std::string label, double weight)
+    : false_set_(std::move(false_annotations)),
+      label_(std::move(label)),
+      weight_(weight) {
+  std::sort(false_set_.begin(), false_set_.end());
+  false_set_.erase(std::unique(false_set_.begin(), false_set_.end()),
+                   false_set_.end());
+}
+
+}  // namespace prox

@@ -1,0 +1,90 @@
+#ifndef PROX_PROVENANCE_VALUATION_H_
+#define PROX_PROVENANCE_VALUATION_H_
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "provenance/annotation.h"
+
+namespace prox {
+
+/// \brief A truth valuation V : Ann → {true, false} (Section 2.3).
+///
+/// Stored sparsely as the sorted set of annotations assigned *false*; all
+/// other annotations default to true. This matches the valuation classes of
+/// the evaluation ("Cancel Single Annotation", "Cancel Single Attribute")
+/// which cancel a small set and keep the rest.
+class Valuation {
+ public:
+  Valuation() = default;
+
+  /// \param false_annotations annotations assigned false (deduplicated and
+  ///   sorted internally)
+  /// \param label human-readable description, e.g. "cancel UID12" — surfaced
+  ///   by the PROX evaluator service
+  /// \param weight the w(v) weighting of Section 3.2 (default uniform)
+  explicit Valuation(std::vector<AnnotationId> false_annotations,
+                     std::string label = "", double weight = 1.0);
+
+  /// The all-true valuation.
+  static Valuation AllTrue(std::string label = "all-true") {
+    return Valuation({}, std::move(label));
+  }
+
+  bool IsFalse(AnnotationId a) const {
+    return std::binary_search(false_set_.begin(), false_set_.end(), a);
+  }
+  bool IsTrue(AnnotationId a) const { return !IsFalse(a); }
+
+  const std::vector<AnnotationId>& false_set() const { return false_set_; }
+  const std::string& label() const { return label_; }
+  double weight() const { return weight_; }
+
+  bool operator==(const Valuation& other) const {
+    return false_set_ == other.false_set_;
+  }
+
+ private:
+  std::vector<AnnotationId> false_set_;  // sorted, unique
+  std::string label_;
+  double weight_ = 1.0;
+};
+
+/// \brief A valuation materialized into a flat truth bitmap over the whole
+/// annotation id space, for O(1) lookup during expression evaluation.
+///
+/// Handles both base valuations over Ann and the transformed valuations
+/// v^{h,φ} over Ann' (the summarizer writes combined truth values for
+/// summary annotations directly into the bitmap).
+class MaterializedValuation {
+ public:
+  /// All annotations in [0, num_annotations) start true.
+  explicit MaterializedValuation(size_t num_annotations)
+      : truth_(num_annotations, 1) {}
+
+  /// Materializes a sparse valuation.
+  MaterializedValuation(const Valuation& v, size_t num_annotations)
+      : truth_(num_annotations, 1) {
+    for (AnnotationId a : v.false_set()) {
+      if (a < truth_.size()) truth_[a] = 0;
+    }
+  }
+
+  void Set(AnnotationId a, bool value) { truth_[a] = value ? 1 : 0; }
+
+  bool truth(AnnotationId a) const {
+    // Ids beyond the bitmap (annotations registered after materialization)
+    // default to true, mirroring Valuation's default.
+    return a >= truth_.size() || truth_[a] != 0;
+  }
+
+  size_t size() const { return truth_.size(); }
+
+ private:
+  std::vector<uint8_t> truth_;
+};
+
+}  // namespace prox
+
+#endif  // PROX_PROVENANCE_VALUATION_H_

@@ -1,0 +1,147 @@
+#include "semantics/constraints.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/str_util.h"
+
+namespace prox {
+
+MergeDecision SharedAttributeRule::Evaluate(
+    const std::vector<AnnotationId>& members,
+    const SemanticContext& ctx) const {
+  MergeDecision decision;
+  if (members.empty()) return decision;
+  const EntityTable* table = ctx.TableFor(ctx.registry->domain(members[0]));
+  if (table == nullptr) return decision;
+  for (AttrId attr : attrs_) {
+    ValueId shared = ctx.AttrValueOf(members[0], attr);
+    if (shared == kNoValue) continue;
+    bool all_match = true;
+    for (size_t i = 1; i < members.size(); ++i) {
+      if (ctx.AttrValueOf(members[i], attr) != shared) {
+        all_match = false;
+        break;
+      }
+    }
+    if (all_match) {
+      decision.allowed = true;
+      decision.name =
+          table->attribute_name(attr) + ":" + table->value_name(shared);
+      return decision;
+    }
+  }
+  return decision;
+}
+
+MergeDecision AllAttributesRule::Evaluate(
+    const std::vector<AnnotationId>& members,
+    const SemanticContext& ctx) const {
+  MergeDecision decision;
+  if (members.empty()) return decision;
+  const EntityTable* table = ctx.TableFor(ctx.registry->domain(members[0]));
+  if (table == nullptr) return decision;
+  std::string name;
+  for (AttrId attr : attrs_) {
+    ValueId shared = ctx.AttrValueOf(members[0], attr);
+    if (shared == kNoValue) return decision;
+    for (size_t i = 1; i < members.size(); ++i) {
+      if (ctx.AttrValueOf(members[i], attr) != shared) return decision;
+    }
+    if (!name.empty()) name += "+";
+    name += table->attribute_name(attr) + ":" + table->value_name(shared);
+  }
+  decision.allowed = true;
+  decision.name = std::move(name);
+  return decision;
+}
+
+MergeDecision TaxonomyAncestorRule::Evaluate(
+    const std::vector<AnnotationId>& members,
+    const SemanticContext& ctx) const {
+  MergeDecision decision;
+  if (members.empty() || !ctx.taxonomy.has_value()) return decision;
+  const Taxonomy& tax = *ctx.taxonomy;
+  ConceptId lca = ctx.ConceptOf(members[0]);
+  if (lca == kNoConcept) return decision;
+  for (size_t i = 1; i < members.size(); ++i) {
+    ConceptId c = ctx.ConceptOf(members[i]);
+    if (c == kNoConcept) return decision;
+    lca = tax.Lca(lca, c);
+  }
+  // The LCA of leaf concepts is a common ancestor; grouping under the root
+  // means the members have nothing semantically in common.
+  if (!allow_root_ && tax.parent(lca) == kNoConcept && members.size() > 1) {
+    // Allow the root only if all members *are* the root concept.
+    bool all_root = true;
+    for (AnnotationId m : members) {
+      if (ctx.ConceptOf(m) != lca) {
+        all_root = false;
+        break;
+      }
+    }
+    if (!all_root) return decision;
+  }
+  decision.allowed = true;
+  decision.name = tax.name(lca);
+  decision.concept_id = lca;
+  for (AnnotationId m : members) {
+    double d = tax.WuPalmerDistance(ctx.ConceptOf(m), lca);
+    decision.taxonomy_distance_max = std::max(decision.taxonomy_distance_max, d);
+    decision.taxonomy_distance_sum += d;
+  }
+  return decision;
+}
+
+MergeDecision NumericToleranceRule::Evaluate(
+    const std::vector<AnnotationId>& members,
+    const SemanticContext& ctx) const {
+  MergeDecision decision;
+  if (members.empty()) return decision;
+  const EntityTable* table = ctx.TableFor(ctx.registry->domain(members[0]));
+  if (table == nullptr) return decision;
+  double lo = 0.0, hi = 0.0;
+  bool first = true;
+  for (AnnotationId m : members) {
+    ValueId v = ctx.AttrValueOf(m, attr_);
+    if (v == kNoValue) return decision;
+    double value = std::strtod(table->value_name(v).c_str(), nullptr);
+    if (first) {
+      lo = hi = value;
+      first = false;
+    } else {
+      lo = std::min(lo, value);
+      hi = std::max(hi, value);
+    }
+  }
+  if (hi - lo > tolerance_) return decision;
+  decision.allowed = true;
+  decision.name = table->attribute_name(attr_) + "≈" +
+                  FormatDouble((lo + hi) / 2.0, 1);
+  return decision;
+}
+
+MergeDecision AnyMergeRule::Evaluate(const std::vector<AnnotationId>& members,
+                                     const SemanticContext& ctx) const {
+  (void)ctx;
+  MergeDecision decision;
+  if (members.empty()) return decision;
+  decision.allowed = true;
+  decision.name = name_prefix_ + std::to_string(members[0]);
+  return decision;
+}
+
+MergeDecision ConstraintSet::Evaluate(DomainId domain,
+                                      const std::vector<AnnotationId>& members,
+                                      const SemanticContext& ctx) const {
+  MergeDecision decision;
+  // Same-domain is the baseline constraint of Section 3.2.
+  for (AnnotationId m : members) {
+    if (ctx.registry->domain(m) != domain) return decision;
+  }
+  auto it = rules_.find(domain);
+  if (it == rules_.end()) return decision;
+  return it->second->Evaluate(members, ctx);
+}
+
+}  // namespace prox

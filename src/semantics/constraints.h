@@ -1,0 +1,136 @@
+#ifndef PROX_SEMANTICS_CONSTRAINTS_H_
+#define PROX_SEMANTICS_CONSTRAINTS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "provenance/annotation.h"
+#include "semantics/context.h"
+
+namespace prox {
+
+/// \brief Verdict of a mapping constraint on a proposed grouping: whether
+/// the (original) annotations may map to the same summary annotation, the
+/// meaningful display name derived from their joint semantics
+/// (Section 3.2), and the taxonomy distances used for tie-breaking.
+struct MergeDecision {
+  bool allowed = false;
+  std::string name;
+  /// MAX / SUM of Wu-Palmer distances from members to the summary concept;
+  /// 0 when no taxonomy applies (Section 4.2's tie-breaking).
+  double taxonomy_distance_max = 0.0;
+  double taxonomy_distance_sum = 0.0;
+  /// Concept the summary annotation denotes (kNoConcept when none).
+  ConceptId concept_id = kNoConcept;
+};
+
+/// \brief A per-domain rule restricting which annotations may be grouped.
+///
+/// `members` is the full set of *original* annotations the summary would
+/// cover (the union of both groups being merged), so constraints hold
+/// transitively across summarization steps.
+class DomainRule {
+ public:
+  virtual ~DomainRule() = default;
+  virtual MergeDecision Evaluate(const std::vector<AnnotationId>& members,
+                                 const SemanticContext& ctx) const = 0;
+};
+
+/// Members must share a value in at least one of `attrs` ("users grouped
+/// together must share a common attribute out of gender, age group, etc.").
+/// The summary name is "<Attr>:<Value>" for the first shared attribute in
+/// declaration order (the priority order).
+class SharedAttributeRule : public DomainRule {
+ public:
+  explicit SharedAttributeRule(std::vector<AttrId> attrs)
+      : attrs_(std::move(attrs)) {}
+  MergeDecision Evaluate(const std::vector<AnnotationId>& members,
+                         const SemanticContext& ctx) const override;
+
+ private:
+  std::vector<AttrId> attrs_;
+};
+
+/// Members must share a value in *every* one of `attrs` — the conjunctive
+/// reading of Section 3.2's "reference tuples that share values in some
+/// (or one of some) specified attributes". The summary name concatenates
+/// the shared values ("Gender:F+Role:Audience").
+class AllAttributesRule : public DomainRule {
+ public:
+  explicit AllAttributesRule(std::vector<AttrId> attrs)
+      : attrs_(std::move(attrs)) {}
+  MergeDecision Evaluate(const std::vector<AnnotationId>& members,
+                         const SemanticContext& ctx) const override;
+
+ private:
+  std::vector<AttrId> attrs_;
+};
+
+/// Members must share a common taxonomy ancestor strictly below the root
+/// unless `allow_root` is set; the summary is named after (and denotes) the
+/// LCA concept, with Wu-Palmer distances recorded for tie-breaking.
+class TaxonomyAncestorRule : public DomainRule {
+ public:
+  explicit TaxonomyAncestorRule(bool allow_root = false)
+      : allow_root_(allow_root) {}
+  MergeDecision Evaluate(const std::vector<AnnotationId>& members,
+                         const SemanticContext& ctx) const override;
+
+ private:
+  bool allow_root_;
+};
+
+/// Members' numeric attribute `attr` values must all lie within `tolerance`
+/// of each other — the DDP rule that cost variables "have more or less the
+/// same cost" (Example 5.2.2).
+class NumericToleranceRule : public DomainRule {
+ public:
+  NumericToleranceRule(AttrId attr, double tolerance)
+      : attr_(attr), tolerance_(tolerance) {}
+  MergeDecision Evaluate(const std::vector<AnnotationId>& members,
+                         const SemanticContext& ctx) const override;
+
+ private:
+  AttrId attr_;
+  double tolerance_;
+};
+
+/// Any same-domain grouping is allowed (DDP database variables). The
+/// summary name concatenates a domain prefix with a running id.
+class AnyMergeRule : public DomainRule {
+ public:
+  explicit AnyMergeRule(std::string name_prefix)
+      : name_prefix_(std::move(name_prefix)) {}
+  MergeDecision Evaluate(const std::vector<AnnotationId>& members,
+                         const SemanticContext& ctx) const override;
+
+ private:
+  std::string name_prefix_;
+};
+
+/// \brief The constraint configuration of a dataset: one rule per domain.
+/// Domains without a rule reject all merges (annotations there — e.g.
+/// guard-internal variables — are never grouped).
+class ConstraintSet {
+ public:
+  void SetRule(DomainId domain, std::unique_ptr<DomainRule> rule) {
+    rules_[domain] = std::move(rule);
+  }
+
+  bool HasRule(DomainId domain) const { return rules_.count(domain) > 0; }
+
+  /// Evaluates the domain's rule on a proposed member set. All members must
+  /// belong to `domain` (the same-input-table baseline constraint).
+  MergeDecision Evaluate(DomainId domain,
+                         const std::vector<AnnotationId>& members,
+                         const SemanticContext& ctx) const;
+
+ private:
+  std::map<DomainId, std::unique_ptr<DomainRule>> rules_;
+};
+
+}  // namespace prox
+
+#endif  // PROX_SEMANTICS_CONSTRAINTS_H_

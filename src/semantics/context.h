@@ -1,0 +1,59 @@
+#ifndef PROX_SEMANTICS_CONTEXT_H_
+#define PROX_SEMANTICS_CONTEXT_H_
+
+#include <map>
+#include <optional>
+#include <unordered_map>
+
+#include "provenance/annotation.h"
+#include "semantics/entity_table.h"
+#include "semantics/taxonomy.h"
+
+namespace prox {
+
+/// \brief The semantics of the underlying data: for each annotation domain
+/// the entity table holding its attribute tuples, plus (for Wikipedia-style
+/// data) the concept taxonomy and the concept each annotation denotes.
+///
+/// Constraints, valuation classes, candidate generation and summary naming
+/// all consult this context; the provenance expressions themselves stay
+/// purely syntactic.
+struct SemanticContext {
+  const AnnotationRegistry* registry = nullptr;
+
+  /// Attribute tables, keyed by annotation domain.
+  std::map<DomainId, EntityTable> tables;
+
+  /// Concept taxonomy (empty for MovieLens / DDP).
+  std::optional<Taxonomy> taxonomy;
+
+  /// Concept denoted by a (leaf) annotation, where applicable
+  /// (Wikipedia pages map to their most specific WordNet concept).
+  std::unordered_map<AnnotationId, ConceptId> concept_of;
+
+  /// Table for `domain`, or nullptr when the domain carries no attributes.
+  const EntityTable* TableFor(DomainId domain) const {
+    auto it = tables.find(domain);
+    return it == tables.end() ? nullptr : &it->second;
+  }
+
+  /// Value of attribute `attr` for annotation `a`, or kNoValue when the
+  /// annotation has no entity row / table.
+  ValueId AttrValueOf(AnnotationId a, AttrId attr) const {
+    const EntityTable* table = TableFor(registry->domain(a));
+    if (table == nullptr) return kNoValue;
+    uint32_t row = registry->entity_row(a);
+    if (row == kNoEntity) return kNoValue;
+    return table->ValueOf(row, attr);
+  }
+
+  /// Concept of annotation `a`, or kNoConcept.
+  ConceptId ConceptOf(AnnotationId a) const {
+    auto it = concept_of.find(a);
+    return it == concept_of.end() ? kNoConcept : it->second;
+  }
+};
+
+}  // namespace prox
+
+#endif  // PROX_SEMANTICS_CONTEXT_H_

@@ -1,0 +1,46 @@
+#include "semantics/entity_table.h"
+
+namespace prox {
+
+AttrId EntityTable::AddAttribute(const std::string& attr_name) {
+  auto it = attr_by_name_.find(attr_name);
+  if (it != attr_by_name_.end()) return it->second;
+  AttrId id = static_cast<AttrId>(attr_names_.size());
+  attr_names_.push_back(attr_name);
+  attr_by_name_.emplace(attr_name, id);
+  return id;
+}
+
+Result<AttrId> EntityTable::FindAttribute(const std::string& attr_name) const {
+  auto it = attr_by_name_.find(attr_name);
+  if (it == attr_by_name_.end()) {
+    return Status::NotFound("unknown attribute: " + attr_name + " in table " +
+                            name_);
+  }
+  return it->second;
+}
+
+ValueId EntityTable::InternValue(const std::string& value) {
+  auto it = value_by_name_.find(value);
+  if (it != value_by_name_.end()) return it->second;
+  ValueId id = static_cast<ValueId>(value_names_.size());
+  value_names_.push_back(value);
+  value_by_name_.emplace(value, id);
+  return id;
+}
+
+Result<uint32_t> EntityTable::AddRow(const std::vector<std::string>& values) {
+  if (values.size() != attr_names_.size()) {
+    return Status::InvalidArgument(
+        "row arity mismatch in table " + name_ + ": expected " +
+        std::to_string(attr_names_.size()) + " values, got " +
+        std::to_string(values.size()));
+  }
+  std::vector<ValueId> row;
+  row.reserve(values.size());
+  for (const auto& v : values) row.push_back(InternValue(v));
+  rows_.push_back(std::move(row));
+  return static_cast<uint32_t>(rows_.size() - 1);
+}
+
+}  // namespace prox

@@ -1,0 +1,74 @@
+#ifndef PROX_SEMANTICS_ENTITY_TABLE_H_
+#define PROX_SEMANTICS_ENTITY_TABLE_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "provenance/annotation.h"
+
+namespace prox {
+
+/// Index of an attribute column within an EntityTable.
+using AttrId = uint16_t;
+
+/// Interned attribute value.
+using ValueId = uint32_t;
+
+inline constexpr ValueId kNoValue = std::numeric_limits<ValueId>::max();
+
+/// \brief The attribute tuples behind one annotation domain — the "input
+/// table" of Section 3.2's semantic constraints (the Users table with
+/// gender / age range / occupation / zip code, the Movies table with genre
+/// and year, ...).
+///
+/// Values are interned strings so constraint checks compare integers.
+/// Annotations link to rows via AnnotationRegistry::entity_row.
+class EntityTable {
+ public:
+  EntityTable() = default;
+  explicit EntityTable(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Declares an attribute column. Must be called before AddRow.
+  AttrId AddAttribute(const std::string& attr_name);
+
+  Result<AttrId> FindAttribute(const std::string& attr_name) const;
+  const std::string& attribute_name(AttrId a) const { return attr_names_[a]; }
+  size_t num_attributes() const { return attr_names_.size(); }
+
+  /// Interns `value` (idempotent).
+  ValueId InternValue(const std::string& value);
+  const std::string& value_name(ValueId v) const { return value_names_[v]; }
+
+  /// Appends a row given one value string per declared attribute.
+  Result<uint32_t> AddRow(const std::vector<std::string>& values);
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Value of `attr` in `row`.
+  ValueId ValueOf(uint32_t row, AttrId attr) const {
+    return rows_[row][attr];
+  }
+
+  /// Human-readable value of `attr` in `row`.
+  const std::string& ValueNameOf(uint32_t row, AttrId attr) const {
+    return value_names_[rows_[row][attr]];
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::string> attr_names_;
+  std::unordered_map<std::string, AttrId> attr_by_name_;
+  std::vector<std::string> value_names_;
+  std::unordered_map<std::string, ValueId> value_by_name_;
+  std::vector<std::vector<ValueId>> rows_;
+};
+
+}  // namespace prox
+
+#endif  // PROX_SEMANTICS_ENTITY_TABLE_H_

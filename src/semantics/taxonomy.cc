@@ -1,0 +1,81 @@
+#include "semantics/taxonomy.h"
+
+namespace prox {
+
+ConceptId Taxonomy::AddRoot(const std::string& name) {
+  names_.push_back(name);
+  parents_.push_back(kNoConcept);
+  depths_.push_back(1);
+  children_.emplace_back();
+  by_name_.emplace(name, 0);
+  return 0;
+}
+
+Result<ConceptId> Taxonomy::AddConcept(const std::string& name,
+                                       ConceptId parent) {
+  if (parent >= names_.size()) {
+    return Status::InvalidArgument("parent concept out of range");
+  }
+  if (by_name_.count(name) > 0) {
+    return Status::AlreadyExists("concept already exists: " + name);
+  }
+  ConceptId id = static_cast<ConceptId>(names_.size());
+  names_.push_back(name);
+  parents_.push_back(parent);
+  depths_.push_back(depths_[parent] + 1);
+  children_.emplace_back();
+  children_[parent].push_back(id);
+  by_name_.emplace(name, id);
+  return id;
+}
+
+Result<ConceptId> Taxonomy::Find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("unknown concept: " + name);
+  }
+  return it->second;
+}
+
+ConceptId Taxonomy::Lca(ConceptId a, ConceptId b) const {
+  while (a != b) {
+    if (depths_[a] > depths_[b]) {
+      a = parents_[a];
+    } else if (depths_[b] > depths_[a]) {
+      b = parents_[b];
+    } else {
+      a = parents_[a];
+      b = parents_[b];
+    }
+  }
+  return a;
+}
+
+bool Taxonomy::IsAncestor(ConceptId ancestor, ConceptId descendant) const {
+  ConceptId c = descendant;
+  while (c != kNoConcept) {
+    if (c == ancestor) return true;
+    c = parents_[c];
+  }
+  return false;
+}
+
+std::vector<ConceptId> Taxonomy::Subtree(ConceptId c) const {
+  std::vector<ConceptId> out;
+  std::vector<ConceptId> stack = {c};
+  while (!stack.empty()) {
+    ConceptId cur = stack.back();
+    stack.pop_back();
+    out.push_back(cur);
+    for (ConceptId child : children_[cur]) stack.push_back(child);
+  }
+  return out;
+}
+
+double Taxonomy::WuPalmerSimilarity(ConceptId a, ConceptId b) const {
+  ConceptId lca = Lca(a, b);
+  return 2.0 * depths_[lca] /
+         static_cast<double>(depths_[a] + depths_[b]);
+}
+
+}  // namespace prox

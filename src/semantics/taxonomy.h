@@ -1,0 +1,79 @@
+#ifndef PROX_SEMANTICS_TAXONOMY_H_
+#define PROX_SEMANTICS_TAXONOMY_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+
+namespace prox {
+
+/// Identifier of a taxonomy concept.
+using ConceptId = uint32_t;
+
+inline constexpr ConceptId kNoConcept = std::numeric_limits<ConceptId>::max();
+
+/// \brief A concept hierarchy in the style of the YAGO `rdfs:subClassOf`
+/// taxonomy used for the Wikipedia dataset (Section 5.1).
+///
+/// Concepts form a rooted tree (YAGO's class backbone); depths are counted
+/// with the root at depth 1, matching the convention of Wu & Palmer [29].
+/// The taxonomy constrains mappings (grouped annotations must share an
+/// ancestor), names summary annotations (the LCA), and breaks score ties
+/// (smaller Wu-Palmer distance preferred).
+class Taxonomy {
+ public:
+  Taxonomy() = default;
+
+  /// Adds the root concept. Must be the first concept added.
+  ConceptId AddRoot(const std::string& name);
+
+  /// Adds a concept under `parent`.
+  Result<ConceptId> AddConcept(const std::string& name, ConceptId parent);
+
+  Result<ConceptId> Find(const std::string& name) const;
+
+  const std::string& name(ConceptId c) const { return names_[c]; }
+  ConceptId parent(ConceptId c) const { return parents_[c]; }
+  /// Depth with root = 1.
+  int depth(ConceptId c) const { return depths_[c]; }
+  size_t size() const { return names_.size(); }
+
+  /// Lowest common ancestor (always defined in a rooted tree).
+  ConceptId Lca(ConceptId a, ConceptId b) const;
+
+  /// True when `ancestor` lies on the root path of `descendant`
+  /// (a concept is its own ancestor).
+  bool IsAncestor(ConceptId ancestor, ConceptId descendant) const;
+
+  /// All concepts in the subtree rooted at `c`, including `c`.
+  std::vector<ConceptId> Subtree(ConceptId c) const;
+
+  /// Direct children of `c`.
+  const std::vector<ConceptId>& children(ConceptId c) const {
+    return children_[c];
+  }
+
+  /// Wu-Palmer semantic relatedness [29]:
+  ///   sim(a, b) = 2·depth(lca) / (depth(a) + depth(b)) ∈ (0, 1].
+  double WuPalmerSimilarity(ConceptId a, ConceptId b) const;
+
+  /// 1 − similarity, the taxonomy distance used for tie-breaking.
+  double WuPalmerDistance(ConceptId a, ConceptId b) const {
+    return 1.0 - WuPalmerSimilarity(a, b);
+  }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<ConceptId> parents_;
+  std::vector<int> depths_;
+  std::vector<std::vector<ConceptId>> children_;
+  std::unordered_map<std::string, ConceptId> by_name_;
+};
+
+}  // namespace prox
+
+#endif  // PROX_SEMANTICS_TAXONOMY_H_

@@ -1,0 +1,157 @@
+#include "semiring/polynomial.h"
+
+#include <algorithm>
+#include <set>
+
+namespace prox {
+
+Polynomial Polynomial::FromVar(Var v) {
+  Polynomial p;
+  p.terms_[{v}] = 1;
+  return p;
+}
+
+Polynomial Polynomial::Constant(uint64_t c) {
+  Polynomial p;
+  if (c != 0) p.terms_[{}] = c;
+  return p;
+}
+
+int64_t Polynomial::Size() const {
+  int64_t total = 0;
+  for (const auto& [mono, coeff] : terms_) {
+    (void)coeff;
+    total += static_cast<int64_t>(mono.size());
+  }
+  return total;
+}
+
+int64_t Polynomial::Degree() const {
+  int64_t deg = 0;
+  for (const auto& [mono, coeff] : terms_) {
+    (void)coeff;
+    deg = std::max<int64_t>(deg, static_cast<int64_t>(mono.size()));
+  }
+  return deg;
+}
+
+std::vector<Polynomial::Var> Polynomial::Variables() const {
+  std::set<Var> vars;
+  for (const auto& [mono, coeff] : terms_) {
+    (void)coeff;
+    vars.insert(mono.begin(), mono.end());
+  }
+  return {vars.begin(), vars.end()};
+}
+
+void Polynomial::AddTerm(Mono m, uint64_t coeff) {
+  if (coeff == 0) return;
+  std::sort(m.begin(), m.end());
+  auto it = terms_.find(m);
+  if (it == terms_.end()) {
+    terms_.emplace(std::move(m), coeff);
+  } else {
+    it->second += coeff;
+  }
+}
+
+Polynomial Polynomial::operator+(const Polynomial& other) const {
+  Polynomial out = *this;
+  out += other;
+  return out;
+}
+
+Polynomial& Polynomial::operator+=(const Polynomial& other) {
+  for (const auto& [mono, coeff] : other.terms_) {
+    auto it = terms_.find(mono);
+    if (it == terms_.end()) {
+      terms_.emplace(mono, coeff);
+    } else {
+      it->second += coeff;
+    }
+  }
+  return *this;
+}
+
+Polynomial Polynomial::operator*(const Polynomial& other) const {
+  Polynomial out;
+  for (const auto& [ma, ca] : terms_) {
+    for (const auto& [mb, cb] : other.terms_) {
+      Mono m;
+      m.reserve(ma.size() + mb.size());
+      std::merge(ma.begin(), ma.end(), mb.begin(), mb.end(),
+                 std::back_inserter(m));
+      auto it = out.terms_.find(m);
+      if (it == out.terms_.end()) {
+        out.terms_.emplace(std::move(m), ca * cb);
+      } else {
+        it->second += ca * cb;
+      }
+    }
+  }
+  return out;
+}
+
+Polynomial& Polynomial::operator*=(const Polynomial& other) {
+  *this = *this * other;
+  return *this;
+}
+
+uint64_t Polynomial::EvaluateBool(
+    const std::function<bool(Var)>& truth) const {
+  return EvaluateNat([&truth](Var v) -> uint64_t { return truth(v) ? 1 : 0; });
+}
+
+uint64_t Polynomial::EvaluateNat(
+    const std::function<uint64_t(Var)>& value) const {
+  uint64_t sum = 0;
+  for (const auto& [mono, coeff] : terms_) {
+    uint64_t prod = coeff;
+    for (Var v : mono) {
+      if (prod == 0) break;
+      prod *= value(v);
+    }
+    sum += prod;
+  }
+  return sum;
+}
+
+Polynomial Polynomial::MapVars(const std::function<Var(Var)>& h) const {
+  Polynomial out;
+  for (const auto& [mono, coeff] : terms_) {
+    Mono mapped;
+    mapped.reserve(mono.size());
+    for (Var v : mono) mapped.push_back(h(v));
+    out.AddTerm(std::move(mapped), coeff);
+  }
+  return out;
+}
+
+std::string Polynomial::ToString(
+    const std::function<std::string(Var)>& name) const {
+  if (terms_.empty()) return "0";
+  std::string out;
+  bool first_term = true;
+  for (const auto& [mono, coeff] : terms_) {
+    if (!first_term) out += " + ";
+    first_term = false;
+    bool printed = false;
+    if (coeff != 1 || mono.empty()) {
+      out += std::to_string(coeff);
+      printed = true;
+    }
+    size_t i = 0;
+    while (i < mono.size()) {
+      size_t j = i;
+      while (j < mono.size() && mono[j] == mono[i]) ++j;
+      if (printed) out += "·";
+      out += name(mono[i]);
+      if (j - i > 1) out += "^" + std::to_string(j - i);
+      printed = true;
+      i = j;
+    }
+  }
+  return out;
+}
+
+}  // namespace prox

@@ -1,0 +1,88 @@
+#ifndef PROX_SEMIRING_POLYNOMIAL_H_
+#define PROX_SEMIRING_POLYNOMIAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace prox {
+
+/// \brief A polynomial in ℕ[X] — the provenance semiring of [21].
+///
+/// Monomials are canonical sorted variable multisets; coefficients are
+/// naturals. This is the "plain" (non-aggregate) provenance carrier, used
+/// for the φ combiner polynomials of Section 3.2, for guard bodies, and for
+/// the #P-hardness construction of Proposition 4.1.1.
+class Polynomial {
+ public:
+  using Var = uint32_t;
+  /// Sorted multiset of variables (with repetitions for powers).
+  using Mono = std::vector<Var>;
+
+  /// The additive identity 0.
+  Polynomial() = default;
+
+  /// The polynomial consisting of a single variable.
+  static Polynomial FromVar(Var v);
+
+  /// The constant polynomial `c`.
+  static Polynomial Constant(uint64_t c);
+
+  static Polynomial Zero() { return Polynomial(); }
+  static Polynomial One() { return Constant(1); }
+
+  bool IsZero() const { return terms_.empty(); }
+
+  /// Number of distinct monomials.
+  size_t NumMonomials() const { return terms_.size(); }
+
+  /// Total variable occurrences, counting monomial multiplicity but not
+  /// coefficients — the "number of annotations" size measure of Section 3.2.
+  int64_t Size() const;
+
+  /// Highest monomial degree (0 for constants and for the zero polynomial).
+  int64_t Degree() const;
+
+  /// Sorted list of distinct variables appearing in the polynomial.
+  std::vector<Var> Variables() const;
+
+  Polynomial operator+(const Polynomial& other) const;
+  Polynomial operator*(const Polynomial& other) const;
+  Polynomial& operator+=(const Polynomial& other);
+  Polynomial& operator*=(const Polynomial& other);
+
+  bool operator==(const Polynomial& other) const {
+    return terms_ == other.terms_;
+  }
+  bool operator!=(const Polynomial& other) const { return !(*this == other); }
+
+  /// Evaluates under a boolean valuation: each variable becomes 0 or 1 and
+  /// the semiring operations are applied in ℕ. Returns the natural result
+  /// (so `truth` of the polynomial is `EvaluateBool(...) > 0`).
+  uint64_t EvaluateBool(const std::function<bool(Var)>& truth) const;
+
+  /// Evaluates in ℕ with arbitrary natural values per variable.
+  uint64_t EvaluateNat(const std::function<uint64_t(Var)>& value) const;
+
+  /// Applies a variable renaming homomorphism h (Section 3.1); the result is
+  /// re-canonicalized, merging monomials that collide under h.
+  Polynomial MapVars(const std::function<Var(Var)>& h) const;
+
+  /// Renders e.g. "2·x0·x1 + x2^2" using `name` for variables.
+  std::string ToString(const std::function<std::string(Var)>& name) const;
+
+  /// Access to the canonical term map (monomial -> coefficient).
+  const std::map<Mono, uint64_t>& terms() const { return terms_; }
+
+  /// Adds `coeff` copies of monomial `m` (which need not be sorted).
+  void AddTerm(Mono m, uint64_t coeff);
+
+ private:
+  std::map<Mono, uint64_t> terms_;
+};
+
+}  // namespace prox
+
+#endif  // PROX_SEMIRING_POLYNOMIAL_H_

@@ -1,0 +1,62 @@
+#ifndef PROX_SEMIRING_SEMIRING_H_
+#define PROX_SEMIRING_SEMIRING_H_
+
+#include <algorithm>
+#include <concepts>
+#include <cstdint>
+#include <limits>
+
+namespace prox {
+
+/// \brief Concept for a commutative semiring policy.
+///
+/// A commutative semiring (K, +, ·, 0, 1) — Chapter 2 of the thesis — has
+/// two commutative monoids with · distributive over + and 0 annihilating
+/// under ·. Policies are stateless types with static members so they can be
+/// plugged into generic evaluation code at zero cost.
+template <typename S>
+concept SemiringPolicy = requires(typename S::Value a, typename S::Value b) {
+  { S::Zero() } -> std::convertible_to<typename S::Value>;
+  { S::One() } -> std::convertible_to<typename S::Value>;
+  { S::Plus(a, b) } -> std::convertible_to<typename S::Value>;
+  { S::Times(a, b) } -> std::convertible_to<typename S::Value>;
+};
+
+/// The boolean semiring ({false,true}, ∨, ∧, false, true): truth valuations
+/// of provenance (Section 2.3) are semiring homomorphisms into it.
+struct BoolSemiring {
+  using Value = bool;
+  static Value Zero() { return false; }
+  static Value One() { return true; }
+  static Value Plus(Value a, Value b) { return a || b; }
+  static Value Times(Value a, Value b) { return a && b; }
+};
+
+/// The counting semiring (ℕ, +, ·, 0, 1): evaluating an ℕ[Ann] polynomial
+/// with annotation multiplicities yields derivation counts.
+struct CountingSemiring {
+  using Value = uint64_t;
+  static Value Zero() { return 0; }
+  static Value One() { return 1; }
+  static Value Plus(Value a, Value b) { return a + b; }
+  static Value Times(Value a, Value b) { return a * b; }
+};
+
+/// The tropical semiring (ℕ∞, min, +, ∞, 0), used by the DDP dataset
+/// (Example 5.2.2, after [17]) where + over executions selects the cheapest
+/// feasible one and · accumulates per-transition costs.
+struct TropicalSemiring {
+  using Value = double;
+  static Value Zero() { return std::numeric_limits<double>::infinity(); }
+  static Value One() { return 0.0; }
+  static Value Plus(Value a, Value b) { return std::min(a, b); }
+  static Value Times(Value a, Value b) { return a + b; }
+};
+
+static_assert(SemiringPolicy<BoolSemiring>);
+static_assert(SemiringPolicy<CountingSemiring>);
+static_assert(SemiringPolicy<TropicalSemiring>);
+
+}  // namespace prox
+
+#endif  // PROX_SEMIRING_SEMIRING_H_

@@ -1,0 +1,73 @@
+#include "service/evaluator_service.h"
+
+#include "common/timer.h"
+
+namespace prox {
+
+Result<Valuation> EvaluatorService::ResolveAssignment(
+    const Assignment& assignment) const {
+  const AnnotationRegistry& reg = *dataset_->registry;
+  std::vector<AnnotationId> cancelled;
+
+  for (const std::string& name : assignment.false_annotations) {
+    auto found = reg.Find(name);
+    if (!found.ok()) return found.status();
+    cancelled.push_back(found.value());
+  }
+
+  for (const auto& [attr_name, value] : assignment.false_attributes) {
+    bool attr_known = false;
+    for (const auto& [domain, table] : dataset_->ctx.tables) {
+      auto attr = table.FindAttribute(attr_name);
+      if (!attr.ok()) continue;
+      attr_known = true;
+      for (AnnotationId a : reg.AnnotationsInDomain(domain)) {
+        uint32_t row = reg.entity_row(a);
+        if (row == kNoEntity) continue;
+        if (table.ValueNameOf(row, attr.value()) == value) {
+          cancelled.push_back(a);
+        }
+      }
+    }
+    if (!attr_known) {
+      return Status::NotFound("unknown attribute: " + attr_name);
+    }
+  }
+  return Valuation(std::move(cancelled), "assignment");
+}
+
+Result<EvaluationReport> EvaluatorService::Evaluate(
+    const ProvenanceExpression& expr, const MappingState* state,
+    const Assignment& assignment) const {
+  Valuation base;
+  PROX_ASSIGN_OR_RETURN(base, ResolveAssignment(assignment));
+
+  const size_t n = dataset_->registry->size();
+  MaterializedValuation mat =
+      state != nullptr ? state->Transform(base, n)
+                       : MaterializedValuation(base, n);
+
+  Timer timer;
+  EvalResult result = expr.Evaluate(mat);
+  const int64_t nanos = timer.ElapsedNanos();
+
+  EvaluationReport report;
+  report.eval_nanos = nanos;
+  if (result.kind() == EvalResult::Kind::kVector) {
+    for (const auto& coord : result.coords()) {
+      std::string label = coord.group == kNoAnnotation
+                              ? "*"
+                              : dataset_->registry->name(coord.group);
+      report.rows.emplace_back(std::move(label), coord.value);
+    }
+  } else if (result.kind() == EvalResult::Kind::kScalar) {
+    report.rows.emplace_back("*", result.scalar());
+  } else {
+    report.rows.emplace_back(result.feasible() ? "feasible" : "infeasible",
+                             result.cost());
+  }
+  report.result = std::move(result);
+  return report;
+}
+
+}  // namespace prox

@@ -1,0 +1,102 @@
+#include "service/selection_service.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+#include "provenance/aggregate_expr.h"
+
+namespace prox {
+
+SelectionService::SelectionService(const Dataset* dataset,
+                                   std::string group_domain)
+    : dataset_(dataset),
+      group_domain_(dataset->domain(group_domain)) {}
+
+std::vector<std::string> SelectionService::ListTitles() const {
+  std::vector<std::string> titles;
+  for (AnnotationId a :
+       dataset_->registry->AnnotationsInDomain(group_domain_)) {
+    if (!dataset_->registry->is_summary(a)) {
+      titles.push_back(dataset_->registry->name(a));
+    }
+  }
+  std::sort(titles.begin(), titles.end());
+  return titles;
+}
+
+std::vector<std::string> SelectionService::SearchTitles(
+    const std::string& substring) const {
+  std::string needle = ToLowerAscii(substring);
+  std::vector<std::string> out;
+  for (const std::string& title : ListTitles()) {
+    if (ToLowerAscii(title).find(needle) != std::string::npos) {
+      out.push_back(title);
+    }
+  }
+  return out;
+}
+
+bool SelectionService::GroupMatches(AnnotationId group,
+                                    const SelectionCriteria& c) const {
+  const AnnotationRegistry& reg = *dataset_->registry;
+  if (reg.domain(group) != group_domain_) return false;
+  const std::string& title = reg.name(group);
+
+  if (!c.titles.empty() &&
+      std::find(c.titles.begin(), c.titles.end(), title) == c.titles.end()) {
+    return false;
+  }
+  if (!c.title_substring.empty() &&
+      ToLowerAscii(title).find(ToLowerAscii(c.title_substring)) ==
+          std::string::npos) {
+    return false;
+  }
+  if (!c.genres.empty() || c.year.has_value()) {
+    const EntityTable* table = dataset_->ctx.TableFor(group_domain_);
+    uint32_t row = reg.entity_row(group);
+    if (table == nullptr || row == kNoEntity) return false;
+    if (!c.genres.empty()) {
+      auto genre_attr = table->FindAttribute("Genre");
+      if (!genre_attr.ok()) return false;
+      const std::string& genre = table->ValueNameOf(row, genre_attr.value());
+      if (std::find(c.genres.begin(), c.genres.end(), genre) ==
+          c.genres.end()) {
+        return false;
+      }
+    }
+    if (c.year.has_value()) {
+      auto year_attr = table->FindAttribute("Year");
+      if (!year_attr.ok()) return false;
+      if (table->ValueNameOf(row, year_attr.value()) !=
+          std::to_string(*c.year)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+Result<std::unique_ptr<ProvenanceExpression>> SelectionService::Select(
+    const SelectionCriteria& criteria) const {
+  const auto* agg =
+      dynamic_cast<const AggregateExpression*>(dataset_->provenance.get());
+  if (agg == nullptr) {
+    return Status::FailedPrecondition(
+        "selection requires an aggregate provenance expression");
+  }
+  for (const std::string& title : criteria.titles) {
+    auto found = dataset_->registry->Find(title);
+    if (!found.ok()) return found.status();
+  }
+  auto selected = std::make_unique<AggregateExpression>(agg->agg());
+  for (const TensorTerm& term : agg->terms()) {
+    if (GroupMatches(term.group, criteria)) selected->AddTerm(term);
+  }
+  selected->Simplify();
+  if (selected->num_terms() == 0) {
+    return Status::NotFound("no provenance matches the selection criteria");
+  }
+  return std::unique_ptr<ProvenanceExpression>(std::move(selected));
+}
+
+}  // namespace prox

@@ -1,0 +1,78 @@
+#include "service/session.h"
+
+namespace prox {
+
+ProxSession::ProxSession(Dataset dataset)
+    : dataset_(std::move(dataset)),
+      selection_service_(&dataset_,
+                         dataset_.domains.count("movie") ? "movie"
+                         : dataset_.domains.count("page") ? "page"
+                                                          : dataset_.domains
+                                                                .begin()
+                                                                ->first),
+      summarization_service_(&dataset_),
+      evaluator_service_(&dataset_) {}
+
+Result<int64_t> ProxSession::Select(const SelectionCriteria& criteria) {
+  PROX_ASSIGN_OR_RETURN(selection_, selection_service_.Select(criteria));
+  outcome_.reset();
+  return selection_->Size();
+}
+
+int64_t ProxSession::SelectAll() {
+  selection_ = dataset_.provenance->Clone();
+  outcome_.reset();
+  return selection_->Size();
+}
+
+Result<int64_t> ProxSession::Summarize(const SummarizationRequest& request) {
+  if (selection_ == nullptr) {
+    return Status::FailedPrecondition("no provenance selected yet");
+  }
+  PROX_ASSIGN_OR_RETURN(
+      outcome_, summarization_service_.Summarize(*selection_, request));
+  return outcome_->final_size;
+}
+
+std::vector<std::string> ProxSession::DescribeGroups() const {
+  std::vector<std::string> out;
+  if (!outcome_.has_value()) return out;
+  const AnnotationRegistry& reg = *dataset_.registry;
+  for (const auto& [summary, members] : outcome_->state.summaries()) {
+    if (reg.name(summary).rfind("~scratch", 0) == 0) continue;
+    std::string line = reg.name(summary) + " (size " +
+                       std::to_string(members.size()) + "): ";
+    for (size_t i = 0; i < members.size(); ++i) {
+      if (i > 0) line += ", ";
+      line += reg.name(members[i]);
+    }
+    out.push_back(std::move(line));
+  }
+  return out;
+}
+
+Result<std::string> ProxSession::SummaryExpression() const {
+  if (!outcome_.has_value()) {
+    return Status::FailedPrecondition("no summary computed yet");
+  }
+  return outcome_->summary->ToString(*dataset_.registry);
+}
+
+Result<EvaluationReport> ProxSession::EvaluateOnSummary(
+    const Assignment& assignment) {
+  if (!outcome_.has_value()) {
+    return Status::FailedPrecondition("no summary computed yet");
+  }
+  return evaluator_service_.Evaluate(*outcome_->summary, &outcome_->state,
+                                     assignment);
+}
+
+Result<EvaluationReport> ProxSession::EvaluateOnSelection(
+    const Assignment& assignment) {
+  if (selection_ == nullptr) {
+    return Status::FailedPrecondition("no provenance selected yet");
+  }
+  return evaluator_service_.Evaluate(*selection_, nullptr, assignment);
+}
+
+}  // namespace prox

@@ -1,0 +1,65 @@
+#ifndef PROX_SERVICE_SESSION_H_
+#define PROX_SERVICE_SESSION_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "service/evaluator_service.h"
+#include "service/selection_service.h"
+#include "service/summarization_service.h"
+
+namespace prox {
+
+/// \brief A PROX user session: owns a dataset and drives the three-view
+/// workflow of the web UI (Chapter 7) — select provenance, summarize it,
+/// then inspect the summary's groups and evaluate assignments on it.
+class ProxSession {
+ public:
+  /// Takes ownership of the dataset.
+  explicit ProxSession(Dataset dataset);
+
+  /// Selection view: restricts the provenance and stores it as the
+  /// summarization input. Returns the selected expression's size.
+  Result<int64_t> Select(const SelectionCriteria& criteria);
+
+  /// Skips selection: uses the whole dataset provenance.
+  int64_t SelectAll();
+
+  /// Summarization view: runs Algorithm 1 on the current selection.
+  Result<int64_t> Summarize(const SummarizationRequest& request);
+
+  /// Summary view, groups subview: one line per summary annotation with
+  /// its member names (Figure 7.5).
+  std::vector<std::string> DescribeGroups() const;
+
+  /// Summary view, expression subview (Figure 7.8).
+  Result<std::string> SummaryExpression() const;
+
+  /// Evaluates an assignment on the summary (approximate provisioning).
+  Result<EvaluationReport> EvaluateOnSummary(const Assignment& assignment);
+
+  /// Evaluates the same assignment on the *original* selection, for
+  /// comparing accuracy and usage time (Figures 7.9 / 7.10 show both).
+  Result<EvaluationReport> EvaluateOnSelection(const Assignment& assignment);
+
+  const Dataset& dataset() const { return dataset_; }
+  const ProvenanceExpression* selection() const { return selection_.get(); }
+  const SummaryOutcome* outcome() const {
+    return outcome_.has_value() ? &*outcome_ : nullptr;
+  }
+
+ private:
+  Dataset dataset_;
+  SelectionService selection_service_;
+  SummarizationService summarization_service_;
+  EvaluatorService evaluator_service_;
+  std::unique_ptr<ProvenanceExpression> selection_;
+  std::optional<SummaryOutcome> outcome_;
+};
+
+}  // namespace prox
+
+#endif  // PROX_SERVICE_SESSION_H_

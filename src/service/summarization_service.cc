@@ -1,0 +1,73 @@
+#include "service/summarization_service.h"
+
+#include "summarize/distance.h"
+#include "summarize/val_func.h"
+#include "summarize/valuation_class.h"
+
+namespace prox {
+
+Result<SummaryOutcome> SummarizationService::Summarize(
+    const ProvenanceExpression& selected,
+    const SummarizationRequest& request) const {
+  using VC = SummarizationRequest::ValuationClassKind;
+  using VF = SummarizationRequest::ValFuncKind;
+
+  std::unique_ptr<ValuationClass> owned_class;
+  const ValuationClass* valuation_class = dataset_->valuation_class.get();
+  switch (request.valuation_class) {
+    case VC::kDatasetDefault:
+      break;
+    case VC::kCancelSingleAnnotation:
+      owned_class = std::make_unique<CancelSingleAnnotation>();
+      valuation_class = owned_class.get();
+      break;
+    case VC::kCancelSingleAttribute:
+      owned_class = std::make_unique<CancelSingleAttribute>();
+      valuation_class = owned_class.get();
+      break;
+  }
+  if (valuation_class == nullptr) {
+    return Status::FailedPrecondition("dataset provides no valuation class");
+  }
+
+  std::unique_ptr<ValFunc> owned_func;
+  const ValFunc* val_func = dataset_->val_func.get();
+  switch (request.val_func) {
+    case VF::kDatasetDefault:
+      break;
+    case VF::kEuclidean:
+      owned_func = std::make_unique<EuclideanValFunc>();
+      val_func = owned_func.get();
+      break;
+    case VF::kAbsoluteDifference:
+      owned_func = std::make_unique<AbsoluteDifferenceValFunc>();
+      val_func = owned_func.get();
+      break;
+    case VF::kDisagreement:
+      owned_func = std::make_unique<DisagreementValFunc>();
+      val_func = owned_func.get();
+      break;
+  }
+  if (val_func == nullptr) {
+    return Status::FailedPrecondition("dataset provides no VAL-FUNC");
+  }
+
+  std::vector<Valuation> valuations =
+      valuation_class->Generate(selected, dataset_->ctx);
+  EnumeratedDistance oracle(&selected, dataset_->registry.get(), val_func,
+                            valuations);
+
+  SummarizerOptions options;
+  options.w_dist = request.w_dist;
+  options.w_size = request.w_size;
+  options.target_dist = request.target_dist;
+  options.target_size = request.target_size;
+  options.max_steps = request.max_steps;
+  options.phi = dataset_->phi;
+
+  Summarizer summarizer(&selected, dataset_->registry.get(), &dataset_->ctx,
+                        &dataset_->constraints, &oracle, &valuations, options);
+  return summarizer.Run();
+}
+
+}  // namespace prox

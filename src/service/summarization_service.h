@@ -1,0 +1,56 @@
+#ifndef PROX_SERVICE_SUMMARIZATION_SERVICE_H_
+#define PROX_SERVICE_SUMMARIZATION_SERVICE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "datasets/dataset.h"
+#include "summarize/summarizer.h"
+
+namespace prox {
+
+/// The knobs the summarization view exposes (Figure 7.4): weights, bounds,
+/// step budget, aggregation, valuation class and VAL-FUNC.
+struct SummarizationRequest {
+  double w_dist = 0.5;
+  double w_size = 0.5;
+  double target_dist = 1.0;
+  int64_t target_size = 1;
+  int max_steps = 10;
+
+  enum class ValuationClassKind {
+    kDatasetDefault,
+    kCancelSingleAnnotation,
+    kCancelSingleAttribute,
+  };
+  ValuationClassKind valuation_class = ValuationClassKind::kDatasetDefault;
+
+  enum class ValFuncKind {
+    kDatasetDefault,
+    kEuclidean,
+    kAbsoluteDifference,
+    kDisagreement,
+  };
+  ValFuncKind val_func = ValFuncKind::kDatasetDefault;
+};
+
+/// \brief The PROX summarization service: wires the dataset's semantics
+/// (constraints, φ, valuation class, VAL-FUNC) and the request parameters
+/// into Algorithm 1 and runs it on the selected provenance.
+class SummarizationService {
+ public:
+  /// `dataset` is mutated (its registry accumulates summary annotations).
+  explicit SummarizationService(Dataset* dataset) : dataset_(dataset) {}
+
+  /// Summarizes `selected` (any expression over the dataset's annotations).
+  Result<SummaryOutcome> Summarize(const ProvenanceExpression& selected,
+                                   const SummarizationRequest& request) const;
+
+ private:
+  Dataset* dataset_;
+};
+
+}  // namespace prox
+
+#endif  // PROX_SERVICE_SUMMARIZATION_SERVICE_H_

@@ -1,0 +1,89 @@
+#include "summarize/candidates.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/rng.h"
+
+namespace prox {
+
+namespace {
+
+/// Calls `emit` for every size-k subset of `items` (in lexicographic index
+/// order). Aborts enumeration early once `emit` returns false.
+template <typename Emit>
+void ForEachSubset(const std::vector<AnnotationId>& items, int k, Emit emit) {
+  const int n = static_cast<int>(items.size());
+  if (k > n || k <= 0) return;
+  std::vector<int> idx(k);
+  for (int i = 0; i < k; ++i) idx[i] = i;
+  for (;;) {
+    std::vector<AnnotationId> subset(k);
+    for (int i = 0; i < k; ++i) subset[i] = items[idx[i]];
+    if (!emit(std::move(subset))) return;
+    int i = k - 1;
+    while (i >= 0 && idx[i] == n - k + i) --i;
+    if (i < 0) return;
+    ++idx[i];
+    for (int j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+  }
+}
+
+}  // namespace
+
+std::vector<Candidate> CandidateGenerator::Generate(
+    const ProvenanceExpression& current, const MappingState& state,
+    const CandidateOptions& options) const {
+  std::vector<AnnotationId> anns;
+  current.CollectAnnotations(&anns);
+
+  // Bucket current annotations by domain; only domains with a rule can
+  // yield candidates.
+  std::map<DomainId, std::vector<AnnotationId>> by_domain;
+  for (AnnotationId a : anns) {
+    DomainId d = ctx_->registry->domain(a);
+    if (constraints_->HasRule(d)) by_domain[d].push_back(a);
+  }
+
+  std::vector<Candidate> out;
+  for (const auto& [domain, roots] : by_domain) {
+    ForEachSubset(roots, options.arity, [&](std::vector<AnnotationId> subset) {
+      // Constraint check runs on the union of original members.
+      std::vector<AnnotationId> members;
+      for (AnnotationId root : subset) {
+        auto ms = state.Members(root);
+        members.insert(members.end(), ms.begin(), ms.end());
+      }
+      MergeDecision decision = constraints_->Evaluate(domain, members, *ctx_);
+      if (decision.allowed) {
+        Candidate c;
+        c.roots = std::move(subset);
+        c.domain = domain;
+        c.decision = std::move(decision);
+        out.push_back(std::move(c));
+      }
+      return true;
+    });
+  }
+
+  if (options.max_candidates > 0 && out.size() > options.max_candidates) {
+    // Deterministic uniform subsample (partial Fisher-Yates), preserving
+    // the original order of the survivors for reproducibility.
+    Rng rng(options.sample_seed);
+    std::vector<size_t> indices(out.size());
+    for (size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+    for (size_t i = 0; i < options.max_candidates; ++i) {
+      size_t j = i + rng.PickIndex(indices.size() - i);
+      std::swap(indices[i], indices[j]);
+    }
+    indices.resize(options.max_candidates);
+    std::sort(indices.begin(), indices.end());
+    std::vector<Candidate> sampled;
+    sampled.reserve(indices.size());
+    for (size_t i : indices) sampled.push_back(std::move(out[i]));
+    out = std::move(sampled);
+  }
+  return out;
+}
+
+}  // namespace prox

@@ -1,0 +1,58 @@
+#ifndef PROX_SUMMARIZE_CANDIDATES_H_
+#define PROX_SUMMARIZE_CANDIDATES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "provenance/expression.h"
+#include "semantics/constraints.h"
+#include "semantics/context.h"
+#include "summarize/mapping_state.h"
+
+namespace prox {
+
+/// \brief A single-step mapping candidate: `arity` current annotations of
+/// one domain proposed for merging into a fresh summary annotation
+/// (the CandidateHom set of Algorithm 1 line 3).
+struct Candidate {
+  std::vector<AnnotationId> roots;  ///< current annotations to merge, sorted
+  DomainId domain;
+  MergeDecision decision;  ///< constraint verdict: name + taxonomy metrics
+};
+
+struct CandidateOptions {
+  /// How many annotations one step maps together. 2 reproduces the thesis;
+  /// larger values implement its future-work k-way extension (§9).
+  int arity = 2;
+  /// Cap on candidates per step (0 = unlimited). Beyond the cap a
+  /// deterministic uniform sample is drawn.
+  size_t max_candidates = 0;
+  uint64_t sample_seed = 0xCA1D1DA7E5;
+};
+
+/// \brief Enumerates the constraint-satisfying merge candidates over the
+/// annotations of the current expression.
+///
+/// Constraints are evaluated on the union of *original* members of the
+/// proposed groups, so e.g. a "shared attribute" rule keeps holding
+/// transitively as groups grow.
+class CandidateGenerator {
+ public:
+  CandidateGenerator(const ConstraintSet* constraints,
+                     const SemanticContext* ctx)
+      : constraints_(constraints), ctx_(ctx) {}
+
+  /// All allowed candidates for the current expression/state, in
+  /// deterministic (domain, roots) order.
+  std::vector<Candidate> Generate(const ProvenanceExpression& current,
+                                  const MappingState& state,
+                                  const CandidateOptions& options) const;
+
+ private:
+  const ConstraintSet* constraints_;
+  const SemanticContext* ctx_;
+};
+
+}  // namespace prox
+
+#endif  // PROX_SUMMARIZE_CANDIDATES_H_

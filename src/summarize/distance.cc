@@ -1,0 +1,100 @@
+#include "summarize/distance.h"
+
+#include <cmath>
+
+namespace prox {
+
+EnumeratedDistance::EnumeratedDistance(const ProvenanceExpression* p0,
+                                       const AnnotationRegistry* registry,
+                                       const ValFunc* val_func,
+                                       std::vector<Valuation> valuations)
+    : p0_(p0),
+      registry_(registry),
+      val_func_(val_func),
+      valuations_(std::move(valuations)) {
+  const size_t n = registry_->size();
+  base_evals_.reserve(valuations_.size());
+  for (const auto& v : valuations_) {
+    base_evals_.push_back(p0_->Evaluate(MaterializedValuation(v, n)));
+    total_weight_ += v.weight();
+  }
+  EvalResult all_true = p0_->Evaluate(MaterializedValuation(n));
+  max_error_ = val_func_->MaxError(all_true);
+  if (max_error_ <= 0.0) max_error_ = 1.0;
+}
+
+double EnumeratedDistance::Distance(const ProvenanceExpression& cand,
+                                    const MappingState& state) {
+  if (valuations_.empty()) return 0.0;
+  const size_t n = registry_->size();
+  // Fast path: when the cumulative homomorphism leaves every group key of
+  // the cached base evaluations untouched (the common case — most merges
+  // group non-key annotations like users), the projection is the identity
+  // and the cached results can be fed to VAL-FUNC directly.
+  bool identity_on_groups = true;
+  if (!base_evals_.empty() &&
+      base_evals_[0].kind() == EvalResult::Kind::kVector) {
+    for (const auto& coord : base_evals_[0].coords()) {
+      if (state.cumulative().Map(coord.group) != coord.group) {
+        identity_on_groups = false;
+        break;
+      }
+    }
+  }
+  double total = 0.0;
+  for (size_t i = 0; i < valuations_.size(); ++i) {
+    const Valuation& v = valuations_[i];
+    MaterializedValuation transformed = state.Transform(v, n);
+    EvalResult summ = cand.Evaluate(transformed);
+    if (identity_on_groups) {
+      total += v.weight() * val_func_->Compute(base_evals_[i], summ);
+    } else {
+      EvalResult orig =
+          cand.ProjectEvalResult(base_evals_[i], state.cumulative());
+      total += v.weight() * val_func_->Compute(orig, summ);
+    }
+  }
+  return (total / total_weight_) / max_error_;
+}
+
+int SampledDistance::RequiredSamples(double epsilon, double delta) {
+  return static_cast<int>(
+      std::ceil(std::log(2.0 / delta) / (2.0 * epsilon * epsilon)));
+}
+
+SampledDistance::SampledDistance(const ProvenanceExpression* p0,
+                                 const AnnotationRegistry* registry,
+                                 const ValFunc* val_func, Options options)
+    : p0_(p0), registry_(registry), val_func_(val_func), options_(options) {
+  num_samples_ = options_.num_samples > 0
+                     ? options_.num_samples
+                     : RequiredSamples(options_.epsilon, options_.delta);
+  p0_->CollectAnnotations(&annotations_);
+  EvalResult all_true = p0_->Evaluate(MaterializedValuation(registry_->size()));
+  max_error_ = val_func_->MaxError(all_true);
+  if (max_error_ <= 0.0) max_error_ = 1.0;
+}
+
+double SampledDistance::Distance(const ProvenanceExpression& cand,
+                                 const MappingState& state) {
+  // Fresh generator per call: the estimate is deterministic for a fixed
+  // seed and independent of evaluation order across candidates.
+  Rng rng(options_.seed);
+  const size_t n = registry_->size();
+  double total = 0.0;
+  for (int s = 0; s < num_samples_; ++s) {
+    std::vector<AnnotationId> cancelled;
+    for (AnnotationId a : annotations_) {
+      if (rng.Bernoulli(0.5)) cancelled.push_back(a);
+    }
+    Valuation v(std::move(cancelled));
+    EvalResult base = p0_->Evaluate(MaterializedValuation(v, n));
+    MaterializedValuation transformed = state.Transform(v, n);
+    EvalResult summ = cand.Evaluate(transformed);
+    EvalResult orig = cand.ProjectEvalResult(base, state.cumulative());
+    total += val_func_->Compute(orig, summ);
+  }
+  return (total / num_samples_) / max_error_;
+}
+
+}  // namespace prox

@@ -1,0 +1,110 @@
+#ifndef PROX_SUMMARIZE_DISTANCE_H_
+#define PROX_SUMMARIZE_DISTANCE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "provenance/expression.h"
+#include "summarize/mapping_state.h"
+#include "summarize/val_func.h"
+
+namespace prox {
+
+/// \brief Computes dist^{h,φ}(p₀, p') (Definition 3.2.2) for candidate
+/// summaries against a fixed original expression and valuation set.
+///
+/// Oracles pre-evaluate p₀ under every base valuation once; each candidate
+/// then costs |V| evaluations of the (smaller) candidate expression. The
+/// returned distances are normalized into [0,1] by VAL-FUNC's MaxError
+/// bound, matching the normalized distances reported in §6.3.
+class DistanceOracle {
+ public:
+  virtual ~DistanceOracle() = default;
+
+  /// Average normalized VAL-FUNC of `cand` (= h(p₀) for the cumulative h in
+  /// `state`) against the original expression.
+  virtual double Distance(const ProvenanceExpression& cand,
+                          const MappingState& state) = 0;
+
+  /// The normalization constant (maximum possible error).
+  virtual double max_error() const = 0;
+};
+
+/// Exact distance over an explicitly enumerated valuation class — the
+/// thesis's evaluation setting, where V_Ann ("Cancel Single Annotation",
+/// "Cancel Single Attribute") is polynomial in the input.
+class EnumeratedDistance : public DistanceOracle {
+ public:
+  /// \param p0 the original expression (must outlive the oracle)
+  /// \param registry annotation registry (may grow while the oracle lives)
+  /// \param val_func VAL-FUNC (must outlive the oracle)
+  /// \param valuations the enumerated class V_Ann
+  EnumeratedDistance(const ProvenanceExpression* p0,
+                     const AnnotationRegistry* registry,
+                     const ValFunc* val_func,
+                     std::vector<Valuation> valuations);
+
+  double Distance(const ProvenanceExpression& cand,
+                  const MappingState& state) override;
+  double max_error() const override { return max_error_; }
+
+  size_t num_valuations() const { return valuations_.size(); }
+  const std::vector<Valuation>& valuations() const { return valuations_; }
+  /// Cached v(p₀) per valuation (used by the incremental scorer).
+  const std::vector<EvalResult>& base_evals() const { return base_evals_; }
+  const AnnotationRegistry* registry() const { return registry_; }
+
+ private:
+  const ProvenanceExpression* p0_;
+  const AnnotationRegistry* registry_;
+  const ValFunc* val_func_;
+  std::vector<Valuation> valuations_;
+  std::vector<EvalResult> base_evals_;  // v(p₀) per valuation, cached
+  double total_weight_ = 0.0;
+  double max_error_ = 1.0;
+};
+
+/// Monte-Carlo distance over *all* 2^n valuations — the sampling
+/// approximation of Proposition 4.1.2. Each sample draws a uniform truth
+/// valuation over p₀'s annotations, evaluates both expressions and
+/// averages VAL-FUNC; Hoeffding's inequality bounds the sample count
+/// needed for an (ε, δ) absolute-error guarantee on the normalized
+/// distance.
+class SampledDistance : public DistanceOracle {
+ public:
+  struct Options {
+    double epsilon = 0.05;  ///< absolute error bound on normalized distance
+    double delta = 0.05;    ///< failure probability
+    int num_samples = 0;    ///< overrides the (ε, δ)-derived count when > 0
+    uint64_t seed = 0x5EEDBA5E;
+  };
+
+  /// Samples needed so that P(|d' − dist| > ε) < δ for a [0,1]-bounded
+  /// estimator: ⌈ln(2/δ) / (2ε²)⌉.
+  static int RequiredSamples(double epsilon, double delta);
+
+  SampledDistance(const ProvenanceExpression* p0,
+                  const AnnotationRegistry* registry, const ValFunc* val_func,
+                  Options options);
+
+  double Distance(const ProvenanceExpression& cand,
+                  const MappingState& state) override;
+  double max_error() const override { return max_error_; }
+
+  int num_samples() const { return num_samples_; }
+
+ private:
+  const ProvenanceExpression* p0_;
+  const AnnotationRegistry* registry_;
+  const ValFunc* val_func_;
+  Options options_;
+  int num_samples_;
+  std::vector<AnnotationId> annotations_;  // of p0
+  double max_error_ = 1.0;
+};
+
+}  // namespace prox
+
+#endif  // PROX_SUMMARIZE_DISTANCE_H_

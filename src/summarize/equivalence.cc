@@ -1,0 +1,58 @@
+#include "summarize/equivalence.h"
+
+#include <algorithm>
+
+namespace prox {
+
+std::vector<std::vector<AnnotationId>> EquivalenceClasses(
+    const std::vector<AnnotationId>& annotations,
+    const std::vector<Valuation>& valuations,
+    const AnnotationRegistry& registry) {
+  // Initialize one class per domain, then refine by each valuation's
+  // true/false split (the recursive construction in the proof of
+  // Proposition 4.2.1).
+  std::vector<std::vector<AnnotationId>> classes;
+  {
+    std::vector<AnnotationId> sorted = annotations;
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    std::vector<std::pair<DomainId, AnnotationId>> keyed;
+    keyed.reserve(sorted.size());
+    for (AnnotationId a : sorted) keyed.emplace_back(registry.domain(a), a);
+    std::sort(keyed.begin(), keyed.end());
+    for (size_t i = 0; i < keyed.size();) {
+      size_t j = i;
+      std::vector<AnnotationId> cls;
+      while (j < keyed.size() && keyed[j].first == keyed[i].first) {
+        cls.push_back(keyed[j].second);
+        ++j;
+      }
+      classes.push_back(std::move(cls));
+      i = j;
+    }
+  }
+
+  for (const Valuation& v : valuations) {
+    std::vector<std::vector<AnnotationId>> refined;
+    refined.reserve(classes.size());
+    for (auto& cls : classes) {
+      std::vector<AnnotationId> in_true, in_false;
+      for (AnnotationId a : cls) {
+        (v.IsTrue(a) ? in_true : in_false).push_back(a);
+      }
+      if (!in_true.empty()) refined.push_back(std::move(in_true));
+      if (!in_false.empty()) refined.push_back(std::move(in_false));
+    }
+    classes = std::move(refined);
+  }
+
+  for (auto& cls : classes) std::sort(cls.begin(), cls.end());
+  std::sort(classes.begin(), classes.end(),
+            [](const std::vector<AnnotationId>& a,
+               const std::vector<AnnotationId>& b) {
+              return a.front() < b.front();
+            });
+  return classes;
+}
+
+}  // namespace prox

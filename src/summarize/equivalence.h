@@ -1,0 +1,31 @@
+#ifndef PROX_SUMMARIZE_EQUIVALENCE_H_
+#define PROX_SUMMARIZE_EQUIVALENCE_H_
+
+#include <vector>
+
+#include "provenance/annotation.h"
+#include "provenance/valuation.h"
+
+namespace prox {
+
+/// \brief Partitions `annotations` into equivalence classes with respect to
+/// `valuations` (Proposition 4.2.1): a and b are equivalent iff every
+/// valuation of the class assigns them the same truth value.
+///
+/// The partition is additionally refined by annotation domain — only
+/// same-input-table annotations may ever be mapped together (Section 3.2) —
+/// so a user and a movie that happen to agree on every valuation are not
+/// grouped. Implemented by the thesis's iterated refinement
+/// (split each class by T_v / F_v per valuation), which is polynomial in
+/// |Ann| · |V_Ann|; mapping each class to one annotation yields the minimal
+/// distance-0 summary.
+///
+/// Classes are returned sorted by their smallest member; members sorted.
+std::vector<std::vector<AnnotationId>> EquivalenceClasses(
+    const std::vector<AnnotationId>& annotations,
+    const std::vector<Valuation>& valuations,
+    const AnnotationRegistry& registry);
+
+}  // namespace prox
+
+#endif  // PROX_SUMMARIZE_EQUIVALENCE_H_

@@ -1,0 +1,63 @@
+#include "summarize/mapping_state.h"
+
+#include <algorithm>
+
+namespace prox {
+
+void MappingState::Merge(const std::vector<AnnotationId>& roots,
+                         AnnotationId summary) {
+  std::vector<AnnotationId> merged_members;
+  for (AnnotationId root : roots) {
+    auto it = members_.find(root);
+    if (it != members_.end()) {
+      merged_members.insert(merged_members.end(), it->second.begin(),
+                            it->second.end());
+      members_.erase(it);
+    } else {
+      merged_members.push_back(root);
+    }
+  }
+  std::sort(merged_members.begin(), merged_members.end());
+  for (AnnotationId original : merged_members) {
+    hom_.Set(original, summary);
+  }
+  summaries_.emplace_back(summary, merged_members);
+  members_.emplace(summary, std::move(merged_members));
+  ++num_merges_;
+}
+
+std::vector<AnnotationId> MappingState::Members(AnnotationId root) const {
+  auto it = members_.find(root);
+  if (it != members_.end()) return it->second;
+  return {root};
+}
+
+MaterializedValuation MappingState::Transform(const Valuation& base,
+                                              size_t num_annotations) const {
+  MaterializedValuation out(base, num_annotations);
+  for (const auto& [summary, members] : members_) {
+    const PhiKind phi = phi_.For(registry_->domain(summary));
+    bool value;
+    if (phi == PhiKind::kOr) {
+      value = false;
+      for (AnnotationId m : members) {
+        if (base.IsTrue(m)) {
+          value = true;
+          break;
+        }
+      }
+    } else {  // kAnd
+      value = true;
+      for (AnnotationId m : members) {
+        if (base.IsFalse(m)) {
+          value = false;
+          break;
+        }
+      }
+    }
+    if (summary < num_annotations) out.Set(summary, value);
+  }
+  return out;
+}
+
+}  // namespace prox

@@ -1,0 +1,87 @@
+#ifndef PROX_SUMMARIZE_MAPPING_STATE_H_
+#define PROX_SUMMARIZE_MAPPING_STATE_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "provenance/annotation.h"
+#include "provenance/homomorphism.h"
+#include "provenance/valuation.h"
+
+namespace prox {
+
+/// The φ combiner of Section 3.2: how truth values of grouped annotations
+/// combine into the summary annotation's truth value. OR cancels a summary
+/// only when *all* members are cancelled; AND when *any* member is. The
+/// thesis's MAX combiner for DDP cost keep/cancel bits coincides with OR on
+/// {0,1} assignments.
+enum class PhiKind { kOr, kAnd };
+
+/// Per-domain φ configuration; domains default to `fallback`.
+struct PhiConfig {
+  PhiKind fallback = PhiKind::kOr;
+  std::map<DomainId, PhiKind> per_domain;
+
+  PhiKind For(DomainId domain) const {
+    auto it = per_domain.find(domain);
+    return it == per_domain.end() ? fallback : it->second;
+  }
+};
+
+/// \brief The cumulative state of a summarization run: the homomorphism
+/// h : Ann → Ann' built so far, the member sets behind each summary
+/// annotation, and the machinery to transform base valuations into v^{h,φ}
+/// (Section 3.2).
+///
+/// Copyable by design — the summarizer clones the state to evaluate each
+/// candidate merge of a step before committing the best one, and keeps the
+/// previous step's state for the TARGET-DIST rollback (Algorithm 1 line 11).
+class MappingState {
+ public:
+  MappingState(const AnnotationRegistry* registry, PhiConfig phi)
+      : registry_(registry), phi_(std::move(phi)) {}
+
+  /// Merges the current annotations `roots` (originals or earlier summary
+  /// annotations) into `summary`, a freshly registered summary annotation.
+  /// Updates the cumulative homomorphism for every original member.
+  void Merge(const std::vector<AnnotationId>& roots, AnnotationId summary);
+
+  /// The cumulative h.
+  const Homomorphism& cumulative() const { return hom_; }
+
+  /// Original annotations mapped to `root` (the root itself when unmapped).
+  std::vector<AnnotationId> Members(AnnotationId root) const;
+
+  /// Number of merges performed.
+  int num_merges() const { return num_merges_; }
+
+  /// Materializes the transformed valuation v^{h,φ}: original annotations
+  /// keep their base truth; each summary annotation gets
+  /// φ(truth of its members) (Section 3.2's v_{Ann'}(a') = v_{Ann}(φ(a'))).
+  /// `num_annotations` is the current registry size.
+  MaterializedValuation Transform(const Valuation& base,
+                                  size_t num_annotations) const;
+
+  PhiKind PhiFor(DomainId domain) const { return phi_.For(domain); }
+
+  /// Summary annotations created so far, in creation order, with members.
+  const std::vector<std::pair<AnnotationId, std::vector<AnnotationId>>>&
+  summaries() const {
+    return summaries_;
+  }
+
+ private:
+  const AnnotationRegistry* registry_;
+  PhiConfig phi_;
+  Homomorphism hom_;
+  /// summary annotation -> sorted original members
+  std::unordered_map<AnnotationId, std::vector<AnnotationId>> members_;
+  std::vector<std::pair<AnnotationId, std::vector<AnnotationId>>> summaries_;
+  int num_merges_ = 0;
+};
+
+}  // namespace prox
+
+#endif  // PROX_SUMMARIZE_MAPPING_STATE_H_

@@ -1,0 +1,249 @@
+#include "summarize/summarizer.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/timer.h"
+#include "provenance/aggregate_expr.h"
+#include "summarize/equivalence.h"
+#include "summarize/incremental.h"
+
+namespace prox {
+
+Summarizer::Summarizer(const ProvenanceExpression* p0,
+                       AnnotationRegistry* registry,
+                       const SemanticContext* ctx,
+                       const ConstraintSet* constraints,
+                       DistanceOracle* oracle,
+                       const std::vector<Valuation>* valuations,
+                       SummarizerOptions options)
+    : p0_(p0),
+      registry_(registry),
+      ctx_(ctx),
+      constraints_(constraints),
+      oracle_(oracle),
+      valuations_(valuations),
+      options_(std::move(options)) {}
+
+int Summarizer::GroupEquivalent(
+    std::unique_ptr<ProvenanceExpression>* current, MappingState* state) {
+  std::vector<AnnotationId> anns;
+  p0_->CollectAnnotations(&anns);
+  auto classes = EquivalenceClasses(anns, *valuations_, *registry_);
+  int merges = 0;
+  for (const auto& cls : classes) {
+    if (cls.size() < 2) continue;
+    DomainId domain = registry_->domain(cls.front());
+    MergeDecision decision = constraints_->Evaluate(domain, cls, *ctx_);
+    if (options_.equivalence_respects_constraints && !decision.allowed) {
+      continue;
+    }
+    std::string name = decision.allowed
+                           ? decision.name
+                           : "eq:" + registry_->name(cls.front()) + "+" +
+                                 std::to_string(cls.size() - 1);
+    AnnotationId summary = registry_->AddSummary(domain, name);
+    state->Merge(cls, summary);
+    ++merges;
+  }
+  if (merges > 0) {
+    *current = p0_->Apply(state->cumulative());
+  }
+  return merges;
+}
+
+size_t Summarizer::PickBest(const std::vector<Candidate>& candidates,
+                            std::vector<ScoredCandidate>* scored) const {
+  if (options_.use_ordinal_ranks) {
+    // Convert distance and size into ordinal ranks among the step's
+    // candidates (ties share the lower rank), scaled to [0,1].
+    const size_t k = scored->size();
+    std::vector<size_t> by_dist(k), by_size(k);
+    for (size_t i = 0; i < k; ++i) by_dist[i] = by_size[i] = i;
+    std::sort(by_dist.begin(), by_dist.end(), [&](size_t a, size_t b) {
+      return (*scored)[a].distance < (*scored)[b].distance;
+    });
+    std::sort(by_size.begin(), by_size.end(), [&](size_t a, size_t b) {
+      return (*scored)[a].size < (*scored)[b].size;
+    });
+    std::vector<double> dist_rank(k), size_rank(k);
+    for (size_t r = 0; r < k; ++r) {
+      dist_rank[by_dist[r]] =
+          (r > 0 && (*scored)[by_dist[r]].distance ==
+                        (*scored)[by_dist[r - 1]].distance)
+              ? dist_rank[by_dist[r - 1]]
+              : static_cast<double>(r) / k;
+      size_rank[by_size[r]] =
+          (r > 0 &&
+           (*scored)[by_size[r]].size == (*scored)[by_size[r - 1]].size)
+              ? size_rank[by_size[r - 1]]
+              : static_cast<double>(r) / k;
+    }
+    for (size_t i = 0; i < k; ++i) {
+      (*scored)[i].score =
+          options_.w_dist * dist_rank[i] + options_.w_size * size_rank[i] +
+          options_.w_taxonomy *
+              candidates[(*scored)[i].index].decision.taxonomy_distance_max;
+    }
+  }
+
+  // Minimal score; break ties by the taxonomy distance criterion, then by
+  // candidate order (deterministic).
+  size_t best = 0;
+  for (size_t i = 1; i < scored->size(); ++i) {
+    const auto& a = (*scored)[i];
+    const auto& b = (*scored)[best];
+    if (a.score < b.score) {
+      best = i;
+    } else if (a.score == b.score && options_.tie_break != TieBreak::kFirst) {
+      double ta, tb;
+      if (options_.tie_break == TieBreak::kTaxonomyMax) {
+        ta = candidates[a.index].decision.taxonomy_distance_max;
+        tb = candidates[b.index].decision.taxonomy_distance_max;
+      } else {
+        ta = candidates[a.index].decision.taxonomy_distance_sum;
+        tb = candidates[b.index].decision.taxonomy_distance_sum;
+      }
+      if (ta < tb) best = i;
+    }
+  }
+  return best;
+}
+
+Result<SummaryOutcome> Summarizer::Run() {
+  if (options_.w_dist < 0 || options_.w_size < 0) {
+    return Status::InvalidArgument("weights must be non-negative");
+  }
+  if (options_.candidates.arity < 2) {
+    return Status::InvalidArgument("merge arity must be at least 2");
+  }
+
+  Timer run_timer;
+  SummaryOutcome outcome{nullptr, MappingState(registry_, options_.phi), {},
+                         0.0, 0, false, 0, 0.0};
+  std::unique_ptr<ProvenanceExpression> current = p0_->Clone();
+  MappingState& state = outcome.state;
+
+  if (options_.group_equivalent_first) {
+    outcome.equivalence_merges = GroupEquivalent(&current, &state);
+  }
+
+  const int64_t original_size = std::max<int64_t>(p0_->Size(), 1);
+  double dist = oracle_->Distance(*current, state);
+
+  CandidateGenerator generator(constraints_, ctx_);
+
+  // Previous step's snapshot, for the TARGET-DIST rollback.
+  std::unique_ptr<ProvenanceExpression> prev_expr;
+  MappingState prev_state = state;
+  double prev_dist = dist;
+
+  int step = 0;
+  while (step < options_.max_steps && current->Size() > options_.target_size &&
+         dist < options_.target_dist) {
+    Timer step_timer;
+    std::vector<Candidate> candidates =
+        generator.Generate(*current, state, options_.candidates);
+    if (candidates.empty()) break;
+
+    // One scratch summary annotation per domain per step is enough: the
+    // tentative states of different candidates never coexist.
+    std::map<DomainId, AnnotationId> scratch;
+    for (const Candidate& c : candidates) {
+      if (scratch.count(c.domain) == 0) {
+        scratch[c.domain] = registry_->AddSummary(c.domain, "~scratch");
+      }
+    }
+
+    // Optional incremental scorer for this step's expression.
+    std::unique_ptr<IncrementalScorer> incremental;
+    if (options_.incremental != SummarizerOptions::Incremental::kOff) {
+      const auto* agg =
+          dynamic_cast<const AggregateExpression*>(current.get());
+      auto* enumerated = dynamic_cast<EnumeratedDistance*>(oracle_);
+      if (agg != nullptr && enumerated != nullptr) {
+        incremental = IncrementalScorer::Create(
+            agg, enumerated, &state,
+            options_.incremental == SummarizerOptions::Incremental::kL1
+                ? IncrementalScorer::Metric::kL1
+                : IncrementalScorer::Metric::kEuclidean);
+      }
+    }
+
+    Timer eval_timer;
+    std::vector<ScoredCandidate> scored;
+    scored.reserve(candidates.size());
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      const Candidate& c = candidates[i];
+      ScoredCandidate sc;
+      sc.index = i;
+      if (incremental != nullptr && incremental->CanScore(c.roots)) {
+        IncrementalScorer::Score fast = incremental->ScoreMerge(c.roots);
+        sc.distance = fast.distance;
+        sc.size = fast.size;
+      } else {
+        AnnotationId tmp = scratch[c.domain];
+        MappingState tentative = state;
+        tentative.Merge(c.roots, tmp);
+        Homomorphism step_hom;
+        for (AnnotationId root : c.roots) step_hom.Set(root, tmp);
+        auto cand_expr = current->Apply(step_hom);
+        sc.distance = oracle_->Distance(*cand_expr, tentative);
+        sc.size = cand_expr->Size();
+      }
+      sc.score = options_.w_dist * sc.distance +
+                 options_.w_size *
+                     (static_cast<double>(sc.size) / original_size) +
+                 options_.w_taxonomy * c.decision.taxonomy_distance_max;
+      scored.push_back(sc);
+    }
+    const double eval_nanos =
+        static_cast<double>(eval_timer.ElapsedNanos()) / candidates.size();
+
+    size_t best = PickBest(candidates, &scored);
+    const Candidate& winner = candidates[scored[best].index];
+
+    // Commit the winning merge under its real (semantically derived) name.
+    AnnotationId summary =
+        registry_->AddSummary(winner.domain, winner.decision.name);
+    prev_expr = std::move(current);
+    prev_state = state;
+    prev_dist = dist;
+
+    state.Merge(winner.roots, summary);
+    Homomorphism commit_hom;
+    for (AnnotationId root : winner.roots) commit_hom.Set(root, summary);
+    current = prev_expr->Apply(commit_hom);
+    dist = oracle_->Distance(*current, state);
+    ++step;
+
+    StepRecord record;
+    record.step = step;
+    record.merged_roots = winner.roots;
+    record.summary = summary;
+    record.summary_name = registry_->name(summary);
+    record.distance = dist;
+    record.size = current->Size();
+    record.score = scored[best].score;
+    record.num_candidates = static_cast<int>(candidates.size());
+    record.candidate_eval_nanos = eval_nanos;
+    record.step_nanos = static_cast<double>(step_timer.ElapsedNanos());
+    outcome.steps.push_back(std::move(record));
+  }
+
+  // Algorithm 1 line 11: the last merge overshot the distance budget.
+  if (dist >= options_.target_dist && prev_expr != nullptr) {
+    current = std::move(prev_expr);
+    state = prev_state;
+    dist = prev_dist;
+    outcome.rolled_back = true;
+  }
+
+  outcome.summary = std::move(current);
+  outcome.final_distance = dist;
+  outcome.final_size = outcome.summary->Size();
+  outcome.total_nanos = static_cast<double>(run_timer.ElapsedNanos());
+  return outcome;
+}
+
+}  // namespace prox

@@ -1,0 +1,104 @@
+#include "summarize/val_func.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace prox {
+
+namespace {
+
+/// Iterates the union of two sorted coordinate lists, calling
+/// fn(orig_value, summ_value) for every group key present in either.
+template <typename Fn>
+void ForEachCoordPair(const EvalResult& orig, const EvalResult& summ, Fn fn) {
+  const auto& a = orig.coords();
+  const auto& b = summ.coords();
+  size_t i = 0, j = 0;
+  while (i < a.size() || j < b.size()) {
+    if (j >= b.size() || (i < a.size() && a[i].group < b[j].group)) {
+      fn(a[i].value, 0.0);
+      ++i;
+    } else if (i >= a.size() || b[j].group < a[i].group) {
+      fn(0.0, b[j].value);
+      ++j;
+    } else {
+      fn(a[i].value, b[j].value);
+      ++i;
+      ++j;
+    }
+  }
+}
+
+double SumOfCoords(const EvalResult& r) {
+  if (r.kind() == EvalResult::Kind::kScalar) return std::abs(r.scalar());
+  double total = 0.0;
+  for (const auto& c : r.coords()) total += std::abs(c.value);
+  return total;
+}
+
+}  // namespace
+
+double AbsoluteDifferenceValFunc::Compute(const EvalResult& orig,
+                                          const EvalResult& summ) const {
+  if (orig.kind() == EvalResult::Kind::kScalar &&
+      summ.kind() == EvalResult::Kind::kScalar) {
+    return std::abs(orig.scalar() - summ.scalar());
+  }
+  double total = 0.0;
+  ForEachCoordPair(orig, summ, [&total](double a, double b) {
+    total += std::abs(a - b);
+  });
+  return total;
+}
+
+double AbsoluteDifferenceValFunc::MaxError(
+    const EvalResult& all_true_orig) const {
+  return SumOfCoords(all_true_orig);
+}
+
+double DisagreementValFunc::Compute(const EvalResult& orig,
+                                    const EvalResult& summ) const {
+  return orig == summ ? 0.0 : 1.0;
+}
+
+double DisagreementValFunc::MaxError(const EvalResult& all_true_orig) const {
+  (void)all_true_orig;
+  return 1.0;
+}
+
+double EuclideanValFunc::Compute(const EvalResult& orig,
+                                 const EvalResult& summ) const {
+  if (orig.kind() == EvalResult::Kind::kScalar &&
+      summ.kind() == EvalResult::Kind::kScalar) {
+    return std::abs(orig.scalar() - summ.scalar());
+  }
+  double total = 0.0;
+  ForEachCoordPair(orig, summ, [&total](double a, double b) {
+    total += (a - b) * (a - b);
+  });
+  return std::sqrt(total);
+}
+
+double EuclideanValFunc::MaxError(const EvalResult& all_true_orig) const {
+  // Both vectors live in the box [0, m] coordinate-wise where m is the
+  // all-true evaluation (truth-monotone aggregates over non-negative
+  // values), and any projection of the box has L2 diameter at most the L1
+  // norm of m, uniformly over candidate coordinate spaces.
+  return SumOfCoords(all_true_orig);
+}
+
+double DdpDifferenceValFunc::Compute(const EvalResult& orig,
+                                     const EvalResult& summ) const {
+  const bool of = orig.feasible();
+  const bool sf = summ.feasible();
+  if (of && sf) return std::abs(orig.cost() - summ.cost());
+  if (!of && !sf) return 0.0;
+  return max_error_;
+}
+
+double DdpDifferenceValFunc::MaxError(const EvalResult& all_true_orig) const {
+  (void)all_true_orig;
+  return max_error_;
+}
+
+}  // namespace prox

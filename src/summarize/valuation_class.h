@@ -1,0 +1,116 @@
+#ifndef PROX_SUMMARIZE_VALUATION_CLASS_H_
+#define PROX_SUMMARIZE_VALUATION_CLASS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "provenance/expression.h"
+#include "provenance/valuation.h"
+#include "semantics/context.h"
+
+namespace prox {
+
+/// \brief A class of truth valuations V_Ann — the distance of a summary
+/// from the original provenance is averaged over this set (Definition
+/// 3.2.2). The classes below are the ones the evaluation uses (§6.3), plus
+/// the exhaustive class for the all-valuations variant.
+class ValuationClass {
+ public:
+  virtual ~ValuationClass() = default;
+
+  /// Enumerates the class for the annotations appearing in `p0`.
+  virtual std::vector<Valuation> Generate(const ProvenanceExpression& p0,
+                                          const SemanticContext& ctx) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// "Cancel Single Annotation": one valuation per annotation of `p0`,
+/// assigning it false and everything else true (§6.3).
+///
+/// With `taxonomy_consistent` set, cancelling an annotation that denotes a
+/// taxonomy concept also cancels every annotation denoting a descendant
+/// concept — the unique consistent completion per Example 5.2.1's
+/// consistency rule (false for A implies false for all children of A).
+class CancelSingleAnnotation : public ValuationClass {
+ public:
+  /// \param domains restrict to these domains (empty = all domains)
+  explicit CancelSingleAnnotation(std::vector<DomainId> domains = {},
+                                  bool taxonomy_consistent = false)
+      : domains_(std::move(domains)),
+        taxonomy_consistent_(taxonomy_consistent) {}
+
+  std::vector<Valuation> Generate(const ProvenanceExpression& p0,
+                                  const SemanticContext& ctx) const override;
+  std::string name() const override { return "CancelSingleAnnotation"; }
+
+ private:
+  std::vector<DomainId> domains_;
+  bool taxonomy_consistent_;
+};
+
+/// "Cancel Single Attribute": one valuation per (attribute, value) pair
+/// occurring among `p0`'s annotations, cancelling every annotation whose
+/// entity carries that value (e.g. the valuation that cancels all Male
+/// users, §6.3).
+class CancelSingleAttribute : public ValuationClass {
+ public:
+  /// The w(v) weighting of Section 3.2's VAL-FUNC examples: uniform (the
+  /// default the experiments use), or proportional to the number of
+  /// annotations the valuation cancels (a proxy for "the joint probability
+  /// of the truth values it defines" — larger groups are likelier
+  /// hypotheses in the cancel-a-population scenario).
+  enum class Weighting { kUniform, kGroupSize };
+
+  explicit CancelSingleAttribute(std::vector<DomainId> domains = {},
+                                 Weighting weighting = Weighting::kUniform)
+      : domains_(std::move(domains)), weighting_(weighting) {}
+
+  std::vector<Valuation> Generate(const ProvenanceExpression& p0,
+                                  const SemanticContext& ctx) const override;
+  std::string name() const override { return "CancelSingleAttribute"; }
+
+ private:
+  std::vector<DomainId> domains_;
+  Weighting weighting_;
+};
+
+/// All 2^n valuations over `p0`'s annotations — the variant "where the
+/// distance is computed with respect to all possible valuations"
+/// (Section 3.2). Guarded to small n; pair with the sampling estimator
+/// beyond that.
+class ExhaustiveValuations : public ValuationClass {
+ public:
+  /// \param max_annotations refuse (return empty) beyond this many
+  ///   annotations, to keep 2^n enumerable.
+  explicit ExhaustiveValuations(size_t max_annotations = 20)
+      : max_annotations_(max_annotations) {}
+
+  std::vector<Valuation> Generate(const ProvenanceExpression& p0,
+                                  const SemanticContext& ctx) const override;
+  std::string name() const override { return "Exhaustive"; }
+
+ private:
+  size_t max_annotations_;
+};
+
+/// Concatenation of several classes (e.g. cancel-single-annotation ∪
+/// cancel-single-attribute).
+class CompositeValuationClass : public ValuationClass {
+ public:
+  void Add(std::unique_ptr<ValuationClass> inner) {
+    inner_.push_back(std::move(inner));
+  }
+
+  std::vector<Valuation> Generate(const ProvenanceExpression& p0,
+                                  const SemanticContext& ctx) const override;
+  std::string name() const override { return "Composite"; }
+
+ private:
+  std::vector<std::unique_ptr<ValuationClass>> inner_;
+};
+
+}  // namespace prox
+
+#endif  // PROX_SUMMARIZE_VALUATION_CLASS_H_

@@ -1,0 +1,65 @@
+#include "workflow/database.h"
+
+#include <algorithm>
+
+namespace prox {
+
+Result<size_t> AnnotatedTable::ColumnIndex(const std::string& column) const {
+  auto it = std::find(columns_.begin(), columns_.end(), column);
+  if (it == columns_.end()) {
+    return Status::NotFound("no column " + column + " in table " + name_);
+  }
+  return static_cast<size_t>(it - columns_.begin());
+}
+
+Status AnnotatedTable::Insert(std::vector<std::string> values,
+                              AnnotationId annotation) {
+  if (values.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "tuple arity mismatch in table " + name_ + ": expected " +
+        std::to_string(columns_.size()) + ", got " +
+        std::to_string(values.size()));
+  }
+  rows_.push_back(AnnotatedTuple{std::move(values), annotation});
+  return Status::OK();
+}
+
+const std::string& AnnotatedTable::Value(size_t i,
+                                         const std::string& column) const {
+  return rows_[i].values[ColumnIndex(column).value()];
+}
+
+std::vector<size_t> AnnotatedTable::Find(const std::string& column,
+                                         const std::string& value) const {
+  std::vector<size_t> out;
+  auto idx = ColumnIndex(column);
+  if (!idx.ok()) return out;
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (rows_[i].values[idx.value()] == value) out.push_back(i);
+  }
+  return out;
+}
+
+Status WorkflowDatabase::CreateTable(const std::string& name,
+                                     std::vector<std::string> columns) {
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table already exists: " + name);
+  }
+  tables_.emplace(name, AnnotatedTable(name, std::move(columns)));
+  return Status::OK();
+}
+
+Result<AnnotatedTable*> WorkflowDatabase::Table(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no table " + name);
+  return &it->second;
+}
+
+Result<const AnnotatedTable*> WorkflowDatabase::Table(
+    const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no table " + name);
+  return const_cast<const AnnotatedTable*>(&it->second);
+}
+
+}  // namespace prox

@@ -1,0 +1,80 @@
+#ifndef PROX_WORKFLOW_DATABASE_H_
+#define PROX_WORKFLOW_DATABASE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "provenance/annotation.h"
+
+namespace prox {
+
+/// \brief A tuple of an annotated relation: string field values plus the
+/// provenance annotation identifying the tuple (the K-relation view of
+/// Section 2.2 — every base tuple carries an element of Ann).
+struct AnnotatedTuple {
+  std::vector<std::string> values;
+  AnnotationId annotation = kNoAnnotation;
+};
+
+/// \brief An annotated relation with named columns.
+///
+/// This is the minimal relational substrate the workflow model of
+/// Chapter 2 runs over: modules query and update these tables, and the
+/// tuple annotations flow into the provenance the run produces.
+class AnnotatedTable {
+ public:
+  AnnotatedTable() = default;
+  AnnotatedTable(std::string name, std::vector<std::string> columns)
+      : name_(std::move(name)), columns_(std::move(columns)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<std::string>& columns() const { return columns_; }
+  size_t num_rows() const { return rows_.size(); }
+
+  Result<size_t> ColumnIndex(const std::string& column) const;
+
+  /// Appends a tuple; `values` must match the column count.
+  Status Insert(std::vector<std::string> values,
+                AnnotationId annotation = kNoAnnotation);
+
+  const AnnotatedTuple& row(size_t i) const { return rows_[i]; }
+  AnnotatedTuple* mutable_row(size_t i) { return &rows_[i]; }
+  const std::vector<AnnotatedTuple>& rows() const { return rows_; }
+
+  /// Value of `column` in row `i` (column must exist).
+  const std::string& Value(size_t i, const std::string& column) const;
+
+  /// Rows whose `column` equals `value`.
+  std::vector<size_t> Find(const std::string& column,
+                           const std::string& value) const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> columns_;
+  std::vector<AnnotatedTuple> rows_;
+};
+
+/// \brief The workflow's global persistent state (Section 2.1): a set of
+/// named annotated tables modules read and update.
+class WorkflowDatabase {
+ public:
+  /// Creates a table; fails if the name exists.
+  Status CreateTable(const std::string& name,
+                     std::vector<std::string> columns);
+
+  Result<AnnotatedTable*> Table(const std::string& name);
+  Result<const AnnotatedTable*> Table(const std::string& name) const;
+
+  bool HasTable(const std::string& name) const {
+    return tables_.count(name) > 0;
+  }
+
+ private:
+  std::map<std::string, AnnotatedTable> tables_;
+};
+
+}  // namespace prox
+
+#endif  // PROX_WORKFLOW_DATABASE_H_

@@ -1,0 +1,169 @@
+#include "workflow/relalg.h"
+
+#include <algorithm>
+#include <map>
+
+namespace prox {
+
+Result<size_t> KRelation::ColumnIndex(const std::string& column) const {
+  auto it = std::find(columns_.begin(), columns_.end(), column);
+  if (it == columns_.end()) {
+    return Status::NotFound("no column " + column + " in relation " + name_);
+  }
+  return static_cast<size_t>(it - columns_.begin());
+}
+
+Status KRelation::InsertBase(std::vector<std::string> values,
+                             AnnotationId annotation) {
+  Polynomial provenance = annotation == kNoAnnotation
+                              ? Polynomial::One()
+                              : Polynomial::FromVar(annotation);
+  return Insert(std::move(values), std::move(provenance));
+}
+
+Status KRelation::Insert(std::vector<std::string> values,
+                         Polynomial provenance) {
+  if (values.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "tuple arity mismatch in relation " + name_ + ": expected " +
+        std::to_string(columns_.size()) + ", got " +
+        std::to_string(values.size()));
+  }
+  tuples_.push_back(KTuple{std::move(values), std::move(provenance)});
+  return Status::OK();
+}
+
+std::string KRelation::ToString(const AnnotationRegistry& registry) const {
+  std::string out = name_ + "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i];
+  }
+  out += "):\n";
+  auto name_fn = [&registry](Polynomial::Var v) { return registry.name(v); };
+  for (const KTuple& t : tuples_) {
+    out += "  (";
+    for (size_t i = 0; i < t.values.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += t.values[i];
+    }
+    out += ")  @ " + t.provenance.ToString(name_fn) + "\n";
+  }
+  return out;
+}
+
+namespace relalg {
+
+KRelation Select(const KRelation& input,
+                 const std::function<bool(const KTuple&)>& pred) {
+  KRelation out("select(" + input.name() + ")", input.columns());
+  for (const KTuple& t : input.tuples()) {
+    if (pred(t)) out.Insert(t.values, t.provenance);
+  }
+  return out;
+}
+
+Result<KRelation> SelectEq(const KRelation& input, const std::string& column,
+                           const std::string& value) {
+  size_t idx;
+  PROX_ASSIGN_OR_RETURN(idx, input.ColumnIndex(column));
+  return Select(input, [idx, &value](const KTuple& t) {
+    return t.values[idx] == value;
+  });
+}
+
+Result<KRelation> Project(const KRelation& input,
+                          const std::vector<std::string>& columns) {
+  std::vector<size_t> indices;
+  for (const std::string& c : columns) {
+    size_t idx;
+    PROX_ASSIGN_OR_RETURN(idx, input.ColumnIndex(c));
+    indices.push_back(idx);
+  }
+  // Duplicate elimination sums provenance — the + of [21].
+  std::map<std::vector<std::string>, Polynomial> merged;
+  std::vector<std::vector<std::string>> order;  // first-seen order
+  for (const KTuple& t : input.tuples()) {
+    std::vector<std::string> projected;
+    projected.reserve(indices.size());
+    for (size_t idx : indices) projected.push_back(t.values[idx]);
+    auto [it, inserted] = merged.emplace(projected, t.provenance);
+    if (inserted) {
+      order.push_back(std::move(projected));
+    } else {
+      it->second += t.provenance;
+    }
+  }
+  KRelation out("project(" + input.name() + ")", columns);
+  for (const auto& key : order) {
+    out.Insert(key, merged.at(key));
+  }
+  return out;
+}
+
+Result<KRelation> NaturalJoin(const KRelation& left,
+                              const KRelation& right) {
+  // Shared columns join; the output schema is left ++ (right \ shared).
+  std::vector<std::pair<size_t, size_t>> shared;  // (left idx, right idx)
+  std::vector<size_t> right_extra;
+  for (size_t r = 0; r < right.columns().size(); ++r) {
+    auto l = left.ColumnIndex(right.columns()[r]);
+    if (l.ok()) {
+      shared.emplace_back(l.value(), r);
+    } else {
+      right_extra.push_back(r);
+    }
+  }
+  if (shared.empty()) {
+    return Status::InvalidArgument("natural join of " + left.name() +
+                                   " and " + right.name() +
+                                   " has no shared columns");
+  }
+  std::vector<std::string> columns = left.columns();
+  for (size_t r : right_extra) columns.push_back(right.columns()[r]);
+  KRelation out("join(" + left.name() + "," + right.name() + ")", columns);
+  for (const KTuple& lt : left.tuples()) {
+    for (const KTuple& rt : right.tuples()) {
+      bool match = true;
+      for (const auto& [li, ri] : shared) {
+        if (lt.values[li] != rt.values[ri]) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+      std::vector<std::string> values = lt.values;
+      for (size_t r : right_extra) values.push_back(rt.values[r]);
+      // Joint use of data: provenance multiplies ([21]).
+      out.Insert(std::move(values), lt.provenance * rt.provenance);
+    }
+  }
+  return out;
+}
+
+Result<KRelation> Union(const KRelation& a, const KRelation& b) {
+  if (a.columns() != b.columns()) {
+    return Status::InvalidArgument("union of incompatible schemas");
+  }
+  std::map<std::vector<std::string>, Polynomial> merged;
+  std::vector<std::vector<std::string>> order;
+  auto add = [&](const KRelation& rel) {
+    for (const KTuple& t : rel.tuples()) {
+      auto [it, inserted] = merged.emplace(t.values, t.provenance);
+      if (inserted) {
+        order.push_back(t.values);
+      } else {
+        it->second += t.provenance;
+      }
+    }
+  };
+  add(a);
+  add(b);
+  KRelation out("union(" + a.name() + "," + b.name() + ")", a.columns());
+  for (const auto& key : order) out.Insert(key, merged.at(key));
+  return out;
+}
+
+}  // namespace relalg
+
+}  // namespace prox

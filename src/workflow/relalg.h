@@ -1,0 +1,85 @@
+#ifndef PROX_WORKFLOW_RELALG_H_
+#define PROX_WORKFLOW_RELALG_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "provenance/annotation.h"
+#include "semiring/polynomial.h"
+
+namespace prox {
+
+/// \brief A K-relation: tuples annotated with ℕ[Ann] provenance
+/// polynomials — the semiring-provenance model of [21] that Chapter 2
+/// builds on. Base tuples carry single annotations; query results carry
+/// the polynomials the operators derive:
+///   join   → · of the inputs' provenance,
+///   union  → + of the inputs' provenance,
+///   projection (with duplicate elimination) → + over the merged tuples.
+struct KTuple {
+  std::vector<std::string> values;
+  Polynomial provenance;
+};
+
+class KRelation {
+ public:
+  KRelation() = default;
+  KRelation(std::string name, std::vector<std::string> columns)
+      : name_(std::move(name)), columns_(std::move(columns)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::vector<KTuple>& tuples() const { return tuples_; }
+  size_t size() const { return tuples_.size(); }
+
+  Result<size_t> ColumnIndex(const std::string& column) const;
+
+  /// Adds a base tuple annotated with a single annotation (1 when
+  /// kNoAnnotation, for unannotated/constant data).
+  Status InsertBase(std::vector<std::string> values,
+                    AnnotationId annotation);
+
+  /// Adds a derived tuple with an explicit provenance polynomial.
+  Status Insert(std::vector<std::string> values, Polynomial provenance);
+
+  /// Renders the relation with provenance annotations, for debugging.
+  std::string ToString(const AnnotationRegistry& registry) const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> columns_;
+  std::vector<KTuple> tuples_;
+};
+
+/// Positive relational-algebra operators with provenance tracking ([21]).
+/// All operators are pure: they return new relations.
+namespace relalg {
+
+/// σ_pred: keeps tuples satisfying `pred`; provenance unchanged.
+KRelation Select(const KRelation& input,
+                 const std::function<bool(const KTuple&)>& pred);
+
+/// σ_{column = value} convenience form.
+Result<KRelation> SelectEq(const KRelation& input, const std::string& column,
+                           const std::string& value);
+
+/// π_cols with duplicate elimination: provenance of equal projected tuples
+/// is summed (the + of alternative derivations).
+Result<KRelation> Project(const KRelation& input,
+                          const std::vector<std::string>& columns);
+
+/// Natural join on the shared column names: provenance of joined tuples is
+/// the product of the inputs' provenance.
+Result<KRelation> NaturalJoin(const KRelation& left, const KRelation& right);
+
+/// Union (same schema required): equal tuples merge with summed
+/// provenance.
+Result<KRelation> Union(const KRelation& a, const KRelation& b);
+
+}  // namespace relalg
+
+}  // namespace prox
+
+#endif  // PROX_WORKFLOW_RELALG_H_

@@ -1,0 +1,117 @@
+#include "baselines/clustering_summarizer.h"
+
+#include <gtest/gtest.h>
+
+#include "summarize/valuation_class.h"
+#include "summarize/val_func.h"
+#include "testing/fixtures.h"
+
+namespace prox {
+namespace {
+
+using testing_fixtures::MovieFixture;
+
+struct ClusteringHarness {
+  MovieFixture fx;
+  std::vector<Valuation> valuations;
+  EuclideanValFunc vf;
+  std::unique_ptr<EnumeratedDistance> oracle;
+  std::map<AnnotationId, RatingVector> features;
+
+  ClusteringHarness() {
+    CancelSingleAnnotation cls(std::vector<DomainId>{fx.user_domain});
+    valuations = cls.Generate(*fx.p0, fx.ctx);
+    oracle = std::make_unique<EnumeratedDistance>(fx.p0.get(), &fx.registry,
+                                                  &vf, valuations);
+    features[fx.u1] = {{fx.match_point, 3.0}};
+    features[fx.u2] = {{fx.match_point, 5.0}, {fx.blue_jasmine, 4.0}};
+    features[fx.u3] = {{fx.match_point, 3.0}};
+  }
+
+  Result<SummaryOutcome> Run(ClusteringOptions options) {
+    ClusteringSummarizer cs(fx.p0.get(), &fx.registry, &fx.ctx,
+                            &fx.constraints, oracle.get(), options);
+    cs.SetFeatures(fx.user_domain, features);
+    return cs.Run();
+  }
+};
+
+TEST(ClusteringSummarizerTest, RequiresFeatures) {
+  ClusteringHarness h;
+  ClusteringSummarizer cs(h.fx.p0.get(), &h.fx.registry, &h.fx.ctx,
+                          &h.fx.constraints, h.oracle.get(),
+                          ClusteringOptions{});
+  EXPECT_EQ(cs.Run().status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ClusteringSummarizerTest, MergesRespectingConstraints) {
+  ClusteringHarness h;
+  ClusteringOptions options;
+  options.max_steps = 5;
+  auto outcome = h.Run(options);
+  ASSERT_TRUE(outcome.ok());
+  // The constraint-satisfying pairs are {U1,U2} and {U1,U3}; clustering
+  // performs at most one merge (afterwards the remaining pair's member
+  // union violates the constraints).
+  EXPECT_EQ(outcome.value().steps.size(), 1u);
+  const StepRecord& step = outcome.value().steps[0];
+  EXPECT_EQ(step.merged_roots.size(), 2u);
+  EXPECT_LT(outcome.value().final_size, h.fx.p0->Size());
+}
+
+TEST(ClusteringSummarizerTest, StopsAtTargetSize) {
+  ClusteringHarness h;
+  ClusteringOptions options;
+  options.target_size = 100;  // already met
+  auto outcome = h.Run(options);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome.value().steps.empty());
+}
+
+TEST(ClusteringSummarizerTest, RollsBackOnTargetDistOvershoot) {
+  ClusteringHarness h;
+  // Force the Gender-only constraint so the only merge has positive
+  // distance, then bound the distance at ~0.
+  h.fx.constraints.SetRule(h.fx.user_domain,
+                           std::make_unique<SharedAttributeRule>(
+                               std::vector<AttrId>{0}));
+  ClusteringOptions options;
+  options.target_dist = 1e-9;
+  auto outcome = h.Run(options);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome.value().rolled_back);
+  EXPECT_EQ(outcome.value().final_size, h.fx.p0->Size());
+}
+
+TEST(ClusteringSummarizerTest, SummaryNamesComeFromConstraints) {
+  ClusteringHarness h;
+  ClusteringOptions options;
+  options.max_steps = 1;
+  auto outcome = h.Run(options);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_EQ(outcome.value().steps.size(), 1u);
+  const std::string& name = outcome.value().steps[0].summary_name;
+  EXPECT_TRUE(name == "Gender:F" || name == "Role:Audience") << name;
+}
+
+class LinkageOptionTest : public ::testing::TestWithParam<Linkage> {};
+
+TEST_P(LinkageOptionTest, AllLinkagesProduceAValidSummary) {
+  ClusteringHarness h;
+  ClusteringOptions options;
+  options.linkage = GetParam();
+  options.max_steps = 3;
+  auto outcome = h.Run(options);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_LE(outcome.value().final_size, h.fx.p0->Size());
+  EXPECT_GE(outcome.value().final_distance, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Linkages, LinkageOptionTest,
+    ::testing::Values(Linkage::kSingle, Linkage::kComplete, Linkage::kAverage,
+                      Linkage::kWeighted, Linkage::kCentroid,
+                      Linkage::kMedian, Linkage::kWard));
+
+}  // namespace
+}  // namespace prox

@@ -1,0 +1,51 @@
+#include "baselines/feature.h"
+
+#include <gtest/gtest.h>
+
+namespace prox {
+namespace {
+
+TEST(PearsonTest, PerfectPositiveCorrelation) {
+  RatingVector a = {{1, 1.0}, {2, 2.0}, {3, 3.0}};
+  RatingVector b = {{1, 2.0}, {2, 4.0}, {3, 6.0}};
+  EXPECT_NEAR(PearsonCorrelation(a, b), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonDissimilarity(a, b), 0.0, 1e-12);
+}
+
+TEST(PearsonTest, PerfectNegativeCorrelation) {
+  RatingVector a = {{1, 1.0}, {2, 2.0}, {3, 3.0}};
+  RatingVector b = {{1, 3.0}, {2, 2.0}, {3, 1.0}};
+  EXPECT_NEAR(PearsonCorrelation(a, b), -1.0, 1e-12);
+  EXPECT_NEAR(PearsonDissimilarity(a, b), 2.0, 1e-12);
+}
+
+TEST(PearsonTest, OnlySharedKeysCount) {
+  // Shared keys {1, 2} correlate perfectly; key 9 is ignored.
+  RatingVector a = {{1, 1.0}, {2, 2.0}, {9, 100.0}};
+  RatingVector b = {{1, 2.0}, {2, 3.0}, {8, -50.0}};
+  EXPECT_NEAR(PearsonDissimilarity(a, b), 0.0, 1e-12);
+}
+
+TEST(PearsonTest, FewerThanTwoSharedKeysIsNeutral) {
+  RatingVector a = {{1, 5.0}};
+  RatingVector b = {{1, 5.0}};
+  EXPECT_EQ(PearsonDissimilarity(a, b), 1.0);
+  EXPECT_EQ(PearsonCorrelation(a, b), 0.0);
+  RatingVector c = {{2, 5.0}};
+  EXPECT_EQ(PearsonDissimilarity(a, c), 1.0);
+}
+
+TEST(PearsonTest, ZeroVarianceIsNeutral) {
+  RatingVector a = {{1, 3.0}, {2, 3.0}};
+  RatingVector b = {{1, 1.0}, {2, 5.0}};
+  EXPECT_EQ(PearsonDissimilarity(a, b), 1.0);
+}
+
+TEST(PearsonTest, SymmetricInArguments) {
+  RatingVector a = {{1, 1.0}, {2, 4.0}, {3, 2.0}};
+  RatingVector b = {{1, 2.0}, {2, 3.0}, {3, 5.0}};
+  EXPECT_DOUBLE_EQ(PearsonDissimilarity(a, b), PearsonDissimilarity(b, a));
+}
+
+}  // namespace
+}  // namespace prox

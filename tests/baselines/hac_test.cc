@@ -1,0 +1,195 @@
+#include "baselines/hac.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+
+namespace prox {
+namespace {
+
+std::vector<std::vector<double>> RandomMatrix(Rng* rng, int n) {
+  std::vector<std::vector<double>> m(n, std::vector<double>(n, 0.0));
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      m[i][j] = m[j][i] = 0.1 + rng->UniformDouble();
+    }
+  }
+  return m;
+}
+
+/// Brute-force linkage dissimilarity between two member sets for the
+/// combinatorial criteria, from the raw pairwise matrix.
+double BruteLinkage(Linkage linkage, const std::vector<int>& a,
+                    const std::vector<int>& b,
+                    const std::vector<std::vector<double>>& raw) {
+  double best = linkage == Linkage::kComplete
+                    ? 0.0
+                    : std::numeric_limits<double>::infinity();
+  double sum = 0.0;
+  for (int i : a) {
+    for (int j : b) {
+      double d = raw[i][j];
+      sum += d;
+      if (linkage == Linkage::kSingle) best = std::min(best, d);
+      if (linkage == Linkage::kComplete) best = std::max(best, d);
+    }
+  }
+  if (linkage == Linkage::kAverage) {
+    return sum / (a.size() * b.size());
+  }
+  return best;
+}
+
+TEST(HacTest, MergesClosestPairFirst) {
+  std::vector<std::vector<double>> m = {
+      {0.0, 0.1, 0.9}, {0.1, 0.0, 0.8}, {0.9, 0.8, 0.0}};
+  HacClusterer hac(m, Linkage::kSingle);
+  auto step = hac.MergeNext();
+  ASSERT_TRUE(step.has_value());
+  EXPECT_EQ(step->cluster_a, 0);
+  EXPECT_EQ(step->cluster_b, 1);
+  EXPECT_DOUBLE_EQ(step->dissimilarity, 0.1);
+  EXPECT_EQ(step->members, (std::vector<int>{0, 1}));
+}
+
+TEST(HacTest, RunsToSingleCluster) {
+  Rng rng(3);
+  HacClusterer hac(RandomMatrix(&rng, 6), Linkage::kAverage);
+  int merges = 0;
+  while (hac.MergeNext().has_value()) ++merges;
+  EXPECT_EQ(merges, 5);
+  EXPECT_EQ(hac.num_active(), 1);
+}
+
+TEST(HacTest, ConstraintBlocksForbiddenMerges) {
+  // Items 0 and 1 are closest but in different "camps": the constraint
+  // forbids merging across camps {0, 2} vs {1, 3}.
+  std::vector<std::vector<double>> m = {
+      {0.0, 0.1, 0.5, 0.9},
+      {0.1, 0.0, 0.9, 0.5},
+      {0.5, 0.9, 0.0, 0.7},
+      {0.9, 0.5, 0.7, 0.0}};
+  HacClusterer hac(m, Linkage::kSingle);
+  auto camp = [](int item) { return item % 2; };
+  hac.set_constraint([&camp](const std::vector<int>& a,
+                             const std::vector<int>& b) {
+    return camp(a.front()) == camp(b.front());
+  });
+  auto step = hac.MergeNext();
+  ASSERT_TRUE(step.has_value());
+  EXPECT_EQ(step->members, (std::vector<int>{0, 2}));  // 0.5, not 0.1
+  step = hac.MergeNext();
+  ASSERT_TRUE(step.has_value());
+  EXPECT_EQ(step->members, (std::vector<int>{1, 3}));
+  // The two camp clusters may never merge.
+  EXPECT_FALSE(hac.MergeNext().has_value());
+  EXPECT_EQ(hac.num_active(), 2);
+}
+
+TEST(HacTest, PeekDoesNotMutate) {
+  Rng rng(5);
+  HacClusterer hac(RandomMatrix(&rng, 5), Linkage::kComplete);
+  auto p1 = hac.PeekNext();
+  auto p2 = hac.PeekNext();
+  ASSERT_TRUE(p1.has_value());
+  ASSERT_TRUE(p2.has_value());
+  EXPECT_EQ(p1->first, p2->first);
+  EXPECT_EQ(hac.num_active(), 5);
+}
+
+class LinkageAgreementTest
+    : public ::testing::TestWithParam<std::tuple<Linkage, int>> {};
+
+TEST_P(LinkageAgreementTest, LanceWilliamsMatchesBruteForce) {
+  // For single / complete / average linkage, the Lance-Williams recurrence
+  // must agree with the from-scratch set-based definition at every merge.
+  const auto [linkage, seed] = GetParam();
+  Rng rng(seed);
+  const int n = 7;
+  auto raw = RandomMatrix(&rng, n);
+  HacClusterer hac(raw, linkage);
+  for (;;) {
+    auto peek = hac.PeekNext();
+    if (!peek.has_value()) break;
+    auto [pair, d] = *peek;
+    double expected = BruteLinkage(linkage, hac.MembersOf(pair.first),
+                                   hac.MembersOf(pair.second), raw);
+    EXPECT_NEAR(d, expected, 1e-9);
+    // The merged pair must also be the global minimum over active pairs.
+    for (int a : hac.active()) {
+      for (int b : hac.active()) {
+        if (a >= b) continue;
+        EXPECT_GE(BruteLinkage(linkage, hac.MembersOf(a), hac.MembersOf(b),
+                               raw),
+                  d - 1e-9);
+      }
+    }
+    hac.MergeNext();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CombinatorialLinkages, LinkageAgreementTest,
+    ::testing::Combine(::testing::Values(Linkage::kSingle, Linkage::kComplete,
+                                         Linkage::kAverage),
+                       ::testing::Range(0, 4)));
+
+TEST(HacTest, WardPrefersSmallTightClusters) {
+  // Ward on a clear two-cluster geometry (encoded as squared euclidean
+  // dissimilarities of points 0, 0.1, 10, 10.1 on a line).
+  std::vector<double> pts = {0.0, 0.1, 10.0, 10.1};
+  std::vector<std::vector<double>> m(4, std::vector<double>(4, 0.0));
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      m[i][j] = (pts[i] - pts[j]) * (pts[i] - pts[j]);
+    }
+  }
+  HacClusterer hac(m, Linkage::kWard);
+  auto s1 = hac.MergeNext();
+  auto s2 = hac.MergeNext();
+  ASSERT_TRUE(s1.has_value());
+  ASSERT_TRUE(s2.has_value());
+  // The two tight pairs merge first (either order under fp ties).
+  std::set<std::vector<int>> first_two = {s1->members, s2->members};
+  EXPECT_TRUE(first_two.count({0, 1}));
+  EXPECT_TRUE(first_two.count({2, 3}));
+}
+
+class AllLinkagesSmokeTest : public ::testing::TestWithParam<Linkage> {};
+
+TEST_P(AllLinkagesSmokeTest, CompletesOnRandomInput) {
+  Rng rng(42);
+  HacClusterer hac(RandomMatrix(&rng, 8), GetParam());
+  int merges = 0;
+  double last = -1.0;
+  while (auto step = hac.MergeNext()) {
+    ++merges;
+    // For single/complete/average/weighted/ward the merge sequence is
+    // non-decreasing in dissimilarity (reducibility); centroid and median
+    // may invert, so only check non-negativity there.
+    if (GetParam() != Linkage::kCentroid && GetParam() != Linkage::kMedian) {
+      EXPECT_GE(step->dissimilarity, last - 1e-9);
+      last = step->dissimilarity;
+    }
+    EXPECT_GE(step->dissimilarity, 0.0 - 1e-9);
+  }
+  EXPECT_EQ(merges, 7);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Linkages, AllLinkagesSmokeTest,
+    ::testing::Values(Linkage::kSingle, Linkage::kComplete, Linkage::kAverage,
+                      Linkage::kWeighted, Linkage::kCentroid,
+                      Linkage::kMedian, Linkage::kWard));
+
+TEST(HacTest, LinkageNames) {
+  EXPECT_STREQ(LinkageToString(Linkage::kSingle), "single");
+  EXPECT_STREQ(LinkageToString(Linkage::kWard), "ward");
+  EXPECT_STREQ(LinkageToString(Linkage::kWeighted), "weighted");
+}
+
+}  // namespace
+}  // namespace prox

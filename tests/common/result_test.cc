@@ -1,0 +1,63 @@
+#include "common/result.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace prox {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.status().message(), "nope");
+}
+
+TEST(ResultTest, MoveOnlyValueSupported) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = r.MoveValue();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(ResultTest, ValueOrFallsBack) {
+  Result<std::string> ok("hello");
+  Result<std::string> err(Status::Internal("boom"));
+  EXPECT_EQ(ok.ValueOr("fallback"), "hello");
+  EXPECT_EQ(err.ValueOr("fallback"), "fallback");
+}
+
+TEST(ResultTest, AssignOrReturnMacroPropagatesError) {
+  auto inner = []() -> Result<int> { return Status::OutOfRange("too big"); };
+  auto outer = [&]() -> Status {
+    int value = 0;
+    PROX_ASSIGN_OR_RETURN(value, inner());
+    (void)value;
+    return Status::OK();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ResultTest, AssignOrReturnMacroAssignsValue) {
+  auto inner = []() -> Result<int> { return 11; };
+  auto outer = [&]() -> Result<int> {
+    int value = 0;
+    PROX_ASSIGN_OR_RETURN(value, inner());
+    return value * 2;
+  };
+  auto r = outer();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 22);
+}
+
+}  // namespace
+}  // namespace prox

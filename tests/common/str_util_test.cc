@@ -1,0 +1,52 @@
+#include "common/str_util.h"
+
+#include <gtest/gtest.h>
+
+namespace prox {
+namespace {
+
+TEST(StrUtilTest, JoinEmptyAndNonEmpty) {
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"a"}, ", "), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, "·"), "a·b·c");
+}
+
+TEST(StrUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(StrUtilTest, SplitJoinRoundTrip) {
+  std::vector<std::string> parts = {"x", "yy", "", "z"};
+  EXPECT_EQ(Split(Join(parts, "|"), '|'), parts);
+}
+
+TEST(StrUtilTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  hi  "), "hi");
+  EXPECT_EQ(StripWhitespace("\t\na b\r "), "a b");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+}
+
+TEST(StrUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("wordnet_singer", "wordnet_"));
+  EXPECT_FALSE(StartsWith("singer", "wordnet_"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_FALSE(StartsWith("ab", "abc"));
+}
+
+TEST(StrUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+}
+
+TEST(StrUtilTest, ToLowerAscii) {
+  EXPECT_EQ(ToLowerAscii("Match Point"), "match point");
+  EXPECT_EQ(ToLowerAscii("ABC123xyz"), "abc123xyz");
+}
+
+}  // namespace
+}  // namespace prox

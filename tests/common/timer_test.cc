@@ -1,0 +1,45 @@
+#include "common/timer.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace prox {
+namespace {
+
+TEST(TimerTest, ElapsedGrowsMonotonically) {
+  Timer timer;
+  int64_t a = timer.ElapsedNanos();
+  int64_t b = timer.ElapsedNanos();
+  EXPECT_GE(a, 0);
+  EXPECT_GE(b, a);
+}
+
+TEST(TimerTest, MeasuresSleeps) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GE(timer.ElapsedNanos(), 4'000'000);  // at least ~4ms
+}
+
+TEST(TimerTest, ResetRestarts) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  timer.Reset();
+  EXPECT_LT(timer.ElapsedNanos(), 3'000'000);
+}
+
+TEST(TimerTest, UnitConversionsAgree) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  int64_t nanos = timer.ElapsedNanos();
+  double micros = timer.ElapsedMicros();
+  double millis = timer.ElapsedMillis();
+  double seconds = timer.ElapsedSeconds();
+  EXPECT_NEAR(micros, nanos / 1e3, nanos / 1e3);  // loose: separate reads
+  EXPECT_GT(millis, 0.0);
+  EXPECT_GT(seconds, 0.0);
+  EXPECT_LT(seconds, 1.0);
+}
+
+}  // namespace
+}  // namespace prox

@@ -1,0 +1,151 @@
+// End-to-end integration: the three datasets through the three algorithms,
+// checking the qualitative relationships Chapter 6 reports.
+
+#include <gtest/gtest.h>
+
+#include "baselines/clustering_summarizer.h"
+#include "baselines/random_summarizer.h"
+#include "datasets/ddp.h"
+#include "datasets/movielens.h"
+#include "datasets/wikipedia.h"
+#include "summarize/summarizer.h"
+
+namespace prox {
+namespace {
+
+struct AlgoRuns {
+  double prov_approx_dist = 0.0;
+  int64_t prov_approx_size = 0;
+  double random_dist = 0.0;
+  int64_t random_size = 0;
+};
+
+AlgoRuns RunBoth(Dataset* ds, double w_dist, int max_steps) {
+  std::vector<Valuation> valuations =
+      ds->valuation_class->Generate(*ds->provenance, ds->ctx);
+  EnumeratedDistance oracle(ds->provenance.get(), ds->registry.get(),
+                            ds->val_func.get(), valuations);
+
+  SummarizerOptions options;
+  options.w_dist = w_dist;
+  options.w_size = 1.0 - w_dist;
+  options.max_steps = max_steps;
+  options.phi = ds->phi;
+  Summarizer summarizer(ds->provenance.get(), ds->registry.get(), &ds->ctx,
+                        &ds->constraints, &oracle, &valuations, options);
+  auto pa = summarizer.Run();
+  EXPECT_TRUE(pa.ok()) << pa.status();
+
+  EnumeratedDistance random_oracle(ds->provenance.get(), ds->registry.get(),
+                                   ds->val_func.get(), valuations);
+  RandomSummarizerOptions random_options;
+  random_options.max_steps = max_steps;
+  random_options.phi = ds->phi;
+  RandomSummarizer random(ds->provenance.get(), ds->registry.get(), &ds->ctx,
+                          &ds->constraints, &random_oracle, random_options);
+  auto rd = random.Run();
+  EXPECT_TRUE(rd.ok()) << rd.status();
+
+  AlgoRuns runs;
+  runs.prov_approx_dist = pa.value().final_distance;
+  runs.prov_approx_size = pa.value().final_size;
+  runs.random_dist = rd.value().final_distance;
+  runs.random_size = rd.value().final_size;
+  return runs;
+}
+
+TEST(PipelineTest, MovieLensProvApproxBeatsRandomOnDistance) {
+  // Average over several seeds: with wDist = 1, Prov-Approx's distance must
+  // not exceed Random's (Figure 6.1a's headline relationship).
+  double pa_total = 0.0, rd_total = 0.0;
+  for (uint64_t seed : {1, 2, 3}) {
+    MovieLensConfig config;
+    config.num_users = 16;
+    config.num_movies = 6;
+    config.seed = seed;
+    Dataset ds = MovieLensGenerator::Generate(config);
+    AlgoRuns runs = RunBoth(&ds, /*w_dist=*/1.0, /*max_steps=*/8);
+    pa_total += runs.prov_approx_dist;
+    rd_total += runs.random_dist;
+  }
+  EXPECT_LE(pa_total, rd_total + 1e-9);
+}
+
+TEST(PipelineTest, MovieLensDistanceGrowsWithSteps) {
+  MovieLensConfig config;
+  config.num_users = 16;
+  config.num_movies = 6;
+  Dataset ds1 = MovieLensGenerator::Generate(config);
+  Dataset ds2 = MovieLensGenerator::Generate(config);
+  AlgoRuns few = RunBoth(&ds1, 1.0, 3);
+  AlgoRuns many = RunBoth(&ds2, 1.0, 10);
+  EXPECT_LE(few.prov_approx_dist, many.prov_approx_dist + 1e-9);
+  EXPECT_GE(few.prov_approx_size, many.prov_approx_size);
+}
+
+TEST(PipelineTest, WikipediaPipelineCompletes) {
+  WikipediaConfig config;
+  config.num_users = 12;
+  config.num_pages = 8;
+  Dataset ds = WikipediaGenerator::Generate(config);
+  AlgoRuns runs = RunBoth(&ds, 1.0, 6);
+  EXPECT_GE(runs.prov_approx_dist, 0.0);
+  EXPECT_LE(runs.prov_approx_dist, 1.0);
+  EXPECT_LT(runs.prov_approx_size, ds.provenance->Size() + 1);
+}
+
+TEST(PipelineTest, DdpPipelineCompletes) {
+  DdpConfig config;
+  config.num_executions = 6;
+  Dataset ds = DdpGenerator::Generate(config);
+  AlgoRuns runs = RunBoth(&ds, 1.0, 5);
+  EXPECT_GE(runs.prov_approx_dist, 0.0);
+  EXPECT_LE(runs.prov_approx_size, ds.provenance->Size());
+}
+
+TEST(PipelineTest, ClusteringRunsOnMovieLensFeatures) {
+  MovieLensConfig config;
+  config.num_users = 16;
+  config.num_movies = 6;
+  Dataset ds = MovieLensGenerator::Generate(config);
+  std::vector<Valuation> valuations =
+      ds.valuation_class->Generate(*ds.provenance, ds.ctx);
+  EnumeratedDistance oracle(ds.provenance.get(), ds.registry.get(),
+                            ds.val_func.get(), valuations);
+  ClusteringOptions options;
+  options.max_steps = 6;
+  options.phi = ds.phi;
+  ClusteringSummarizer cs(ds.provenance.get(), ds.registry.get(), &ds.ctx,
+                          &ds.constraints, &oracle, options);
+  cs.SetFeatures(ds.domain("user"), ds.features.at(ds.domain("user")));
+  auto outcome = cs.Run();
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_LE(outcome.value().final_size, ds.provenance->Size());
+  EXPECT_GE(outcome.value().steps.size(), 1u);
+}
+
+TEST(PipelineTest, SummaryEvaluationFasterOrEqualOnSmallerExpression) {
+  // Usage-time sanity (Figure 6.4's direction): the summary is not larger
+  // than the original, so evaluating it touches no more terms.
+  MovieLensConfig config;
+  config.num_users = 20;
+  config.num_movies = 8;
+  Dataset ds = MovieLensGenerator::Generate(config);
+  std::vector<Valuation> valuations =
+      ds.valuation_class->Generate(*ds.provenance, ds.ctx);
+  EnumeratedDistance oracle(ds.provenance.get(), ds.registry.get(),
+                            ds.val_func.get(), valuations);
+  SummarizerOptions options;
+  options.w_dist = 0.0;
+  options.w_size = 1.0;
+  options.max_steps = 10;
+  options.phi = ds.phi;
+  Summarizer summarizer(ds.provenance.get(), ds.registry.get(), &ds.ctx,
+                        &ds.constraints, &oracle, &valuations, options);
+  auto outcome = summarizer.Run();
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_LT(outcome.value().final_size, ds.provenance->Size());
+}
+
+}  // namespace
+}  // namespace prox

@@ -1,0 +1,69 @@
+#include "provenance/agg_value.h"
+
+#include <gtest/gtest.h>
+
+namespace prox {
+namespace {
+
+TEST(AggValueTest, MergeMaxTakesMaxAndAddsCounts) {
+  // Example 3.1.1: U1⊗(3,1) ⊕ U2⊗(5,1) with MAX merges to (5,2).
+  AggValue merged = MergeAggValues(AggKind::kMax, {3, 1}, {5, 1});
+  EXPECT_EQ(merged.value, 5);
+  EXPECT_EQ(merged.count, 2);
+}
+
+TEST(AggValueTest, MergeMinTakesMin) {
+  AggValue merged = MergeAggValues(AggKind::kMin, {3, 1}, {5, 2});
+  EXPECT_EQ(merged.value, 3);
+  EXPECT_EQ(merged.count, 3);
+}
+
+TEST(AggValueTest, MergeSumAdds) {
+  AggValue merged = MergeAggValues(AggKind::kSum, {3, 1}, {5, 1});
+  EXPECT_EQ(merged.value, 8);
+  EXPECT_EQ(merged.count, 2);
+}
+
+TEST(AggValueTest, MergeCountAddsValues) {
+  AggValue merged = MergeAggValues(AggKind::kCount, {1, 1}, {1, 1});
+  EXPECT_EQ(merged.value, 2);
+  EXPECT_EQ(merged.count, 2);
+}
+
+TEST(AggValueTest, MergeIsAssociativeAndCommutative) {
+  for (AggKind kind : {AggKind::kMax, AggKind::kMin, AggKind::kSum,
+                       AggKind::kCount}) {
+    AggValue a{2, 1}, b{7, 1}, c{4, 1};
+    AggValue ab_c = MergeAggValues(kind, MergeAggValues(kind, a, b), c);
+    AggValue a_bc = MergeAggValues(kind, a, MergeAggValues(kind, b, c));
+    EXPECT_EQ(ab_c, a_bc) << AggKindToString(kind);
+    EXPECT_EQ(MergeAggValues(kind, a, b), MergeAggValues(kind, b, a))
+        << AggKindToString(kind);
+  }
+}
+
+TEST(AggValueTest, FoldFirstContributionInitializes) {
+  EXPECT_EQ(FoldAggregate(AggKind::kMin, 99.0, {2, 1}, /*first=*/true), 2.0);
+  EXPECT_EQ(FoldAggregate(AggKind::kMax, -1.0, {2, 1}, /*first=*/true), 2.0);
+}
+
+TEST(AggValueTest, FoldAccumulatesPerKind) {
+  EXPECT_EQ(FoldAggregate(AggKind::kMax, 3.0, {5, 1}, false), 5.0);
+  EXPECT_EQ(FoldAggregate(AggKind::kMin, 3.0, {5, 1}, false), 3.0);
+  EXPECT_EQ(FoldAggregate(AggKind::kSum, 3.0, {5, 1}, false), 8.0);
+}
+
+TEST(AggValueTest, FoldCountUsesCountField) {
+  EXPECT_EQ(FoldAggregate(AggKind::kCount, 3.0, {9, 2}, false), 5.0);
+  EXPECT_EQ(FoldAggregate(AggKind::kCount, 0.0, {9, 2}, true), 2.0);
+}
+
+TEST(AggValueTest, KindNames) {
+  EXPECT_STREQ(AggKindToString(AggKind::kMax), "MAX");
+  EXPECT_STREQ(AggKindToString(AggKind::kMin), "MIN");
+  EXPECT_STREQ(AggKindToString(AggKind::kSum), "SUM");
+  EXPECT_STREQ(AggKindToString(AggKind::kCount), "COUNT");
+}
+
+}  // namespace
+}  // namespace prox

@@ -1,0 +1,242 @@
+#include "provenance/aggregate_expr.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace prox {
+namespace {
+
+using testing_fixtures::MovieFixture;
+
+TEST(AggregateExprTest, SizeCountsAnnotationOccurrences) {
+  MovieFixture fx;
+  // 4 terms × (user, movie) = 8 annotation occurrences.
+  EXPECT_EQ(fx.p0->Size(), 8);
+  EXPECT_EQ(fx.p0->num_terms(), 4u);
+}
+
+TEST(AggregateExprTest, CollectAnnotationsIsSortedUnique) {
+  MovieFixture fx;
+  std::vector<AnnotationId> anns;
+  fx.p0->CollectAnnotations(&anns);
+  EXPECT_EQ(anns, (std::vector<AnnotationId>{fx.u1, fx.u2, fx.u3,
+                                             fx.match_point,
+                                             fx.blue_jasmine}));
+}
+
+TEST(AggregateExprTest, GroupsListsDistinctGroupKeys) {
+  MovieFixture fx;
+  auto* agg = dynamic_cast<AggregateExpression*>(fx.p0.get());
+  ASSERT_NE(agg, nullptr);
+  EXPECT_EQ(agg->Groups(), (std::vector<AnnotationId>{fx.match_point,
+                                                      fx.blue_jasmine}));
+}
+
+TEST(AggregateExprTest, EvaluateAllTrueYieldsPerMovieAggregates) {
+  MovieFixture fx;
+  EvalResult r = fx.p0->Evaluate(MaterializedValuation(fx.registry.size()));
+  ASSERT_EQ(r.kind(), EvalResult::Kind::kVector);
+  EXPECT_EQ(r.CoordValue(fx.match_point), 5.0);  // MAX(3, 5, 3)
+  EXPECT_EQ(r.CoordValue(fx.blue_jasmine), 4.0);
+}
+
+TEST(AggregateExprTest, EvaluateCancellingMaxContributor) {
+  // Cancelling U2 drops the MAX rating of MatchPoint to 3 and zeroes
+  // BlueJasmine (its only review) — the Example 4.2.3 scenario.
+  MovieFixture fx;
+  MaterializedValuation v(Valuation({fx.u2}), fx.registry.size());
+  EvalResult r = fx.p0->Evaluate(v);
+  EXPECT_EQ(r.CoordValue(fx.match_point), 3.0);
+  EXPECT_EQ(r.CoordValue(fx.blue_jasmine), 0.0);
+}
+
+TEST(AggregateExprTest, EvaluateCancellingMovieZeroesItsCoordinate) {
+  MovieFixture fx;
+  MaterializedValuation v(Valuation({fx.match_point}), fx.registry.size());
+  EvalResult r = fx.p0->Evaluate(v);
+  EXPECT_EQ(r.CoordValue(fx.match_point), 0.0);
+  EXPECT_EQ(r.CoordValue(fx.blue_jasmine), 4.0);
+}
+
+TEST(AggregateExprTest, SumAggregationAddsContributions) {
+  MovieFixture fx;
+  AggregateExpression sum(AggKind::kSum);
+  for (const TensorTerm& t : fx.p0->terms()) sum.AddTerm(t);
+  sum.Simplify();
+  EvalResult r = sum.Evaluate(MaterializedValuation(fx.registry.size()));
+  EXPECT_EQ(r.CoordValue(fx.match_point), 11.0);  // 3 + 5 + 3
+}
+
+TEST(AggregateExprTest, CountAggregationCountsContributors) {
+  MovieFixture fx;
+  AggregateExpression count(AggKind::kCount);
+  for (const TensorTerm& t : fx.p0->terms()) count.AddTerm(t);
+  count.Simplify();
+  EvalResult r = count.Evaluate(MaterializedValuation(fx.registry.size()));
+  EXPECT_EQ(r.CoordValue(fx.match_point), 3.0);
+  EXPECT_EQ(r.CoordValue(fx.blue_jasmine), 1.0);
+}
+
+TEST(AggregateExprTest, SimplifyMergesEqualKeyTensors) {
+  AggregateExpression e(AggKind::kMax);
+  TensorTerm a;
+  a.monomial = Monomial({1});
+  a.group = 9;
+  a.value = {3, 1};
+  TensorTerm b = a;
+  b.value = {5, 1};
+  e.AddTerm(a);
+  e.AddTerm(b);
+  e.Simplify();
+  ASSERT_EQ(e.num_terms(), 1u);
+  EXPECT_EQ(e.terms()[0].value.value, 5);
+  EXPECT_EQ(e.terms()[0].value.count, 2);
+}
+
+TEST(AggregateExprTest, ApplyThesisExample311FemaleMapping) {
+  // P_s = U1⊗(3,1) ⊕ U2⊗(5,1) ⊕ U3⊗(3,1); mapping U1,U2 -> Female gives
+  // P'_s = Female⊗(5,2) ⊕ U3⊗(3,1)  (Example 3.1.1).
+  AnnotationRegistry reg;
+  DomainId d = reg.AddDomain("user");
+  AnnotationId u1 = reg.Add(d, "U1").MoveValue();
+  AnnotationId u2 = reg.Add(d, "U2").MoveValue();
+  AnnotationId u3 = reg.Add(d, "U3").MoveValue();
+  AnnotationId female = reg.AddSummary(d, "Female");
+
+  AggregateExpression ps(AggKind::kMax);
+  for (auto [u, score] : {std::pair{u1, 3.0}, {u2, 5.0}, {u3, 3.0}}) {
+    TensorTerm t;
+    t.monomial = Monomial({u});
+    t.group = kNoAnnotation;
+    t.value = {score, 1};
+    ps.AddTerm(std::move(t));
+  }
+  ps.Simplify();
+  EXPECT_EQ(ps.Size(), 3);
+
+  Homomorphism h;
+  h.Set(u1, female);
+  h.Set(u2, female);
+  auto mapped = ps.Apply(h);
+  EXPECT_EQ(mapped->Size(), 2);
+  auto* agg = dynamic_cast<AggregateExpression*>(mapped.get());
+  ASSERT_NE(agg, nullptr);
+  ASSERT_EQ(agg->num_terms(), 2u);
+  // Female⊗(5,2) and U3⊗(3,1), in some canonical order.
+  bool found_female = false, found_u3 = false;
+  for (const TensorTerm& t : agg->terms()) {
+    if (t.monomial.Contains(female)) {
+      EXPECT_EQ(t.value.value, 5);
+      EXPECT_EQ(t.value.count, 2);
+      found_female = true;
+    }
+    if (t.monomial.Contains(u3)) {
+      EXPECT_EQ(t.value.value, 3);
+      EXPECT_EQ(t.value.count, 1);
+      found_u3 = true;
+    }
+  }
+  EXPECT_TRUE(found_female);
+  EXPECT_TRUE(found_u3);
+}
+
+TEST(AggregateExprTest, ApplyRemapsGroupKeys) {
+  MovieFixture fx;
+  AnnotationId merged_movie =
+      fx.registry.AddSummary(fx.movie_domain, "WoodyAllenFilms");
+  Homomorphism h;
+  h.Set(fx.match_point, merged_movie);
+  h.Set(fx.blue_jasmine, merged_movie);
+  auto mapped = fx.p0->Apply(h);
+  auto* agg = dynamic_cast<AggregateExpression*>(mapped.get());
+  ASSERT_NE(agg, nullptr);
+  EXPECT_EQ(agg->Groups(), (std::vector<AnnotationId>{merged_movie}));
+  EvalResult r = mapped->Evaluate(MaterializedValuation(fx.registry.size()));
+  EXPECT_EQ(r.CoordValue(merged_movie), 5.0);  // MAX over everything
+}
+
+TEST(AggregateExprTest, ProjectEvalResultMergesCoordinates) {
+  MovieFixture fx;
+  AnnotationId merged_movie =
+      fx.registry.AddSummary(fx.movie_domain, "Merged");
+  Homomorphism h;
+  h.Set(fx.match_point, merged_movie);
+  h.Set(fx.blue_jasmine, merged_movie);
+  auto mapped = fx.p0->Apply(h);
+
+  EvalResult base = fx.p0->Evaluate(MaterializedValuation(fx.registry.size()));
+  EvalResult projected = mapped->ProjectEvalResult(base, h);
+  ASSERT_EQ(projected.kind(), EvalResult::Kind::kVector);
+  // MAX(5, 4) = 5 under the merged coordinate.
+  EXPECT_EQ(projected.CoordValue(merged_movie), 5.0);
+}
+
+TEST(AggregateExprTest, ProjectEvalResultSumAddsCoordinates) {
+  // The vector transformation of Example 5.2.1: SUM-aggregating merged
+  // coordinates.
+  AggregateExpression e(AggKind::kSum);
+  Homomorphism h;
+  h.Set(1, 10);
+  h.Set(2, 10);
+  EvalResult base = EvalResult::Vector({{1, 1.0}, {2, 1.0}, {3, 0.5}});
+  EvalResult projected = e.ProjectEvalResult(base, h);
+  EXPECT_EQ(projected.CoordValue(10), 2.0);
+  EXPECT_EQ(projected.CoordValue(3), 0.5);
+}
+
+TEST(AggregateExprTest, ScalarExpressionEvaluatesToScalar) {
+  AggregateExpression e(AggKind::kMax);
+  TensorTerm t;
+  t.monomial = Monomial({0});
+  t.group = kNoAnnotation;
+  t.value = {4, 1};
+  e.AddTerm(std::move(t));
+  e.Simplify();
+  EvalResult r = e.Evaluate(MaterializedValuation(1));
+  EXPECT_EQ(r.kind(), EvalResult::Kind::kScalar);
+  EXPECT_EQ(r.scalar(), 4.0);
+}
+
+TEST(AggregateExprTest, GuardedTermRespectsGuard) {
+  // U1·[S1·U1⊗5 > 2] ⊗ (3,1): cancelling S1 kills the term via the guard
+  // (Example 2.3.1).
+  AnnotationRegistry reg;
+  DomainId d = reg.AddDomain("x");
+  AnnotationId u1 = reg.Add(d, "U1").MoveValue();
+  AnnotationId s1 = reg.Add(d, "S1").MoveValue();
+  AggregateExpression e(AggKind::kMax);
+  TensorTerm t;
+  t.monomial = Monomial({u1});
+  t.guard = Guard(Monomial({s1, u1}), 5.0, CompareOp::kGt, 2.0);
+  t.group = kNoAnnotation;
+  t.value = {3, 1};
+  e.AddTerm(std::move(t));
+  e.Simplify();
+  EXPECT_EQ(e.Size(), 3);  // U1 + guard body S1·U1
+
+  EvalResult all_true = e.Evaluate(MaterializedValuation(reg.size()));
+  EXPECT_EQ(all_true.scalar(), 3.0);
+  EvalResult s1_cancelled =
+      e.Evaluate(MaterializedValuation(Valuation({s1}), reg.size()));
+  EXPECT_EQ(s1_cancelled.scalar(), 0.0);
+}
+
+TEST(AggregateExprTest, CloneIsDeepAndEqualText) {
+  MovieFixture fx;
+  auto clone = fx.p0->Clone();
+  EXPECT_EQ(clone->Size(), fx.p0->Size());
+  EXPECT_EQ(clone->ToString(fx.registry), fx.p0->ToString(fx.registry));
+}
+
+TEST(AggregateExprTest, ToStringShowsTensors) {
+  MovieFixture fx;
+  std::string text = fx.p0->ToString(fx.registry);
+  EXPECT_NE(text.find("U2·MatchPoint ⊗ (5.0, 1)"), std::string::npos);
+  EXPECT_NE(text.find("⊕"), std::string::npos);
+  AggregateExpression empty(AggKind::kMax);
+  EXPECT_EQ(empty.ToString(fx.registry), "0");
+}
+
+}  // namespace
+}  // namespace prox

@@ -1,0 +1,132 @@
+// AVG aggregation: the (sum, count) pair monoid of Section 2.2, with
+// count-weighted projection and incremental-scorer support.
+
+#include <gtest/gtest.h>
+
+#include "provenance/aggregate_expr.h"
+#include "provenance/io.h"
+#include "summarize/distance.h"
+#include "summarize/incremental.h"
+#include "summarize/val_func.h"
+#include "summarize/valuation_class.h"
+#include "testing/fixtures.h"
+
+namespace prox {
+namespace {
+
+using testing_fixtures::MovieFixture;
+
+AggregateExpression AvgCopy(const MovieFixture& fx) {
+  AggregateExpression avg(AggKind::kAvg);
+  for (const TensorTerm& t : fx.p0->terms()) avg.AddTerm(t);
+  avg.Simplify();
+  return avg;
+}
+
+TEST(AvgAggregationTest, MergeSumsValuesAndCounts) {
+  AggValue merged = MergeAggValues(AggKind::kAvg, {3, 1}, {5, 1});
+  EXPECT_EQ(merged.value, 8);  // sum representation
+  EXPECT_EQ(merged.count, 2);
+  EXPECT_STREQ(AggKindToString(AggKind::kAvg), "AVG");
+}
+
+TEST(AvgAggregationTest, EvaluateDividesByContributorCount) {
+  MovieFixture fx;
+  AggregateExpression avg = AvgCopy(fx);
+  EvalResult r = avg.Evaluate(MaterializedValuation(fx.registry.size()));
+  // MatchPoint: (3 + 5 + 3) / 3; BlueJasmine: 4 / 1.
+  EXPECT_DOUBLE_EQ(r.CoordValue(fx.match_point), 11.0 / 3.0);
+  EXPECT_DOUBLE_EQ(r.CoordValue(fx.blue_jasmine), 4.0);
+}
+
+TEST(AvgAggregationTest, EmptyCoordinateIsZeroNotNan) {
+  MovieFixture fx;
+  AggregateExpression avg = AvgCopy(fx);
+  // Cancel every MatchPoint rater.
+  EvalResult r = avg.Evaluate(MaterializedValuation(
+      Valuation({fx.u1, fx.u2, fx.u3}), fx.registry.size()));
+  EXPECT_EQ(r.CoordValue(fx.match_point), 0.0);
+}
+
+TEST(AvgAggregationTest, HomomorphismPreservesAverages) {
+  // Merging U1, U2 merges their MatchPoint tensors into (8, 2): the
+  // all-true average is unchanged.
+  MovieFixture fx;
+  AggregateExpression avg = AvgCopy(fx);
+  AnnotationId female = fx.registry.AddSummary(fx.user_domain, "Female");
+  Homomorphism h;
+  h.Set(fx.u1, female);
+  h.Set(fx.u2, female);
+  auto mapped = avg.Apply(h);
+  EvalResult r = mapped->Evaluate(MaterializedValuation(fx.registry.size()));
+  EXPECT_DOUBLE_EQ(r.CoordValue(fx.match_point), 11.0 / 3.0);
+}
+
+TEST(AvgAggregationTest, ProjectionIsCountWeighted) {
+  // Coordinates (avg 4 over 2 raters) and (avg 1 over 1 rater) merge to
+  // avg (4·2 + 1·1)/3 = 3 — not the naive (4+1)/2.
+  AggregateExpression avg(AggKind::kAvg);
+  Homomorphism h;
+  h.Set(1, 10);
+  h.Set(2, 10);
+  EvalResult base = EvalResult::Vector(
+      {EvalResult::Coord{1, 4.0, 2.0}, EvalResult::Coord{2, 1.0, 1.0}});
+  EvalResult projected = avg.ProjectEvalResult(base, h);
+  EXPECT_DOUBLE_EQ(projected.CoordValue(10), 3.0);
+}
+
+TEST(AvgAggregationTest, SerializationRoundTrips) {
+  MovieFixture fx;
+  AggregateExpression avg = AvgCopy(fx);
+  AnnotationRegistry fresh;
+  auto parsed =
+      ParseExpression(SerializeExpression(avg, fx.registry), &fresh);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const auto* agg =
+      dynamic_cast<const AggregateExpression*>(parsed.value().get());
+  ASSERT_NE(agg, nullptr);
+  EXPECT_EQ(agg->agg(), AggKind::kAvg);
+}
+
+TEST(AvgAggregationTest, IncrementalScorerMatchesNaive) {
+  MovieFixture fx;
+  auto avg = std::make_unique<AggregateExpression>(AggKind::kAvg);
+  for (const TensorTerm& t : fx.p0->terms()) avg->AddTerm(t);
+  avg->Simplify();
+
+  CancelSingleAnnotation cls;
+  auto valuations = cls.Generate(*avg, fx.ctx);
+  EuclideanValFunc vf;
+  EnumeratedDistance oracle(avg.get(), &fx.registry, &vf, valuations);
+  MappingState state(&fx.registry, PhiConfig{});
+  auto scorer = IncrementalScorer::Create(
+      avg.get(), &oracle, &state, IncrementalScorer::Metric::kEuclidean);
+  ASSERT_NE(scorer, nullptr);
+
+  for (auto roots : {std::vector<AnnotationId>{fx.u1, fx.u2},
+                     std::vector<AnnotationId>{fx.u1, fx.u3},
+                     std::vector<AnnotationId>{fx.u2, fx.u3}}) {
+    IncrementalScorer::Score fast = scorer->ScoreMerge(roots);
+    AnnotationId tmp = fx.registry.AddSummary(fx.user_domain, "~tmp");
+    MappingState tentative = state;
+    tentative.Merge(roots, tmp);
+    Homomorphism h;
+    for (AnnotationId r : roots) h.Set(r, tmp);
+    auto cand = avg->Apply(h);
+    EXPECT_NEAR(fast.distance, oracle.Distance(*cand, tentative), 1e-12);
+    EXPECT_EQ(fast.size, cand->Size());
+  }
+}
+
+TEST(AvgAggregationTest, SpammerProvisioningChangesAverage) {
+  MovieFixture fx;
+  AggregateExpression avg = AvgCopy(fx);
+  EvalResult without_u2 = avg.Evaluate(
+      MaterializedValuation(Valuation({fx.u2}), fx.registry.size()));
+  // MatchPoint average drops to (3 + 3)/2 = 3 without the 5-star review.
+  EXPECT_DOUBLE_EQ(without_u2.CoordValue(fx.match_point), 3.0);
+  EXPECT_EQ(without_u2.CoordValue(fx.blue_jasmine), 0.0);
+}
+
+}  // namespace
+}  // namespace prox

@@ -1,0 +1,60 @@
+#include "provenance/eval_result.h"
+
+#include <gtest/gtest.h>
+
+#include "provenance/annotation.h"
+
+namespace prox {
+namespace {
+
+TEST(EvalResultTest, ScalarRoundTrip) {
+  EvalResult r = EvalResult::Scalar(3.5);
+  EXPECT_EQ(r.kind(), EvalResult::Kind::kScalar);
+  EXPECT_EQ(r.scalar(), 3.5);
+}
+
+TEST(EvalResultTest, VectorSortsCoordinates) {
+  EvalResult r = EvalResult::Vector({{5, 1.0}, {2, 2.0}, {9, 3.0}});
+  ASSERT_EQ(r.coords().size(), 3u);
+  EXPECT_EQ(r.coords()[0].group, 2u);
+  EXPECT_EQ(r.coords()[1].group, 5u);
+  EXPECT_EQ(r.coords()[2].group, 9u);
+}
+
+TEST(EvalResultTest, CoordValueReturnsZeroForAbsentGroups) {
+  EvalResult r = EvalResult::Vector({{2, 2.0}, {5, 1.5}});
+  EXPECT_EQ(r.CoordValue(2), 2.0);
+  EXPECT_EQ(r.CoordValue(5), 1.5);
+  EXPECT_EQ(r.CoordValue(7), 0.0);
+}
+
+TEST(EvalResultTest, CostBoolRoundTrip) {
+  EvalResult r = EvalResult::CostBool(12.0, true);
+  EXPECT_EQ(r.kind(), EvalResult::Kind::kCostBool);
+  EXPECT_EQ(r.cost(), 12.0);
+  EXPECT_TRUE(r.feasible());
+}
+
+TEST(EvalResultTest, EqualityPerKind) {
+  EXPECT_EQ(EvalResult::Scalar(1.0), EvalResult::Scalar(1.0));
+  EXPECT_FALSE(EvalResult::Scalar(1.0) == EvalResult::Scalar(2.0));
+  EXPECT_EQ(EvalResult::Vector({{1, 2.0}}), EvalResult::Vector({{1, 2.0}}));
+  EXPECT_FALSE(EvalResult::Vector({{1, 2.0}}) ==
+               EvalResult::Vector({{1, 3.0}}));
+  EXPECT_EQ(EvalResult::CostBool(1, true), EvalResult::CostBool(1, true));
+  EXPECT_FALSE(EvalResult::CostBool(1, true) ==
+               EvalResult::CostBool(1, false));
+  EXPECT_FALSE(EvalResult::Scalar(1.0) == EvalResult::CostBool(1.0, true));
+}
+
+TEST(EvalResultTest, ToStringRendersAllKinds) {
+  AnnotationRegistry reg;
+  DomainId d = reg.AddDomain("movie");
+  AnnotationId m = reg.Add(d, "Adele").MoveValue();
+  EXPECT_EQ(EvalResult::Scalar(3.0).ToString(reg), "3.00");
+  EXPECT_EQ(EvalResult::CostBool(0, true).ToString(reg), "<0.00, true>");
+  EXPECT_EQ(EvalResult::Vector({{m, 2.0}}).ToString(reg), "(Adele: 2.00)");
+}
+
+}  // namespace
+}  // namespace prox

@@ -1,0 +1,68 @@
+#include "provenance/guard.h"
+
+#include <gtest/gtest.h>
+
+namespace prox {
+namespace {
+
+MaterializedValuation AllTrue(size_t n) { return MaterializedValuation(n); }
+
+MaterializedValuation WithFalse(size_t n,
+                                std::vector<AnnotationId> cancelled) {
+  return MaterializedValuation(Valuation(std::move(cancelled)), n);
+}
+
+TEST(GuardTest, ThesisExampleActiveUserThreshold) {
+  // [S1·U1 ⊗ 5 > 2] from Example 2.2.1: true when S1 and U1 are present
+  // (body = 5 > 2), false when either is cancelled (body = 0).
+  Guard g(Monomial({0, 1}), 5.0, CompareOp::kGt, 2.0);
+  EXPECT_TRUE(g.Evaluate(AllTrue(2)));
+  EXPECT_FALSE(g.Evaluate(WithFalse(2, {0})));
+  EXPECT_FALSE(g.Evaluate(WithFalse(2, {1})));
+}
+
+TEST(GuardTest, AllComparisonOperators) {
+  Monomial body({0});
+  EXPECT_TRUE(Guard(body, 3, CompareOp::kGt, 2).Evaluate(AllTrue(1)));
+  EXPECT_FALSE(Guard(body, 2, CompareOp::kGt, 2).Evaluate(AllTrue(1)));
+  EXPECT_TRUE(Guard(body, 2, CompareOp::kGe, 2).Evaluate(AllTrue(1)));
+  EXPECT_TRUE(Guard(body, 1, CompareOp::kLt, 2).Evaluate(AllTrue(1)));
+  EXPECT_TRUE(Guard(body, 2, CompareOp::kLe, 2).Evaluate(AllTrue(1)));
+  EXPECT_TRUE(Guard(body, 2, CompareOp::kEq, 2).Evaluate(AllTrue(1)));
+  EXPECT_TRUE(Guard(body, 3, CompareOp::kNe, 2).Evaluate(AllTrue(1)));
+}
+
+TEST(GuardTest, CancelledBodyComparesAsZero) {
+  Guard lt(Monomial({0}), 5, CompareOp::kLt, 2);
+  EXPECT_FALSE(lt.Evaluate(AllTrue(1)));     // 5 < 2 is false
+  EXPECT_TRUE(lt.Evaluate(WithFalse(1, {0})));  // 0 < 2 is true
+}
+
+TEST(GuardTest, MapRenamesBody) {
+  Guard g(Monomial({0}), 5, CompareOp::kGt, 2);
+  Guard mapped = g.Map([](AnnotationId) { return AnnotationId{3}; });
+  EXPECT_TRUE(mapped.factors().Contains(3));
+  EXPECT_FALSE(mapped.Evaluate(WithFalse(4, {3})));
+  EXPECT_TRUE(mapped.Evaluate(AllTrue(4)));
+}
+
+TEST(GuardTest, ToStringRendersToken) {
+  AnnotationRegistry reg;
+  DomainId d = reg.AddDomain("x");
+  AnnotationId s = reg.Add(d, "S1").MoveValue();
+  AnnotationId u = reg.Add(d, "U1").MoveValue();
+  Guard g(Monomial({s, u}), 5.0, CompareOp::kGt, 2.0);
+  EXPECT_EQ(g.ToString(reg), "[S1·U1⊗5.0 > 2.0]");
+}
+
+TEST(GuardTest, ComparisonIsTotalOrder) {
+  Guard a(Monomial({0}), 5, CompareOp::kGt, 2);
+  Guard b(Monomial({1}), 5, CompareOp::kGt, 2);
+  Guard c(Monomial({0}), 5, CompareOp::kGt, 3);
+  EXPECT_EQ(a, a);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace prox

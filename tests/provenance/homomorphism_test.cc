@@ -1,0 +1,64 @@
+#include "provenance/homomorphism.h"
+
+#include <gtest/gtest.h>
+
+namespace prox {
+namespace {
+
+TEST(HomomorphismTest, DefaultIsIdentity) {
+  Homomorphism h;
+  EXPECT_TRUE(h.IsIdentity());
+  EXPECT_EQ(h.Map(0), 0u);
+  EXPECT_EQ(h.Map(42), 42u);
+  EXPECT_EQ(h.Map(kNoAnnotation), kNoAnnotation);
+}
+
+TEST(HomomorphismTest, SetRemapsSingleAnnotation) {
+  Homomorphism h;
+  h.Set(3, 7);
+  EXPECT_EQ(h.Map(3), 7u);
+  EXPECT_EQ(h.Map(2), 2u);   // untouched ids stay identity
+  EXPECT_EQ(h.Map(99), 99u);
+  EXPECT_FALSE(h.IsIdentity());
+}
+
+TEST(HomomorphismTest, SetOverwritesPreviousImage) {
+  Homomorphism h;
+  h.Set(3, 7);
+  h.Set(3, 9);
+  EXPECT_EQ(h.Map(3), 9u);
+}
+
+TEST(HomomorphismTest, CallOperatorMatchesMap) {
+  Homomorphism h;
+  h.Set(1, 5);
+  EXPECT_EQ(h(1), 5u);
+}
+
+TEST(HomomorphismTest, ComposeAfterAppliesInOrder) {
+  // first: 0 -> 1; after: 1 -> 2. Composition maps 0 -> 2.
+  Homomorphism first, after;
+  first.Set(0, 1);
+  after.Set(1, 2);
+  Homomorphism composed = first.ComposeAfter(after);
+  EXPECT_EQ(composed.Map(0), 2u);
+  EXPECT_EQ(composed.Map(1), 2u);
+  EXPECT_EQ(composed.Map(3), 3u);
+}
+
+TEST(HomomorphismTest, ComposeWithIdentityIsNoop) {
+  Homomorphism h;
+  h.Set(2, 4);
+  Homomorphism composed = h.ComposeAfter(Homomorphism::Identity());
+  EXPECT_EQ(composed.Map(2), 4u);
+  EXPECT_EQ(composed.Map(0), 0u);
+}
+
+TEST(HomomorphismTest, IdentityAfterSettingSelfMappings) {
+  Homomorphism h;
+  h.Set(3, 3);
+  EXPECT_TRUE(h.IsIdentity());
+}
+
+}  // namespace
+}  // namespace prox

@@ -1,0 +1,65 @@
+// Robustness: the expression parser must return a Status — never crash,
+// hang or corrupt memory — on arbitrary byte soup and on systematically
+// truncated valid inputs.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "provenance/io.h"
+#include "testing/fixtures.h"
+
+namespace prox {
+namespace {
+
+using testing_fixtures::MovieFixture;
+
+class ParserFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParserFuzzTest, RandomBytesNeverCrash) {
+  Rng rng(GetParam());
+  // Mix structural characters with random printable noise to reach deep
+  // parser states.
+  const char alphabet[] = "()\"\\/ abz019.-+eMAXdgu\n\t";
+  for (int round = 0; round < 200; ++round) {
+    size_t len = rng.PickIndex(120);
+    std::string input;
+    for (size_t i = 0; i < len; ++i) {
+      input += alphabet[rng.PickIndex(sizeof(alphabet) - 1)];
+    }
+    AnnotationRegistry registry;
+    auto result = ParseExpression(input, &registry);
+    // Either parses (unlikely) or errors; both are fine.
+    if (!result.ok()) {
+      EXPECT_FALSE(result.status().message().empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest, ::testing::Range(0, 4));
+
+TEST(ParserFuzzTest, TruncationsOfValidInputNeverCrash) {
+  MovieFixture fx;
+  std::string text = SerializeExpression(*fx.p0, fx.registry);
+  for (size_t cut = 0; cut < text.size(); ++cut) {
+    AnnotationRegistry registry;
+    auto result = ParseExpression(text.substr(0, cut), &registry);
+    (void)result;  // any Status outcome is acceptable; crashing is not
+  }
+}
+
+TEST(ParserFuzzTest, MutationsOfValidInputNeverCrash) {
+  MovieFixture fx;
+  std::string text = SerializeExpression(*fx.p0, fx.registry);
+  Rng rng(99);
+  for (int round = 0; round < 200; ++round) {
+    std::string mutated = text;
+    size_t pos = rng.PickIndex(mutated.size());
+    mutated[pos] = static_cast<char>(32 + rng.PickIndex(95));
+    AnnotationRegistry registry;
+    auto result = ParseExpression(mutated, &registry);
+    (void)result;
+  }
+}
+
+}  // namespace
+}  // namespace prox

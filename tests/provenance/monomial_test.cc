@@ -1,0 +1,82 @@
+#include "provenance/monomial.h"
+
+#include <gtest/gtest.h>
+
+namespace prox {
+namespace {
+
+TEST(MonomialTest, EmptyIsOne) {
+  Monomial m;
+  EXPECT_TRUE(m.IsOne());
+  EXPECT_EQ(m.Size(), 0);
+  EXPECT_TRUE(m.EvaluateBool([](AnnotationId) { return false; }));
+}
+
+TEST(MonomialTest, FactorsAreSortedCanonically) {
+  Monomial a({3, 1, 2});
+  Monomial b({2, 3, 1});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.factors(), (std::vector<AnnotationId>{1, 2, 3}));
+}
+
+TEST(MonomialTest, RepetitionsKeptForPowers) {
+  Monomial m({1, 1, 2});
+  EXPECT_EQ(m.Size(), 3);
+  EXPECT_TRUE(m.Contains(1));
+  EXPECT_TRUE(m.Contains(2));
+  EXPECT_FALSE(m.Contains(3));
+}
+
+TEST(MonomialTest, MultiplyByInsertsSorted) {
+  Monomial m({5});
+  m.MultiplyBy(2);
+  m.MultiplyBy(7);
+  EXPECT_EQ(m.factors(), (std::vector<AnnotationId>{2, 5, 7}));
+}
+
+TEST(MonomialTest, ProductMergesSorted) {
+  Monomial a({1, 4});
+  Monomial b({2, 4});
+  Monomial c = a * b;
+  EXPECT_EQ(c.factors(), (std::vector<AnnotationId>{1, 2, 4, 4}));
+  EXPECT_EQ(c.Size(), 4);
+}
+
+TEST(MonomialTest, EvaluateBoolIsConjunction) {
+  Monomial m({1, 2, 3});
+  EXPECT_TRUE(m.EvaluateBool([](AnnotationId) { return true; }));
+  EXPECT_FALSE(m.EvaluateBool([](AnnotationId a) { return a != 2; }));
+}
+
+TEST(MonomialTest, MapRenamesAndResorts) {
+  Monomial m({1, 5});
+  Monomial mapped = m.Map([](AnnotationId a) {
+    return a == 5 ? AnnotationId{0} : a;
+  });
+  EXPECT_EQ(mapped.factors(), (std::vector<AnnotationId>{0, 1}));
+}
+
+TEST(MonomialTest, MapMayCollapseToSameAnnotation) {
+  Monomial m({1, 2});
+  Monomial mapped = m.Map([](AnnotationId) { return AnnotationId{7}; });
+  // Multiplicity is preserved in the semiring (7·7 = 7²).
+  EXPECT_EQ(mapped.factors(), (std::vector<AnnotationId>{7, 7}));
+}
+
+TEST(MonomialTest, ToStringUsesRegistryNames) {
+  AnnotationRegistry reg;
+  DomainId d = reg.AddDomain("user");
+  AnnotationId u1 = reg.Add(d, "U1").MoveValue();
+  AnnotationId u2 = reg.Add(d, "U2").MoveValue();
+  EXPECT_EQ(Monomial({u2, u1}).ToString(reg), "U1·U2");
+  EXPECT_EQ(Monomial().ToString(reg), "1");
+}
+
+TEST(MonomialTest, OrderingIsTotal) {
+  EXPECT_LT(Monomial({1}), Monomial({2}));
+  EXPECT_LT(Monomial({1}), Monomial({1, 2}));
+  EXPECT_FALSE(Monomial({1, 2}) < Monomial({1, 2}));
+}
+
+}  // namespace
+}  // namespace prox

@@ -1,0 +1,43 @@
+#include "provenance/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace prox {
+namespace {
+
+using testing_fixtures::MovieFixture;
+
+TEST(StatsTest, CountsSizeAndDomains) {
+  MovieFixture fx;
+  ExpressionStats stats = ComputeStats(*fx.p0, fx.registry);
+  EXPECT_EQ(stats.size, 8);
+  EXPECT_EQ(stats.distinct_annotations, 5u);
+  EXPECT_EQ(stats.summary_annotations, 0u);
+  EXPECT_EQ(stats.per_domain.at("user"), 3u);
+  EXPECT_EQ(stats.per_domain.at("movie"), 2u);
+}
+
+TEST(StatsTest, SummariesCounted) {
+  MovieFixture fx;
+  AnnotationId female = fx.registry.AddSummary(fx.user_domain, "Female");
+  Homomorphism h;
+  h.Set(fx.u1, female);
+  h.Set(fx.u2, female);
+  auto mapped = fx.p0->Apply(h);
+  ExpressionStats stats = ComputeStats(*mapped, fx.registry);
+  EXPECT_EQ(stats.summary_annotations, 1u);
+  EXPECT_EQ(stats.per_domain.at("user"), 2u);  // Female + U3
+}
+
+TEST(StatsTest, ToStringMentionsEverything) {
+  MovieFixture fx;
+  std::string text = ComputeStats(*fx.p0, fx.registry).ToString();
+  EXPECT_NE(text.find("size 8"), std::string::npos);
+  EXPECT_NE(text.find("user:3"), std::string::npos);
+  EXPECT_NE(text.find("movie:2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace prox

@@ -1,0 +1,68 @@
+#include "provenance/valuation.h"
+
+#include <gtest/gtest.h>
+
+namespace prox {
+namespace {
+
+TEST(ValuationTest, DefaultsToAllTrue) {
+  Valuation v;
+  EXPECT_TRUE(v.IsTrue(0));
+  EXPECT_TRUE(v.IsTrue(12345));
+  EXPECT_TRUE(v.false_set().empty());
+}
+
+TEST(ValuationTest, FalseSetIsSortedAndDeduplicated) {
+  Valuation v({5, 1, 5, 3});
+  EXPECT_EQ(v.false_set(), (std::vector<AnnotationId>{1, 3, 5}));
+  EXPECT_TRUE(v.IsFalse(1));
+  EXPECT_TRUE(v.IsFalse(5));
+  EXPECT_TRUE(v.IsTrue(2));
+}
+
+TEST(ValuationTest, LabelAndWeightArePreserved) {
+  Valuation v({1}, "cancel U1", 2.5);
+  EXPECT_EQ(v.label(), "cancel U1");
+  EXPECT_EQ(v.weight(), 2.5);
+}
+
+TEST(ValuationTest, EqualityComparesFalseSetOnly) {
+  EXPECT_EQ(Valuation({1, 2}, "a"), Valuation({2, 1}, "b"));
+  EXPECT_FALSE(Valuation({1}) == Valuation({2}));
+}
+
+TEST(MaterializedValuationTest, MaterializesSparseValuation) {
+  Valuation v({2, 4});
+  MaterializedValuation mat(v, 6);
+  EXPECT_TRUE(mat.truth(0));
+  EXPECT_FALSE(mat.truth(2));
+  EXPECT_TRUE(mat.truth(3));
+  EXPECT_FALSE(mat.truth(4));
+}
+
+TEST(MaterializedValuationTest, AllTrueConstructor) {
+  MaterializedValuation mat(4);
+  for (AnnotationId a = 0; a < 4; ++a) EXPECT_TRUE(mat.truth(a));
+}
+
+TEST(MaterializedValuationTest, SetOverridesTruth) {
+  MaterializedValuation mat(3);
+  mat.Set(1, false);
+  EXPECT_FALSE(mat.truth(1));
+  mat.Set(1, true);
+  EXPECT_TRUE(mat.truth(1));
+}
+
+TEST(MaterializedValuationTest, IdsBeyondBitmapDefaultTrue) {
+  MaterializedValuation mat(2);
+  EXPECT_TRUE(mat.truth(100));
+}
+
+TEST(MaterializedValuationTest, IgnoresFalseIdsBeyondSize) {
+  Valuation v({10});
+  MaterializedValuation mat(v, 3);  // id 10 out of range: dropped
+  EXPECT_TRUE(mat.truth(10));
+}
+
+}  // namespace
+}  // namespace prox

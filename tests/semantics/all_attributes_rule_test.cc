@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "semantics/constraints.h"
+#include "testing/fixtures.h"
+
+namespace prox {
+namespace {
+
+using testing_fixtures::MovieFixture;
+
+TEST(AllAttributesRuleTest, RequiresEveryListedAttribute) {
+  MovieFixture fx;
+  // Conjunctive rule over Gender AND Role.
+  fx.constraints.SetRule(fx.user_domain, std::make_unique<AllAttributesRule>(
+                                             std::vector<AttrId>{0, 1}));
+  // U1 (F, Audience) vs U2 (F, Critic): Gender matches, Role doesn't.
+  EXPECT_FALSE(
+      fx.constraints.Evaluate(fx.user_domain, {fx.u1, fx.u2}, fx.ctx)
+          .allowed);
+  // U1 (F, Audience) vs U3 (M, Audience): Role matches, Gender doesn't.
+  EXPECT_FALSE(
+      fx.constraints.Evaluate(fx.user_domain, {fx.u1, fx.u3}, fx.ctx)
+          .allowed);
+}
+
+TEST(AllAttributesRuleTest, IdenticalProfilesAllowedWithCompositeName) {
+  MovieFixture fx;
+  uint32_t row =
+      fx.ctx.tables.at(fx.user_domain).AddRow({"F", "Audience"}).MoveValue();
+  AnnotationId u4 = fx.registry.Add(fx.user_domain, "U4", row).MoveValue();
+  fx.constraints.SetRule(fx.user_domain, std::make_unique<AllAttributesRule>(
+                                             std::vector<AttrId>{0, 1}));
+  MergeDecision d =
+      fx.constraints.Evaluate(fx.user_domain, {fx.u1, u4}, fx.ctx);
+  EXPECT_TRUE(d.allowed);
+  EXPECT_EQ(d.name, "Gender:F+Role:Audience");
+}
+
+TEST(AllAttributesRuleTest, SingleAttributeSubset) {
+  MovieFixture fx;
+  fx.constraints.SetRule(fx.user_domain, std::make_unique<AllAttributesRule>(
+                                             std::vector<AttrId>{0}));
+  MergeDecision d =
+      fx.constraints.Evaluate(fx.user_domain, {fx.u1, fx.u2}, fx.ctx);
+  EXPECT_TRUE(d.allowed);  // both F
+  EXPECT_EQ(d.name, "Gender:F");
+}
+
+TEST(AllAttributesRuleTest, ConjunctiveIsStricterThanDisjunctive) {
+  MovieFixture fx;
+  ConstraintSet disjunctive;
+  disjunctive.SetRule(fx.user_domain, std::make_unique<SharedAttributeRule>(
+                                          std::vector<AttrId>{0, 1}));
+  ConstraintSet conjunctive;
+  conjunctive.SetRule(fx.user_domain, std::make_unique<AllAttributesRule>(
+                                          std::vector<AttrId>{0, 1}));
+  for (AnnotationId a : {fx.u1, fx.u2, fx.u3}) {
+    for (AnnotationId b : {fx.u1, fx.u2, fx.u3}) {
+      if (a == b) continue;
+      bool conj =
+          conjunctive.Evaluate(fx.user_domain, {a, b}, fx.ctx).allowed;
+      bool disj =
+          disjunctive.Evaluate(fx.user_domain, {a, b}, fx.ctx).allowed;
+      EXPECT_TRUE(!conj || disj);  // conj ⇒ disj
+    }
+  }
+}
+
+}  // namespace
+}  // namespace prox

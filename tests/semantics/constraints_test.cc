@@ -1,0 +1,198 @@
+#include "semantics/constraints.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace prox {
+namespace {
+
+using testing_fixtures::MovieFixture;
+
+TEST(SharedAttributeRuleTest, AllowsSharedGender) {
+  MovieFixture fx;
+  // U1 (F) and U2 (F) share Gender.
+  MergeDecision d = fx.constraints.Evaluate(fx.user_domain, {fx.u1, fx.u2},
+                                            fx.ctx);
+  EXPECT_TRUE(d.allowed);
+  EXPECT_EQ(d.name, "Gender:F");
+}
+
+TEST(SharedAttributeRuleTest, AttributePriorityOrderNamesFirstMatch) {
+  MovieFixture fx;
+  // U1 (F, Audience) and U3 (M, Audience) share only Role.
+  MergeDecision d = fx.constraints.Evaluate(fx.user_domain, {fx.u1, fx.u3},
+                                            fx.ctx);
+  EXPECT_TRUE(d.allowed);
+  EXPECT_EQ(d.name, "Role:Audience");
+}
+
+TEST(SharedAttributeRuleTest, RejectsNothingInCommon) {
+  MovieFixture fx;
+  // U2 (F, Critic) and U3 (M, Audience): no shared attribute.
+  MergeDecision d = fx.constraints.Evaluate(fx.user_domain, {fx.u2, fx.u3},
+                                            fx.ctx);
+  EXPECT_FALSE(d.allowed);
+}
+
+TEST(SharedAttributeRuleTest, TransitivityOverThreeMembers) {
+  MovieFixture fx;
+  // {U1, U2, U3}: F/F/M and Audience/Critic/Audience — no value shared by
+  // all three.
+  MergeDecision d = fx.constraints.Evaluate(fx.user_domain,
+                                            {fx.u1, fx.u2, fx.u3}, fx.ctx);
+  EXPECT_FALSE(d.allowed);
+}
+
+TEST(SharedAttributeRuleTest, SingletonIsAllowed) {
+  MovieFixture fx;
+  MergeDecision d = fx.constraints.Evaluate(fx.user_domain, {fx.u1}, fx.ctx);
+  EXPECT_TRUE(d.allowed);
+}
+
+TEST(ConstraintSetTest, CrossDomainMembersRejected) {
+  MovieFixture fx;
+  MergeDecision d = fx.constraints.Evaluate(fx.user_domain,
+                                            {fx.u1, fx.match_point}, fx.ctx);
+  EXPECT_FALSE(d.allowed);
+}
+
+TEST(ConstraintSetTest, DomainWithoutRuleRejects) {
+  MovieFixture fx;
+  MergeDecision d = fx.constraints.Evaluate(
+      fx.movie_domain, {fx.match_point, fx.blue_jasmine}, fx.ctx);
+  EXPECT_FALSE(d.allowed);
+  EXPECT_FALSE(fx.constraints.HasRule(fx.movie_domain));
+  EXPECT_TRUE(fx.constraints.HasRule(fx.user_domain));
+}
+
+struct TaxonomyRuleFixture {
+  AnnotationRegistry registry;
+  DomainId page_domain;
+  AnnotationId adele, celine, lori, lisbon;
+  SemanticContext ctx;
+  ConstraintSet constraints;
+
+  TaxonomyRuleFixture() {
+    page_domain = registry.AddDomain("page");
+    adele = registry.Add(page_domain, "Adele").MoveValue();
+    celine = registry.Add(page_domain, "CelineDion").MoveValue();
+    lori = registry.Add(page_domain, "LoriBlack").MoveValue();
+    lisbon = registry.Add(page_domain, "Lisbon").MoveValue();
+
+    Taxonomy tax;
+    ConceptId entity = tax.AddRoot("entity");
+    ConceptId person = tax.AddConcept("person", entity).MoveValue();
+    ConceptId artist = tax.AddConcept("artist", person).MoveValue();
+    ConceptId singer = tax.AddConcept("singer", artist).MoveValue();
+    ConceptId guitarist = tax.AddConcept("guitarist", artist).MoveValue();
+    ConceptId place = tax.AddConcept("place", entity).MoveValue();
+
+    ctx.registry = &registry;
+    ctx.concept_of[adele] = singer;
+    ctx.concept_of[celine] = singer;
+    ctx.concept_of[lori] = guitarist;
+    ctx.concept_of[lisbon] = place;
+    ctx.taxonomy = std::move(tax);
+    constraints.SetRule(page_domain,
+                        std::make_unique<TaxonomyAncestorRule>());
+  }
+};
+
+TEST(TaxonomyAncestorRuleTest, NamesSummaryAfterLca) {
+  TaxonomyRuleFixture fx;
+  MergeDecision d = fx.constraints.Evaluate(fx.page_domain,
+                                            {fx.adele, fx.celine}, fx.ctx);
+  EXPECT_TRUE(d.allowed);
+  EXPECT_EQ(d.name, "singer");
+  EXPECT_DOUBLE_EQ(d.taxonomy_distance_max, 0.0);  // both ARE singers
+}
+
+TEST(TaxonomyAncestorRuleTest, CousinsGroupUnderCommonAncestor) {
+  TaxonomyRuleFixture fx;
+  MergeDecision d = fx.constraints.Evaluate(fx.page_domain,
+                                            {fx.adele, fx.lori}, fx.ctx);
+  EXPECT_TRUE(d.allowed);
+  EXPECT_EQ(d.name, "artist");
+  EXPECT_GT(d.taxonomy_distance_max, 0.0);
+  EXPECT_GT(d.taxonomy_distance_sum, d.taxonomy_distance_max - 1e-12);
+}
+
+TEST(TaxonomyAncestorRuleTest, RootOnlyAncestorRejected) {
+  TaxonomyRuleFixture fx;
+  // singer vs place: LCA is the root — nothing in common.
+  MergeDecision d = fx.constraints.Evaluate(fx.page_domain,
+                                            {fx.adele, fx.lisbon}, fx.ctx);
+  EXPECT_FALSE(d.allowed);
+}
+
+TEST(TaxonomyAncestorRuleTest, MemberWithoutConceptRejected) {
+  TaxonomyRuleFixture fx;
+  AnnotationId orphan =
+      fx.registry.Add(fx.page_domain, "Orphan").MoveValue();
+  MergeDecision d = fx.constraints.Evaluate(fx.page_domain,
+                                            {fx.adele, orphan}, fx.ctx);
+  EXPECT_FALSE(d.allowed);
+}
+
+struct NumericRuleFixture {
+  AnnotationRegistry registry;
+  DomainId cost_domain;
+  AnnotationId c_cheap, c_mid, c_pricey;
+  SemanticContext ctx;
+  ConstraintSet constraints;
+
+  NumericRuleFixture() {
+    cost_domain = registry.AddDomain("cost_var");
+    EntityTable costs("CostVars");
+    AttrId cost_attr = costs.AddAttribute("Cost");
+    c_cheap = registry.Add(cost_domain, "c1",
+                           costs.AddRow({"2"}).MoveValue())
+                  .MoveValue();
+    c_mid = registry.Add(cost_domain, "c2", costs.AddRow({"3"}).MoveValue())
+                .MoveValue();
+    c_pricey = registry.Add(cost_domain, "c3",
+                            costs.AddRow({"9"}).MoveValue())
+                   .MoveValue();
+    ctx.registry = &registry;
+    ctx.tables.emplace(cost_domain, std::move(costs));
+    constraints.SetRule(cost_domain, std::make_unique<NumericToleranceRule>(
+                                         cost_attr, 2.0));
+  }
+};
+
+TEST(NumericToleranceRuleTest, AllowsWithinTolerance) {
+  NumericRuleFixture fx;
+  MergeDecision d = fx.constraints.Evaluate(fx.cost_domain,
+                                            {fx.c_cheap, fx.c_mid}, fx.ctx);
+  EXPECT_TRUE(d.allowed);
+  EXPECT_EQ(d.name, "Cost≈2.5");
+}
+
+TEST(NumericToleranceRuleTest, RejectsBeyondTolerance) {
+  NumericRuleFixture fx;
+  MergeDecision d = fx.constraints.Evaluate(
+      fx.cost_domain, {fx.c_cheap, fx.c_pricey}, fx.ctx);
+  EXPECT_FALSE(d.allowed);
+  // Transitive: {2, 3, 9} spans 7 > 2.
+  d = fx.constraints.Evaluate(fx.cost_domain,
+                              {fx.c_cheap, fx.c_mid, fx.c_pricey}, fx.ctx);
+  EXPECT_FALSE(d.allowed);
+}
+
+TEST(AnyMergeRuleTest, AllowsAnySameDomainPair) {
+  AnnotationRegistry registry;
+  DomainId db_domain = registry.AddDomain("db_var");
+  AnnotationId d1 = registry.Add(db_domain, "d1").MoveValue();
+  AnnotationId d2 = registry.Add(db_domain, "d2").MoveValue();
+  SemanticContext ctx;
+  ctx.registry = &registry;
+  ConstraintSet constraints;
+  constraints.SetRule(db_domain, std::make_unique<AnyMergeRule>("D"));
+  MergeDecision d = constraints.Evaluate(db_domain, {d1, d2}, ctx);
+  EXPECT_TRUE(d.allowed);
+  EXPECT_EQ(d.name, "D" + std::to_string(d1));
+}
+
+}  // namespace
+}  // namespace prox

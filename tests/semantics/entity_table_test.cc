@@ -1,0 +1,69 @@
+#include "semantics/entity_table.h"
+
+#include <gtest/gtest.h>
+
+namespace prox {
+namespace {
+
+TEST(EntityTableTest, AddAttributeIsIdempotent) {
+  EntityTable t("Users");
+  AttrId a = t.AddAttribute("Gender");
+  AttrId b = t.AddAttribute("Age");
+  AttrId c = t.AddAttribute("Gender");
+  EXPECT_EQ(a, c);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(t.num_attributes(), 2u);
+  EXPECT_EQ(t.attribute_name(a), "Gender");
+}
+
+TEST(EntityTableTest, FindAttribute) {
+  EntityTable t("Users");
+  AttrId a = t.AddAttribute("Gender");
+  auto found = t.FindAttribute("Gender");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value(), a);
+  EXPECT_EQ(t.FindAttribute("Shoe").status().code(), StatusCode::kNotFound);
+}
+
+TEST(EntityTableTest, InternValueDeduplicates) {
+  EntityTable t("Users");
+  ValueId a = t.InternValue("M");
+  ValueId b = t.InternValue("F");
+  ValueId c = t.InternValue("M");
+  EXPECT_EQ(a, c);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(t.value_name(b), "F");
+}
+
+TEST(EntityTableTest, AddRowAndLookup) {
+  EntityTable t("Users");
+  AttrId gender = t.AddAttribute("Gender");
+  AttrId age = t.AddAttribute("Age");
+  auto row = t.AddRow({"F", "25-34"});
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.ValueNameOf(row.value(), gender), "F");
+  EXPECT_EQ(t.ValueNameOf(row.value(), age), "25-34");
+}
+
+TEST(EntityTableTest, SharedValuesShareIds) {
+  EntityTable t("Users");
+  t.AddAttribute("Gender");
+  uint32_t r1 = t.AddRow({"F"}).MoveValue();
+  uint32_t r2 = t.AddRow({"F"}).MoveValue();
+  uint32_t r3 = t.AddRow({"M"}).MoveValue();
+  EXPECT_EQ(t.ValueOf(r1, 0), t.ValueOf(r2, 0));
+  EXPECT_NE(t.ValueOf(r1, 0), t.ValueOf(r3, 0));
+}
+
+TEST(EntityTableTest, ArityMismatchRejected) {
+  EntityTable t("Users");
+  t.AddAttribute("Gender");
+  t.AddAttribute("Age");
+  EXPECT_EQ(t.AddRow({"F"}).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(t.AddRow({"F", "25", "extra"}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace prox

@@ -1,0 +1,117 @@
+#include "semantics/taxonomy.h"
+
+#include <gtest/gtest.h>
+
+namespace prox {
+namespace {
+
+/// entity → {person → {artist → {singer, guitarist}, scientist}, place}
+struct TaxonomyFixture {
+  Taxonomy tax;
+  ConceptId entity, person, artist, singer, guitarist, scientist, place;
+
+  TaxonomyFixture() {
+    entity = tax.AddRoot("entity");
+    person = tax.AddConcept("person", entity).MoveValue();
+    artist = tax.AddConcept("artist", person).MoveValue();
+    singer = tax.AddConcept("singer", artist).MoveValue();
+    guitarist = tax.AddConcept("guitarist", artist).MoveValue();
+    scientist = tax.AddConcept("scientist", person).MoveValue();
+    place = tax.AddConcept("place", entity).MoveValue();
+  }
+};
+
+TEST(TaxonomyTest, DepthsCountFromRootAtOne) {
+  TaxonomyFixture fx;
+  EXPECT_EQ(fx.tax.depth(fx.entity), 1);
+  EXPECT_EQ(fx.tax.depth(fx.person), 2);
+  EXPECT_EQ(fx.tax.depth(fx.artist), 3);
+  EXPECT_EQ(fx.tax.depth(fx.singer), 4);
+}
+
+TEST(TaxonomyTest, FindByName) {
+  TaxonomyFixture fx;
+  EXPECT_EQ(fx.tax.Find("singer").MoveValue(), fx.singer);
+  EXPECT_EQ(fx.tax.Find("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(TaxonomyTest, DuplicateNamesRejected) {
+  TaxonomyFixture fx;
+  EXPECT_EQ(fx.tax.AddConcept("singer", fx.person).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(TaxonomyTest, LcaOfSiblingsIsParent) {
+  TaxonomyFixture fx;
+  EXPECT_EQ(fx.tax.Lca(fx.singer, fx.guitarist), fx.artist);
+  EXPECT_EQ(fx.tax.Lca(fx.singer, fx.scientist), fx.person);
+  EXPECT_EQ(fx.tax.Lca(fx.singer, fx.place), fx.entity);
+}
+
+TEST(TaxonomyTest, LcaWithAncestorIsAncestor) {
+  TaxonomyFixture fx;
+  EXPECT_EQ(fx.tax.Lca(fx.singer, fx.artist), fx.artist);
+  EXPECT_EQ(fx.tax.Lca(fx.singer, fx.singer), fx.singer);
+}
+
+TEST(TaxonomyTest, IsAncestorFollowsRootPath) {
+  TaxonomyFixture fx;
+  EXPECT_TRUE(fx.tax.IsAncestor(fx.entity, fx.singer));
+  EXPECT_TRUE(fx.tax.IsAncestor(fx.artist, fx.guitarist));
+  EXPECT_TRUE(fx.tax.IsAncestor(fx.singer, fx.singer));
+  EXPECT_FALSE(fx.tax.IsAncestor(fx.singer, fx.artist));
+  EXPECT_FALSE(fx.tax.IsAncestor(fx.place, fx.singer));
+}
+
+TEST(TaxonomyTest, SubtreeCollectsDescendants) {
+  TaxonomyFixture fx;
+  auto subtree = fx.tax.Subtree(fx.artist);
+  std::sort(subtree.begin(), subtree.end());
+  EXPECT_EQ(subtree, (std::vector<ConceptId>{fx.artist, fx.singer,
+                                             fx.guitarist}));
+  EXPECT_EQ(fx.tax.Subtree(fx.place), (std::vector<ConceptId>{fx.place}));
+}
+
+TEST(TaxonomyTest, WuPalmerSimilarityFormula) {
+  TaxonomyFixture fx;
+  // sim(singer, guitarist) = 2·depth(artist) / (4 + 4) = 6/8.
+  EXPECT_DOUBLE_EQ(fx.tax.WuPalmerSimilarity(fx.singer, fx.guitarist), 0.75);
+  // sim(singer, scientist) = 2·2 / (4 + 3) = 4/7.
+  EXPECT_DOUBLE_EQ(fx.tax.WuPalmerSimilarity(fx.singer, fx.scientist),
+                   4.0 / 7.0);
+  EXPECT_DOUBLE_EQ(fx.tax.WuPalmerSimilarity(fx.singer, fx.singer), 1.0);
+}
+
+TEST(TaxonomyTest, WuPalmerDistanceIsComplement) {
+  TaxonomyFixture fx;
+  EXPECT_DOUBLE_EQ(fx.tax.WuPalmerDistance(fx.singer, fx.guitarist), 0.25);
+  EXPECT_DOUBLE_EQ(fx.tax.WuPalmerDistance(fx.singer, fx.singer), 0.0);
+}
+
+TEST(TaxonomyTest, DeeperLcaMeansSmallerDistance) {
+  // The tie-breaking preference of Section 3.2: mapping users to
+  // 'Guitarist' beats mapping them to 'Person'.
+  TaxonomyFixture fx;
+  double to_artist = fx.tax.WuPalmerDistance(fx.singer, fx.artist);
+  double to_person = fx.tax.WuPalmerDistance(fx.singer, fx.person);
+  double to_entity = fx.tax.WuPalmerDistance(fx.singer, fx.entity);
+  EXPECT_LT(to_artist, to_person);
+  EXPECT_LT(to_person, to_entity);
+}
+
+TEST(TaxonomyTest, ChildrenTracksDirectChildren) {
+  TaxonomyFixture fx;
+  EXPECT_EQ(fx.tax.children(fx.artist),
+            (std::vector<ConceptId>{fx.singer, fx.guitarist}));
+  EXPECT_TRUE(fx.tax.children(fx.singer).empty());
+}
+
+TEST(TaxonomyTest, ParentOutOfRangeRejected) {
+  Taxonomy tax;
+  tax.AddRoot("root");
+  EXPECT_EQ(tax.AddConcept("x", 99).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace prox

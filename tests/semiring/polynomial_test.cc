@@ -1,0 +1,150 @@
+#include "semiring/polynomial.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace prox {
+namespace {
+
+using Var = Polynomial::Var;
+
+Polynomial RandomPolynomial(Rng* rng, int num_vars, int max_terms) {
+  Polynomial p;
+  int terms = 1 + static_cast<int>(rng->PickIndex(max_terms));
+  for (int t = 0; t < terms; ++t) {
+    Polynomial::Mono m;
+    int degree = static_cast<int>(rng->PickIndex(4));
+    for (int d = 0; d < degree; ++d) {
+      m.push_back(static_cast<Var>(rng->PickIndex(num_vars)));
+    }
+    p.AddTerm(std::move(m), 1 + rng->PickIndex(3));
+  }
+  return p;
+}
+
+TEST(PolynomialTest, ZeroAndOne) {
+  EXPECT_TRUE(Polynomial::Zero().IsZero());
+  EXPECT_FALSE(Polynomial::One().IsZero());
+  EXPECT_EQ(Polynomial::One().EvaluateBool([](Var) { return false; }), 1u);
+  EXPECT_EQ(Polynomial::Zero().EvaluateBool([](Var) { return true; }), 0u);
+}
+
+TEST(PolynomialTest, ConstantZeroCollapsesToZero) {
+  EXPECT_TRUE(Polynomial::Constant(0).IsZero());
+  EXPECT_EQ(Polynomial::Constant(5).EvaluateBool([](Var) { return false; }),
+            5u);
+}
+
+TEST(PolynomialTest, AdditionMergesMonomials) {
+  Polynomial x = Polynomial::FromVar(0);
+  Polynomial sum = x + x;
+  EXPECT_EQ(sum.NumMonomials(), 1u);
+  EXPECT_EQ(sum.EvaluateBool([](Var) { return true; }), 2u);
+}
+
+TEST(PolynomialTest, MultiplicationBuildsProducts) {
+  Polynomial x = Polynomial::FromVar(0);
+  Polynomial y = Polynomial::FromVar(1);
+  Polynomial p = (x + y) * (x + y);
+  // x^2 + 2xy + y^2
+  EXPECT_EQ(p.NumMonomials(), 3u);
+  EXPECT_EQ(p.Degree(), 2);
+  EXPECT_EQ(p.EvaluateNat([](Var v) -> uint64_t { return v == 0 ? 2 : 3; }),
+            25u);
+}
+
+TEST(PolynomialTest, SizeCountsVariableOccurrences) {
+  Polynomial x = Polynomial::FromVar(0);
+  Polynomial y = Polynomial::FromVar(1);
+  Polynomial p = x * x * y + y + Polynomial::Constant(4);
+  // monomials: x^2·y (3 occurrences), y (1), constant (0)
+  EXPECT_EQ(p.Size(), 4);
+}
+
+TEST(PolynomialTest, VariablesReturnsSortedDistinct) {
+  Polynomial p = Polynomial::FromVar(3) * Polynomial::FromVar(1) +
+                 Polynomial::FromVar(3);
+  EXPECT_EQ(p.Variables(), (std::vector<Var>{1, 3}));
+}
+
+TEST(PolynomialTest, MapVarsActsHomomorphically) {
+  // h(x0)=a, h(x1)=a merges monomials: x0 + x1 -> 2a.
+  Polynomial p = Polynomial::FromVar(0) + Polynomial::FromVar(1);
+  Polynomial mapped = p.MapVars([](Var) { return Var{9}; });
+  EXPECT_EQ(mapped.NumMonomials(), 1u);
+  EXPECT_EQ(mapped.EvaluateBool([](Var) { return true; }), 2u);
+}
+
+TEST(PolynomialTest, ToStringRendersPowersAndCoefficients) {
+  Polynomial p = Polynomial::FromVar(0) * Polynomial::FromVar(0) +
+                 Polynomial::Constant(2) * Polynomial::FromVar(1);
+  auto name = [](Var v) { return "x" + std::to_string(v); };
+  EXPECT_EQ(p.ToString(name), "x0^2 + 2·x1");
+  EXPECT_EQ(Polynomial::Zero().ToString(name), "0");
+}
+
+// --- Semiring axioms, checked on random polynomials (ℕ[X] is a commutative
+// semiring; Section 2.2). ---------------------------------------------------
+
+class PolynomialAxiomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PolynomialAxiomTest, AdditionCommutesAndAssociates) {
+  Rng rng(GetParam());
+  Polynomial a = RandomPolynomial(&rng, 4, 4);
+  Polynomial b = RandomPolynomial(&rng, 4, 4);
+  Polynomial c = RandomPolynomial(&rng, 4, 4);
+  EXPECT_EQ(a + b, b + a);
+  EXPECT_EQ((a + b) + c, a + (b + c));
+}
+
+TEST_P(PolynomialAxiomTest, MultiplicationCommutesAndAssociates) {
+  Rng rng(GetParam() + 1000);
+  Polynomial a = RandomPolynomial(&rng, 4, 3);
+  Polynomial b = RandomPolynomial(&rng, 4, 3);
+  Polynomial c = RandomPolynomial(&rng, 4, 3);
+  EXPECT_EQ(a * b, b * a);
+  EXPECT_EQ((a * b) * c, a * (b * c));
+}
+
+TEST_P(PolynomialAxiomTest, DistributivityHolds) {
+  Rng rng(GetParam() + 2000);
+  Polynomial a = RandomPolynomial(&rng, 4, 3);
+  Polynomial b = RandomPolynomial(&rng, 4, 3);
+  Polynomial c = RandomPolynomial(&rng, 4, 3);
+  EXPECT_EQ(a * (b + c), a * b + a * c);
+}
+
+TEST_P(PolynomialAxiomTest, IdentitiesAndAnnihilation) {
+  Rng rng(GetParam() + 3000);
+  Polynomial a = RandomPolynomial(&rng, 4, 4);
+  EXPECT_EQ(a + Polynomial::Zero(), a);
+  EXPECT_EQ(a * Polynomial::One(), a);
+  EXPECT_EQ(a * Polynomial::Zero(), Polynomial::Zero());
+}
+
+TEST_P(PolynomialAxiomTest, EvaluationIsSemiringHomomorphism) {
+  Rng rng(GetParam() + 4000);
+  Polynomial a = RandomPolynomial(&rng, 4, 4);
+  Polynomial b = RandomPolynomial(&rng, 4, 4);
+  auto value = [](Var v) -> uint64_t { return (v * 7 + 3) % 5; };
+  EXPECT_EQ((a + b).EvaluateNat(value),
+            a.EvaluateNat(value) + b.EvaluateNat(value));
+  EXPECT_EQ((a * b).EvaluateNat(value),
+            a.EvaluateNat(value) * b.EvaluateNat(value));
+}
+
+TEST_P(PolynomialAxiomTest, MapVarsCommutesWithOperations) {
+  Rng rng(GetParam() + 5000);
+  Polynomial a = RandomPolynomial(&rng, 4, 4);
+  Polynomial b = RandomPolynomial(&rng, 4, 4);
+  auto h = [](Var v) { return static_cast<Var>(v / 2); };
+  EXPECT_EQ((a + b).MapVars(h), a.MapVars(h) + b.MapVars(h));
+  EXPECT_EQ((a * b).MapVars(h), a.MapVars(h) * b.MapVars(h));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, PolynomialAxiomTest,
+                         ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace prox

@@ -1,0 +1,85 @@
+// Runtime checks of the semiring-policy laws (the static_asserts in
+// semiring.h only check the interface shape).
+
+#include "semiring/semiring.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace prox {
+namespace {
+
+template <typename S>
+void CheckLaws(typename S::Value a, typename S::Value b,
+               typename S::Value c) {
+  using V = typename S::Value;
+  const V zero = S::Zero();
+  const V one = S::One();
+  // Commutative monoids.
+  EXPECT_EQ(S::Plus(a, b), S::Plus(b, a));
+  EXPECT_EQ(S::Plus(S::Plus(a, b), c), S::Plus(a, S::Plus(b, c)));
+  EXPECT_EQ(S::Plus(a, zero), a);
+  EXPECT_EQ(S::Times(a, b), S::Times(b, a));
+  EXPECT_EQ(S::Times(S::Times(a, b), c), S::Times(a, S::Times(b, c)));
+  EXPECT_EQ(S::Times(a, one), a);
+  // Distributivity and annihilation.
+  EXPECT_EQ(S::Times(a, S::Plus(b, c)),
+            S::Plus(S::Times(a, b), S::Times(a, c)));
+  EXPECT_EQ(S::Times(a, zero), zero);
+}
+
+TEST(SemiringPolicyTest, BooleanLaws) {
+  for (bool a : {false, true}) {
+    for (bool b : {false, true}) {
+      for (bool c : {false, true}) {
+        CheckLaws<BoolSemiring>(a, b, c);
+      }
+    }
+  }
+}
+
+class CountingLawsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CountingLawsTest, RandomTriples) {
+  Rng rng(GetParam());
+  CheckLaws<CountingSemiring>(rng.UniformInt(100), rng.UniformInt(100),
+                              rng.UniformInt(100));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CountingLawsTest, ::testing::Range(0, 6));
+
+class TropicalLawsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TropicalLawsTest, RandomTriples) {
+  Rng rng(GetParam() + 100);
+  // Integer-valued doubles keep + exact, so EXPECT_EQ is safe.
+  CheckLaws<TropicalSemiring>(static_cast<double>(rng.UniformInt(50)),
+                              static_cast<double>(rng.UniformInt(50)),
+                              static_cast<double>(rng.UniformInt(50)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TropicalLawsTest, ::testing::Range(0, 6));
+
+TEST(SemiringPolicyTest, TropicalIdentities) {
+  EXPECT_TRUE(std::isinf(TropicalSemiring::Zero()));
+  EXPECT_EQ(TropicalSemiring::One(), 0.0);
+  // min(x, ∞) = x and x + 0 = x.
+  EXPECT_EQ(TropicalSemiring::Plus(7.0, TropicalSemiring::Zero()), 7.0);
+  EXPECT_EQ(TropicalSemiring::Times(7.0, TropicalSemiring::One()), 7.0);
+  // ∞ annihilates under ⊗ (= +).
+  EXPECT_TRUE(
+      std::isinf(TropicalSemiring::Times(7.0, TropicalSemiring::Zero())));
+}
+
+TEST(SemiringPolicyTest, TropicalSelectsCheapestAlternative) {
+  // The DDP reading: + picks the cheaper execution, · accumulates costs.
+  double e1 = TropicalSemiring::Times(4.0, 2.0);  // execution cost 6
+  double e2 = TropicalSemiring::Times(1.0, 3.0);  // execution cost 4
+  EXPECT_EQ(TropicalSemiring::Plus(e1, e2), 4.0);
+}
+
+}  // namespace
+}  // namespace prox

@@ -1,0 +1,108 @@
+// The EnumeratedDistance projection fast path (identity group mapping)
+// must agree exactly with the general path that projects through the
+// cumulative homomorphism.
+
+#include <gtest/gtest.h>
+
+#include "summarize/distance.h"
+#include "summarize/val_func.h"
+#include "summarize/valuation_class.h"
+#include "testing/fixtures.h"
+
+namespace prox {
+namespace {
+
+using testing_fixtures::MovieFixture;
+
+/// Re-derivation that always takes the general (projecting) path.
+double SlowDistance(const ProvenanceExpression& p0,
+                    const ProvenanceExpression& cand,
+                    const MappingState& state,
+                    const std::vector<Valuation>& valuations,
+                    const ValFunc& vf, size_t n) {
+  EvalResult all_true = p0.Evaluate(MaterializedValuation(n));
+  double max_error = vf.MaxError(all_true);
+  double total = 0.0, weights = 0.0;
+  for (const Valuation& v : valuations) {
+    EvalResult base = p0.Evaluate(MaterializedValuation(v, n));
+    EvalResult orig = cand.ProjectEvalResult(base, state.cumulative());
+    EvalResult summ = cand.Evaluate(state.Transform(v, n));
+    total += v.weight() * vf.Compute(orig, summ);
+    weights += v.weight();
+  }
+  return (total / weights) / max_error;
+}
+
+TEST(DistanceFastPathTest, UserOnlyMergeMatchesGeneralPath) {
+  MovieFixture fx;
+  CancelSingleAnnotation cls;
+  auto valuations = cls.Generate(*fx.p0, fx.ctx);
+  EuclideanValFunc vf;
+  EnumeratedDistance oracle(fx.p0.get(), &fx.registry, &vf, valuations);
+
+  // User merge: group keys untouched -> fast path taken.
+  AnnotationId female = fx.registry.AddSummary(fx.user_domain, "Female");
+  MappingState state(&fx.registry, PhiConfig{});
+  state.Merge({fx.u1, fx.u2}, female);
+  Homomorphism h;
+  h.Set(fx.u1, female);
+  h.Set(fx.u2, female);
+  auto cand = fx.p0->Apply(h);
+
+  EXPECT_NEAR(oracle.Distance(*cand, state),
+              SlowDistance(*fx.p0, *cand, state, valuations, vf,
+                           fx.registry.size()),
+              1e-12);
+}
+
+TEST(DistanceFastPathTest, MovieMergeTakesProjectingPathAndAgrees) {
+  MovieFixture fx;
+  CancelSingleAnnotation cls;
+  auto valuations = cls.Generate(*fx.p0, fx.ctx);
+  EuclideanValFunc vf;
+  EnumeratedDistance oracle(fx.p0.get(), &fx.registry, &vf, valuations);
+
+  // Movie merge: group keys remap -> projection required.
+  AnnotationId merged =
+      fx.registry.AddSummary(fx.movie_domain, "WoodyAllen");
+  MappingState state(&fx.registry, PhiConfig{});
+  state.Merge({fx.match_point, fx.blue_jasmine}, merged);
+  Homomorphism h;
+  h.Set(fx.match_point, merged);
+  h.Set(fx.blue_jasmine, merged);
+  auto cand = fx.p0->Apply(h);
+
+  EXPECT_NEAR(oracle.Distance(*cand, state),
+              SlowDistance(*fx.p0, *cand, state, valuations, vf,
+                           fx.registry.size()),
+              1e-12);
+}
+
+TEST(DistanceFastPathTest, MixedMergeSequencesAgree) {
+  MovieFixture fx;
+  CancelSingleAnnotation cls;
+  auto valuations = cls.Generate(*fx.p0, fx.ctx);
+  EuclideanValFunc vf;
+  EnumeratedDistance oracle(fx.p0.get(), &fx.registry, &vf, valuations);
+
+  AnnotationId female = fx.registry.AddSummary(fx.user_domain, "Female");
+  AnnotationId merged =
+      fx.registry.AddSummary(fx.movie_domain, "WoodyAllen");
+  MappingState state(&fx.registry, PhiConfig{});
+  state.Merge({fx.u1, fx.u2}, female);
+  state.Merge({fx.match_point, fx.blue_jasmine}, merged);
+  Homomorphism h;
+  h.Set(fx.u1, female);
+  h.Set(fx.u2, female);
+  h.Set(fx.match_point, merged);
+  h.Set(fx.blue_jasmine, merged);
+  auto cand = fx.p0->Apply(h);
+
+  EXPECT_NEAR(oracle.Distance(*cand, state),
+              SlowDistance(*fx.p0, *cand, state, valuations, vf,
+                           fx.registry.size()),
+              1e-12);
+}
+
+}  // namespace
+}  // namespace prox

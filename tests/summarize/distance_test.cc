@@ -1,0 +1,237 @@
+#include "summarize/distance.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "summarize/valuation_class.h"
+#include "summarize/val_func.h"
+#include "testing/fixtures.h"
+
+namespace prox {
+namespace {
+
+using testing_fixtures::MovieFixture;
+
+/// Brute-force distance: re-derives Definition 3.2.2 with no caching.
+double BruteForceDistance(const ProvenanceExpression& p0,
+                          const ProvenanceExpression& cand,
+                          const MappingState& state,
+                          const std::vector<Valuation>& valuations,
+                          const ValFunc& vf, size_t registry_size) {
+  double total = 0.0, weights = 0.0;
+  for (const Valuation& v : valuations) {
+    EvalResult base = p0.Evaluate(MaterializedValuation(v, registry_size));
+    EvalResult proj = cand.ProjectEvalResult(base, state.cumulative());
+    EvalResult summ = cand.Evaluate(state.Transform(v, registry_size));
+    total += v.weight() * vf.Compute(proj, summ);
+    weights += v.weight();
+  }
+  EvalResult all_true = p0.Evaluate(MaterializedValuation(registry_size));
+  double max_error = vf.MaxError(all_true);
+  return (total / weights) / max_error;
+}
+
+TEST(EnumeratedDistanceTest, IdentityMappingHasZeroDistance) {
+  MovieFixture fx;
+  CancelSingleAnnotation cls;
+  auto valuations = cls.Generate(*fx.p0, fx.ctx);
+  EuclideanValFunc vf;
+  EnumeratedDistance oracle(fx.p0.get(), &fx.registry, &vf, valuations);
+  MappingState state(&fx.registry, PhiConfig{});
+  EXPECT_EQ(oracle.Distance(*fx.p0, state), 0.0);
+}
+
+TEST(EnumeratedDistanceTest, Example423AudienceBeatsFemale) {
+  // The flow of Example 4.2.3: mapping U1,U3 -> Audience is at distance 0;
+  // mapping U1,U2 -> Female is not (cancelling U2 disagrees).
+  MovieFixture fx;
+  CancelSingleAnnotation cls({fx.user_domain});
+  auto valuations = cls.Generate(*fx.p0, fx.ctx);
+  EuclideanValFunc vf;
+  EnumeratedDistance oracle(fx.p0.get(), &fx.registry, &vf, valuations);
+
+  AnnotationId audience = fx.registry.AddSummary(fx.user_domain, "Audience");
+  MappingState audience_state(&fx.registry, PhiConfig{});
+  audience_state.Merge({fx.u1, fx.u3}, audience);
+  Homomorphism ha;
+  ha.Set(fx.u1, audience);
+  ha.Set(fx.u3, audience);
+  auto p_audience = fx.p0->Apply(ha);
+  EXPECT_EQ(oracle.Distance(*p_audience, audience_state), 0.0);
+
+  AnnotationId female = fx.registry.AddSummary(fx.user_domain, "Female");
+  MappingState female_state(&fx.registry, PhiConfig{});
+  female_state.Merge({fx.u1, fx.u2}, female);
+  Homomorphism hf;
+  hf.Set(fx.u1, female);
+  hf.Set(fx.u2, female);
+  auto p_female = fx.p0->Apply(hf);
+  EXPECT_GT(oracle.Distance(*p_female, female_state), 0.0);
+}
+
+TEST(EnumeratedDistanceTest, MatchesBruteForceRederivation) {
+  MovieFixture fx;
+  CancelSingleAnnotation cls;
+  auto valuations = cls.Generate(*fx.p0, fx.ctx);
+  EuclideanValFunc vf;
+  EnumeratedDistance oracle(fx.p0.get(), &fx.registry, &vf, valuations);
+
+  AnnotationId female = fx.registry.AddSummary(fx.user_domain, "Female");
+  MappingState state(&fx.registry, PhiConfig{});
+  state.Merge({fx.u1, fx.u2}, female);
+  Homomorphism h;
+  h.Set(fx.u1, female);
+  h.Set(fx.u2, female);
+  auto cand = fx.p0->Apply(h);
+
+  double expected = BruteForceDistance(*fx.p0, *cand, state, valuations, vf,
+                                       fx.registry.size());
+  EXPECT_NEAR(oracle.Distance(*cand, state), expected, 1e-12);
+}
+
+TEST(EnumeratedDistanceTest, WeightsScaleContributions) {
+  MovieFixture fx;
+  // Two copies of the same valuation, one with triple weight, must give
+  // the same distance as one copy (weighted average).
+  std::vector<Valuation> uniform = {Valuation({fx.u2}, "a", 1.0)};
+  std::vector<Valuation> weighted = {Valuation({fx.u2}, "a", 3.0)};
+  EuclideanValFunc vf;
+  EnumeratedDistance o1(fx.p0.get(), &fx.registry, &vf, uniform);
+  EnumeratedDistance o2(fx.p0.get(), &fx.registry, &vf, weighted);
+
+  AnnotationId female = fx.registry.AddSummary(fx.user_domain, "Female");
+  MappingState state(&fx.registry, PhiConfig{});
+  state.Merge({fx.u1, fx.u2}, female);
+  Homomorphism h;
+  h.Set(fx.u1, female);
+  h.Set(fx.u2, female);
+  auto cand = fx.p0->Apply(h);
+  EXPECT_NEAR(o1.Distance(*cand, state), o2.Distance(*cand, state), 1e-12);
+}
+
+TEST(EnumeratedDistanceTest, NormalizedDistanceStaysInUnitInterval) {
+  MovieFixture fx;
+  CancelSingleAttribute cls;
+  auto valuations = cls.Generate(*fx.p0, fx.ctx);
+  EuclideanValFunc vf;
+  EnumeratedDistance oracle(fx.p0.get(), &fx.registry, &vf, valuations);
+
+  // Merge everything mergeable and check the bound.
+  AnnotationId female = fx.registry.AddSummary(fx.user_domain, "Female");
+  MappingState state(&fx.registry, PhiConfig{});
+  state.Merge({fx.u1, fx.u2}, female);
+  Homomorphism h;
+  h.Set(fx.u1, female);
+  h.Set(fx.u2, female);
+  auto cand = fx.p0->Apply(h);
+  double d = oracle.Distance(*cand, state);
+  EXPECT_GE(d, 0.0);
+  EXPECT_LE(d, 1.0);
+}
+
+TEST(SampledDistanceTest, RequiredSamplesMatchesHoeffding) {
+  EXPECT_EQ(SampledDistance::RequiredSamples(0.05, 0.05),
+            static_cast<int>(
+                std::ceil(std::log(2.0 / 0.05) / (2 * 0.05 * 0.05))));
+  EXPECT_GT(SampledDistance::RequiredSamples(0.01, 0.05),
+            SampledDistance::RequiredSamples(0.1, 0.05));
+  EXPECT_GT(SampledDistance::RequiredSamples(0.05, 0.01),
+            SampledDistance::RequiredSamples(0.05, 0.1));
+}
+
+TEST(SampledDistanceTest, ZeroDistanceForIdentity) {
+  MovieFixture fx;
+  EuclideanValFunc vf;
+  SampledDistance::Options opts;
+  opts.num_samples = 200;
+  SampledDistance oracle(fx.p0.get(), &fx.registry, &vf, opts);
+  MappingState state(&fx.registry, PhiConfig{});
+  EXPECT_EQ(oracle.Distance(*fx.p0, state), 0.0);
+}
+
+TEST(SampledDistanceTest, ConvergesToExhaustiveAverage) {
+  // Proposition 4.1.2: the Monte-Carlo estimate over all 2^n valuations
+  // approaches the exhaustive enumeration's value.
+  MovieFixture fx;
+  EuclideanValFunc vf;
+
+  ExhaustiveValuations exhaustive_cls;
+  auto all = exhaustive_cls.Generate(*fx.p0, fx.ctx);
+  EnumeratedDistance exact(fx.p0.get(), &fx.registry, &vf, all);
+
+  SampledDistance::Options opts;
+  opts.num_samples = 20000;
+  opts.seed = 99;
+  SampledDistance sampled(fx.p0.get(), &fx.registry, &vf, opts);
+
+  AnnotationId female = fx.registry.AddSummary(fx.user_domain, "Female");
+  MappingState state(&fx.registry, PhiConfig{});
+  state.Merge({fx.u1, fx.u2}, female);
+  Homomorphism h;
+  h.Set(fx.u1, female);
+  h.Set(fx.u2, female);
+  auto cand = fx.p0->Apply(h);
+
+  double exact_d = exact.Distance(*cand, state);
+  double approx_d = sampled.Distance(*cand, state);
+  EXPECT_NEAR(approx_d, exact_d, 0.01);
+}
+
+TEST(SampledDistanceTest, DeterministicForFixedSeed) {
+  MovieFixture fx;
+  EuclideanValFunc vf;
+  SampledDistance::Options opts;
+  opts.num_samples = 500;
+  opts.seed = 7;
+  SampledDistance a(fx.p0.get(), &fx.registry, &vf, opts);
+  SampledDistance b(fx.p0.get(), &fx.registry, &vf, opts);
+
+  AnnotationId female = fx.registry.AddSummary(fx.user_domain, "Female");
+  MappingState state(&fx.registry, PhiConfig{});
+  state.Merge({fx.u1, fx.u2}, female);
+  Homomorphism h;
+  h.Set(fx.u1, female);
+  h.Set(fx.u2, female);
+  auto cand = fx.p0->Apply(h);
+  EXPECT_EQ(a.Distance(*cand, state), b.Distance(*cand, state));
+}
+
+class SamplingEpsilonTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SamplingEpsilonTest, EstimateWithinEpsilonOfTruth) {
+  // Statistical check of the (ε, δ) guarantee at several ε values; the
+  // Hoeffding bound is conservative, so a single run landing inside ε is
+  // the overwhelmingly likely outcome.
+  const double epsilon = GetParam();
+  MovieFixture fx;
+  EuclideanValFunc vf;
+
+  ExhaustiveValuations exhaustive_cls;
+  auto all = exhaustive_cls.Generate(*fx.p0, fx.ctx);
+  EnumeratedDistance exact(fx.p0.get(), &fx.registry, &vf, all);
+
+  SampledDistance::Options opts;
+  opts.epsilon = epsilon;
+  opts.delta = 0.01;
+  opts.seed = 1234;
+  SampledDistance sampled(fx.p0.get(), &fx.registry, &vf, opts);
+  EXPECT_EQ(sampled.num_samples(),
+            SampledDistance::RequiredSamples(epsilon, 0.01));
+
+  AnnotationId female = fx.registry.AddSummary(fx.user_domain, "Female");
+  MappingState state(&fx.registry, PhiConfig{});
+  state.Merge({fx.u1, fx.u2}, female);
+  Homomorphism h;
+  h.Set(fx.u1, female);
+  h.Set(fx.u2, female);
+  auto cand = fx.p0->Apply(h);
+  EXPECT_NEAR(sampled.Distance(*cand, state), exact.Distance(*cand, state),
+              epsilon);
+}
+
+INSTANTIATE_TEST_SUITE_P(Epsilons, SamplingEpsilonTest,
+                         ::testing::Values(0.02, 0.05, 0.1));
+
+}  // namespace
+}  // namespace prox

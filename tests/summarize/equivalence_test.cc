@@ -1,0 +1,134 @@
+#include "summarize/equivalence.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "testing/fixtures.h"
+
+namespace prox {
+namespace {
+
+using testing_fixtures::MovieFixture;
+
+/// Brute-force check of Proposition 4.2.1's equivalence definition.
+bool BruteForceEquivalent(AnnotationId a, AnnotationId b,
+                          const std::vector<Valuation>& valuations) {
+  for (const Valuation& v : valuations) {
+    if (v.IsTrue(a) != v.IsTrue(b)) return false;
+  }
+  return true;
+}
+
+TEST(EquivalenceTest, NoValuationsGroupsPerDomain) {
+  MovieFixture fx;
+  auto classes = EquivalenceClasses(
+      {fx.u1, fx.u2, fx.u3, fx.match_point, fx.blue_jasmine}, {},
+      fx.registry);
+  // With no valuations, everything in one domain is equivalent.
+  ASSERT_EQ(classes.size(), 2u);
+  EXPECT_EQ(classes[0], (std::vector<AnnotationId>{fx.u1, fx.u2, fx.u3}));
+  EXPECT_EQ(classes[1],
+            (std::vector<AnnotationId>{fx.match_point, fx.blue_jasmine}));
+}
+
+TEST(EquivalenceTest, CancelSingleAnnotationSeparatesEverything) {
+  MovieFixture fx;
+  std::vector<Valuation> valuations;
+  for (AnnotationId a : {fx.u1, fx.u2, fx.u3}) {
+    valuations.emplace_back(std::vector<AnnotationId>{a});
+  }
+  auto classes =
+      EquivalenceClasses({fx.u1, fx.u2, fx.u3}, valuations, fx.registry);
+  EXPECT_EQ(classes.size(), 3u);
+  for (const auto& cls : classes) EXPECT_EQ(cls.size(), 1u);
+}
+
+TEST(EquivalenceTest, AttributeValuationsGroupIdenticalProfiles) {
+  // U1 and U2 are cancelled together by "Gender:F" but separated by the
+  // Role valuations; a fourth user identical to U1 joins U1's class.
+  MovieFixture fx;
+  AnnotationId u4 =
+      fx.registry
+          .Add(fx.user_domain, "U4",
+               fx.ctx.tables.at(fx.user_domain).ValueOf(0, 0) == kNoValue
+                   ? kNoEntity
+                   : 0)  // same row as U1: (F, Audience)
+          .MoveValue();
+  std::vector<Valuation> valuations = {
+      Valuation({fx.u1, fx.u2, u4}, "Gender:F"),
+      Valuation({fx.u3}, "Gender:M"),
+      Valuation({fx.u1, fx.u3, u4}, "Role:Audience"),
+      Valuation({fx.u2}, "Role:Critic"),
+  };
+  auto classes = EquivalenceClasses({fx.u1, fx.u2, fx.u3, u4}, valuations,
+                                    fx.registry);
+  ASSERT_EQ(classes.size(), 3u);
+  EXPECT_EQ(classes[0], (std::vector<AnnotationId>{fx.u1, u4}));
+  EXPECT_EQ(classes[1], (std::vector<AnnotationId>{fx.u2}));
+  EXPECT_EQ(classes[2], (std::vector<AnnotationId>{fx.u3}));
+}
+
+TEST(EquivalenceTest, DifferentDomainsNeverMergeEvenIfIndistinguishable) {
+  MovieFixture fx;
+  // A valuation that touches neither users nor movies leaves all of them
+  // "equivalent", but the domain refinement keeps them apart.
+  std::vector<Valuation> valuations = {Valuation()};
+  auto classes = EquivalenceClasses({fx.u1, fx.match_point}, valuations,
+                                    fx.registry);
+  EXPECT_EQ(classes.size(), 2u);
+}
+
+TEST(EquivalenceTest, InputDeduplicatedAndSorted) {
+  MovieFixture fx;
+  auto classes = EquivalenceClasses({fx.u2, fx.u1, fx.u2}, {}, fx.registry);
+  ASSERT_EQ(classes.size(), 1u);
+  EXPECT_EQ(classes[0], (std::vector<AnnotationId>{fx.u1, fx.u2}));
+}
+
+class EquivalenceRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EquivalenceRandomTest, AgreesWithBruteForcePairwiseCheck) {
+  Rng rng(GetParam());
+  AnnotationRegistry registry;
+  DomainId d0 = registry.AddDomain("a");
+  DomainId d1 = registry.AddDomain("b");
+  std::vector<AnnotationId> anns;
+  for (int i = 0; i < 12; ++i) {
+    anns.push_back(registry
+                       .Add(rng.Bernoulli(0.5) ? d0 : d1,
+                            "n" + std::to_string(i))
+                       .MoveValue());
+  }
+  std::vector<Valuation> valuations;
+  for (int v = 0; v < 5; ++v) {
+    std::vector<AnnotationId> cancelled;
+    for (AnnotationId a : anns) {
+      if (rng.Bernoulli(0.4)) cancelled.push_back(a);
+    }
+    valuations.emplace_back(std::move(cancelled));
+  }
+
+  auto classes = EquivalenceClasses(anns, valuations, registry);
+
+  // Build a class id per annotation.
+  std::map<AnnotationId, int> class_of;
+  for (size_t c = 0; c < classes.size(); ++c) {
+    for (AnnotationId a : classes[c]) class_of[a] = static_cast<int>(c);
+  }
+  ASSERT_EQ(class_of.size(), anns.size());
+  for (AnnotationId a : anns) {
+    for (AnnotationId b : anns) {
+      bool same_class = class_of[a] == class_of[b];
+      bool equivalent = BruteForceEquivalent(a, b, valuations) &&
+                        registry.domain(a) == registry.domain(b);
+      EXPECT_EQ(same_class, equivalent)
+          << registry.name(a) << " vs " << registry.name(b);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, EquivalenceRandomTest,
+                         ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace prox

@@ -1,0 +1,119 @@
+#include "summarize/report.h"
+
+#include <gtest/gtest.h>
+
+#include "summarize/distance.h"
+#include "summarize/val_func.h"
+#include "summarize/valuation_class.h"
+#include "testing/fixtures.h"
+
+namespace prox {
+namespace {
+
+using testing_fixtures::MovieFixture;
+
+SummaryOutcome RunFixture(MovieFixture* fx, SummarizerOptions options,
+                          std::vector<Valuation>* valuations_out,
+                          std::unique_ptr<EnumeratedDistance>* oracle_out) {
+  CancelSingleAnnotation cls(std::vector<DomainId>{fx->user_domain});
+  *valuations_out = cls.Generate(*fx->p0, fx->ctx);
+  static EuclideanValFunc vf;
+  *oracle_out = std::make_unique<EnumeratedDistance>(fx->p0.get(),
+                                                     &fx->registry, &vf,
+                                                     *valuations_out);
+  Summarizer s(fx->p0.get(), &fx->registry, &fx->ctx, &fx->constraints,
+               oracle_out->get(), valuations_out, options);
+  return s.Run().MoveValue();
+}
+
+TEST(SummaryReporterTest, GroupsCarryMembersAndAttributes) {
+  MovieFixture fx;
+  SummarizerOptions options;
+  options.w_dist = 1.0;
+  options.w_size = 0.0;
+  options.max_steps = 1;
+  options.group_equivalent_first = false;
+  std::vector<Valuation> valuations;
+  std::unique_ptr<EnumeratedDistance> oracle;
+  SummaryOutcome outcome = RunFixture(&fx, options, &valuations, &oracle);
+
+  SummaryReporter reporter(&fx.ctx);
+  auto groups = reporter.Groups(outcome);
+  ASSERT_EQ(groups.size(), 1u);
+  const GroupReport& g = groups[0];
+  EXPECT_EQ(g.name, "Role:Audience");
+  EXPECT_EQ(g.member_names, (std::vector<std::string>{"U1", "U3"}));
+  // Attribute breakdown (Figure 7.6): one F and one M audience member.
+  EXPECT_EQ(g.attribute_histogram.at("Gender").at("F"), 1);
+  EXPECT_EQ(g.attribute_histogram.at("Gender").at("M"), 1);
+  EXPECT_EQ(g.attribute_histogram.at("Role").at("Audience"), 2);
+  // Aggregate contribution: MAX(3, 3) = 3 (Figure 7.5's AGG column).
+  ASSERT_TRUE(g.has_aggregate);
+  EXPECT_EQ(g.aggregate, 3.0);
+}
+
+TEST(SummaryReporterTest, AbsorbedGroupsAreSkipped) {
+  MovieFixture fx;
+  // Manually chain two merges so the first group is absorbed.
+  AnnotationId g1 = fx.registry.AddSummary(fx.user_domain, "G1");
+  AnnotationId g2 = fx.registry.AddSummary(fx.user_domain, "G2");
+  SummaryOutcome outcome{nullptr, MappingState(&fx.registry, PhiConfig{}),
+                         {},      0.0,
+                         0,       false,
+                         0,       0.0};
+  outcome.state.Merge({fx.u1, fx.u2}, g1);
+  outcome.state.Merge({g1, fx.u3}, g2);
+  outcome.summary = fx.p0->Apply(outcome.state.cumulative());
+
+  SummaryReporter reporter(&fx.ctx);
+  auto groups = reporter.Groups(outcome);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].name, "G2");
+  EXPECT_EQ(groups[0].member_names.size(), 3u);
+}
+
+TEST(SummaryReporterTest, TraceDescribesSteps) {
+  MovieFixture fx;
+  SummarizerOptions options;
+  options.w_dist = 1.0;
+  options.w_size = 0.0;
+  options.max_steps = 1;
+  options.group_equivalent_first = false;
+  std::vector<Valuation> valuations;
+  std::unique_ptr<EnumeratedDistance> oracle;
+  SummaryOutcome outcome = RunFixture(&fx, options, &valuations, &oracle);
+
+  SummaryReporter reporter(&fx.ctx);
+  auto trace = reporter.Trace(outcome);
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_NE(trace[0].find("step 1"), std::string::npos);
+  EXPECT_NE(trace[0].find("U1"), std::string::npos);
+  EXPECT_NE(trace[0].find("Role:Audience"), std::string::npos);
+}
+
+TEST(SummaryReporterTest, RollbackNotedInTrace) {
+  MovieFixture fx;
+  fx.constraints.SetRule(fx.user_domain, std::make_unique<SharedAttributeRule>(
+                                             std::vector<AttrId>{0}));
+  CancelSingleAnnotation cls(std::vector<DomainId>{fx.user_domain});
+  auto valuations = cls.Generate(*fx.p0, fx.ctx);
+  EuclideanValFunc vf;
+  EnumeratedDistance oracle(fx.p0.get(), &fx.registry, &vf, valuations);
+  SummarizerOptions options;
+  options.w_dist = 1.0;
+  options.w_size = 0.0;
+  options.target_dist = 1e-9;
+  options.group_equivalent_first = false;
+  Summarizer s(fx.p0.get(), &fx.registry, &fx.ctx, &fx.constraints, &oracle,
+               &valuations, options);
+  SummaryOutcome outcome = s.Run().MoveValue();
+  ASSERT_TRUE(outcome.rolled_back);
+
+  SummaryReporter reporter(&fx.ctx);
+  auto trace = reporter.Trace(outcome);
+  ASSERT_FALSE(trace.empty());
+  EXPECT_NE(trace.back().find("rolled back"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace prox

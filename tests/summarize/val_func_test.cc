@@ -1,0 +1,117 @@
+#include "summarize/val_func.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace prox {
+namespace {
+
+TEST(AbsoluteDifferenceTest, Scalars) {
+  AbsoluteDifferenceValFunc f;
+  EXPECT_EQ(f.Compute(EvalResult::Scalar(5), EvalResult::Scalar(3)), 2.0);
+  EXPECT_EQ(f.Compute(EvalResult::Scalar(3), EvalResult::Scalar(5)), 2.0);
+  EXPECT_EQ(f.Compute(EvalResult::Scalar(4), EvalResult::Scalar(4)), 0.0);
+}
+
+TEST(AbsoluteDifferenceTest, VectorsUseL1) {
+  AbsoluteDifferenceValFunc f;
+  EvalResult a = EvalResult::Vector({{1, 3.0}, {2, 1.0}});
+  EvalResult b = EvalResult::Vector({{1, 1.0}, {3, 2.0}});
+  // |3-1| + |1-0| + |0-2| = 5
+  EXPECT_EQ(f.Compute(a, b), 5.0);
+}
+
+TEST(AbsoluteDifferenceTest, MaxErrorIsAllTrueMass) {
+  AbsoluteDifferenceValFunc f;
+  EXPECT_EQ(f.MaxError(EvalResult::Scalar(5)), 5.0);
+  EXPECT_EQ(f.MaxError(EvalResult::Vector({{1, 3.0}, {2, 4.0}})), 7.0);
+}
+
+TEST(DisagreementTest, ZeroOnEqualOneOtherwise) {
+  DisagreementValFunc f;
+  EXPECT_EQ(f.Compute(EvalResult::Scalar(2), EvalResult::Scalar(2)), 0.0);
+  EXPECT_EQ(f.Compute(EvalResult::Scalar(2), EvalResult::Scalar(3)), 1.0);
+  EXPECT_EQ(f.Compute(EvalResult::Vector({{1, 1.0}}),
+                      EvalResult::Vector({{1, 1.0}})),
+            0.0);
+  EXPECT_EQ(f.Compute(EvalResult::Vector({{1, 1.0}}),
+                      EvalResult::Vector({{1, 2.0}})),
+            1.0);
+  EXPECT_EQ(f.MaxError(EvalResult::Scalar(100)), 1.0);
+}
+
+TEST(EuclideanTest, ScalarDegeneratesToAbsoluteDifference) {
+  EuclideanValFunc f;
+  EXPECT_EQ(f.Compute(EvalResult::Scalar(5), EvalResult::Scalar(2)), 3.0);
+}
+
+TEST(EuclideanTest, VectorL2Distance) {
+  EuclideanValFunc f;
+  EvalResult a = EvalResult::Vector({{1, 3.0}, {2, 0.0}});
+  EvalResult b = EvalResult::Vector({{1, 0.0}, {2, 4.0}});
+  EXPECT_DOUBLE_EQ(f.Compute(a, b), 5.0);  // sqrt(9 + 16)
+}
+
+TEST(EuclideanTest, DisjointKeysTreatedAsZeros) {
+  EuclideanValFunc f;
+  EvalResult a = EvalResult::Vector({{1, 3.0}});
+  EvalResult b = EvalResult::Vector({{2, 4.0}});
+  EXPECT_DOUBLE_EQ(f.Compute(a, b), 5.0);
+}
+
+TEST(EuclideanTest, Example521WikipediaDistance) {
+  // Example 5.2.1: projected original (guitarist: 2, singer: 0) vs summary
+  // (guitarist: 2, singer: 1) → distance 1.
+  EuclideanValFunc f;
+  EvalResult orig = EvalResult::Vector({{10, 2.0}, {11, 0.0}});
+  EvalResult summ = EvalResult::Vector({{10, 2.0}, {11, 1.0}});
+  EXPECT_DOUBLE_EQ(f.Compute(orig, summ), 1.0);
+}
+
+TEST(EuclideanTest, MaxErrorBoundsAnyBoxDistance) {
+  EuclideanValFunc f;
+  EvalResult all_true = EvalResult::Vector({{1, 3.0}, {2, 4.0}});
+  double bound = f.MaxError(all_true);
+  EXPECT_EQ(bound, 7.0);  // L1 norm
+  // The actual max L2 distance within the box is 5 ≤ 7.
+  EXPECT_GE(bound, f.Compute(all_true, EvalResult::Vector({})));
+}
+
+TEST(DdpDifferenceTest, BothFeasibleComparesCosts) {
+  DdpDifferenceValFunc f(10, 5);
+  EXPECT_EQ(f.Compute(EvalResult::CostBool(7, true),
+                      EvalResult::CostBool(4, true)),
+            3.0);
+}
+
+TEST(DdpDifferenceTest, BothInfeasibleIsZero) {
+  DdpDifferenceValFunc f(10, 5);
+  EXPECT_EQ(f.Compute(EvalResult::CostBool(0, false),
+                      EvalResult::CostBool(0, false)),
+            0.0);
+}
+
+TEST(DdpDifferenceTest, FeasibilityMismatchIsMaxError) {
+  // Example 5.2.2: max cost per transition (10) × transitions (5) = 50.
+  DdpDifferenceValFunc f(10, 5);
+  EXPECT_EQ(f.Compute(EvalResult::CostBool(7, true),
+                      EvalResult::CostBool(0, false)),
+            50.0);
+  EXPECT_EQ(f.MaxError(EvalResult::CostBool(0, true)), 50.0);
+}
+
+TEST(DdpDifferenceTest, CustomBoundsChangeMaxError) {
+  DdpDifferenceValFunc f(3, 4);
+  EXPECT_EQ(f.MaxError(EvalResult::CostBool(0, true)), 12.0);
+}
+
+TEST(ValFuncTest, Names) {
+  EXPECT_EQ(AbsoluteDifferenceValFunc().name(), "AbsoluteDifference");
+  EXPECT_EQ(DisagreementValFunc().name(), "Disagreement");
+  EXPECT_EQ(EuclideanValFunc().name(), "Euclidean");
+  EXPECT_EQ(DdpDifferenceValFunc().name(), "DdpDifference");
+}
+
+}  // namespace
+}  // namespace prox

@@ -1,0 +1,75 @@
+#ifndef PROX_TESTS_TESTING_FIXTURES_H_
+#define PROX_TESTS_TESTING_FIXTURES_H_
+
+#include <memory>
+#include <vector>
+
+#include "provenance/aggregate_expr.h"
+#include "provenance/annotation.h"
+#include "semantics/constraints.h"
+#include "semantics/context.h"
+
+namespace prox {
+namespace testing_fixtures {
+
+/// The running example of Chapters 3-4: users U1 (F, Audience),
+/// U2 (F, Critic), U3 (M, Audience) rating "Match Point" (3, 5, 3) and U2
+/// rating "Blue Jasmine" (4), MAX aggregation, users groupable when they
+/// share Gender or Role.
+struct MovieFixture {
+  AnnotationRegistry registry;
+  DomainId user_domain;
+  DomainId movie_domain;
+  AnnotationId u1, u2, u3;
+  AnnotationId match_point, blue_jasmine;
+  SemanticContext ctx;
+  ConstraintSet constraints;
+  std::unique_ptr<AggregateExpression> p0;
+
+  MovieFixture() {
+    user_domain = registry.AddDomain("user");
+    movie_domain = registry.AddDomain("movie");
+
+    EntityTable users("Users");
+    AttrId gender = users.AddAttribute("Gender");
+    AttrId role = users.AddAttribute("Role");
+    u1 = registry.Add(user_domain, "U1",
+                      users.AddRow({"F", "Audience"}).MoveValue())
+             .MoveValue();
+    u2 = registry.Add(user_domain, "U2",
+                      users.AddRow({"F", "Critic"}).MoveValue())
+             .MoveValue();
+    u3 = registry.Add(user_domain, "U3",
+                      users.AddRow({"M", "Audience"}).MoveValue())
+             .MoveValue();
+    match_point = registry.Add(movie_domain, "MatchPoint", kNoEntity)
+                      .MoveValue();
+    blue_jasmine = registry.Add(movie_domain, "BlueJasmine", kNoEntity)
+                       .MoveValue();
+
+    p0 = std::make_unique<AggregateExpression>(AggKind::kMax);
+    AddRating(u1, match_point, 3);
+    AddRating(u2, match_point, 5);
+    AddRating(u3, match_point, 3);
+    AddRating(u2, blue_jasmine, 4);
+    p0->Simplify();
+
+    ctx.registry = &registry;
+    ctx.tables.emplace(user_domain, std::move(users));
+    constraints.SetRule(user_domain, std::make_unique<SharedAttributeRule>(
+                                         std::vector<AttrId>{gender, role}));
+  }
+
+  void AddRating(AnnotationId user, AnnotationId movie, double score) {
+    TensorTerm t;
+    t.monomial = Monomial({user, movie});
+    t.group = movie;
+    t.value = AggValue{score, 1.0};
+    p0->AddTerm(std::move(t));
+  }
+};
+
+}  // namespace testing_fixtures
+}  // namespace prox
+
+#endif  // PROX_TESTS_TESTING_FIXTURES_H_

@@ -1,0 +1,65 @@
+#include "workflow/database.h"
+
+#include <gtest/gtest.h>
+
+namespace prox {
+namespace {
+
+TEST(AnnotatedTableTest, InsertAndLookup) {
+  AnnotatedTable t("Users", {"UID", "Gender"});
+  ASSERT_TRUE(t.Insert({"u1", "F"}, 7).ok());
+  ASSERT_TRUE(t.Insert({"u2", "M"}, 8).ok());
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.Value(0, "UID"), "u1");
+  EXPECT_EQ(t.Value(1, "Gender"), "M");
+  EXPECT_EQ(t.row(0).annotation, 7u);
+}
+
+TEST(AnnotatedTableTest, ArityMismatchRejected) {
+  AnnotatedTable t("Users", {"UID", "Gender"});
+  EXPECT_EQ(t.Insert({"u1"}).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AnnotatedTableTest, ColumnIndexErrors) {
+  AnnotatedTable t("Users", {"UID"});
+  EXPECT_TRUE(t.ColumnIndex("UID").ok());
+  EXPECT_EQ(t.ColumnIndex("Nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(AnnotatedTableTest, FindMatchesColumnValues) {
+  AnnotatedTable t("Stats", {"UID", "NumRate"});
+  ASSERT_TRUE(t.Insert({"u1", "1"}).ok());
+  ASSERT_TRUE(t.Insert({"u2", "3"}).ok());
+  ASSERT_TRUE(t.Insert({"u1", "5"}).ok());
+  EXPECT_EQ(t.Find("UID", "u1"), (std::vector<size_t>{0, 2}));
+  EXPECT_TRUE(t.Find("UID", "u9").empty());
+  EXPECT_TRUE(t.Find("NoColumn", "x").empty());
+}
+
+TEST(AnnotatedTableTest, MutableRowUpdates) {
+  AnnotatedTable t("Stats", {"UID", "NumRate"});
+  ASSERT_TRUE(t.Insert({"u1", "1"}).ok());
+  t.mutable_row(0)->values[1] = "2";
+  EXPECT_EQ(t.Value(0, "NumRate"), "2");
+}
+
+TEST(WorkflowDatabaseTest, CreateAndFetchTables) {
+  WorkflowDatabase db;
+  ASSERT_TRUE(db.CreateTable("Users", {"UID"}).ok());
+  EXPECT_TRUE(db.HasTable("Users"));
+  EXPECT_FALSE(db.HasTable("Stats"));
+  auto table = db.Table("Users");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table.value()->name(), "Users");
+  EXPECT_EQ(db.Table("Stats").status().code(), StatusCode::kNotFound);
+}
+
+TEST(WorkflowDatabaseTest, DuplicateTableRejected) {
+  WorkflowDatabase db;
+  ASSERT_TRUE(db.CreateTable("Users", {"UID"}).ok());
+  EXPECT_EQ(db.CreateTable("Users", {"UID"}).code(),
+            StatusCode::kAlreadyExists);
+}
+
+}  // namespace
+}  // namespace prox

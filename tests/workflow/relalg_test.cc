@@ -1,0 +1,149 @@
+// Positive relational algebra with semiring provenance — the [21]
+// substrate. The canonical checks: join multiplies, union/projection add,
+// and the derived polynomials evaluate correctly under truth valuations.
+
+#include "workflow/relalg.h"
+
+#include <gtest/gtest.h>
+
+namespace prox {
+namespace {
+
+/// R(a, b) = {(1, 2)@r1, (1, 3)@r2}; S(b, c) = {(2, 7)@s1, (3, 7)@s2}.
+struct RelalgFixture {
+  AnnotationRegistry registry;
+  AnnotationId r1, r2, s1, s2;
+  KRelation r{"R", {"a", "b"}};
+  KRelation s{"S", {"b", "c"}};
+
+  RelalgFixture() {
+    DomainId d = registry.AddDomain("tuple");
+    r1 = registry.Add(d, "r1").MoveValue();
+    r2 = registry.Add(d, "r2").MoveValue();
+    s1 = registry.Add(d, "s1").MoveValue();
+    s2 = registry.Add(d, "s2").MoveValue();
+    EXPECT_TRUE(r.InsertBase({"1", "2"}, r1).ok());
+    EXPECT_TRUE(r.InsertBase({"1", "3"}, r2).ok());
+    EXPECT_TRUE(s.InsertBase({"2", "7"}, s1).ok());
+    EXPECT_TRUE(s.InsertBase({"3", "7"}, s2).ok());
+  }
+};
+
+TEST(KRelationTest, BaseTuplesCarrySingleAnnotations) {
+  RelalgFixture fx;
+  EXPECT_EQ(fx.r.size(), 2u);
+  EXPECT_EQ(fx.r.tuples()[0].provenance, Polynomial::FromVar(fx.r1));
+}
+
+TEST(KRelationTest, UnannotatedBaseTupleIsOne) {
+  KRelation rel("T", {"x"});
+  ASSERT_TRUE(rel.InsertBase({"v"}, kNoAnnotation).ok());
+  EXPECT_EQ(rel.tuples()[0].provenance, Polynomial::One());
+}
+
+TEST(KRelationTest, ArityMismatchRejected) {
+  KRelation rel("T", {"x", "y"});
+  EXPECT_FALSE(rel.InsertBase({"v"}, kNoAnnotation).ok());
+}
+
+TEST(RelalgTest, SelectKeepsProvenance) {
+  RelalgFixture fx;
+  auto selected = relalg::SelectEq(fx.r, "b", "2");
+  ASSERT_TRUE(selected.ok());
+  ASSERT_EQ(selected.value().size(), 1u);
+  EXPECT_EQ(selected.value().tuples()[0].provenance,
+            Polynomial::FromVar(fx.r1));
+  EXPECT_FALSE(relalg::SelectEq(fx.r, "nope", "2").ok());
+}
+
+TEST(RelalgTest, JoinMultipliesProvenance) {
+  RelalgFixture fx;
+  auto joined = relalg::NaturalJoin(fx.r, fx.s);
+  ASSERT_TRUE(joined.ok());
+  ASSERT_EQ(joined.value().size(), 2u);
+  // (1,2,7) @ r1·s1 and (1,3,7) @ r2·s2.
+  EXPECT_EQ(joined.value().tuples()[0].provenance,
+            Polynomial::FromVar(fx.r1) * Polynomial::FromVar(fx.s1));
+  EXPECT_EQ(joined.value().tuples()[1].provenance,
+            Polynomial::FromVar(fx.r2) * Polynomial::FromVar(fx.s2));
+  EXPECT_EQ(joined.value().columns(),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(RelalgTest, JoinWithoutSharedColumnsRejected) {
+  RelalgFixture fx;
+  KRelation t("T", {"x"});
+  EXPECT_FALSE(relalg::NaturalJoin(fx.r, t).ok());
+}
+
+TEST(RelalgTest, ProjectionAddsAlternativeDerivations) {
+  // π_{a,c}(R ⋈ S): both joined tuples project to (1, 7), so the
+  // provenance is r1·s1 + r2·s2 — the classic [21] example shape.
+  RelalgFixture fx;
+  auto joined = relalg::NaturalJoin(fx.r, fx.s).MoveValue();
+  auto projected = relalg::Project(joined, {"a", "c"});
+  ASSERT_TRUE(projected.ok());
+  ASSERT_EQ(projected.value().size(), 1u);
+  Polynomial expected =
+      Polynomial::FromVar(fx.r1) * Polynomial::FromVar(fx.s1) +
+      Polynomial::FromVar(fx.r2) * Polynomial::FromVar(fx.s2);
+  EXPECT_EQ(projected.value().tuples()[0].provenance, expected);
+}
+
+TEST(RelalgTest, UnionAddsProvenanceOfEqualTuples) {
+  RelalgFixture fx;
+  KRelation r_copy("R2", {"a", "b"});
+  ASSERT_TRUE(r_copy.InsertBase({"1", "2"}, fx.s1).ok());  // same tuple
+  auto unioned = relalg::Union(fx.r, r_copy);
+  ASSERT_TRUE(unioned.ok());
+  ASSERT_EQ(unioned.value().size(), 2u);
+  EXPECT_EQ(unioned.value().tuples()[0].provenance,
+            Polynomial::FromVar(fx.r1) + Polynomial::FromVar(fx.s1));
+}
+
+TEST(RelalgTest, UnionRequiresSameSchema) {
+  RelalgFixture fx;
+  EXPECT_FALSE(relalg::Union(fx.r, fx.s).ok());
+}
+
+TEST(RelalgTest, DerivedProvenanceEvaluatesUnderValuations) {
+  // Deleting r2 and s1 from the database kills both derivations of the
+  // projected tuple; keeping r1, s1 keeps one.
+  RelalgFixture fx;
+  auto projected =
+      relalg::Project(relalg::NaturalJoin(fx.r, fx.s).MoveValue(),
+                      {"a", "c"})
+          .MoveValue();
+  const Polynomial& p = projected.tuples()[0].provenance;
+  auto truth_without = [&](std::vector<AnnotationId> dead) {
+    return p.EvaluateBool([&dead](Polynomial::Var v) {
+      return std::find(dead.begin(), dead.end(), v) == dead.end();
+    });
+  };
+  EXPECT_EQ(truth_without({}), 2u);              // both derivations
+  EXPECT_EQ(truth_without({fx.r2}), 1u);         // one left
+  EXPECT_EQ(truth_without({fx.r2, fx.s1}), 0u);  // gone
+}
+
+TEST(RelalgTest, ComposedQueryMatchesHandDerivation) {
+  // σ_{c=7}(R ⋈ S) then project to {b}: tuple (2)@r1·s1, (3)@r2·s2.
+  RelalgFixture fx;
+  auto joined = relalg::NaturalJoin(fx.r, fx.s).MoveValue();
+  auto filtered = relalg::SelectEq(joined, "c", "7").MoveValue();
+  auto projected = relalg::Project(filtered, {"b"}).MoveValue();
+  ASSERT_EQ(projected.size(), 2u);
+  EXPECT_EQ(projected.tuples()[0].values,
+            (std::vector<std::string>{"2"}));
+  EXPECT_EQ(projected.tuples()[0].provenance,
+            Polynomial::FromVar(fx.r1) * Polynomial::FromVar(fx.s1));
+}
+
+TEST(RelalgTest, ToStringShowsProvenance) {
+  RelalgFixture fx;
+  std::string text = fx.r.ToString(fx.registry);
+  EXPECT_NE(text.find("R(a, b)"), std::string::npos);
+  EXPECT_NE(text.find("@ r1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace prox
