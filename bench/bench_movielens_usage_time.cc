@@ -26,22 +26,25 @@ constexpr int kTimingReps = 200;
 double TimeEvaluations(const ProvenanceExpression& expr,
                        const MappingState* state,
                        const std::vector<Valuation>& valuations, size_t n) {
-  Timer timer;
+  int64_t total_nanos = 0;
   double sink = 0.0;
-  for (int rep = 0; rep < kTimingReps; ++rep) {
-    for (const Valuation& v : valuations) {
-      MaterializedValuation mat =
-          state != nullptr ? state->Transform(v, n)
-                           : MaterializedValuation(v, n);
-      EvalResult r = expr.Evaluate(mat);
-      sink += r.kind() == EvalResult::Kind::kVector
-                  ? (r.coords().empty() ? 0.0 : r.coords()[0].value)
-                  : r.scalar();
+  {
+    Timer::Scoped scope(&total_nanos);
+    for (int rep = 0; rep < kTimingReps; ++rep) {
+      for (const Valuation& v : valuations) {
+        MaterializedValuation mat =
+            state != nullptr ? state->Transform(v, n)
+                             : MaterializedValuation(v, n);
+        EvalResult r = expr.Evaluate(mat);
+        sink += r.kind() == EvalResult::Kind::kVector
+                    ? (r.coords().empty() ? 0.0 : r.coords()[0].value)
+                    : r.scalar();
+      }
     }
   }
   // Keep the optimizer honest.
   if (sink == -1.0) std::printf("impossible\n");
-  return static_cast<double>(timer.ElapsedNanos());
+  return static_cast<double>(total_nanos);
 }
 
 struct RatioRow {

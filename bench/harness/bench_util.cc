@@ -3,9 +3,11 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/timer.h"
 #include "datasets/ddp.h"
 #include "datasets/movielens.h"
 #include "datasets/wikipedia.h"
+#include "obs/metrics.h"
 #include "summarize/distance.h"
 
 namespace prox {
@@ -79,59 +81,112 @@ AlgoResult FromOutcome(const Result<SummaryOutcome>& outcome) {
 }  // namespace
 
 AlgoResult RunProvApprox(Dataset* ds, const RunConfig& config) {
-  std::vector<Valuation> valuations =
-      ds->valuation_class->Generate(*ds->provenance, ds->ctx);
-  EnumeratedDistance oracle(ds->provenance.get(), ds->registry.get(),
-                            ds->val_func.get(), valuations);
-  SummarizerOptions options;
-  options.w_dist = config.w_dist;
-  options.w_size = 1.0 - config.w_dist;
-  options.target_dist = config.target_dist;
-  options.target_size = config.target_size;
-  options.max_steps = config.max_steps;
-  options.candidates.arity = config.merge_arity;
-  options.use_ordinal_ranks = config.use_ordinal_ranks;
-  options.tie_break = config.tie_break;
-  options.phi = ds->phi;
-  Summarizer summarizer(ds->provenance.get(), ds->registry.get(), &ds->ctx,
-                        &ds->constraints, &oracle, &valuations, options);
-  return FromOutcome(summarizer.Run());
+  int64_t harness_nanos = 0;
+  AlgoResult r;
+  {
+    Timer::Scoped harness_timer(&harness_nanos);
+    std::vector<Valuation> valuations =
+        ds->valuation_class->Generate(*ds->provenance, ds->ctx);
+    EnumeratedDistance oracle(ds->provenance.get(), ds->registry.get(),
+                              ds->val_func.get(), valuations);
+    SummarizerOptions options;
+    options.w_dist = config.w_dist;
+    options.w_size = 1.0 - config.w_dist;
+    options.target_dist = config.target_dist;
+    options.target_size = config.target_size;
+    options.max_steps = config.max_steps;
+    options.candidates.arity = config.merge_arity;
+    options.use_ordinal_ranks = config.use_ordinal_ranks;
+    options.tie_break = config.tie_break;
+    options.phi = ds->phi;
+    Summarizer summarizer(ds->provenance.get(), ds->registry.get(), &ds->ctx,
+                          &ds->constraints, &oracle, &valuations, options);
+
+    // When prox::obs is live, attribute registry deltas to this run: the
+    // same quantities FromOutcome derives per-run, plus oracle-call counts
+    // the outcome does not carry. Falls back to outcome fields when
+    // recording is disabled (PROX_OBS=0 or -DPROX_OBS_DISABLED=ON).
+    if (!obs::Enabled()) {
+      r = FromOutcome(summarizer.Run());
+    } else {
+      const obs::MetricsSnapshot before =
+          obs::MetricsRegistry::Default().Snapshot();
+      Result<SummaryOutcome> outcome = summarizer.Run();
+      const obs::MetricsSnapshot after =
+          obs::MetricsRegistry::Default().Snapshot();
+      r = FromOutcome(outcome);
+      if (r.ok) {
+        const double scored =
+            after.CounterValue("prox_summarize_candidates_scored_total") -
+            before.CounterValue("prox_summarize_candidates_scored_total");
+        const double eval_nanos =
+            after.CounterValue("prox_summarize_candidate_eval_nanos_total") -
+            before.CounterValue("prox_summarize_candidate_eval_nanos_total");
+        if (scored > 0) r.avg_candidate_nanos = eval_nanos / scored;
+        r.steps = static_cast<int>(
+            after.CounterValue("prox_summarize_steps_total") -
+            before.CounterValue("prox_summarize_steps_total"));
+        r.total_nanos =
+            after.HistogramSum("prox_summarize_run_duration_nanos") -
+            before.HistogramSum("prox_summarize_run_duration_nanos");
+        r.distance_calls = static_cast<int64_t>(
+            after.CounterValue("prox_distance_enumerated_calls_total") -
+            before.CounterValue("prox_distance_enumerated_calls_total"));
+      }
+    }
+  }
+  r.harness_nanos = harness_nanos;
+  return r;
 }
 
 AlgoResult RunClustering(Dataset* ds, const RunConfig& config) {
   if (ds->features.empty()) return AlgoResult{};  // DDP: no feature vectors
-  std::vector<Valuation> valuations =
-      ds->valuation_class->Generate(*ds->provenance, ds->ctx);
-  EnumeratedDistance oracle(ds->provenance.get(), ds->registry.get(),
-                            ds->val_func.get(), valuations);
-  ClusteringOptions options;
-  options.linkage = Linkage::kSingle;  // the linkage §6.2 presents
-  options.target_dist = config.target_dist;
-  options.target_size = config.target_size;
-  options.max_steps = config.max_steps;
-  options.phi = ds->phi;
-  ClusteringSummarizer cs(ds->provenance.get(), ds->registry.get(), &ds->ctx,
-                          &ds->constraints, &oracle, options);
-  for (const auto& [domain, features] : ds->features) {
-    cs.SetFeatures(domain, features);
+  int64_t harness_nanos = 0;
+  AlgoResult r;
+  {
+    Timer::Scoped harness_timer(&harness_nanos);
+    std::vector<Valuation> valuations =
+        ds->valuation_class->Generate(*ds->provenance, ds->ctx);
+    EnumeratedDistance oracle(ds->provenance.get(), ds->registry.get(),
+                              ds->val_func.get(), valuations);
+    ClusteringOptions options;
+    options.linkage = Linkage::kSingle;  // the linkage §6.2 presents
+    options.target_dist = config.target_dist;
+    options.target_size = config.target_size;
+    options.max_steps = config.max_steps;
+    options.phi = ds->phi;
+    ClusteringSummarizer cs(ds->provenance.get(), ds->registry.get(), &ds->ctx,
+                            &ds->constraints, &oracle, options);
+    for (const auto& [domain, features] : ds->features) {
+      cs.SetFeatures(domain, features);
+    }
+    r = FromOutcome(cs.Run());
   }
-  return FromOutcome(cs.Run());
+  r.harness_nanos = harness_nanos;
+  return r;
 }
 
 AlgoResult RunRandom(Dataset* ds, const RunConfig& config) {
-  std::vector<Valuation> valuations =
-      ds->valuation_class->Generate(*ds->provenance, ds->ctx);
-  EnumeratedDistance oracle(ds->provenance.get(), ds->registry.get(),
-                            ds->val_func.get(), valuations);
-  RandomSummarizerOptions options;
-  options.target_dist = config.target_dist;
-  options.target_size = config.target_size;
-  options.max_steps = config.max_steps;
-  options.seed = config.random_seed;
-  options.phi = ds->phi;
-  RandomSummarizer rs(ds->provenance.get(), ds->registry.get(), &ds->ctx,
-                      &ds->constraints, &oracle, options);
-  return FromOutcome(rs.Run());
+  int64_t harness_nanos = 0;
+  AlgoResult r;
+  {
+    Timer::Scoped harness_timer(&harness_nanos);
+    std::vector<Valuation> valuations =
+        ds->valuation_class->Generate(*ds->provenance, ds->ctx);
+    EnumeratedDistance oracle(ds->provenance.get(), ds->registry.get(),
+                              ds->val_func.get(), valuations);
+    RandomSummarizerOptions options;
+    options.target_dist = config.target_dist;
+    options.target_size = config.target_size;
+    options.max_steps = config.max_steps;
+    options.seed = config.random_seed;
+    options.phi = ds->phi;
+    RandomSummarizer rs(ds->provenance.get(), ds->registry.get(), &ds->ctx,
+                        &ds->constraints, &oracle, options);
+    r = FromOutcome(rs.Run());
+  }
+  r.harness_nanos = harness_nanos;
+  return r;
 }
 
 TablePrinter::TablePrinter(std::vector<std::string> columns, int width)

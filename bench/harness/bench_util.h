@@ -48,6 +48,13 @@ struct AlgoResult {
   double avg_candidate_nanos = 0.0;
   int steps = 0;
   bool ok = false;
+  /// Wall time of the whole harness call (dataset-side setup + run),
+  /// measured with Timer::Scoped — an upper bound on total_nanos.
+  int64_t harness_nanos = 0;
+  /// Distance-oracle invocations attributed to this run (registry delta of
+  /// `prox_distance_enumerated_calls_total`; 0 when prox::obs is disabled
+  /// or for uninstrumented baselines).
+  int64_t distance_calls = 0;
 };
 
 /// Runs Prov-Approx (Algorithm 1) on the dataset's full provenance with

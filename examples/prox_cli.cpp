@@ -17,6 +17,15 @@
 ///   save <file>                 serialize the summary expression
 ///   step <k>                    show the expression after k merges
 ///   help | quit
+///
+/// Flags:
+///   --demo                run the built-in demo script and exit
+///   --metrics-out=<path>  on exit, write a Prometheus text snapshot of
+///                         the prox::obs metrics registry to <path>
+///   --trace-out=<path>    on exit, write the recorded trace spans
+///                         (run/step/candidate-eval/oracle hierarchy) as
+///                         JSON to <path>
+///   --help                print usage and exit
 
 #include <cstdio>
 #include <fstream>
@@ -26,6 +35,9 @@
 #include <vector>
 
 #include "datasets/movielens.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "provenance/io.h"
 #include "service/session.h"
 #include "summarize/report.h"
@@ -166,9 +178,59 @@ int RunCommand(ProxSession& session, const std::string& line) {
   return 0;
 }
 
+void PrintUsage() {
+  std::printf(
+      "usage: prox_cli [--demo] [--metrics-out=<path>] [--trace-out=<path>]\n"
+      "\n"
+      "  --demo                run the built-in demo script and exit\n"
+      "  --metrics-out=<path>  on exit, write a Prometheus text snapshot of\n"
+      "                        the prox::obs metrics registry to <path>\n"
+      "  --trace-out=<path>    on exit, write the recorded trace spans as\n"
+      "                        JSON to <path>\n"
+      "  --help                print this message and exit\n"
+      "\n"
+      "With no --demo, commands are read from stdin (type 'help').\n"
+      "Metric names are catalogued in docs/OBSERVABILITY.md; set PROX_OBS=0\n"
+      "to disable recording.\n");
+}
+
+/// Writes `text` to `path`, reporting failures on stderr.
+void WriteFileOrWarn(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "prox_cli: cannot open %s for writing\n",
+                 path.c_str());
+    return;
+  }
+  out << text;
+  std::fprintf(stderr, "prox_cli: wrote %zu bytes to %s\n", text.size(),
+               path.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool demo = false;
+  std::string metrics_out;
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--demo") {
+      demo = true;
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = arg.substr(std::string("--metrics-out=").size());
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(std::string("--trace-out=").size());
+    } else {
+      std::fprintf(stderr, "prox_cli: unknown flag %s\n", arg.c_str());
+      PrintUsage();
+      return 2;
+    }
+  }
+
   MovieLensConfig config;
   config.num_users = 25;
   config.num_movies = 8;
@@ -178,7 +240,6 @@ int main(int argc, char** argv) {
   std::printf("PROX — approximated provenance summarization "
               "(type 'help')\n\n");
 
-  const bool demo = argc > 1 && std::string(argv[1]) == "--demo";
   if (demo) {
     const char* script[] = {"titles",
                             "selectall",
@@ -191,14 +252,22 @@ int main(int argc, char** argv) {
       RunCommand(session, line);
       std::printf("\n");
     }
-    return 0;
+  } else {
+    std::string line;
+    std::printf("prox> ");
+    while (std::getline(std::cin, line)) {
+      if (RunCommand(session, line) != 0) break;
+      std::printf("prox> ");
+    }
   }
 
-  std::string line;
-  std::printf("prox> ");
-  while (std::getline(std::cin, line)) {
-    if (RunCommand(session, line) != 0) break;
-    std::printf("prox> ");
+  if (!metrics_out.empty()) {
+    WriteFileOrWarn(metrics_out, obs::RenderPrometheus(
+                                     obs::MetricsRegistry::Default().Snapshot()));
+  }
+  if (!trace_out.empty()) {
+    WriteFileOrWarn(trace_out,
+                    obs::RenderTraceJson(obs::TraceBuffer::Default().Snapshot()));
   }
   return 0;
 }

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Lint: every metric name literal ("prox_...") used in the sources must be
+# catalogued in docs/OBSERVABILITY.md, and every catalogued name must still
+# exist in the sources. Run from the repo root (CTest does:
+# `ctest -R check_metrics_names`).
+set -u
+
+cd "$(dirname "$0")/.."
+
+catalogue=docs/OBSERVABILITY.md
+if [[ ! -f "$catalogue" ]]; then
+  echo "check_metrics_names: missing $catalogue" >&2
+  exit 1
+fi
+
+# Metric name literals in the library, benches and examples. Quoted-string
+# matching keeps CMake target names (prox_common, ...) out; test sources
+# are excluded because they register throwaway prox_test_* metrics.
+used=$(grep -rhoE '"prox_[a-z0-9_]+"' src bench examples \
+         --include='*.cc' --include='*.h' --include='*.cpp' \
+       | tr -d '"' | sort -u)
+
+# Catalogued names: backticked prox_* words in the markdown tables.
+documented=$(grep -ohE '`prox_[a-z0-9_]+`' "$catalogue" \
+             | tr -d '`' | sort -u)
+
+status=0
+
+undocumented=$(comm -23 <(echo "$used") <(echo "$documented"))
+if [[ -n "$undocumented" ]]; then
+  echo "check_metrics_names: metric names used in the sources but not" \
+       "catalogued in $catalogue:" >&2
+  echo "$undocumented" | sed 's/^/  /' >&2
+  status=1
+fi
+
+stale=$(comm -13 <(echo "$used") <(echo "$documented"))
+if [[ -n "$stale" ]]; then
+  echo "check_metrics_names: metric names catalogued in $catalogue but" \
+       "absent from the sources:" >&2
+  echo "$stale" | sed 's/^/  /' >&2
+  status=1
+fi
+
+if [[ $status -eq 0 ]]; then
+  echo "check_metrics_names: $(echo "$used" | wc -l) metric names in sync"
+fi
+exit $status

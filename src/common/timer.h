@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <limits>
 
 namespace prox {
 
@@ -28,9 +29,38 @@ class Timer {
   double ElapsedMillis() const { return ElapsedNanos() / 1e6; }
   double ElapsedSeconds() const { return ElapsedNanos() / 1e9; }
 
+  class Scoped;
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// \brief RAII add-to-counter scope: accumulates the elapsed nanoseconds
+/// of its lifetime into `*sink` on destruction. The add saturates at
+/// INT64_MAX instead of wrapping, so long-lived accumulators stay
+/// meaningful (an overflowed total pins to the maximum rather than going
+/// negative).
+class Timer::Scoped {
+ public:
+  explicit Scoped(int64_t* sink) : sink_(sink) {}
+  ~Scoped() { *sink_ = SaturatingAdd(*sink_, timer_.ElapsedNanos()); }
+
+  Scoped(const Scoped&) = delete;
+  Scoped& operator=(const Scoped&) = delete;
+
+  /// Nanoseconds elapsed so far in this scope.
+  int64_t ElapsedNanos() const { return timer_.ElapsedNanos(); }
+
+  static int64_t SaturatingAdd(int64_t total, int64_t delta) {
+    if (delta < 0) delta = 0;  // clock anomalies never subtract
+    const int64_t max = std::numeric_limits<int64_t>::max();
+    return total > max - delta ? max : total + delta;
+  }
+
+ private:
+  Timer timer_;
+  int64_t* sink_;
 };
 
 }  // namespace prox

@@ -1,0 +1,166 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+namespace prox {
+namespace obs {
+
+namespace {
+
+/// Numbers render as integers when they are integral (bucket bounds,
+/// nanosecond sums) and as shortest-roundtrip decimals otherwise, so
+/// golden files stay readable and byte-stable.
+std::string FormatNumber(double value) {
+  char buf[64];
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::fabs(value) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+  }
+  return buf;
+}
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string SampleName(const std::string& name, const std::string& labels) {
+  if (labels.empty()) return name;
+  return name + "{" + labels + "}";
+}
+
+/// `le` label value: bucket bound, or "+Inf" for the overflow bucket.
+std::string LeLabel(const std::string& labels, const std::string& le) {
+  std::string all = "le=\"" + le + "\"";
+  if (!labels.empty()) all = labels + "," + all;
+  return all;
+}
+
+void AppendHelpType(std::string* out, std::set<std::string>* seen,
+                    const std::string& name, const std::string& help,
+                    const char* type) {
+  if (!seen->insert(name).second) return;  // one family header per name
+  *out += "# HELP " + name + " " + help + "\n";
+  *out += "# TYPE " + name + " " + std::string(type) + "\n";
+}
+
+}  // namespace
+
+std::string RenderPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  std::set<std::string> seen;
+  for (const CounterSample& c : snapshot.counters) {
+    AppendHelpType(&out, &seen, c.name, c.help, "counter");
+    out += SampleName(c.name, c.labels) + " " +
+           std::to_string(c.value) + "\n";
+  }
+  for (const GaugeSample& g : snapshot.gauges) {
+    AppendHelpType(&out, &seen, g.name, g.help, "gauge");
+    out += SampleName(g.name, g.labels) + " " + FormatNumber(g.value) + "\n";
+  }
+  for (const HistogramSample& h : snapshot.histograms) {
+    AppendHelpType(&out, &seen, h.name, h.help, "histogram");
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += h.bucket_counts[i];
+      out += h.name + "_bucket{" +
+             LeLabel(h.labels, FormatNumber(h.bounds[i])) + "} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += h.name + "_bucket{" + LeLabel(h.labels, "+Inf") + "} " +
+           std::to_string(h.count) + "\n";
+    out += SampleName(h.name + "_sum", h.labels) + " " +
+           FormatNumber(h.sum) + "\n";
+    out += SampleName(h.name + "_count", h.labels) + " " +
+           std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+std::string RenderMetricsJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\n  \"counters\": [";
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    const CounterSample& c = snapshot.counters[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": \"" + JsonEscape(c.name) + "\", \"labels\": \"" +
+           JsonEscape(c.labels) + "\", \"value\": " +
+           std::to_string(c.value) + "}";
+  }
+  out += snapshot.counters.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"gauges\": [";
+  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    const GaugeSample& g = snapshot.gauges[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": \"" + JsonEscape(g.name) + "\", \"labels\": \"" +
+           JsonEscape(g.labels) + "\", \"value\": " + FormatNumber(g.value) +
+           "}";
+  }
+  out += snapshot.gauges.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"histograms\": [";
+  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const HistogramSample& h = snapshot.histograms[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": \"" + JsonEscape(h.name) + "\", \"labels\": \"" +
+           JsonEscape(h.labels) + "\", \"buckets\": [";
+    for (size_t b = 0; b < h.bounds.size(); ++b) {
+      if (b > 0) out += ", ";
+      out += "{\"le\": " + FormatNumber(h.bounds[b]) + ", \"count\": " +
+             std::to_string(h.bucket_counts[b]) + "}";
+    }
+    if (!h.bounds.empty()) out += ", ";
+    out += "{\"le\": \"+Inf\", \"count\": " +
+           std::to_string(h.bucket_counts.back()) + "}";
+    out += "], \"count\": " + std::to_string(h.count) + ", \"sum\": " +
+           FormatNumber(h.sum) + "}";
+  }
+  out += snapshot.histograms.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+std::string RenderTraceJson(const std::vector<SpanRecord>& spans) {
+  std::string out = "{\n  \"clock\": \"steady_nanos_since_trace_epoch\",\n";
+  out += "  \"spans\": [";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& s = spans[i];
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"id\": %" PRIu64 ", \"parent\": %" PRIu64
+                  ", \"depth\": %d, \"name\": \"%s\", \"start_nanos\": "
+                  "%" PRId64 ", \"duration_nanos\": %" PRId64 "}",
+                  s.id, s.parent_id, s.depth, s.name, s.start_nanos,
+                  s.duration_nanos);
+    out += i == 0 ? "\n" : ",\n";
+    out += buf;
+  }
+  out += spans.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace prox

@@ -1,0 +1,37 @@
+#ifndef PROX_OBS_EXPORT_H_
+#define PROX_OBS_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace prox {
+namespace obs {
+
+/// \brief Renderers for metric snapshots and trace buffers.
+///
+/// Like provenance/io.h these emit stable ASCII formats meant for
+/// machines: the Prometheus text exposition format (scrapeable as-is) and
+/// a line-oriented JSON document (diffable between two runs with any JSON
+/// tool). Output order is registration/completion order, so two renders of
+/// the same state are byte-identical.
+
+/// Prometheus text format: `# HELP` / `# TYPE` per metric family, then one
+/// sample line per (labels) variant; histograms expand into cumulative
+/// `_bucket{le=...}` series plus `_sum` and `_count`.
+std::string RenderPrometheus(const MetricsSnapshot& snapshot);
+
+/// The same snapshot as a JSON object with "counters", "gauges" and
+/// "histograms" arrays.
+std::string RenderMetricsJson(const MetricsSnapshot& snapshot);
+
+/// A trace as a JSON object: {"clock": "...", "spans": [...]}, spans in
+/// completion order with id/parent/depth/name/start/duration fields.
+std::string RenderTraceJson(const std::vector<SpanRecord>& spans);
+
+}  // namespace obs
+}  // namespace prox
+
+#endif  // PROX_OBS_EXPORT_H_

@@ -1,0 +1,252 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+
+#include "common/str_util.h"
+
+namespace prox {
+namespace obs {
+
+namespace internal {
+
+namespace {
+
+bool EnabledFromEnv() {
+  const char* env = std::getenv("PROX_OBS");
+  if (env == nullptr) return true;
+  std::string value = ToLowerAscii(env);
+  return !(value == "0" || value == "off" || value == "false");
+}
+
+}  // namespace
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> flag(EnabledFromEnv());
+  return flag;
+}
+
+}  // namespace internal
+
+void SetEnabled(bool enabled) {
+  internal::EnabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  bucket_counts_ = std::vector<std::atomic<uint64_t>>(bounds_.size() + 1);
+}
+
+void Histogram::Observe(double value) {
+  if (!Enabled()) return;
+  // First bound >= value; past-the-end = the +Inf bucket.
+  size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  bucket_counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  internal::AtomicAddDouble(&sum_, value);
+}
+
+void Histogram::Reset() {
+  for (auto& c : bucket_counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> LatencyBucketsNanos() {
+  return {1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10};
+}
+
+std::vector<double> CountBuckets() {
+  return {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 5000};
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot lookups
+// ---------------------------------------------------------------------------
+
+namespace {
+
+template <typename Sample>
+const Sample* FindSample(const std::vector<Sample>& samples,
+                         std::string_view name, std::string_view labels) {
+  for (const Sample& s : samples) {
+    if (s.name == name && s.labels == labels) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const CounterSample* MetricsSnapshot::FindCounter(
+    std::string_view name, std::string_view labels) const {
+  return FindSample(counters, name, labels);
+}
+
+const GaugeSample* MetricsSnapshot::FindGauge(std::string_view name,
+                                              std::string_view labels) const {
+  return FindSample(gauges, name, labels);
+}
+
+const HistogramSample* MetricsSnapshot::FindHistogram(
+    std::string_view name, std::string_view labels) const {
+  return FindSample(histograms, name, labels);
+}
+
+double MetricsSnapshot::CounterValue(std::string_view name,
+                                     std::string_view labels) const {
+  const CounterSample* s = FindCounter(name, labels);
+  return s == nullptr ? 0.0 : static_cast<double>(s->value);
+}
+
+double MetricsSnapshot::HistogramSum(std::string_view name) const {
+  const HistogramSample* s = FindHistogram(name);
+  return s == nullptr ? 0.0 : s->sum;
+}
+
+uint64_t MetricsSnapshot::HistogramCount(std::string_view name) const {
+  const HistogramSample* s = FindHistogram(name);
+  return s == nullptr ? 0 : s->count;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::FindEntry(const std::string& name,
+                                                   const std::string& labels) {
+  for (const auto& e : entries_) {
+    if (e->name == name && e->labels == labels) return e.get();
+  }
+  return nullptr;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help,
+                                     const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* existing = FindEntry(name, labels)) {
+    if (existing->kind == Kind::kCounter) return existing->counter.get();
+    assert(false && "metric re-registered with a different type");
+    static Counter* fallback = new Counter();  // detached, never exported
+    return fallback;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->kind = Kind::kCounter;
+  entry->name = name;
+  entry->labels = labels;
+  entry->help = help;
+  entry->counter = std::unique_ptr<Counter>(new Counter());
+  Counter* out = entry->counter.get();
+  entries_.push_back(std::move(entry));
+  return out;
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help,
+                                 const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* existing = FindEntry(name, labels)) {
+    if (existing->kind == Kind::kGauge) return existing->gauge.get();
+    assert(false && "metric re-registered with a different type");
+    static Gauge* fallback = new Gauge();
+    return fallback;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->kind = Kind::kGauge;
+  entry->name = name;
+  entry->labels = labels;
+  entry->help = help;
+  entry->gauge = std::unique_ptr<Gauge>(new Gauge());
+  Gauge* out = entry->gauge.get();
+  entries_.push_back(std::move(entry));
+  return out;
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help,
+                                         std::vector<double> bounds,
+                                         const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* existing = FindEntry(name, labels)) {
+    if (existing->kind == Kind::kHistogram) return existing->histogram.get();
+    assert(false && "metric re-registered with a different type");
+    static Histogram* fallback = new Histogram({1.0});
+    return fallback;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->kind = Kind::kHistogram;
+  entry->name = name;
+  entry->labels = labels;
+  entry->help = help;
+  entry->histogram =
+      std::unique_ptr<Histogram>(new Histogram(std::move(bounds)));
+  Histogram* out = entry->histogram.get();
+  entries_.push_back(std::move(entry));
+  return out;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  for (const auto& e : entries_) {
+    switch (e->kind) {
+      case Kind::kCounter:
+        snapshot.counters.push_back(
+            {e->name, e->labels, e->help, e->counter->value()});
+        break;
+      case Kind::kGauge:
+        snapshot.gauges.push_back(
+            {e->name, e->labels, e->help, e->gauge->value()});
+        break;
+      case Kind::kHistogram: {
+        HistogramSample s;
+        s.name = e->name;
+        s.labels = e->labels;
+        s.help = e->help;
+        s.bounds = e->histogram->bounds();
+        s.bucket_counts.reserve(e->histogram->bucket_counts_.size());
+        for (const auto& c : e->histogram->bucket_counts_) {
+          s.bucket_counts.push_back(c.load(std::memory_order_relaxed));
+        }
+        s.count = e->histogram->count();
+        s.sum = e->histogram->sum();
+        snapshot.histograms.push_back(std::move(s));
+        break;
+      }
+    }
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::ResetValues() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& e : entries_) {
+    switch (e->kind) {
+      case Kind::kCounter:
+        e->counter->Reset();
+        break;
+      case Kind::kGauge:
+        e->gauge->Reset();
+        break;
+      case Kind::kHistogram:
+        e->histogram->Reset();
+        break;
+    }
+  }
+}
+
+}  // namespace obs
+}  // namespace prox

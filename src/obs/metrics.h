@@ -1,0 +1,229 @@
+#ifndef PROX_OBS_METRICS_H_
+#define PROX_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace prox {
+namespace obs {
+
+/// \brief Process-wide metrics: named counters, gauges and fixed-bucket
+/// histograms (docs/OBSERVABILITY.md lists every metric the library
+/// records).
+///
+/// Hot-path writes are single relaxed atomic operations; readers take a
+/// consistent-enough snapshot without stopping writers (counters may be
+/// mid-increment across metrics, each individual value is atomic). Metric
+/// objects live for the process lifetime, so instrumentation sites can
+/// cache the pointer in a function-local static.
+///
+/// Two kill switches:
+///  * runtime — SetEnabled(false), or the PROX_OBS env var ("0" / "off" /
+///    "false" disables recording at startup);
+///  * compile time — building with -DPROX_OBS_DISABLED turns every record
+///    operation into a no-op the optimizer can delete.
+
+namespace internal {
+
+std::atomic<bool>& EnabledFlag();
+
+/// fetch_add for atomic<double> without relying on C++20 library support
+/// for floating-point fetch_add.
+inline void AtomicAddDouble(std::atomic<double>* target, double delta) {
+  double current = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(current, current + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace internal
+
+/// True when metric/trace recording is on (the default).
+#ifdef PROX_OBS_DISABLED
+inline bool Enabled() { return false; }
+#else
+inline bool Enabled() {
+  return internal::EnabledFlag().load(std::memory_order_relaxed);
+}
+#endif
+
+/// Runtime kill switch. A no-op in PROX_OBS_DISABLED builds.
+void SetEnabled(bool enabled);
+
+/// A monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    if (!Enabled()) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A value that can go up and down (e.g. current expression size).
+class Gauge {
+ public:
+  void Set(double value) {
+    if (!Enabled()) return;
+    value_.store(value, std::memory_order_relaxed);
+  }
+
+  void Add(double delta) {
+    if (!Enabled()) return;
+    internal::AtomicAddDouble(&value_, delta);
+  }
+
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+  std::atomic<double> value_{0.0};
+};
+
+/// A fixed-bucket histogram with Prometheus `le` (inclusive upper bound)
+/// semantics: observation v lands in the first bucket whose bound >= v;
+/// values above every bound land in the implicit +Inf bucket.
+class Histogram {
+ public:
+  void Observe(double value);
+
+  /// Sorted inclusive upper bounds (the +Inf bucket is implicit).
+  const std::vector<double>& bounds() const { return bounds_; }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<double> bounds);
+  void Reset();
+
+  std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> bucket_counts_;  // bounds + 1 (+Inf)
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Latency buckets for nanosecond durations: decades from 1 µs to 10 s.
+std::vector<double> LatencyBucketsNanos();
+
+/// Buckets for small cardinalities (candidates per step and the like).
+std::vector<double> CountBuckets();
+
+// ---------------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------------
+
+struct CounterSample {
+  std::string name;
+  std::string labels;  ///< rendered label list, e.g. `code="NotFound"`
+  std::string help;
+  uint64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  std::string labels;
+  std::string help;
+  double value = 0.0;
+};
+
+struct HistogramSample {
+  std::string name;
+  std::string labels;
+  std::string help;
+  std::vector<double> bounds;
+  std::vector<uint64_t> bucket_counts;  ///< per bucket, NOT cumulative
+  uint64_t count = 0;
+  double sum = 0.0;
+};
+
+/// A point-in-time copy of every registered metric, in registration order.
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  const CounterSample* FindCounter(std::string_view name,
+                                   std::string_view labels = "") const;
+  const GaugeSample* FindGauge(std::string_view name,
+                               std::string_view labels = "") const;
+  const HistogramSample* FindHistogram(std::string_view name,
+                                       std::string_view labels = "") const;
+
+  /// Convenience lookups returning 0 when the metric is absent.
+  double CounterValue(std::string_view name,
+                      std::string_view labels = "") const;
+  double HistogramSum(std::string_view name) const;
+  uint64_t HistogramCount(std::string_view name) const;
+};
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// \brief Owner of all metrics. Registration takes a mutex (call sites
+/// cache the returned pointer); recording never does.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry every instrumentation site uses.
+  static MetricsRegistry& Default();
+
+  /// Returns the metric registered under (name, labels), creating it on
+  /// first use. Re-registering an existing name with a different metric
+  /// type is a programming error; the call then returns a detached
+  /// fallback metric (never nullptr) that is not exported.
+  Counter* GetCounter(const std::string& name, const std::string& help,
+                      const std::string& labels = "");
+  Gauge* GetGauge(const std::string& name, const std::string& help,
+                  const std::string& labels = "");
+  Histogram* GetHistogram(const std::string& name, const std::string& help,
+                          std::vector<double> bounds,
+                          const std::string& labels = "");
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every value. Metric pointers stay valid (benchmarks and tests
+  /// isolate runs without re-registering).
+  void ResetValues();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Entry {
+    Kind kind;
+    std::string name;
+    std::string labels;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* FindEntry(const std::string& name, const std::string& labels);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_;  // registration order
+};
+
+}  // namespace obs
+}  // namespace prox
+
+#endif  // PROX_OBS_METRICS_H_

@@ -1,0 +1,154 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace prox {
+namespace obs {
+
+namespace {
+
+std::atomic<TraceSink*> g_default_sink{nullptr};
+std::atomic<uint64_t> g_next_span_id{1};
+
+// The open-span stack of the current thread, for parent/depth assignment.
+thread_local uint64_t tls_current_span = 0;
+thread_local int tls_depth = 0;
+
+}  // namespace
+
+int64_t TraceNowNanos() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              epoch)
+      .count();
+}
+
+// ---------------------------------------------------------------------------
+// TraceBuffer
+// ---------------------------------------------------------------------------
+
+TraceBuffer::TraceBuffer(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_ < 1024 ? capacity_ : 1024);
+}
+
+TraceBuffer& TraceBuffer::Default() {
+  static TraceBuffer* buffer = new TraceBuffer();
+  return *buffer;
+}
+
+void TraceBuffer::OnSpanEnd(const SpanRecord& span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(span);
+  } else {
+    ring_[next_] = span;
+    next_ = (next_ + 1) % capacity_;
+  }
+  ++total_;
+}
+
+std::vector<SpanRecord> TraceBuffer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  // `next_` is the oldest entry once the ring has wrapped.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void TraceBuffer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  total_ = 0;
+}
+
+size_t TraceBuffer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+uint64_t TraceBuffer::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+uint64_t TraceBuffer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ - ring_.size();
+}
+
+// ---------------------------------------------------------------------------
+// Default sink
+// ---------------------------------------------------------------------------
+
+TraceSink* DefaultTraceSink() {
+  TraceSink* sink = g_default_sink.load(std::memory_order_acquire);
+  return sink != nullptr ? sink : &TraceBuffer::Default();
+}
+
+void SetDefaultTraceSink(TraceSink* sink) {
+  g_default_sink.store(sink, std::memory_order_release);
+}
+
+// ---------------------------------------------------------------------------
+// TraceSpan
+// ---------------------------------------------------------------------------
+
+TraceSpan::TraceSpan(const char* name, TraceSink* sink)
+    : name_(name), sink_(sink != nullptr ? sink : DefaultTraceSink()) {
+  start_nanos_ = TraceNowNanos();
+  recording_ = Enabled();
+  if (recording_) {
+    id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+    parent_id_ = tls_current_span;
+    depth_ = tls_depth;
+    tls_current_span = id_;
+    ++tls_depth;
+  }
+}
+
+TraceSpan::~TraceSpan() { Close(); }
+
+int64_t TraceSpan::Close() {
+  if (closed_) return duration_nanos_;
+  closed_ = true;
+  duration_nanos_ = TraceNowNanos() - start_nanos_;
+  if (recording_) {
+    tls_current_span = parent_id_;
+    tls_depth = depth_;
+    SpanRecord record;
+    record.id = id_;
+    record.parent_id = parent_id_;
+    record.depth = depth_;
+    record.name = name_;
+    record.start_nanos = start_nanos_;
+    record.duration_nanos = duration_nanos_;
+    sink_->OnSpanEnd(record);
+  }
+  return duration_nanos_;
+}
+
+void TraceSpan::Cancel() {
+  if (closed_) return;
+  closed_ = true;
+  duration_nanos_ = TraceNowNanos() - start_nanos_;
+  if (recording_) {
+    tls_current_span = parent_id_;
+    tls_depth = depth_;
+  }
+}
+
+int64_t TraceSpan::ElapsedNanos() const {
+  return closed_ ? duration_nanos_ : TraceNowNanos() - start_nanos_;
+}
+
+}  // namespace obs
+}  // namespace prox

@@ -1,0 +1,119 @@
+#ifndef PROX_OBS_TRACE_H_
+#define PROX_OBS_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace prox {
+namespace obs {
+
+/// \brief Hierarchical trace spans for the summarization hot path
+/// (run → step → candidate-eval → oracle-distance; the full hierarchy is
+/// diagrammed in docs/OBSERVABILITY.md).
+///
+/// A TraceSpan is an RAII scope: it reads the monotonic clock on entry and
+/// records a SpanRecord into a sink on Close()/destruction. Parent/child
+/// links come from a thread-local span stack, so nesting needs no manual
+/// plumbing. Spans always *measure* time — callers may use Close() as
+/// their timer — but only *record* when obs::Enabled() (the same kill
+/// switches as the metrics registry).
+
+/// One completed span. `name` must be a string literal (records keep the
+/// pointer, not a copy).
+struct SpanRecord {
+  uint64_t id = 0;
+  uint64_t parent_id = 0;  ///< 0 = root span
+  int depth = 0;
+  const char* name = "";
+  int64_t start_nanos = 0;  ///< since the process trace epoch (monotonic)
+  int64_t duration_nanos = 0;
+};
+
+/// Destination for completed spans.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void OnSpanEnd(const SpanRecord& span) = 0;
+};
+
+/// \brief Bounded ring buffer of the most recent spans — the default sink.
+class TraceBuffer : public TraceSink {
+ public:
+  static constexpr size_t kDefaultCapacity = 1 << 16;
+
+  explicit TraceBuffer(size_t capacity = kDefaultCapacity);
+
+  /// The process-wide buffer spans record into unless a sink is installed.
+  static TraceBuffer& Default();
+
+  void OnSpanEnd(const SpanRecord& span) override;
+
+  /// Buffered spans, oldest first (completion order).
+  std::vector<SpanRecord> Snapshot() const;
+
+  void Clear();
+  size_t size() const;
+  uint64_t total_recorded() const;
+  /// Spans evicted by the ring bound since construction / Clear().
+  uint64_t dropped() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> ring_;
+  size_t capacity_;
+  size_t next_ = 0;         // ring write position
+  uint64_t total_ = 0;      // spans ever recorded
+};
+
+/// The sink new spans record into when none is passed explicitly.
+TraceSink* DefaultTraceSink();
+/// Replaces the default sink (nullptr restores TraceBuffer::Default()).
+void SetDefaultTraceSink(TraceSink* sink);
+
+/// Nanoseconds since the process trace epoch (monotonic clock; the epoch
+/// is captured on first use).
+int64_t TraceNowNanos();
+
+/// \brief RAII span scope. Open at construction, closed by Close() or the
+/// destructor, whichever comes first.
+class TraceSpan {
+ public:
+  /// \param name static string literal identifying the span kind
+  /// \param sink destination override; default = DefaultTraceSink()
+  explicit TraceSpan(const char* name, TraceSink* sink = nullptr);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Ends the span, records it, and returns its duration in nanoseconds.
+  /// Idempotent: later calls return the same duration. Callers use this
+  /// value as their own timing — span data and reported timings are one
+  /// measurement, not parallel bookkeeping.
+  int64_t Close();
+
+  /// Ends the span WITHOUT recording it (for scopes that turn out to be
+  /// no-ops, e.g. a greedy step that finds no candidates). The span stack
+  /// is still unwound. A no-op after Close().
+  void Cancel();
+
+  /// Nanoseconds since the span opened (its duration once closed).
+  int64_t ElapsedNanos() const;
+
+ private:
+  const char* name_;
+  TraceSink* sink_;
+  int64_t start_nanos_;
+  int64_t duration_nanos_ = 0;
+  uint64_t id_ = 0;
+  uint64_t parent_id_ = 0;
+  int depth_ = 0;
+  bool recording_ = false;
+  bool closed_ = false;
+};
+
+}  // namespace obs
+}  // namespace prox
+
+#endif  // PROX_OBS_TRACE_H_

@@ -1,6 +1,7 @@
 #include "service/evaluator_service.h"
 
-#include "common/timer.h"
+#include "obs/trace.h"
+#include "service/service_metrics.h"
 
 namespace prox {
 
@@ -39,6 +40,22 @@ Result<Valuation> EvaluatorService::ResolveAssignment(
 Result<EvaluationReport> EvaluatorService::Evaluate(
     const ProvenanceExpression& expr, const MappingState* state,
     const Assignment& assignment) const {
+  static obs::Counter* requests = ServiceRequests("evaluate");
+  static obs::Histogram* duration =
+      ServiceDuration("prox_service_evaluate_duration_nanos");
+  requests->Increment();
+  obs::TraceSpan span("service.evaluate");
+  Result<EvaluationReport> result = EvaluateImpl(expr, state, assignment);
+  duration->Observe(static_cast<double>(span.Close()));
+  if (!result.ok()) {
+    ServiceErrors("evaluate", result.status().code())->Increment();
+  }
+  return result;
+}
+
+Result<EvaluationReport> EvaluatorService::EvaluateImpl(
+    const ProvenanceExpression& expr, const MappingState* state,
+    const Assignment& assignment) const {
   Valuation base;
   PROX_ASSIGN_OR_RETURN(base, ResolveAssignment(assignment));
 
@@ -47,9 +64,9 @@ Result<EvaluationReport> EvaluatorService::Evaluate(
       state != nullptr ? state->Transform(base, n)
                        : MaterializedValuation(base, n);
 
-  Timer timer;
+  obs::TraceSpan eval_span("evaluate.apply");
   EvalResult result = expr.Evaluate(mat);
-  const int64_t nanos = timer.ElapsedNanos();
+  const int64_t nanos = eval_span.Close();
 
   EvaluationReport report;
   report.eval_nanos = nanos;

@@ -44,12 +44,21 @@ class EvaluatorService {
   /// Evaluates `expr` under `assignment`. When `state` is given (the
   /// expression is a summary), the valuation is first transformed into
   /// v^{h,φ} so summary annotations receive their combined truth values —
-  /// approximate provisioning on the summary.
+  /// approximate provisioning on the summary. Instrumented: counted in
+  /// `prox_service_requests_total` / `prox_service_errors_total`
+  /// (service="evaluate"), timed by the "service.evaluate" trace span and
+  /// the `prox_service_evaluate_duration_nanos` histogram; the inner
+  /// expression evaluation is the "evaluate.apply" span, whose duration is
+  /// EvaluationReport::eval_nanos.
   Result<EvaluationReport> Evaluate(const ProvenanceExpression& expr,
                                     const MappingState* state,
                                     const Assignment& assignment) const;
 
  private:
+  Result<EvaluationReport> EvaluateImpl(const ProvenanceExpression& expr,
+                                        const MappingState* state,
+                                        const Assignment& assignment) const;
+
   const Dataset* dataset_;
 };
 

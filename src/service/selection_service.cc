@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "common/str_util.h"
+#include "obs/trace.h"
 #include "provenance/aggregate_expr.h"
+#include "service/service_metrics.h"
 
 namespace prox {
 
@@ -77,6 +79,21 @@ bool SelectionService::GroupMatches(AnnotationId group,
 }
 
 Result<std::unique_ptr<ProvenanceExpression>> SelectionService::Select(
+    const SelectionCriteria& criteria) const {
+  static obs::Counter* requests = ServiceRequests("select");
+  static obs::Histogram* duration =
+      ServiceDuration("prox_service_select_duration_nanos");
+  requests->Increment();
+  obs::TraceSpan span("service.select");
+  Result<std::unique_ptr<ProvenanceExpression>> result = SelectImpl(criteria);
+  duration->Observe(static_cast<double>(span.Close()));
+  if (!result.ok()) {
+    ServiceErrors("select", result.status().code())->Increment();
+  }
+  return result;
+}
+
+Result<std::unique_ptr<ProvenanceExpression>> SelectionService::SelectImpl(
     const SelectionCriteria& criteria) const {
   const auto* agg =
       dynamic_cast<const AggregateExpression*>(dataset_->provenance.get());

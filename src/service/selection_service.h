@@ -39,11 +39,18 @@ class SelectionService {
   std::vector<std::string> SearchTitles(const std::string& substring) const;
 
   /// The sub-expression covering exactly the matching groups. Errors when
-  /// the criteria match nothing or name unknown titles.
+  /// the criteria match nothing or name unknown titles. Instrumented:
+  /// counted in `prox_service_requests_total` /
+  /// `prox_service_errors_total` (service="select"), timed by the
+  /// "service.select" trace span and the
+  /// `prox_service_select_duration_nanos` histogram.
   Result<std::unique_ptr<ProvenanceExpression>> Select(
       const SelectionCriteria& criteria) const;
 
  private:
+  Result<std::unique_ptr<ProvenanceExpression>> SelectImpl(
+      const SelectionCriteria& criteria) const;
+
   bool GroupMatches(AnnotationId group, const SelectionCriteria& c) const;
 
   const Dataset* dataset_;

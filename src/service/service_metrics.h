@@ -1,0 +1,47 @@
+#ifndef PROX_SERVICE_SERVICE_METRICS_H_
+#define PROX_SERVICE_SERVICE_METRICS_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace prox {
+
+/// \file
+/// Per-service request / error / latency metric families
+/// (docs/OBSERVABILITY.md). Labels are pre-rendered strings: the registry
+/// keys metrics by (name, labels), so each service — and each
+/// (service, code) combination for errors — is its own time series.
+///
+/// Request counters and duration histograms are looked up once per call
+/// site (cache the pointer in a function-local static); error counters are
+/// looked up on the error path only, since the code label varies.
+
+/// `prox_service_requests_total{service="..."}`.
+inline obs::Counter* ServiceRequests(const std::string& service) {
+  return obs::MetricsRegistry::Default().GetCounter(
+      "prox_service_requests_total", "Service requests received.",
+      "service=\"" + service + "\"");
+}
+
+/// `prox_service_errors_total{service="...",code="..."}`.
+inline obs::Counter* ServiceErrors(const std::string& service,
+                                   StatusCode code) {
+  return obs::MetricsRegistry::Default().GetCounter(
+      "prox_service_errors_total",
+      "Service requests that returned a non-OK Status, by code.",
+      "service=\"" + service + "\",code=\"" + StatusCodeToString(code) +
+          "\"");
+}
+
+/// A latency histogram (LatencyBucketsNanos) named `name`.
+inline obs::Histogram* ServiceDuration(const std::string& name) {
+  return obs::MetricsRegistry::Default().GetHistogram(
+      name, "Service request wall time, nanoseconds.",
+      obs::LatencyBucketsNanos());
+}
+
+}  // namespace prox
+
+#endif  // PROX_SERVICE_SERVICE_METRICS_H_

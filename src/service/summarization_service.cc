@@ -1,5 +1,7 @@
 #include "service/summarization_service.h"
 
+#include "obs/trace.h"
+#include "service/service_metrics.h"
 #include "summarize/distance.h"
 #include "summarize/val_func.h"
 #include "summarize/valuation_class.h"
@@ -7,6 +9,22 @@
 namespace prox {
 
 Result<SummaryOutcome> SummarizationService::Summarize(
+    const ProvenanceExpression& selected,
+    const SummarizationRequest& request) const {
+  static obs::Counter* requests = ServiceRequests("summarize");
+  static obs::Histogram* duration =
+      ServiceDuration("prox_service_summarize_duration_nanos");
+  requests->Increment();
+  obs::TraceSpan span("service.summarize");
+  Result<SummaryOutcome> result = SummarizeImpl(selected, request);
+  duration->Observe(static_cast<double>(span.Close()));
+  if (!result.ok()) {
+    ServiceErrors("summarize", result.status().code())->Increment();
+  }
+  return result;
+}
+
+Result<SummaryOutcome> SummarizationService::SummarizeImpl(
     const ProvenanceExpression& selected,
     const SummarizationRequest& request) const {
   using VC = SummarizationRequest::ValuationClassKind;

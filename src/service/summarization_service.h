@@ -44,10 +44,18 @@ class SummarizationService {
   explicit SummarizationService(Dataset* dataset) : dataset_(dataset) {}
 
   /// Summarizes `selected` (any expression over the dataset's annotations).
+  /// Instrumented: counted in `prox_service_requests_total` /
+  /// `prox_service_errors_total` (service="summarize"), timed by the
+  /// "service.summarize" trace span and the
+  /// `prox_service_summarize_duration_nanos` histogram.
   Result<SummaryOutcome> Summarize(const ProvenanceExpression& selected,
                                    const SummarizationRequest& request) const;
 
  private:
+  Result<SummaryOutcome> SummarizeImpl(
+      const ProvenanceExpression& selected,
+      const SummarizationRequest& request) const;
+
   Dataset* dataset_;
 };
 

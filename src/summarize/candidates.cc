@@ -4,10 +4,37 @@
 #include <map>
 
 #include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace prox {
 
 namespace {
+
+/// Metric handles for candidate generation (docs/OBSERVABILITY.md).
+struct CandidateMetrics {
+  obs::Counter* generated;
+  obs::Counter* rejected;
+  obs::Counter* subsampled;
+
+  static const CandidateMetrics& Get() {
+    static const CandidateMetrics m = [] {
+      auto& r = obs::MetricsRegistry::Default();
+      CandidateMetrics m;
+      m.generated = r.GetCounter(
+          "prox_candidates_generated_total",
+          "Constraint-allowed candidate merges emitted by Generate().");
+      m.rejected = r.GetCounter(
+          "prox_candidates_rejected_total",
+          "Candidate merges rejected by the mapping constraints.");
+      m.subsampled = r.GetCounter(
+          "prox_candidates_subsampled_total",
+          "Candidates dropped by the max_candidates uniform subsample.");
+      return m;
+    }();
+    return m;
+  }
+};
 
 /// Calls `emit` for every size-k subset of `items` (in lexicographic index
 /// order). Aborts enumeration early once `emit` returns false.
@@ -34,6 +61,8 @@ void ForEachSubset(const std::vector<AnnotationId>& items, int k, Emit emit) {
 std::vector<Candidate> CandidateGenerator::Generate(
     const ProvenanceExpression& current, const MappingState& state,
     const CandidateOptions& options) const {
+  const CandidateMetrics& metrics = CandidateMetrics::Get();
+  obs::TraceSpan generate_span("summarize.candidate_gen");
   std::vector<AnnotationId> anns;
   current.CollectAnnotations(&anns);
 
@@ -61,12 +90,16 @@ std::vector<Candidate> CandidateGenerator::Generate(
         c.domain = domain;
         c.decision = std::move(decision);
         out.push_back(std::move(c));
+      } else {
+        metrics.rejected->Increment();
       }
       return true;
     });
   }
 
+  metrics.generated->Increment(out.size());
   if (options.max_candidates > 0 && out.size() > options.max_candidates) {
+    metrics.subsampled->Increment(out.size() - options.max_candidates);
     // Deterministic uniform subsample (partial Fisher-Yates), preserving
     // the original order of the survivors for reproducibility.
     Rng rng(options.sample_seed);

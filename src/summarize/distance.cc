@@ -2,7 +2,49 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace prox {
+
+namespace {
+
+/// Metric handles for the distance oracles (docs/OBSERVABILITY.md).
+struct DistanceMetrics {
+  obs::Counter* enumerated_calls;
+  obs::Counter* enumerated_evals;
+  obs::Counter* base_eval_reuse;
+  obs::Counter* sampled_calls;
+  obs::Counter* samples;
+
+  static const DistanceMetrics& Get() {
+    static const DistanceMetrics m = [] {
+      auto& r = obs::MetricsRegistry::Default();
+      DistanceMetrics m;
+      m.enumerated_calls =
+          r.GetCounter("prox_distance_enumerated_calls_total",
+                       "EnumeratedDistance::Distance invocations.");
+      m.enumerated_evals = r.GetCounter(
+          "prox_distance_enumerated_evals_total",
+          "Candidate-expression evaluations performed by the enumerated "
+          "oracle (one per valuation per call).");
+      m.base_eval_reuse = r.GetCounter(
+          "prox_distance_base_eval_reuse_total",
+          "Cached base evaluations fed to VAL-FUNC directly via the "
+          "identity-on-groups fast path (no re-projection).");
+      m.sampled_calls = r.GetCounter(
+          "prox_distance_sampled_calls_total",
+          "SampledDistance::Distance invocations.");
+      m.samples = r.GetCounter(
+          "prox_distance_samples_total",
+          "Monte-Carlo valuations drawn by the sampled oracle.");
+      return m;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 EnumeratedDistance::EnumeratedDistance(const ProvenanceExpression* p0,
                                        const AnnotationRegistry* registry,
@@ -25,7 +67,10 @@ EnumeratedDistance::EnumeratedDistance(const ProvenanceExpression* p0,
 
 double EnumeratedDistance::Distance(const ProvenanceExpression& cand,
                                     const MappingState& state) {
+  const DistanceMetrics& metrics = DistanceMetrics::Get();
+  metrics.enumerated_calls->Increment();
   if (valuations_.empty()) return 0.0;
+  obs::TraceSpan oracle_span("distance.oracle");
   const size_t n = registry_->size();
   // Fast path: when the cumulative homomorphism leaves every group key of
   // the cached base evaluations untouched (the common case — most merges
@@ -40,6 +85,10 @@ double EnumeratedDistance::Distance(const ProvenanceExpression& cand,
         break;
       }
     }
+  }
+  metrics.enumerated_evals->Increment(valuations_.size());
+  if (identity_on_groups) {
+    metrics.base_eval_reuse->Increment(valuations_.size());
   }
   double total = 0.0;
   for (size_t i = 0; i < valuations_.size(); ++i) {
@@ -77,6 +126,10 @@ SampledDistance::SampledDistance(const ProvenanceExpression* p0,
 
 double SampledDistance::Distance(const ProvenanceExpression& cand,
                                  const MappingState& state) {
+  const DistanceMetrics& metrics = DistanceMetrics::Get();
+  metrics.sampled_calls->Increment();
+  metrics.samples->Increment(num_samples_);
+  obs::TraceSpan oracle_span("distance.oracle");
   // Fresh generator per call: the estimate is deterministic for a fixed
   // seed and independent of evaluation order across candidates.
   Rng rng(options_.seed);

@@ -1,14 +1,95 @@
 #include "summarize/summarizer.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <map>
+#include <mutex>
 
-#include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "provenance/aggregate_expr.h"
 #include "summarize/equivalence.h"
 #include "summarize/incremental.h"
 
 namespace prox {
+
+namespace {
+
+/// Metric handles for the greedy loop, registered once per process (see
+/// docs/OBSERVABILITY.md for the catalogue).
+struct SummarizeMetrics {
+  obs::Counter* runs;
+  obs::Counter* steps;
+  obs::Counter* rollbacks;
+  obs::Counter* equivalence_merges;
+  obs::Counter* candidates_scored;
+  obs::Counter* candidate_eval_nanos_total;
+  obs::Counter* incremental_hits;
+  obs::Counter* incremental_fallbacks;
+  obs::Histogram* step_nanos;
+  obs::Histogram* run_nanos;
+  obs::Histogram* candidates_per_step;
+  obs::Gauge* expression_size;
+
+  static const SummarizeMetrics& Get() {
+    static const SummarizeMetrics m = [] {
+      auto& r = obs::MetricsRegistry::Default();
+      SummarizeMetrics m;
+      m.runs = r.GetCounter("prox_summarize_runs_total",
+                            "Summarization runs started.");
+      m.steps = r.GetCounter("prox_summarize_steps_total",
+                             "Greedy steps committed across all runs.");
+      m.rollbacks = r.GetCounter(
+          "prox_summarize_rollbacks_total",
+          "TARGET-DIST overshoot rollbacks (Algorithm 1 line 11).");
+      m.equivalence_merges = r.GetCounter(
+          "prox_summarize_equivalence_merges_total",
+          "Distance-0 equivalence classes merged before the greedy loop.");
+      m.candidates_scored =
+          r.GetCounter("prox_summarize_candidates_scored_total",
+                       "Candidate merges priced (distance + size).");
+      m.candidate_eval_nanos_total = r.GetCounter(
+          "prox_summarize_candidate_eval_nanos_total",
+          "Total wall time spent pricing candidates, nanoseconds.");
+      m.incremental_hits = r.GetCounter(
+          "prox_summarize_incremental_hits_total",
+          "Candidates priced by the incremental scorer fast path.");
+      m.incremental_fallbacks = r.GetCounter(
+          "prox_summarize_incremental_fallbacks_total",
+          "Candidates that fell back to the general oracle path while "
+          "incremental scoring was requested.");
+      m.step_nanos = r.GetHistogram("prox_summarize_step_duration_nanos",
+                                    "Wall time per committed greedy step.",
+                                    obs::LatencyBucketsNanos());
+      m.run_nanos = r.GetHistogram("prox_summarize_run_duration_nanos",
+                                   "Wall time per summarization run.",
+                                   obs::LatencyBucketsNanos());
+      m.candidates_per_step = r.GetHistogram(
+          "prox_summarize_candidates_per_step",
+          "Size of the candidate space at each greedy step.",
+          obs::CountBuckets());
+      m.expression_size =
+          r.GetGauge("prox_summarize_expression_size",
+                     "Expression size after the most recent step.");
+      return m;
+    }();
+    return m;
+  }
+};
+
+void WarnOnFirstIncrementalFallback() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    std::fprintf(stderr,
+                 "prox: incremental scorer fell back to the general path "
+                 "(group-key merge or unsupported configuration); further "
+                 "fallbacks are counted in "
+                 "prox_summarize_incremental_fallbacks_total\n");
+  });
+}
+
+}  // namespace
 
 Summarizer::Summarizer(const ProvenanceExpression* p0,
                        AnnotationRegistry* registry,
@@ -114,18 +195,34 @@ Result<SummaryOutcome> Summarizer::Run() {
   if (options_.w_dist < 0 || options_.w_size < 0) {
     return Status::InvalidArgument("weights must be non-negative");
   }
+  const double weight_sum = options_.w_dist + options_.w_size;
+  if (weight_sum <= 0.0) {
+    return Status::InvalidArgument(
+        "w_dist + w_size must be positive (both weights are zero)");
+  }
+  if (std::abs(weight_sum - 1.0) > 1e-9) {
+    // Definition 3.2.4 wants a convex combination; normalizing preserves
+    // the candidate ranking (common scale factor) while keeping reported
+    // scores meaningful.
+    options_.w_dist /= weight_sum;
+    options_.w_size /= weight_sum;
+  }
   if (options_.candidates.arity < 2) {
     return Status::InvalidArgument("merge arity must be at least 2");
   }
 
-  Timer run_timer;
+  const SummarizeMetrics& metrics = SummarizeMetrics::Get();
+  metrics.runs->Increment();
+  obs::TraceSpan run_span("summarize.run");
   SummaryOutcome outcome{nullptr, MappingState(registry_, options_.phi), {},
-                         0.0, 0, false, 0, 0.0};
+                         0.0, 0, false, 0, 0.0, 0, 0};
   std::unique_ptr<ProvenanceExpression> current = p0_->Clone();
   MappingState& state = outcome.state;
 
   if (options_.group_equivalent_first) {
+    obs::TraceSpan equivalence_span("summarize.group_equivalent");
     outcome.equivalence_merges = GroupEquivalent(&current, &state);
+    metrics.equivalence_merges->Increment(outcome.equivalence_merges);
   }
 
   const int64_t original_size = std::max<int64_t>(p0_->Size(), 1);
@@ -138,13 +235,22 @@ Result<SummaryOutcome> Summarizer::Run() {
   MappingState prev_state = state;
   double prev_dist = dist;
 
+  const bool want_incremental =
+      options_.incremental != SummarizerOptions::Incremental::kOff;
+
   int step = 0;
   while (step < options_.max_steps && current->Size() > options_.target_size &&
          dist < options_.target_dist) {
-    Timer step_timer;
+    obs::TraceSpan step_span("summarize.step");
     std::vector<Candidate> candidates =
         generator.Generate(*current, state, options_.candidates);
-    if (candidates.empty()) break;
+    if (candidates.empty()) {
+      // Not a step: nothing merged, so no span is recorded either.
+      step_span.Cancel();
+      break;
+    }
+    metrics.candidates_per_step->Observe(
+        static_cast<double>(candidates.size()));
 
     // One scratch summary annotation per domain per step is enough: the
     // tentative states of different candidates never coexist.
@@ -157,7 +263,7 @@ Result<SummaryOutcome> Summarizer::Run() {
 
     // Optional incremental scorer for this step's expression.
     std::unique_ptr<IncrementalScorer> incremental;
-    if (options_.incremental != SummarizerOptions::Incremental::kOff) {
+    if (want_incremental) {
       const auto* agg =
           dynamic_cast<const AggregateExpression*>(current.get());
       auto* enumerated = dynamic_cast<EnumeratedDistance*>(oracle_);
@@ -170,7 +276,7 @@ Result<SummaryOutcome> Summarizer::Run() {
       }
     }
 
-    Timer eval_timer;
+    obs::TraceSpan eval_span("summarize.candidate_eval");
     std::vector<ScoredCandidate> scored;
     scored.reserve(candidates.size());
     for (size_t i = 0; i < candidates.size(); ++i) {
@@ -181,7 +287,14 @@ Result<SummaryOutcome> Summarizer::Run() {
         IncrementalScorer::Score fast = incremental->ScoreMerge(c.roots);
         sc.distance = fast.distance;
         sc.size = fast.size;
+        ++outcome.incremental_hits;
+        metrics.incremental_hits->Increment();
       } else {
+        if (want_incremental) {
+          ++outcome.incremental_fallbacks;
+          metrics.incremental_fallbacks->Increment();
+          WarnOnFirstIncrementalFallback();
+        }
         AnnotationId tmp = scratch[c.domain];
         MappingState tentative = state;
         tentative.Merge(c.roots, tmp);
@@ -197,8 +310,11 @@ Result<SummaryOutcome> Summarizer::Run() {
                  options_.w_taxonomy * c.decision.taxonomy_distance_max;
       scored.push_back(sc);
     }
+    const int64_t eval_total_nanos = eval_span.Close();
+    metrics.candidates_scored->Increment(candidates.size());
+    metrics.candidate_eval_nanos_total->Increment(eval_total_nanos);
     const double eval_nanos =
-        static_cast<double>(eval_timer.ElapsedNanos()) / candidates.size();
+        static_cast<double>(eval_total_nanos) / candidates.size();
 
     size_t best = PickBest(candidates, &scored);
     const Candidate& winner = candidates[scored[best].index];
@@ -227,7 +343,13 @@ Result<SummaryOutcome> Summarizer::Run() {
     record.score = scored[best].score;
     record.num_candidates = static_cast<int>(candidates.size());
     record.candidate_eval_nanos = eval_nanos;
-    record.step_nanos = static_cast<double>(step_timer.ElapsedNanos());
+    // StepRecord timings are views over the trace spans: closing the span
+    // here makes the trace JSON and the record the same measurement.
+    const int64_t step_total_nanos = step_span.Close();
+    record.step_nanos = static_cast<double>(step_total_nanos);
+    metrics.steps->Increment();
+    metrics.step_nanos->Observe(static_cast<double>(step_total_nanos));
+    metrics.expression_size->Set(static_cast<double>(record.size));
     outcome.steps.push_back(std::move(record));
   }
 
@@ -237,12 +359,15 @@ Result<SummaryOutcome> Summarizer::Run() {
     state = prev_state;
     dist = prev_dist;
     outcome.rolled_back = true;
+    metrics.rollbacks->Increment();
   }
 
   outcome.summary = std::move(current);
   outcome.final_distance = dist;
   outcome.final_size = outcome.summary->Size();
-  outcome.total_nanos = static_cast<double>(run_timer.ElapsedNanos());
+  const int64_t run_total_nanos = run_span.Close();
+  outcome.total_nanos = static_cast<double>(run_total_nanos);
+  metrics.run_nanos->Observe(static_cast<double>(run_total_nanos));
   return outcome;
 }
 

@@ -24,7 +24,11 @@ enum class TieBreak { kTaxonomyMax, kTaxonomySum, kFirst };
 
 /// Configuration of Algorithm 1 (and of its k-way extension).
 struct SummarizerOptions {
-  /// wDist and wSize of Definition 3.2.4 (should sum to 1).
+  /// wDist and wSize of Definition 3.2.4. Both must be non-negative with a
+  /// positive sum; Run() rejects anything else with InvalidArgument, and
+  /// normalizes a sum ≠ 1 back to a convex combination (which preserves
+  /// the candidate ranking — both weights scale by the same factor — but
+  /// keeps reported CandidateScores on the documented [0,1]-ish scale).
   double w_dist = 0.5;
   double w_size = 0.5;
 
@@ -66,7 +70,10 @@ struct SummarizerOptions {
   /// an aggregate expression, an EnumeratedDistance oracle, and a
   /// coordinate-decomposable VAL-FUNC — the value names which one the
   /// oracle uses. Candidates the scorer cannot handle (group-key merges)
-  /// silently fall back to the general path.
+  /// fall back to the general path; fallbacks are counted in
+  /// SummaryOutcome::incremental_fallbacks and in the
+  /// prox_summarize_incremental_fallbacks_total metric, and the first
+  /// fallback of the process logs a one-line warning to stderr.
   enum class Incremental { kOff, kEuclidean, kL1 };
   Incremental incremental = Incremental::kOff;
 
@@ -87,9 +94,12 @@ struct StepRecord {
   double score = 0.0;     ///< winning CandidateScore
   int num_candidates = 0;
   /// Average wall time to evaluate one candidate (distance + size), ns —
-  /// the quantity of Figure 6.5a.
+  /// the quantity of Figure 6.5a. A view over the step's
+  /// "summarize.candidate_eval" trace span (obs/trace.h), not a separate
+  /// measurement.
   double candidate_eval_nanos = 0.0;
-  /// Total wall time of the step, ns.
+  /// Total wall time of the step, ns — the duration of the step's
+  /// "summarize.step" trace span.
   double step_nanos = 0.0;
 };
 
@@ -104,8 +114,14 @@ struct SummaryOutcome {
   /// fired and `summary` is the previous step's expression.
   bool rolled_back = false;
   int equivalence_merges = 0;
-  /// Total wall time of the run, ns.
+  /// Total wall time of the run, ns — the duration of the run's
+  /// "summarize.run" trace span.
   double total_nanos = 0.0;
+  /// Candidates priced by the incremental scorer vs. by the general
+  /// oracle path while incremental scoring was requested (fallbacks were
+  /// previously silent).
+  int incremental_hits = 0;
+  int incremental_fallbacks = 0;
 };
 
 /// \brief Algorithm 1, "Provenance Summarization Algorithm": greedy search

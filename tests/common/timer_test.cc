@@ -28,6 +28,31 @@ TEST(TimerTest, ResetRestarts) {
   EXPECT_LT(timer.ElapsedNanos(), 3'000'000);
 }
 
+TEST(TimerScopedTest, AccumulatesIntoSink) {
+  int64_t total = 0;
+  {
+    Timer::Scoped scope(&total);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    EXPECT_GE(scope.ElapsedNanos(), 0);
+  }
+  EXPECT_GE(total, 1'000'000);  // at least ~1ms landed in the sink
+  const int64_t first = total;
+  {
+    Timer::Scoped scope(&total);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GT(total, first);  // adds, does not overwrite
+}
+
+TEST(TimerScopedTest, SaturatingAddPinsAtMax) {
+  const int64_t max = std::numeric_limits<int64_t>::max();
+  EXPECT_EQ(Timer::Scoped::SaturatingAdd(10, 5), 15);
+  EXPECT_EQ(Timer::Scoped::SaturatingAdd(max, 1), max);
+  EXPECT_EQ(Timer::Scoped::SaturatingAdd(max - 3, 10), max);
+  // Clock anomalies (negative deltas) never subtract.
+  EXPECT_EQ(Timer::Scoped::SaturatingAdd(10, -5), 10);
+}
+
 TEST(TimerTest, UnitConversionsAgree) {
   Timer timer;
   std::this_thread::sleep_for(std::chrono::milliseconds(2));

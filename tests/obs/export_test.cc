@@ -1,0 +1,119 @@
+#include "obs/export.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace prox {
+namespace obs {
+namespace {
+
+/// A registry with one metric of each kind and deterministic values.
+MetricsRegistry* GoldenRegistry() {
+  auto* registry = new MetricsRegistry();
+  Counter* plain = registry->GetCounter("prox_test_events_total",
+                                        "Events observed.");
+  Counter* labeled = registry->GetCounter(
+      "prox_test_errors_total", "Errors by code.", "code=\"NotFound\"");
+  Gauge* gauge = registry->GetGauge("prox_test_size", "Current size.");
+  Histogram* hist = registry->GetHistogram(
+      "prox_test_latency_nanos", "Latency.", {1000.0, 1000000.0});
+  plain->Increment(3);
+  labeled->Increment();
+  gauge->Set(6.5);
+  hist->Observe(500.0);      // le 1000
+  hist->Observe(2000.0);     // le 1000000
+  hist->Observe(5000000.0);  // +Inf
+  return registry;
+}
+
+TEST(ExportTest, PrometheusGolden) {
+  if (!Enabled()) GTEST_SKIP() << "prox::obs compiled out";
+  std::unique_ptr<MetricsRegistry> registry(GoldenRegistry());
+  const std::string expected =
+      "# HELP prox_test_events_total Events observed.\n"
+      "# TYPE prox_test_events_total counter\n"
+      "prox_test_events_total 3\n"
+      "# HELP prox_test_errors_total Errors by code.\n"
+      "# TYPE prox_test_errors_total counter\n"
+      "prox_test_errors_total{code=\"NotFound\"} 1\n"
+      "# HELP prox_test_size Current size.\n"
+      "# TYPE prox_test_size gauge\n"
+      "prox_test_size 6.5\n"
+      "# HELP prox_test_latency_nanos Latency.\n"
+      "# TYPE prox_test_latency_nanos histogram\n"
+      "prox_test_latency_nanos_bucket{le=\"1000\"} 1\n"
+      "prox_test_latency_nanos_bucket{le=\"1000000\"} 2\n"
+      "prox_test_latency_nanos_bucket{le=\"+Inf\"} 3\n"
+      "prox_test_latency_nanos_sum 5002500\n"
+      "prox_test_latency_nanos_count 3\n";
+  EXPECT_EQ(RenderPrometheus(registry->Snapshot()), expected);
+}
+
+TEST(ExportTest, MetricsJsonGolden) {
+  if (!Enabled()) GTEST_SKIP() << "prox::obs compiled out";
+  std::unique_ptr<MetricsRegistry> registry(GoldenRegistry());
+  const std::string expected =
+      "{\n"
+      "  \"counters\": [\n"
+      "    {\"name\": \"prox_test_events_total\", \"labels\": \"\", "
+      "\"value\": 3},\n"
+      "    {\"name\": \"prox_test_errors_total\", \"labels\": "
+      "\"code=\\\"NotFound\\\"\", \"value\": 1}\n"
+      "  ],\n"
+      "  \"gauges\": [\n"
+      "    {\"name\": \"prox_test_size\", \"labels\": \"\", \"value\": 6.5}\n"
+      "  ],\n"
+      "  \"histograms\": [\n"
+      "    {\"name\": \"prox_test_latency_nanos\", \"labels\": \"\", "
+      "\"buckets\": [{\"le\": 1000, \"count\": 1}, {\"le\": 1000000, "
+      "\"count\": 1}, {\"le\": \"+Inf\", \"count\": 1}], \"count\": 3, "
+      "\"sum\": 5002500}\n"
+      "  ]\n"
+      "}\n";
+  EXPECT_EQ(RenderMetricsJson(registry->Snapshot()), expected);
+}
+
+TEST(ExportTest, EmptySnapshotsRenderValidDocuments) {
+  MetricsRegistry registry;
+  EXPECT_EQ(RenderPrometheus(registry.Snapshot()), "");
+  EXPECT_EQ(RenderMetricsJson(registry.Snapshot()),
+            "{\n  \"counters\": [],\n  \"gauges\": [],\n"
+            "  \"histograms\": []\n}\n");
+  EXPECT_EQ(RenderTraceJson({}),
+            "{\n  \"clock\": \"steady_nanos_since_trace_epoch\",\n"
+            "  \"spans\": []\n}\n");
+}
+
+TEST(ExportTest, TraceJsonGolden) {
+  SpanRecord root;
+  root.id = 1;
+  root.parent_id = 0;
+  root.depth = 0;
+  root.name = "summarize.run";
+  root.start_nanos = 100;
+  root.duration_nanos = 900;
+  SpanRecord child;
+  child.id = 2;
+  child.parent_id = 1;
+  child.depth = 1;
+  child.name = "summarize.step";
+  child.start_nanos = 150;
+  child.duration_nanos = 300;
+  const std::string expected =
+      "{\n"
+      "  \"clock\": \"steady_nanos_since_trace_epoch\",\n"
+      "  \"spans\": [\n"
+      "    {\"id\": 2, \"parent\": 1, \"depth\": 1, \"name\": "
+      "\"summarize.step\", \"start_nanos\": 150, \"duration_nanos\": 300},\n"
+      "    {\"id\": 1, \"parent\": 0, \"depth\": 0, \"name\": "
+      "\"summarize.run\", \"start_nanos\": 100, \"duration_nanos\": 900}\n"
+      "  ]\n"
+      "}\n";
+  EXPECT_EQ(RenderTraceJson({child, root}), expected);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace prox

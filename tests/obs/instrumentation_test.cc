@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "summarize/summarizer.h"
+#include "summarize/val_func.h"
+#include "summarize/valuation_class.h"
+#include "testing/fixtures.h"
+
+namespace prox {
+namespace {
+
+using obs::MetricsRegistry;
+using obs::MetricsSnapshot;
+using obs::SpanRecord;
+using obs::TraceBuffer;
+using testing_fixtures::MovieFixture;
+
+/// Routes spans into a test-local buffer for the test's lifetime.
+class ScopedTraceCapture {
+ public:
+  ScopedTraceCapture() { obs::SetDefaultTraceSink(&buffer_); }
+  ~ScopedTraceCapture() { obs::SetDefaultTraceSink(nullptr); }
+  std::vector<SpanRecord> Spans() const { return buffer_.Snapshot(); }
+
+ private:
+  TraceBuffer buffer_;
+};
+
+std::vector<SpanRecord> SpansNamed(const std::vector<SpanRecord>& spans,
+                                   const char* name) {
+  std::vector<SpanRecord> out;
+  for (const SpanRecord& s : spans) {
+    if (std::string_view(s.name) == name) out.push_back(s);
+  }
+  return out;
+}
+
+struct Harness {
+  MovieFixture fx;
+  std::vector<Valuation> valuations;
+  EuclideanValFunc vf;
+  std::unique_ptr<EnumeratedDistance> oracle;
+
+  Harness() {
+    CancelSingleAnnotation cls(std::vector<DomainId>{fx.user_domain});
+    valuations = cls.Generate(*fx.p0, fx.ctx);
+    oracle = std::make_unique<EnumeratedDistance>(fx.p0.get(), &fx.registry,
+                                                  &vf, valuations);
+  }
+
+  Result<SummaryOutcome> Run(SummarizerOptions options) {
+    Summarizer s(fx.p0.get(), &fx.registry, &fx.ctx, &fx.constraints,
+                 oracle.get(), &valuations, options);
+    return s.Run();
+  }
+};
+
+TEST(InstrumentationTest, RunIncrementsRegistryCounters) {
+  if (!obs::Enabled()) GTEST_SKIP() << "prox::obs compiled out";
+  Harness h;
+  SummarizerOptions options;
+  options.max_steps = 3;
+  options.group_equivalent_first = false;
+  const MetricsSnapshot before = MetricsRegistry::Default().Snapshot();
+  auto outcome = h.Run(options);
+  const MetricsSnapshot after = MetricsRegistry::Default().Snapshot();
+  ASSERT_TRUE(outcome.ok());
+  const SummaryOutcome& o = outcome.value();
+  EXPECT_EQ(after.CounterValue("prox_summarize_runs_total") -
+                before.CounterValue("prox_summarize_runs_total"),
+            1.0);
+  EXPECT_EQ(after.CounterValue("prox_summarize_steps_total") -
+                before.CounterValue("prox_summarize_steps_total"),
+            static_cast<double>(o.steps.size()));
+  double scored = 0.0;
+  for (const StepRecord& s : o.steps) scored += s.num_candidates;
+  EXPECT_EQ(after.CounterValue("prox_summarize_candidates_scored_total") -
+                before.CounterValue("prox_summarize_candidates_scored_total"),
+            scored);
+  // Every candidate evaluation consults the enumerated oracle (plus one
+  // distance probe per committed step and one for the initial distance).
+  EXPECT_GE(after.CounterValue("prox_distance_enumerated_calls_total") -
+                before.CounterValue("prox_distance_enumerated_calls_total"),
+            scored);
+}
+
+TEST(InstrumentationTest, SpanDurationsAreTheStepRecordTimings) {
+  if (!obs::Enabled()) GTEST_SKIP() << "prox::obs compiled out";
+  ScopedTraceCapture capture;
+  Harness h;
+  SummarizerOptions options;
+  options.max_steps = 3;
+  options.group_equivalent_first = false;
+  auto outcome = h.Run(options);
+  ASSERT_TRUE(outcome.ok());
+  const SummaryOutcome& o = outcome.value();
+  const std::vector<SpanRecord> spans = capture.Spans();
+
+  const auto steps = SpansNamed(spans, "summarize.step");
+  ASSERT_EQ(steps.size(), o.steps.size());
+  for (size_t i = 0; i < steps.size(); ++i) {
+    // Not "within 1%": StepRecord timings are views over the spans, so
+    // the two numbers are literally the same measurement.
+    EXPECT_DOUBLE_EQ(o.steps[i].step_nanos,
+                     static_cast<double>(steps[i].duration_nanos));
+  }
+
+  const auto runs = SpansNamed(spans, "summarize.run");
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_DOUBLE_EQ(o.total_nanos,
+                   static_cast<double>(runs[0].duration_nanos));
+  // Steps nest under the run.
+  for (const SpanRecord& s : steps) {
+    EXPECT_EQ(s.parent_id, runs[0].id);
+    EXPECT_EQ(s.depth, runs[0].depth + 1);
+  }
+
+  const auto evals = SpansNamed(spans, "summarize.candidate_eval");
+  ASSERT_EQ(evals.size(), o.steps.size());
+  for (size_t i = 0; i < evals.size(); ++i) {
+    EXPECT_EQ(evals[i].parent_id, steps[i].id);
+    EXPECT_DOUBLE_EQ(
+        o.steps[i].candidate_eval_nanos,
+        static_cast<double>(evals[i].duration_nanos) /
+            o.steps[i].num_candidates);
+  }
+}
+
+TEST(InstrumentationTest, IncrementalHitsAndFallbacksAreCounted) {
+  if (!obs::Enabled()) GTEST_SKIP() << "prox::obs compiled out";
+  Harness h;
+  // A movie-domain rule makes group-key merge candidates appear; the
+  // incremental scorer cannot price those (CanScore), so they fall back
+  // to the general oracle path and must be counted.
+  h.fx.constraints.SetRule(h.fx.movie_domain,
+                           std::make_unique<AnyMergeRule>("movies"));
+  SummarizerOptions options;
+  options.max_steps = 1;
+  options.group_equivalent_first = false;
+  options.incremental = SummarizerOptions::Incremental::kEuclidean;
+  const MetricsSnapshot before = MetricsRegistry::Default().Snapshot();
+  auto outcome = h.Run(options);
+  const MetricsSnapshot after = MetricsRegistry::Default().Snapshot();
+  ASSERT_TRUE(outcome.ok());
+  const SummaryOutcome& o = outcome.value();
+  EXPECT_GT(o.incremental_hits, 0);       // user merges price incrementally
+  EXPECT_GT(o.incremental_fallbacks, 0);  // movie merges cannot
+  EXPECT_EQ(after.CounterValue("prox_summarize_incremental_hits_total") -
+                before.CounterValue("prox_summarize_incremental_hits_total"),
+            static_cast<double>(o.incremental_hits));
+  EXPECT_EQ(
+      after.CounterValue("prox_summarize_incremental_fallbacks_total") -
+          before.CounterValue("prox_summarize_incremental_fallbacks_total"),
+      static_cast<double>(o.incremental_fallbacks));
+}
+
+TEST(InstrumentationTest, OutcomeCountsAreZeroWithoutIncremental) {
+  Harness h;
+  SummarizerOptions options;
+  options.max_steps = 2;
+  auto outcome = h.Run(options);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value().incremental_hits, 0);
+  EXPECT_EQ(outcome.value().incremental_fallbacks, 0);
+}
+
+TEST(InstrumentationTest, TimingsSurviveDisabledObservability) {
+  Harness h;
+  SummarizerOptions options;
+  options.max_steps = 1;
+  options.group_equivalent_first = false;
+  obs::SetEnabled(false);
+  auto outcome = h.Run(options);
+  obs::SetEnabled(true);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_EQ(outcome.value().steps.size(), 1u);
+  // Spans still measure when recording is off.
+  EXPECT_GT(outcome.value().steps[0].step_nanos, 0.0);
+  EXPECT_GT(outcome.value().total_nanos, 0.0);
+}
+
+}  // namespace
+}  // namespace prox

@@ -1,0 +1,186 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace prox {
+namespace obs {
+namespace {
+
+// Each TEST runs in its own registry (a local MetricsRegistry) so the
+// process-wide Default() stays untouched by these unit tests.
+
+TEST(CounterTest, IncrementsAndDefaults) {
+  if (!Enabled()) GTEST_SKIP() << "prox::obs compiled out";
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("prox_test_events_total", "help");
+  EXPECT_EQ(c->value(), 0u);
+  c->Increment();
+  c->Increment(41);
+  EXPECT_EQ(c->value(), 42u);
+}
+
+TEST(CounterTest, SameNameSamePointer) {
+  if (!Enabled()) GTEST_SKIP() << "prox::obs compiled out";
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("prox_test_events_total", "help");
+  Counter* b = registry.GetCounter("prox_test_events_total", "help");
+  EXPECT_EQ(a, b);
+}
+
+TEST(CounterTest, LabelsKeySeparateSeries) {
+  if (!Enabled()) GTEST_SKIP() << "prox::obs compiled out";
+  MetricsRegistry registry;
+  Counter* a =
+      registry.GetCounter("prox_test_events_total", "help", "kind=\"a\"");
+  Counter* b =
+      registry.GetCounter("prox_test_events_total", "help", "kind=\"b\"");
+  EXPECT_NE(a, b);
+  a->Increment(3);
+  b->Increment(5);
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.CounterValue("prox_test_events_total", "kind=\"a\""), 3.0);
+  EXPECT_EQ(snap.CounterValue("prox_test_events_total", "kind=\"b\""), 5.0);
+}
+
+TEST(CounterTest, TypeConflictReturnsDetachedFallback) {
+  if (!Enabled()) GTEST_SKIP() << "prox::obs compiled out";
+#ifndef NDEBUG
+  GTEST_SKIP() << "type conflicts assert() in debug builds";
+#else
+  MetricsRegistry registry;
+  registry.GetGauge("prox_test_mixed", "help");
+  // Asking for the same (name, labels) as a different type must not crash
+  // and must not corrupt the registered gauge.
+  Counter* fallback = registry.GetCounter("prox_test_mixed", "help");
+  ASSERT_NE(fallback, nullptr);
+  fallback->Increment();
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_NE(snap.FindGauge("prox_test_mixed"), nullptr);
+  EXPECT_EQ(snap.FindCounter("prox_test_mixed"), nullptr);
+#endif
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  if (!Enabled()) GTEST_SKIP() << "prox::obs compiled out";
+  MetricsRegistry registry;
+  Gauge* g = registry.GetGauge("prox_test_size", "help");
+  g->Set(10.0);
+  g->Add(-2.5);
+  EXPECT_DOUBLE_EQ(g->value(), 7.5);
+  g->Set(1.0);
+  EXPECT_DOUBLE_EQ(g->value(), 1.0);
+}
+
+TEST(HistogramTest, LeInclusiveBucketBoundaries) {
+  if (!Enabled()) GTEST_SKIP() << "prox::obs compiled out";
+  MetricsRegistry registry;
+  Histogram* h =
+      registry.GetHistogram("prox_test_hist", "help", {1.0, 10.0, 100.0});
+  h->Observe(0.5);    // <= 1
+  h->Observe(1.0);    // le is inclusive: lands in the 1.0 bucket
+  h->Observe(1.001);  // first bucket above: 10
+  h->Observe(10.0);   // inclusive again
+  h->Observe(99.0);
+  h->Observe(1000.0);  // above every bound: +Inf
+  MetricsSnapshot snap = registry.Snapshot();
+  const HistogramSample* s = snap.FindHistogram("prox_test_hist");
+  ASSERT_NE(s, nullptr);
+  ASSERT_EQ(s->bucket_counts.size(), 4u);  // 3 bounds + +Inf
+  EXPECT_EQ(s->bucket_counts[0], 2u);      // 0.5, 1.0
+  EXPECT_EQ(s->bucket_counts[1], 2u);      // 1.001, 10.0
+  EXPECT_EQ(s->bucket_counts[2], 1u);      // 99.0
+  EXPECT_EQ(s->bucket_counts[3], 1u);      // 1000.0
+  EXPECT_EQ(s->count, 6u);
+  EXPECT_DOUBLE_EQ(s->sum, 0.5 + 1.0 + 1.001 + 10.0 + 99.0 + 1000.0);
+}
+
+TEST(HistogramTest, UnsortedBoundsAreSortedAndDeduped) {
+  if (!Enabled()) GTEST_SKIP() << "prox::obs compiled out";
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("prox_test_hist", "help",
+                                       {100.0, 1.0, 10.0, 1.0});
+  EXPECT_EQ(h->bounds(), (std::vector<double>{1.0, 10.0, 100.0}));
+}
+
+TEST(HistogramTest, ConcurrentObservationsSumExactly) {
+  if (!Enabled()) GTEST_SKIP() << "prox::obs compiled out";
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("prox_test_events_total", "help");
+  Histogram* h = registry.GetHistogram("prox_test_hist", "help", {0.5});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c->Increment();
+        h->Observe(1.0);  // all land in +Inf
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c->value(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h->count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(h->sum(), 1.0 * kThreads * kPerThread);
+  MetricsSnapshot snap = registry.Snapshot();
+  const HistogramSample* s = snap.FindHistogram("prox_test_hist");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->bucket_counts.back(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsRegistryTest, ResetValuesKeepsPointersValid) {
+  if (!Enabled()) GTEST_SKIP() << "prox::obs compiled out";
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("prox_test_events_total", "help");
+  Gauge* g = registry.GetGauge("prox_test_size", "help");
+  Histogram* h = registry.GetHistogram("prox_test_hist", "help", {1.0});
+  c->Increment(7);
+  g->Set(3.0);
+  h->Observe(0.5);
+  registry.ResetValues();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_DOUBLE_EQ(g->value(), 0.0);
+  EXPECT_EQ(h->count(), 0u);
+  EXPECT_DOUBLE_EQ(h->sum(), 0.0);
+  c->Increment();  // the same pointer still records
+  EXPECT_EQ(c->value(), 1u);
+}
+
+TEST(MetricsRegistryTest, SnapshotFindersReturnNullForUnknown) {
+  MetricsRegistry registry;
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.FindCounter("prox_no_such_metric"), nullptr);
+  EXPECT_EQ(snap.FindGauge("prox_no_such_metric"), nullptr);
+  EXPECT_EQ(snap.FindHistogram("prox_no_such_metric"), nullptr);
+  EXPECT_EQ(snap.CounterValue("prox_no_such_metric"), 0.0);
+  EXPECT_EQ(snap.HistogramSum("prox_no_such_metric"), 0.0);
+  EXPECT_EQ(snap.HistogramCount("prox_no_such_metric"), 0u);
+}
+
+TEST(MetricsRegistryTest, RuntimeKillSwitchStopsRecording) {
+  if (!Enabled()) GTEST_SKIP() << "prox::obs compiled out";
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("prox_test_events_total", "help");
+  Gauge* g = registry.GetGauge("prox_test_size", "help");
+  Histogram* h = registry.GetHistogram("prox_test_hist", "help", {1.0});
+  SetEnabled(false);
+  c->Increment();
+  g->Set(5.0);
+  h->Observe(0.5);
+  SetEnabled(true);
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_DOUBLE_EQ(g->value(), 0.0);
+  EXPECT_EQ(h->count(), 0u);
+}
+
+TEST(MetricsRegistryTest, DefaultIsAProcessSingleton) {
+  EXPECT_EQ(&MetricsRegistry::Default(), &MetricsRegistry::Default());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace prox

@@ -1,0 +1,148 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace prox {
+namespace obs {
+namespace {
+
+/// Collects every span it receives, in completion order.
+class VectorSink : public TraceSink {
+ public:
+  void OnSpanEnd(const SpanRecord& span) override { spans.push_back(span); }
+  std::vector<SpanRecord> spans;
+};
+
+TEST(TraceSpanTest, RecordsNameAndDuration) {
+  if (!Enabled()) GTEST_SKIP() << "prox::obs compiled out";
+  VectorSink sink;
+  {
+    TraceSpan span("test.outer", &sink);
+  }
+  ASSERT_EQ(sink.spans.size(), 1u);
+  EXPECT_STREQ(sink.spans[0].name, "test.outer");
+  EXPECT_GE(sink.spans[0].duration_nanos, 0);
+  EXPECT_GT(sink.spans[0].id, 0u);
+}
+
+TEST(TraceSpanTest, NestingAssignsParentAndDepth) {
+  if (!Enabled()) GTEST_SKIP() << "prox::obs compiled out";
+  VectorSink sink;
+  {
+    TraceSpan outer("test.outer", &sink);
+    {
+      TraceSpan inner("test.inner", &sink);
+      { TraceSpan leaf("test.leaf", &sink); }
+    }
+    { TraceSpan sibling("test.sibling", &sink); }
+  }
+  // Completion order: leaf, inner, sibling, outer.
+  ASSERT_EQ(sink.spans.size(), 4u);
+  const SpanRecord& leaf = sink.spans[0];
+  const SpanRecord& inner = sink.spans[1];
+  const SpanRecord& sibling = sink.spans[2];
+  const SpanRecord& outer = sink.spans[3];
+  EXPECT_STREQ(outer.name, "test.outer");
+  EXPECT_EQ(outer.parent_id, 0u);
+  EXPECT_EQ(inner.parent_id, outer.id);
+  EXPECT_EQ(leaf.parent_id, inner.id);
+  EXPECT_EQ(sibling.parent_id, outer.id);
+  EXPECT_EQ(inner.depth, outer.depth + 1);
+  EXPECT_EQ(leaf.depth, inner.depth + 1);
+  EXPECT_EQ(sibling.depth, inner.depth);
+}
+
+TEST(TraceSpanTest, CloseIsIdempotentAndReturnsDuration) {
+  VectorSink sink;
+  TraceSpan span("test.once", &sink);
+  int64_t first = span.Close();
+  int64_t second = span.Close();
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(span.ElapsedNanos(), first);
+  if (Enabled()) {
+    EXPECT_EQ(sink.spans.size(), 1u);  // destructor must not re-record
+  }
+}
+
+TEST(TraceSpanTest, CancelUnwindsTheStackWithoutRecording) {
+  if (!Enabled()) GTEST_SKIP() << "prox::obs compiled out";
+  VectorSink sink;
+  {
+    TraceSpan outer("test.outer", &sink);
+    {
+      TraceSpan abandoned("test.abandoned", &sink);
+      abandoned.Cancel();
+      EXPECT_GE(abandoned.ElapsedNanos(), 0);
+      // A sibling opened after the cancel must parent to `outer`, not to
+      // the cancelled span.
+      { TraceSpan sibling("test.sibling", &sink); }
+    }
+  }
+  ASSERT_EQ(sink.spans.size(), 2u);
+  EXPECT_STREQ(sink.spans[0].name, "test.sibling");
+  EXPECT_STREQ(sink.spans[1].name, "test.outer");
+  EXPECT_EQ(sink.spans[0].parent_id, sink.spans[1].id);
+  EXPECT_EQ(sink.spans[0].depth, sink.spans[1].depth + 1);
+}
+
+TEST(TraceSpanTest, MeasuresTimeEvenWhenDisabled) {
+  VectorSink sink;
+  SetEnabled(false);
+  TraceSpan span("test.disabled", &sink);
+  int64_t duration = span.Close();
+  SetEnabled(true);
+  // Nothing recorded, but the caller still gets a real measurement —
+  // StepRecord/SummaryOutcome timings work with observability off.
+  EXPECT_TRUE(sink.spans.empty());
+  EXPECT_GE(duration, 0);
+}
+
+TEST(TraceBufferTest, RingBoundEvictsOldestAndCountsDrops) {
+  if (!Enabled()) GTEST_SKIP() << "prox::obs compiled out";
+  TraceBuffer buffer(4);
+  for (int i = 0; i < 10; ++i) {
+    SpanRecord span;
+    span.id = static_cast<uint64_t>(i + 1);
+    span.name = "test.ring";
+    buffer.OnSpanEnd(span);
+  }
+  EXPECT_EQ(buffer.size(), 4u);
+  EXPECT_EQ(buffer.total_recorded(), 10u);
+  EXPECT_EQ(buffer.dropped(), 6u);
+  std::vector<SpanRecord> spans = buffer.Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  // Oldest-first snapshot of the newest four records.
+  EXPECT_EQ(spans.front().id, 7u);
+  EXPECT_EQ(spans.back().id, 10u);
+  buffer.Clear();
+  EXPECT_EQ(buffer.size(), 0u);
+  EXPECT_EQ(buffer.dropped(), 0u);
+}
+
+TEST(TraceBufferTest, DefaultSinkCanBeSwappedAndRestored) {
+  if (!Enabled()) GTEST_SKIP() << "prox::obs compiled out";
+  VectorSink sink;
+  SetDefaultTraceSink(&sink);
+  { TraceSpan span("test.swapped"); }
+  SetDefaultTraceSink(nullptr);  // restore TraceBuffer::Default()
+  ASSERT_EQ(sink.spans.size(), 1u);
+  EXPECT_STREQ(sink.spans[0].name, "test.swapped");
+  { TraceSpan span("test.default"); }
+  EXPECT_EQ(sink.spans.size(), 1u);  // no longer routed to the local sink
+}
+
+TEST(TraceTest, NowIsMonotonic) {
+  int64_t a = TraceNowNanos();
+  int64_t b = TraceNowNanos();
+  EXPECT_GE(a, 0);
+  EXPECT_GE(b, a);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace prox

@@ -214,6 +214,47 @@ TEST(SummarizerTest, RejectsNegativeWeights) {
   EXPECT_EQ(outcome.status().code(), StatusCode::kInvalidArgument);
 }
 
+TEST(SummarizerTest, RejectsBothWeightsZero) {
+  Harness h;
+  SummarizerOptions options;
+  options.w_dist = 0.0;
+  options.w_size = 0.0;
+  auto outcome = h.Run(options);
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SummarizerTest, NormalizesWeightsThatDoNotSumToOne) {
+  // 0.9/0.3 normalizes to 0.75/0.25; the outcome must be identical to
+  // requesting the convex combination directly (a common scale factor
+  // cannot change the candidate ranking).
+  SummarizerOptions skewed;
+  skewed.w_dist = 0.9;
+  skewed.w_size = 0.3;
+  skewed.max_steps = 3;
+  skewed.group_equivalent_first = false;
+  SummarizerOptions convex;
+  convex.w_dist = 0.75;
+  convex.w_size = 0.25;
+  convex.max_steps = 3;
+  convex.group_equivalent_first = false;
+
+  Harness h_skewed;
+  Harness h_convex;
+  auto a = h_skewed.Run(skewed);
+  auto b = h_convex.Run(convex);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a.value().steps.size(), b.value().steps.size());
+  for (size_t i = 0; i < a.value().steps.size(); ++i) {
+    EXPECT_EQ(a.value().steps[i].merged_roots,
+              b.value().steps[i].merged_roots);
+    EXPECT_DOUBLE_EQ(a.value().steps[i].score, b.value().steps[i].score);
+  }
+  EXPECT_EQ(a.value().final_size, b.value().final_size);
+  EXPECT_DOUBLE_EQ(a.value().final_distance, b.value().final_distance);
+}
+
 TEST(SummarizerTest, RejectsArityBelowTwo) {
   Harness h;
   SummarizerOptions options;
