@@ -2,6 +2,12 @@
 /// operations every experiment is built from: expression evaluation,
 /// homomorphism application, distance estimation, equivalence grouping,
 /// candidate generation, DDP evaluation and polynomial arithmetic.
+///
+/// The distance-oracle benches build their oracles with threads = 0 (the
+/// process default), so the PROX_THREADS env var selects the parallelism:
+/// `PROX_THREADS=1 bench_core_micro` measures the exact serial path,
+/// `PROX_THREADS=$(nproc)` the parallel one. scripts/bench_smoke.sh runs
+/// both and gates on serial regressions.
 
 #include <benchmark/benchmark.h>
 
@@ -53,7 +59,7 @@ void BM_EnumeratedDistanceOneCandidate(benchmark::State& state) {
   std::vector<Valuation> valuations =
       ds.valuation_class->Generate(*ds.provenance, ds.ctx);
   EnumeratedDistance oracle(ds.provenance.get(), ds.registry.get(),
-                            ds.val_func.get(), valuations);
+                            ds.val_func.get(), valuations, /*threads=*/0);
   auto users = ds.registry->AnnotationsInDomain(ds.domain("user"));
   AnnotationId summary =
       ds.registry->AddSummary(ds.domain("user"), "Merged");
@@ -74,6 +80,7 @@ void BM_SampledDistanceOneCandidate(benchmark::State& state) {
   Dataset ds = MakeMovies(20);
   SampledDistance::Options options;
   options.num_samples = static_cast<int>(state.range(0));
+  options.threads = 0;  // process default; PROX_THREADS selects parallelism
   SampledDistance oracle(ds.provenance.get(), ds.registry.get(),
                          ds.val_func.get(), options);
   auto users = ds.registry->AnnotationsInDomain(ds.domain("user"));

@@ -88,7 +88,7 @@ AlgoResult RunProvApprox(Dataset* ds, const RunConfig& config) {
     std::vector<Valuation> valuations =
         ds->valuation_class->Generate(*ds->provenance, ds->ctx);
     EnumeratedDistance oracle(ds->provenance.get(), ds->registry.get(),
-                              ds->val_func.get(), valuations);
+                              ds->val_func.get(), valuations, config.threads);
     SummarizerOptions options;
     options.w_dist = config.w_dist;
     options.w_size = 1.0 - config.w_dist;
@@ -99,6 +99,7 @@ AlgoResult RunProvApprox(Dataset* ds, const RunConfig& config) {
     options.use_ordinal_ranks = config.use_ordinal_ranks;
     options.tie_break = config.tie_break;
     options.phi = ds->phi;
+    options.threads = config.threads;
     Summarizer summarizer(ds->provenance.get(), ds->registry.get(), &ds->ctx,
                           &ds->constraints, &oracle, &valuations, options);
 
@@ -148,13 +149,14 @@ AlgoResult RunClustering(Dataset* ds, const RunConfig& config) {
     std::vector<Valuation> valuations =
         ds->valuation_class->Generate(*ds->provenance, ds->ctx);
     EnumeratedDistance oracle(ds->provenance.get(), ds->registry.get(),
-                              ds->val_func.get(), valuations);
+                              ds->val_func.get(), valuations, config.threads);
     ClusteringOptions options;
     options.linkage = Linkage::kSingle;  // the linkage §6.2 presents
     options.target_dist = config.target_dist;
     options.target_size = config.target_size;
     options.max_steps = config.max_steps;
     options.phi = ds->phi;
+    options.threads = config.threads;
     ClusteringSummarizer cs(ds->provenance.get(), ds->registry.get(), &ds->ctx,
                             &ds->constraints, &oracle, options);
     for (const auto& [domain, features] : ds->features) {
@@ -174,7 +176,7 @@ AlgoResult RunRandom(Dataset* ds, const RunConfig& config) {
     std::vector<Valuation> valuations =
         ds->valuation_class->Generate(*ds->provenance, ds->ctx);
     EnumeratedDistance oracle(ds->provenance.get(), ds->registry.get(),
-                              ds->val_func.get(), valuations);
+                              ds->val_func.get(), valuations, config.threads);
     RandomSummarizerOptions options;
     options.target_dist = config.target_dist;
     options.target_size = config.target_size;
@@ -217,6 +219,24 @@ void TablePrinter::PrintRow(const std::vector<std::string>& cells) const {
 std::string Cell(double value, int digits) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string AlgoResultJson(const std::string& experiment,
+                           const std::string& dataset, const std::string& algo,
+                           int threads, int64_t input_size,
+                           const AlgoResult& r) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"experiment\":\"%s\",\"dataset\":\"%s\",\"algo\":\"%s\","
+      "\"threads\":%d,\"input_size\":%lld,\"steps\":%d,\"distance\":%.6f,"
+      "\"size\":%.0f,\"total_ms\":%.3f,\"us_per_candidate\":%.3f,"
+      "\"ok\":%s}",
+      experiment.c_str(), dataset.c_str(), algo.c_str(), threads,
+      static_cast<long long>(input_size), r.steps, r.distance, r.size,
+      r.total_nanos / 1e6, r.avg_candidate_nanos / 1e3,
+      r.ok ? "true" : "false");
   return buf;
 }
 

@@ -38,6 +38,9 @@ struct RunConfig {
   bool use_ordinal_ranks = false;
   TieBreak tie_break = TieBreak::kTaxonomyMax;
   uint64_t random_seed = 0xBADC0FFEE;
+  /// exec worker threads (0 = process default, 1 = serial; results are
+  /// identical at every setting — see docs/PARALLELISM.md).
+  int threads = 1;
 };
 
 /// One algorithm run, reduced to the quantities the figures plot.
@@ -83,6 +86,16 @@ class TablePrinter {
 
 /// Formats a double for a table cell.
 std::string Cell(double value, int digits = 4);
+
+/// Renders one run as a machine-readable JSON line, e.g. for
+/// scripts/bench_smoke.sh or ad-hoc plotting:
+///   {"experiment":"E6","dataset":"movielens","algo":"prov-approx",
+///    "threads":4,"input_size":180,"steps":12,"distance":0.0312,
+///    "size":24,"total_ms":12.5,"us_per_candidate":41.2,"ok":true}
+std::string AlgoResultJson(const std::string& experiment,
+                           const std::string& dataset, const std::string& algo,
+                           int threads, int64_t input_size,
+                           const AlgoResult& r);
 
 }  // namespace bench
 }  // namespace prox

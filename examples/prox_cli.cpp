@@ -20,6 +20,9 @@
 ///
 /// Flags:
 ///   --demo                run the built-in demo script and exit
+///   --threads=N           worker threads for summarization (0 = auto via
+///                         PROX_THREADS / hardware, 1 = serial; results
+///                         are identical at every setting)
 ///   --metrics-out=<path>  on exit, write a Prometheus text snapshot of
 ///                         the prox::obs metrics registry to <path>
 ///   --trace-out=<path>    on exit, write the recorded trace spans
@@ -55,7 +58,7 @@ void PrintReport(const char* label, const EvaluationReport& report) {
   }
 }
 
-int RunCommand(ProxSession& session, const std::string& line) {
+int RunCommand(ProxSession& session, const std::string& line, int threads) {
   std::istringstream in(line);
   std::string cmd;
   in >> cmd;
@@ -99,6 +102,7 @@ int RunCommand(ProxSession& session, const std::string& line) {
     request.max_steps = 10;
     in >> request.w_dist >> request.max_steps;
     request.w_size = 1.0 - request.w_dist;
+    request.threads = threads;
     auto size = session.Summarize(request);
     if (size.ok()) {
       std::printf("summary size: %lld (distance %.4f)\n",
@@ -180,9 +184,12 @@ int RunCommand(ProxSession& session, const std::string& line) {
 
 void PrintUsage() {
   std::printf(
-      "usage: prox_cli [--demo] [--metrics-out=<path>] [--trace-out=<path>]\n"
+      "usage: prox_cli [--demo] [--threads=N] [--metrics-out=<path>]\n"
+      "                [--trace-out=<path>]\n"
       "\n"
       "  --demo                run the built-in demo script and exit\n"
+      "  --threads=N           worker threads for summarization (0 = auto\n"
+      "                        via PROX_THREADS / hardware, 1 = serial)\n"
       "  --metrics-out=<path>  on exit, write a Prometheus text snapshot of\n"
       "                        the prox::obs metrics registry to <path>\n"
       "  --trace-out=<path>    on exit, write the recorded trace spans as\n"
@@ -211,6 +218,7 @@ void WriteFileOrWarn(const std::string& path, const std::string& text) {
 
 int main(int argc, char** argv) {
   bool demo = false;
+  int threads = 1;
   std::string metrics_out;
   std::string trace_out;
   for (int i = 1; i < argc; ++i) {
@@ -220,6 +228,17 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage();
       return 0;
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      try {
+        threads = std::stoi(arg.substr(std::string("--threads=").size()));
+      } catch (const std::exception&) {
+        threads = -1;
+      }
+      if (threads < 0) {
+        std::fprintf(stderr, "prox_cli: bad --threads value in %s\n",
+                     arg.c_str());
+        return 2;
+      }
     } else if (arg.rfind("--metrics-out=", 0) == 0) {
       metrics_out = arg.substr(std::string("--metrics-out=").size());
     } else if (arg.rfind("--trace-out=", 0) == 0) {
@@ -249,14 +268,14 @@ int main(int argc, char** argv) {
                             "evalattr Gender M"};
     for (const char* line : script) {
       std::printf("prox> %s\n", line);
-      RunCommand(session, line);
+      RunCommand(session, line, threads);
       std::printf("\n");
     }
   } else {
     std::string line;
     std::printf("prox> ");
     while (std::getline(std::cin, line)) {
-      if (RunCommand(session, line) != 0) break;
+      if (RunCommand(session, line, threads) != 0) break;
       std::printf("prox> ");
     }
   }

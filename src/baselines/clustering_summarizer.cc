@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/timer.h"
+#include "exec/thread_pool.h"
 
 namespace prox {
 
@@ -50,14 +51,21 @@ Result<SummaryOutcome> ClusteringSummarizer::Run() {
 
     const size_t n = dc.items.size();
     std::vector<std::vector<double>> dist(n, std::vector<double>(n, 0.0));
-    for (size_t i = 0; i < n; ++i) {
-      for (size_t j = i + 1; j < n; ++j) {
-        double d = PearsonDissimilarity(feats.at(dc.items[i]),
-                                        feats.at(dc.items[j]));
-        dist[i][j] = d;
-        dist[j][i] = d;
-      }
-    }
+    // The O(n²) fill fans out by row: row i writes cells (i, j>i) and
+    // their mirrors (j, i), and every cell has exactly one writing row, so
+    // workers never collide and the matrix is identical at any thread
+    // count.
+    exec::PoolRef pool(options_.threads);
+    exec::ParallelFor(
+        pool.pool(), 0, static_cast<int64_t>(n), 1, [&](int64_t row) {
+          const size_t i = static_cast<size_t>(row);
+          for (size_t j = i + 1; j < n; ++j) {
+            double d = PearsonDissimilarity(feats.at(dc.items[i]),
+                                            feats.at(dc.items[j]));
+            dist[i][j] = d;
+            dist[j][i] = d;
+          }
+        });
     dc.hac = std::make_unique<HacClusterer>(std::move(dist),
                                             options_.linkage);
     for (size_t i = 0; i < n; ++i) {

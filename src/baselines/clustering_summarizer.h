@@ -24,6 +24,12 @@ struct ClusteringOptions {
   int64_t target_size = 1;
   int max_steps = std::numeric_limits<int>::max();
   PhiConfig phi;
+  /// Worker threads for the O(n²) initial dissimilarity-matrix fill
+  /// (0 = process default, 1 = serial; same convention as
+  /// SummarizerOptions::threads). The fill is race-free by construction —
+  /// each matrix cell has a unique writing row — so results are identical
+  /// at every setting.
+  int threads = 1;
 };
 
 /// \brief The modified-HAC competitor of §6.2: hierarchical agglomerative

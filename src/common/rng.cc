@@ -26,6 +26,15 @@ Rng::Rng(uint64_t seed) {
   for (auto& s : state_) s = SplitMix64(&sm);
 }
 
+Rng::Rng(uint64_t seed, uint64_t stream) {
+  // Mix the stream id through SplitMix64 before folding it into the seed so
+  // that adjacent stream ids land in unrelated regions of the seed space.
+  uint64_t sm = stream;
+  uint64_t mixed = SplitMix64(&sm);
+  sm = seed ^ mixed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+}
+
 uint64_t Rng::Next() {
   const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
   const uint64_t t = state_[1] << 17;

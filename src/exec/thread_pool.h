@@ -1,0 +1,189 @@
+#ifndef PROX_EXEC_THREAD_POOL_H_
+#define PROX_EXEC_THREAD_POOL_H_
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace prox {
+namespace exec {
+
+/// \brief `prox::exec` — a small work-stealing thread pool for the
+/// embarrassingly parallel loops of the summarization hot path (candidate
+/// scoring, distance-oracle reductions, the HAC distance-matrix fill).
+///
+/// Design constraints, in priority order (docs/PARALLELISM.md):
+///  1. *Determinism*: every parallel construct here produces bit-identical
+///     results at any thread count, including the serial inline path.
+///     `ParallelFor` gives each index to exactly one task and callers write
+///     to index-addressed slots; `DeterministicSum` reduces fixed-size
+///     chunk partials in ascending chunk order, so the floating-point
+///     summation tree depends only on (count, grain) — never on scheduling.
+///  2. *Exact serial behaviour at 1 thread*: a null pool (or a nested call
+///     from inside a worker) runs the plain `for` loop inline on the
+///     calling thread — no tasks, no allocation, no synchronization.
+///  3. *No deadlocks from nesting*: a `ParallelFor` issued from a pool
+///     worker (e.g. a distance oracle called from a candidate-scoring
+///     task) degrades to the inline loop instead of submitting to the pool
+///     it is running on.
+///
+/// Thread count resolution (shared by `SummarizerOptions::threads`,
+/// `ClusteringOptions::threads`, oracle options and `prox_cli --threads`):
+/// `0` = automatic — the `PROX_THREADS` environment variable when set, the
+/// hardware concurrency otherwise; `1` = serial; `N > 1` = exactly N
+/// workers.
+///
+/// Metrics (docs/OBSERVABILITY.md): `prox_exec_pool_size`,
+/// `prox_exec_tasks_total`, `prox_exec_steal_total`.
+
+/// Hardware concurrency, at least 1.
+int HardwareThreads();
+
+/// The process-default thread count: `PROX_THREADS` when set and positive,
+/// hardware concurrency when unset or `0`. Always >= 1.
+int DefaultThreads();
+
+/// Resolves a `threads` option value: `0` -> DefaultThreads(), otherwise
+/// the value clamped to [1, 256].
+int ResolveThreads(int threads);
+
+/// True on a pool worker thread (used to run nested parallel constructs
+/// inline and to suppress per-candidate trace spans on the parallel path).
+bool InParallelWorker();
+
+namespace internal {
+void SetInParallelWorker(bool value);
+void CountTasks(uint64_t n);
+void CountSteal();
+}  // namespace internal
+
+/// \brief Fixed-size work-stealing pool. Each worker owns a deque; tasks
+/// are pushed round-robin, popped LIFO by their owner and stolen FIFO by
+/// idle siblings. Destruction drains queued tasks, then joins.
+class ThreadPool {
+ public:
+  /// Spawns `num_workers` workers (clamped to [1, 256]).
+  explicit ThreadPool(int num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// The process-wide pool, sized DefaultThreads(). Created on first use;
+  /// its size is exported as the `prox_exec_pool_size` gauge.
+  static ThreadPool& Default();
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a fire-and-forget task. Tasks must not throw; escaping
+  /// exceptions are caught and reported to stderr (use ParallelFor for
+  /// propagating work).
+  void Submit(std::function<void()> task);
+
+  /// Splits [begin, end) into ceil(range/grain) contiguous chunks, runs
+  /// `chunk_fn(lo, hi)` once per chunk across the workers, and blocks
+  /// until every chunk finished. The first exception thrown by a chunk is
+  /// rethrown here (chunks not yet started are skipped). Callers on a
+  /// worker thread must use the free exec::ParallelFor, which runs inline
+  /// in that case.
+  void RunChunks(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& chunk_fn);
+
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(int self);
+  bool PopOwn(int self, std::function<void()>* task);
+  bool StealOther(int self, std::function<void()>* task);
+  void Enqueue(std::function<void()> task);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::atomic<int64_t> pending_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> next_worker_{0};
+};
+
+/// \brief Resolves a `threads` option into the pool to run on. `pool()` is
+/// nullptr when the resolved count is 1 (serial), the process-default pool
+/// when the count matches DefaultThreads(), and an owned transient pool
+/// otherwise (so `threads = N` means exactly N workers, independent of the
+/// process default).
+class PoolRef {
+ public:
+  explicit PoolRef(int threads);
+
+  /// The pool to pass to ParallelFor / DeterministicSum; nullptr = serial.
+  ThreadPool* pool() const { return pool_; }
+  /// The resolved thread count (>= 1).
+  int threads() const { return resolved_; }
+
+ private:
+  int resolved_;
+  ThreadPool* pool_ = nullptr;
+  std::unique_ptr<ThreadPool> owned_;
+};
+
+/// Runs `fn(i)` for every i in [begin, end), partitioned into chunks of
+/// `grain` indices. Inline (plain loop, ascending i) when `pool` is null,
+/// the range fits one chunk, the pool has a single worker, or the caller
+/// is itself a pool worker; otherwise fanned out via ThreadPool::RunChunks.
+/// Every index runs exactly once; callers make results deterministic by
+/// writing to index-addressed slots.
+template <typename Fn>
+void ParallelFor(ThreadPool* pool, int64_t begin, int64_t end, int64_t grain,
+                 Fn&& fn) {
+  if (end <= begin) return;
+  if (grain <= 0) grain = 1;
+  if (pool == nullptr || pool->size() <= 1 || end - begin <= grain ||
+      InParallelWorker()) {
+    for (int64_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  std::function<void(int64_t, int64_t)> chunk_fn = [&fn](int64_t lo,
+                                                         int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) fn(i);
+  };
+  pool->RunChunks(begin, end, grain, chunk_fn);
+}
+
+/// Deterministic parallel reduction: partials[c] accumulates
+/// term(c*grain) ... term(min(count, (c+1)*grain) - 1) in ascending index
+/// order, and the partials fold in ascending chunk order. The summation
+/// tree depends only on (count, grain), so the result is bit-identical at
+/// every thread count — including the serial path, which runs the same
+/// chunked arithmetic inline.
+template <typename TermFn>
+double DeterministicSum(ThreadPool* pool, int64_t count, int64_t grain,
+                        TermFn&& term) {
+  if (count <= 0) return 0.0;
+  if (grain <= 0) grain = 1;
+  const int64_t num_chunks = (count + grain - 1) / grain;
+  std::vector<double> partials(static_cast<size_t>(num_chunks), 0.0);
+  ParallelFor(pool, 0, num_chunks, 1, [&](int64_t c) {
+    const int64_t lo = c * grain;
+    const int64_t hi = std::min(count, lo + grain);
+    double partial = 0.0;
+    for (int64_t i = lo; i < hi; ++i) partial += term(i);
+    partials[static_cast<size_t>(c)] = partial;
+  });
+  double total = 0.0;
+  for (double partial : partials) total += partial;
+  return total;
+}
+
+}  // namespace exec
+}  // namespace prox
+
+#endif  // PROX_EXEC_THREAD_POOL_H_

@@ -39,6 +39,15 @@ inline constexpr uint32_t kNoEntity = std::numeric_limits<uint32_t>::max();
 /// Summary annotations created by the summarizer live in the same id space,
 /// flagged via is_summary(), so a summarized expression can be evaluated and
 /// re-summarized uniformly.
+///
+/// **Thread-safety contract.** The registry is *not* internally
+/// synchronized. Registration (AddDomain / Add / AddSummary) must happen on
+/// a single thread with no concurrent readers; every const accessor (name,
+/// domain, size, Find, AnnotationsInDomain, ...) is safe to call from any
+/// number of threads as long as no registration is in flight. The parallel
+/// candidate-scoring path in Summarizer::Run relies on this: it
+/// pre-registers one scratch summary annotation per domain *before* fanning
+/// pricing out over the exec pool, so workers only ever read.
 class AnnotationRegistry {
  public:
   AnnotationRegistry() = default;

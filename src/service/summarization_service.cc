@@ -73,7 +73,7 @@ Result<SummaryOutcome> SummarizationService::SummarizeImpl(
   std::vector<Valuation> valuations =
       valuation_class->Generate(selected, dataset_->ctx);
   EnumeratedDistance oracle(&selected, dataset_->registry.get(), val_func,
-                            valuations);
+                            valuations, request.threads);
 
   SummarizerOptions options;
   options.w_dist = request.w_dist;
@@ -82,6 +82,7 @@ Result<SummaryOutcome> SummarizationService::SummarizeImpl(
   options.target_size = request.target_size;
   options.max_steps = request.max_steps;
   options.phi = dataset_->phi;
+  options.threads = request.threads;
 
   Summarizer summarizer(&selected, dataset_->registry.get(), &dataset_->ctx,
                         &dataset_->constraints, &oracle, &valuations, options);

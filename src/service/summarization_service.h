@@ -33,6 +33,11 @@ struct SummarizationRequest {
     kDisagreement,
   };
   ValFuncKind val_func = ValFuncKind::kDatasetDefault;
+
+  /// Worker threads for candidate scoring and the distance oracle
+  /// (0 = process default, 1 = serial; SummarizerOptions::threads
+  /// convention). Identical results at every setting.
+  int threads = 1;
 };
 
 /// \brief The PROX summarization service: wires the dataset's semantics

@@ -1,7 +1,9 @@
 #include "summarize/distance.h"
 
 #include <cmath>
+#include <optional>
 
+#include "exec/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -44,16 +46,29 @@ struct DistanceMetrics {
   }
 };
 
+/// True when the cumulative homomorphism fixes every group key of the
+/// reference evaluation, making ProjectEvalResult the identity (scalar and
+/// cost/bool results have no group keys, so they always qualify).
+bool IdentityOnGroups(const EvalResult& reference, const MappingState& state) {
+  if (reference.kind() != EvalResult::Kind::kVector) return true;
+  for (const auto& coord : reference.coords()) {
+    if (state.cumulative().Map(coord.group) != coord.group) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 EnumeratedDistance::EnumeratedDistance(const ProvenanceExpression* p0,
                                        const AnnotationRegistry* registry,
                                        const ValFunc* val_func,
-                                       std::vector<Valuation> valuations)
+                                       std::vector<Valuation> valuations,
+                                       int threads)
     : p0_(p0),
       registry_(registry),
       val_func_(val_func),
-      valuations_(std::move(valuations)) {
+      valuations_(std::move(valuations)),
+      pool_(threads) {
   const size_t n = registry_->size();
   base_evals_.reserve(valuations_.size());
   for (const auto& v : valuations_) {
@@ -70,39 +85,37 @@ double EnumeratedDistance::Distance(const ProvenanceExpression& cand,
   const DistanceMetrics& metrics = DistanceMetrics::Get();
   metrics.enumerated_calls->Increment();
   if (valuations_.empty()) return 0.0;
-  obs::TraceSpan oracle_span("distance.oracle");
+  // On the parallel candidate-scoring path this oracle runs on pool worker
+  // threads; per-call spans would interleave in the ring sink with broken
+  // parent links, so the per-step aggregate span in Summarizer::Run stands
+  // in for them. The serial path records exactly the spans it always did.
+  std::optional<obs::TraceSpan> oracle_span;
+  if (!exec::InParallelWorker()) oracle_span.emplace("distance.oracle");
   const size_t n = registry_->size();
   // Fast path: when the cumulative homomorphism leaves every group key of
   // the cached base evaluations untouched (the common case — most merges
   // group non-key annotations like users), the projection is the identity
   // and the cached results can be fed to VAL-FUNC directly.
-  bool identity_on_groups = true;
-  if (!base_evals_.empty() &&
-      base_evals_[0].kind() == EvalResult::Kind::kVector) {
-    for (const auto& coord : base_evals_[0].coords()) {
-      if (state.cumulative().Map(coord.group) != coord.group) {
-        identity_on_groups = false;
-        break;
-      }
-    }
-  }
+  const bool identity_on_groups =
+      base_evals_.empty() || IdentityOnGroups(base_evals_[0], state);
   metrics.enumerated_evals->Increment(valuations_.size());
   if (identity_on_groups) {
     metrics.base_eval_reuse->Increment(valuations_.size());
   }
-  double total = 0.0;
-  for (size_t i = 0; i < valuations_.size(); ++i) {
-    const Valuation& v = valuations_[i];
-    MaterializedValuation transformed = state.Transform(v, n);
-    EvalResult summ = cand.Evaluate(transformed);
-    if (identity_on_groups) {
-      total += v.weight() * val_func_->Compute(base_evals_[i], summ);
-    } else {
-      EvalResult orig =
-          cand.ProjectEvalResult(base_evals_[i], state.cumulative());
-      total += v.weight() * val_func_->Compute(orig, summ);
-    }
-  }
+  const double total = exec::DeterministicSum(
+      pool_.pool(), static_cast<int64_t>(valuations_.size()), kReductionGrain,
+      [&](int64_t i) {
+        const Valuation& v = valuations_[static_cast<size_t>(i)];
+        MaterializedValuation transformed = state.Transform(v, n);
+        EvalResult summ = cand.Evaluate(transformed);
+        if (identity_on_groups) {
+          return v.weight() *
+                 val_func_->Compute(base_evals_[static_cast<size_t>(i)], summ);
+        }
+        EvalResult orig = cand.ProjectEvalResult(
+            base_evals_[static_cast<size_t>(i)], state.cumulative());
+        return v.weight() * val_func_->Compute(orig, summ);
+      });
   return (total / total_weight_) / max_error_;
 }
 
@@ -114,13 +127,17 @@ int SampledDistance::RequiredSamples(double epsilon, double delta) {
 SampledDistance::SampledDistance(const ProvenanceExpression* p0,
                                  const AnnotationRegistry* registry,
                                  const ValFunc* val_func, Options options)
-    : p0_(p0), registry_(registry), val_func_(val_func), options_(options) {
+    : p0_(p0),
+      registry_(registry),
+      val_func_(val_func),
+      options_(options),
+      pool_(options.threads) {
   num_samples_ = options_.num_samples > 0
                      ? options_.num_samples
                      : RequiredSamples(options_.epsilon, options_.delta);
   p0_->CollectAnnotations(&annotations_);
-  EvalResult all_true = p0_->Evaluate(MaterializedValuation(registry_->size()));
-  max_error_ = val_func_->MaxError(all_true);
+  all_true_eval_ = p0_->Evaluate(MaterializedValuation(registry_->size()));
+  max_error_ = val_func_->MaxError(all_true_eval_);
   if (max_error_ <= 0.0) max_error_ = 1.0;
 }
 
@@ -129,24 +146,36 @@ double SampledDistance::Distance(const ProvenanceExpression& cand,
   const DistanceMetrics& metrics = DistanceMetrics::Get();
   metrics.sampled_calls->Increment();
   metrics.samples->Increment(num_samples_);
-  obs::TraceSpan oracle_span("distance.oracle");
-  // Fresh generator per call: the estimate is deterministic for a fixed
-  // seed and independent of evaluation order across candidates.
-  Rng rng(options_.seed);
+  std::optional<obs::TraceSpan> oracle_span;
+  if (!exec::InParallelWorker()) oracle_span.emplace("distance.oracle");
   const size_t n = registry_->size();
-  double total = 0.0;
-  for (int s = 0; s < num_samples_; ++s) {
-    std::vector<AnnotationId> cancelled;
-    for (AnnotationId a : annotations_) {
-      if (rng.Bernoulli(0.5)) cancelled.push_back(a);
-    }
-    Valuation v(std::move(cancelled));
-    EvalResult base = p0_->Evaluate(MaterializedValuation(v, n));
-    MaterializedValuation transformed = state.Transform(v, n);
-    EvalResult summ = cand.Evaluate(transformed);
-    EvalResult orig = cand.ProjectEvalResult(base, state.cumulative());
-    total += val_func_->Compute(orig, summ);
+  // Same identity-on-groups fast path as the enumerated oracle: the group
+  // keys of an evaluation are structural (they do not depend on which
+  // annotations a valuation cancels), so the all-true evaluation decides
+  // for every sample whether ProjectEvalResult is the identity.
+  const bool identity_on_groups = IdentityOnGroups(all_true_eval_, state);
+  if (identity_on_groups) {
+    metrics.base_eval_reuse->Increment(num_samples_);
   }
+  // Stream s of the seed drives sample s alone, so the estimate depends
+  // only on (seed, num_samples) — not on thread count or sample order.
+  const double total = exec::DeterministicSum(
+      pool_.pool(), num_samples_, kSampleGrain, [&](int64_t s) {
+        Rng rng(options_.seed, static_cast<uint64_t>(s));
+        std::vector<AnnotationId> cancelled;
+        for (AnnotationId a : annotations_) {
+          if (rng.Bernoulli(0.5)) cancelled.push_back(a);
+        }
+        Valuation v(std::move(cancelled));
+        EvalResult base = p0_->Evaluate(MaterializedValuation(v, n));
+        MaterializedValuation transformed = state.Transform(v, n);
+        EvalResult summ = cand.Evaluate(transformed);
+        if (identity_on_groups) {
+          return val_func_->Compute(base, summ);
+        }
+        EvalResult orig = cand.ProjectEvalResult(base, state.cumulative());
+        return val_func_->Compute(orig, summ);
+      });
   return (total / num_samples_) / max_error_;
 }
 

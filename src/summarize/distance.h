@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "exec/thread_pool.h"
 #include "provenance/expression.h"
 #include "summarize/mapping_state.h"
 #include "summarize/val_func.h"
@@ -37,14 +38,20 @@ class DistanceOracle {
 /// "Cancel Single Attribute") is polynomial in the input.
 class EnumeratedDistance : public DistanceOracle {
  public:
+  /// Valuations per reduction chunk. Fixed (never derived from the thread
+  /// count) so the floating-point summation tree — and therefore the
+  /// reported distance — is bit-identical at any parallelism level.
+  static constexpr int64_t kReductionGrain = 8;
+
   /// \param p0 the original expression (must outlive the oracle)
   /// \param registry annotation registry (may grow while the oracle lives)
   /// \param val_func VAL-FUNC (must outlive the oracle)
   /// \param valuations the enumerated class V_Ann
+  /// \param threads exec thread count (0 = process default, 1 = serial)
   EnumeratedDistance(const ProvenanceExpression* p0,
                      const AnnotationRegistry* registry,
                      const ValFunc* val_func,
-                     std::vector<Valuation> valuations);
+                     std::vector<Valuation> valuations, int threads = 1);
 
   double Distance(const ProvenanceExpression& cand,
                   const MappingState& state) override;
@@ -64,6 +71,7 @@ class EnumeratedDistance : public DistanceOracle {
   std::vector<EvalResult> base_evals_;  // v(p₀) per valuation, cached
   double total_weight_ = 0.0;
   double max_error_ = 1.0;
+  exec::PoolRef pool_;
 };
 
 /// Monte-Carlo distance over *all* 2^n valuations — the sampling
@@ -79,7 +87,12 @@ class SampledDistance : public DistanceOracle {
     double delta = 0.05;    ///< failure probability
     int num_samples = 0;    ///< overrides the (ε, δ)-derived count when > 0
     uint64_t seed = 0x5EEDBA5E;
+    int threads = 1;  ///< exec thread count (0 = process default)
   };
+
+  /// Samples per reduction chunk; fixed for the same bit-identical-at-any-
+  /// thread-count reason as EnumeratedDistance::kReductionGrain.
+  static constexpr int64_t kSampleGrain = 16;
 
   /// Samples needed so that P(|d' − dist| > ε) < δ for a [0,1]-bounded
   /// estimator: ⌈ln(2/δ) / (2ε²)⌉.
@@ -102,7 +115,9 @@ class SampledDistance : public DistanceOracle {
   Options options_;
   int num_samples_;
   std::vector<AnnotationId> annotations_;  // of p0
+  EvalResult all_true_eval_;  // group-key structure for the identity check
   double max_error_ = 1.0;
+  exec::PoolRef pool_;
 };
 
 }  // namespace prox

@@ -1,11 +1,14 @@
 #include "summarize/summarizer.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <map>
 #include <mutex>
 
+#include "common/timer.h"
+#include "exec/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "provenance/aggregate_expr.h"
@@ -31,6 +34,7 @@ struct SummarizeMetrics {
   obs::Histogram* run_nanos;
   obs::Histogram* candidates_per_step;
   obs::Gauge* expression_size;
+  obs::Gauge* parallel_efficiency;
 
   static const SummarizeMetrics& Get() {
     static const SummarizeMetrics m = [] {
@@ -72,6 +76,11 @@ struct SummarizeMetrics {
       m.expression_size =
           r.GetGauge("prox_summarize_expression_size",
                      "Expression size after the most recent step.");
+      m.parallel_efficiency = r.GetGauge(
+          "prox_summarize_parallel_efficiency",
+          "Per-step candidate-scoring speedup estimate: sum of individual "
+          "candidate pricing times divided by the phase's wall time "
+          "(~1 serial, approaches the worker count under ideal scaling).");
       return m;
     }();
     return m;
@@ -238,6 +247,10 @@ Result<SummaryOutcome> Summarizer::Run() {
   const bool want_incremental =
       options_.incremental != SummarizerOptions::Incremental::kOff;
 
+  // One pool resolution per run. threads = 1 keeps pool() null, which makes
+  // every ParallelFor below the plain serial loop.
+  exec::PoolRef pool(options_.threads);
+
   int step = 0;
   while (step < options_.max_steps && current->Size() > options_.target_size &&
          dist < options_.target_dist) {
@@ -253,7 +266,11 @@ Result<SummaryOutcome> Summarizer::Run() {
         static_cast<double>(candidates.size()));
 
     // One scratch summary annotation per domain per step is enough: the
-    // tentative states of different candidates never coexist.
+    // tentative states of different candidates never coexist, and no two
+    // candidates of one domain are scored against each other's state.
+    // Registering them all *before* scoring keeps the registry read-only
+    // while workers price candidates (annotation.h documents that
+    // contract); the map itself is only read (.at) from here on.
     std::map<DomainId, AnnotationId> scratch;
     for (const Candidate& c : candidates) {
       if (scratch.count(c.domain) == 0) {
@@ -276,43 +293,71 @@ Result<SummaryOutcome> Summarizer::Run() {
       }
     }
 
+    // Candidate pricing fans out over the pool. Every worker shares only
+    // read-only state (current expression, mapping state, registry,
+    // scratch map, incremental scorer — all const from here); per-candidate
+    // mutable state (tentative MappingState, step Homomorphism, the
+    // candidate expression) is built inside the loop body, and results land
+    // in the pre-sized `scored` vector by index, so PickBest sees exactly
+    // the ordering and tie-breaks of the serial loop. On the parallel path
+    // this aggregate span stands in for the suppressed per-candidate
+    // distance.oracle spans (see distance.cc).
     obs::TraceSpan eval_span("summarize.candidate_eval");
-    std::vector<ScoredCandidate> scored;
-    scored.reserve(candidates.size());
-    for (size_t i = 0; i < candidates.size(); ++i) {
-      const Candidate& c = candidates[i];
-      ScoredCandidate sc;
-      sc.index = i;
-      if (incremental != nullptr && incremental->CanScore(c.roots)) {
-        IncrementalScorer::Score fast = incremental->ScoreMerge(c.roots);
-        sc.distance = fast.distance;
-        sc.size = fast.size;
-        ++outcome.incremental_hits;
-        metrics.incremental_hits->Increment();
-      } else {
-        if (want_incremental) {
-          ++outcome.incremental_fallbacks;
-          metrics.incremental_fallbacks->Increment();
-          WarnOnFirstIncrementalFallback();
-        }
-        AnnotationId tmp = scratch[c.domain];
-        MappingState tentative = state;
-        tentative.Merge(c.roots, tmp);
-        Homomorphism step_hom;
-        for (AnnotationId root : c.roots) step_hom.Set(root, tmp);
-        auto cand_expr = current->Apply(step_hom);
-        sc.distance = oracle_->Distance(*cand_expr, tentative);
-        sc.size = cand_expr->Size();
-      }
-      sc.score = options_.w_dist * sc.distance +
-                 options_.w_size *
-                     (static_cast<double>(sc.size) / original_size) +
-                 options_.w_taxonomy * c.decision.taxonomy_distance_max;
-      scored.push_back(sc);
-    }
+    std::vector<ScoredCandidate> scored(candidates.size());
+    std::atomic<int> step_incremental_hits{0};
+    std::atomic<int> step_incremental_fallbacks{0};
+    std::atomic<int64_t> serial_estimate_nanos{0};
+    exec::ParallelFor(
+        pool.pool(), 0, static_cast<int64_t>(candidates.size()), 1,
+        [&](int64_t idx) {
+          const size_t i = static_cast<size_t>(idx);
+          const Candidate& c = candidates[i];
+          Timer candidate_timer;
+          ScoredCandidate sc;
+          sc.index = i;
+          if (incremental != nullptr && incremental->CanScore(c.roots)) {
+            IncrementalScorer::Score fast = incremental->ScoreMerge(c.roots);
+            sc.distance = fast.distance;
+            sc.size = fast.size;
+            step_incremental_hits.fetch_add(1, std::memory_order_relaxed);
+            metrics.incremental_hits->Increment();
+          } else {
+            if (want_incremental) {
+              step_incremental_fallbacks.fetch_add(1,
+                                                   std::memory_order_relaxed);
+              metrics.incremental_fallbacks->Increment();
+              WarnOnFirstIncrementalFallback();
+            }
+            AnnotationId tmp = scratch.at(c.domain);
+            MappingState tentative = state;
+            tentative.Merge(c.roots, tmp);
+            Homomorphism step_hom;
+            for (AnnotationId root : c.roots) step_hom.Set(root, tmp);
+            auto cand_expr = current->Apply(step_hom);
+            sc.distance = oracle_->Distance(*cand_expr, tentative);
+            sc.size = cand_expr->Size();
+          }
+          sc.score = options_.w_dist * sc.distance +
+                     options_.w_size *
+                         (static_cast<double>(sc.size) / original_size) +
+                     options_.w_taxonomy * c.decision.taxonomy_distance_max;
+          scored[i] = sc;
+          serial_estimate_nanos.fetch_add(candidate_timer.ElapsedNanos(),
+                                          std::memory_order_relaxed);
+        });
+    outcome.incremental_hits +=
+        step_incremental_hits.load(std::memory_order_relaxed);
+    outcome.incremental_fallbacks +=
+        step_incremental_fallbacks.load(std::memory_order_relaxed);
     const int64_t eval_total_nanos = eval_span.Close();
     metrics.candidates_scored->Increment(candidates.size());
     metrics.candidate_eval_nanos_total->Increment(eval_total_nanos);
+    if (eval_total_nanos > 0) {
+      metrics.parallel_efficiency->Set(
+          static_cast<double>(
+              serial_estimate_nanos.load(std::memory_order_relaxed)) /
+          static_cast<double>(eval_total_nanos));
+    }
     const double eval_nanos =
         static_cast<double>(eval_total_nanos) / candidates.size();
 

@@ -81,6 +81,12 @@ struct SummarizerOptions {
 
   /// φ combiners per domain (Section 3.2).
   PhiConfig phi;
+
+  /// Worker threads for candidate scoring (exec/thread_pool.h): `0` =
+  /// process default (the PROX_THREADS env var, else hardware
+  /// concurrency), `1` = the exact serial path, `N` = N workers. Results
+  /// are bit-identical at every setting; see docs/PARALLELISM.md.
+  int threads = 1;
 };
 
 /// One committed iteration of the greedy loop.
