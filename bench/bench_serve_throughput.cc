@@ -1,0 +1,231 @@
+/// \file bench_serve_throughput.cc
+/// \brief Loadgen for prox::serve: starts the server in-process on an
+/// ephemeral loopback port, drives N concurrent clients through two waves
+/// of identical `POST /v1/summarize` requests, and reports per-wave
+/// p50/p99 latency plus the SummaryCache hit rate.
+///
+/// Wave 1 ("cold") pays one Algorithm 1 run — the router single-flights
+/// concurrent identical requests, so every other request in the wave is
+/// already a cache hit. Wave 2 ("cached") is hits only and must be faster.
+/// All bodies across both waves are checked byte-identical (the cache
+/// contract; exits 1 on violation).
+///
+/// Flags: --clients=N (8) --requests=N per client per wave (16)
+///        --threads=N server workers (4) --cache-mb=N (64)
+///        --max-steps=N summarize knob (8)
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datasets/movielens.h"
+#include "serve/client.h"
+#include "serve/router.h"
+#include "serve/server.h"
+#include "serve/summary_cache.h"
+#include "service/session.h"
+
+using namespace prox;
+
+namespace {
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double Percentile(std::vector<int64_t> nanos, double p) {
+  if (nanos.empty()) return 0.0;
+  std::sort(nanos.begin(), nanos.end());
+  size_t index = static_cast<size_t>(p * (nanos.size() - 1));
+  return static_cast<double>(nanos[index]);
+}
+
+struct WaveResult {
+  std::vector<int64_t> latencies_nanos;
+  std::set<std::string> distinct_bodies;
+  int failures = 0;
+  int64_t wall_nanos = 0;
+};
+
+WaveResult RunWave(int port, int clients, int requests,
+                   const std::string& body) {
+  WaveResult result;
+  std::mutex mu;
+  std::vector<std::thread> threads;
+  int64_t wave_start = NowNanos();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      (void)c;
+      std::vector<int64_t> local_latencies;
+      std::set<std::string> local_bodies;
+      int local_failures = 0;
+      for (int r = 0; r < requests; ++r) {
+        int64_t start = NowNanos();
+        Result<serve::ClientResponse> response = serve::Fetch(
+            "127.0.0.1", port, "POST", "/v1/summarize", body,
+            /*timeout_ms=*/60000);
+        int64_t elapsed = NowNanos() - start;
+        if (!response.ok() || response.value().status != 200) {
+          ++local_failures;
+          continue;
+        }
+        local_latencies.push_back(elapsed);
+        local_bodies.insert(response.value().body);
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      result.latencies_nanos.insert(result.latencies_nanos.end(),
+                                    local_latencies.begin(),
+                                    local_latencies.end());
+      result.distinct_bodies.insert(local_bodies.begin(), local_bodies.end());
+      result.failures += local_failures;
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  result.wall_nanos = NowNanos() - wave_start;
+  return result;
+}
+
+void PrintWave(const char* label, const WaveResult& wave) {
+  std::printf("%-8s requests=%zu failures=%d p50=%.0fus p99=%.0fus "
+              "wall=%.1fms throughput=%.0f req/s\n",
+              label, wave.latencies_nanos.size(), wave.failures,
+              Percentile(wave.latencies_nanos, 0.50) / 1e3,
+              Percentile(wave.latencies_nanos, 0.99) / 1e3,
+              static_cast<double>(wave.wall_nanos) / 1e6,
+              wave.latencies_nanos.empty()
+                  ? 0.0
+                  : static_cast<double>(wave.latencies_nanos.size()) /
+                        (static_cast<double>(wave.wall_nanos) / 1e9));
+}
+
+long IntFlag(const std::string& arg, const char* flag, long fallback,
+             bool* matched) {
+  std::string prefix = std::string(flag) + "=";
+  if (arg.rfind(prefix, 0) != 0) {
+    *matched = false;
+    return fallback;
+  }
+  *matched = true;
+  return std::strtol(arg.c_str() + prefix.size(), nullptr, 10);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long clients = 8;
+  long requests = 16;
+  long threads = 4;
+  long cache_mb = 64;
+  long max_steps = 8;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    bool matched = false;
+    clients = IntFlag(arg, "--clients", clients, &matched);
+    if (matched) continue;
+    requests = IntFlag(arg, "--requests", requests, &matched);
+    if (matched) continue;
+    threads = IntFlag(arg, "--threads", threads, &matched);
+    if (matched) continue;
+    cache_mb = IntFlag(arg, "--cache-mb", cache_mb, &matched);
+    if (matched) continue;
+    max_steps = IntFlag(arg, "--max-steps", max_steps, &matched);
+    if (matched) continue;
+    std::fprintf(stderr,
+                 "usage: bench_serve_throughput [--clients=N] [--requests=N]"
+                 " [--threads=N] [--cache-mb=N] [--max-steps=N]\n");
+    return 2;
+  }
+
+  MovieLensConfig config;
+  config.num_users = 25;
+  config.num_movies = 8;
+  config.seed = 99;
+  ProxSession session(MovieLensGenerator::Generate(config));
+
+  serve::SummaryCache::Options cache_options;
+  cache_options.max_bytes = static_cast<size_t>(cache_mb) * 1024 * 1024;
+  serve::SummaryCache cache(cache_options);
+  serve::Router router(&session, &cache);
+
+  serve::HttpServer::Options options;
+  options.port = 0;
+  options.threads = static_cast<int>(threads);
+  options.max_inflight = static_cast<int>(clients) * 2 + 8;
+  serve::HttpServer server(options, [&router](const serve::HttpRequest& req) {
+    return router.Handle(req);
+  });
+  if (Status status = server.Start(); !status.ok()) {
+    std::fprintf(stderr, "bench_serve_throughput: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+
+  const std::string body = "{\"w_dist\":0.7,\"w_size\":0.3,\"max_steps\":" +
+                           std::to_string(max_steps) + "}";
+  std::printf("bench_serve_throughput: port=%d clients=%ld requests=%ld "
+              "threads=%ld\n",
+              server.port(), clients, requests, threads);
+
+  WaveResult cold = RunWave(server.port(), static_cast<int>(clients),
+                            static_cast<int>(requests), body);
+  serve::SummaryCache::Stats after_cold = cache.stats();
+  WaveResult cached = RunWave(server.port(), static_cast<int>(clients),
+                              static_cast<int>(requests), body);
+  serve::SummaryCache::Stats after_cached = cache.stats();
+
+  PrintWave("cold", cold);
+  PrintWave("cached", cached);
+
+  uint64_t wave2_hits = after_cached.hits - after_cold.hits;
+  uint64_t total_lookups = after_cached.hits + after_cached.misses;
+  std::printf("cache: hits=%llu misses=%llu hit_rate=%.3f "
+              "wave2_hits=%llu entries=%zu bytes=%zu\n",
+              static_cast<unsigned long long>(after_cached.hits),
+              static_cast<unsigned long long>(after_cached.misses),
+              total_lookups == 0 ? 0.0
+                                 : static_cast<double>(after_cached.hits) /
+                                       static_cast<double>(total_lookups),
+              static_cast<unsigned long long>(wave2_hits),
+              after_cached.entries, after_cached.bytes);
+
+  server.Stop();
+
+  bool ok = true;
+  if (cold.failures + cached.failures > 0) {
+    std::fprintf(stderr, "FAIL: %d requests failed\n",
+                 cold.failures + cached.failures);
+    ok = false;
+  }
+  std::set<std::string> all_bodies = cold.distinct_bodies;
+  all_bodies.insert(cached.distinct_bodies.begin(),
+                    cached.distinct_bodies.end());
+  if (all_bodies.size() != 1) {
+    std::fprintf(stderr, "FAIL: %zu distinct response bodies (want 1)\n",
+                 all_bodies.size());
+    ok = false;
+  }
+  if (wave2_hits == 0) {
+    std::fprintf(stderr, "FAIL: second wave recorded no cache hits\n");
+    ok = false;
+  }
+  if (cached.wall_nanos >= cold.wall_nanos) {
+    // Informational, not fatal: on loaded machines wave walls can jitter,
+    // but the cold wave includes a full Algorithm 1 run and should lose.
+    std::fprintf(stderr,
+                 "WARN: cached wave (%.1fms) not faster than cold (%.1fms)\n",
+                 static_cast<double>(cached.wall_nanos) / 1e6,
+                 static_cast<double>(cold.wall_nanos) / 1e6);
+  }
+  std::printf("bench_serve_throughput: %s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}

@@ -20,6 +20,9 @@
 ///
 /// Flags:
 ///   --demo                run the built-in demo script and exit
+///   --json                summarize prints the canonical JSON outcome
+///                         serialization (serve/wire.h — the same bytes
+///                         prox_server's POST /v1/summarize returns)
 ///   --threads=N           worker threads for summarization (0 = auto via
 ///                         PROX_THREADS / hardware, 1 = serial; results
 ///                         are identical at every setting)
@@ -37,11 +40,13 @@
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "datasets/movielens.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "provenance/io.h"
+#include "serve/wire.h"
 #include "service/session.h"
 #include "summarize/report.h"
 
@@ -58,7 +63,8 @@ void PrintReport(const char* label, const EvaluationReport& report) {
   }
 }
 
-int RunCommand(ProxSession& session, const std::string& line, int threads) {
+int RunCommand(ProxSession& session, const std::string& line, int threads,
+               bool json) {
   std::istringstream in(line);
   std::string cmd;
   in >> cmd;
@@ -105,9 +111,20 @@ int RunCommand(ProxSession& session, const std::string& line, int threads) {
     request.threads = threads;
     auto size = session.Summarize(request);
     if (size.ok()) {
-      std::printf("summary size: %lld (distance %.4f)\n",
-                  static_cast<long long>(size.value()),
-                  session.outcome()->final_distance);
+      if (json) {
+        // The canonical SummaryOutcome serialization (serve/wire.h):
+        // byte-identical to the POST /v1/summarize response body of
+        // prox_server over the same dataset and knobs.
+        std::printf("%s\n",
+                    WriteJson(serve::SummaryOutcomeToJson(
+                                  *session.outcome(),
+                                  *session.dataset().registry))
+                        .c_str());
+      } else {
+        std::printf("summary size: %lld (distance %.4f)\n",
+                    static_cast<long long>(size.value()),
+                    session.outcome()->final_distance);
+      }
     } else {
       std::printf("error: %s\n", size.status().ToString().c_str());
     }
@@ -184,10 +201,14 @@ int RunCommand(ProxSession& session, const std::string& line, int threads) {
 
 void PrintUsage() {
   std::printf(
-      "usage: prox_cli [--demo] [--threads=N] [--metrics-out=<path>]\n"
-      "                [--trace-out=<path>]\n"
+      "usage: prox_cli [--demo] [--json] [--threads=N]\n"
+      "                [--metrics-out=<path>] [--trace-out=<path>]\n"
       "\n"
       "  --demo                run the built-in demo script and exit\n"
+      "  --json                summarize prints the canonical JSON\n"
+      "                        serialization of the outcome (the same\n"
+      "                        bytes prox_server's POST /v1/summarize\n"
+      "                        returns; see docs/SERVING.md)\n"
       "  --threads=N           worker threads for summarization (0 = auto\n"
       "                        via PROX_THREADS / hardware, 1 = serial)\n"
       "  --metrics-out=<path>  on exit, write a Prometheus text snapshot of\n"
@@ -218,6 +239,7 @@ void WriteFileOrWarn(const std::string& path, const std::string& text) {
 
 int main(int argc, char** argv) {
   bool demo = false;
+  bool json = false;
   int threads = 1;
   std::string metrics_out;
   std::string trace_out;
@@ -225,6 +247,8 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--demo") {
       demo = true;
+    } else if (arg == "--json") {
+      json = true;
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage();
       return 0;
@@ -268,14 +292,14 @@ int main(int argc, char** argv) {
                             "evalattr Gender M"};
     for (const char* line : script) {
       std::printf("prox> %s\n", line);
-      RunCommand(session, line, threads);
+      RunCommand(session, line, threads, json);
       std::printf("\n");
     }
   } else {
     std::string line;
     std::printf("prox> ");
     while (std::getline(std::cin, line)) {
-      if (RunCommand(session, line, threads) != 0) break;
+      if (RunCommand(session, line, threads, json) != 0) break;
       std::printf("prox> ");
     }
   }

@@ -1,0 +1,139 @@
+/// \file prox_server.cpp
+/// \brief The PROX service, served: an embedded HTTP front end over the
+/// ProxSession workflow with a sharded summary cache, turning the
+/// Chapter 7 web UI's three views into network endpoints
+/// (docs/SERVING.md):
+///
+///   POST /v1/select            selection view
+///   POST /v1/summarize         Algorithm 1 (cached by selection + knobs)
+///   GET  /v1/summary/groups    summary view, groups subview
+///   POST /v1/evaluate          approximate provisioning
+///   GET  /healthz              liveness + dataset fingerprint
+///   GET  /metrics              Prometheus text (prox::obs)
+///
+/// Flags:
+///   --port=N          listen port (default 8080; 0 = ephemeral, printed)
+///   --threads=N       HTTP worker threads (default 4)
+///   --cache-mb=N      SummaryCache byte budget in MiB (default 64)
+///   --max-inflight=N  admitted-connection bound; beyond it new
+///                     connections are shed with 503 (default 64)
+///   --users=N --movies=N --seed=N
+///                     MovieLens-style dataset shape (defaults 25/8/99,
+///                     the prox_cli dataset)
+///
+/// SIGINT / SIGTERM drain in-flight requests and exit 0.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "datasets/movielens.h"
+#include "serve/router.h"
+#include "serve/server.h"
+#include "serve/summary_cache.h"
+#include "service/session.h"
+
+using namespace prox;
+
+namespace {
+
+void PrintUsage() {
+  std::printf(
+      "usage: prox_server [--port=N] [--threads=N] [--cache-mb=N]\n"
+      "                   [--max-inflight=N] [--users=N] [--movies=N]\n"
+      "                   [--seed=N]\n"
+      "\n"
+      "Serves the PROX session workflow over HTTP/1.1 (docs/SERVING.md).\n"
+      "SIGINT drains in-flight requests and exits 0.\n");
+}
+
+/// `--flag=value` integer parse; exits with usage on garbage.
+bool ParseIntFlag(const std::string& arg, const char* flag, long* out) {
+  std::string prefix = std::string(flag) + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  char* end = nullptr;
+  const std::string value = arg.substr(prefix.size());
+  *out = std::strtol(value.c_str(), &end, 10);
+  if (value.empty() || end != value.c_str() + value.size() || *out < 0) {
+    std::fprintf(stderr, "prox_server: bad value in %s\n", arg.c_str());
+    std::exit(2);
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long port = 8080;
+  long threads = 4;
+  long cache_mb = 64;
+  long max_inflight = 64;
+  long users = 25;
+  long movies = 8;
+  long seed = 99;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    }
+    if (ParseIntFlag(arg, "--port", &port) ||
+        ParseIntFlag(arg, "--threads", &threads) ||
+        ParseIntFlag(arg, "--cache-mb", &cache_mb) ||
+        ParseIntFlag(arg, "--max-inflight", &max_inflight) ||
+        ParseIntFlag(arg, "--users", &users) ||
+        ParseIntFlag(arg, "--movies", &movies) ||
+        ParseIntFlag(arg, "--seed", &seed)) {
+      continue;
+    }
+    std::fprintf(stderr, "prox_server: unknown flag %s\n", arg.c_str());
+    PrintUsage();
+    return 2;
+  }
+
+  // Block the shutdown signals before any thread spawns so every thread
+  // inherits the mask and only the sigwait below sees them.
+  sigset_t shutdown_signals;
+  sigemptyset(&shutdown_signals);
+  sigaddset(&shutdown_signals, SIGINT);
+  sigaddset(&shutdown_signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &shutdown_signals, nullptr);
+
+  MovieLensConfig config;
+  config.num_users = static_cast<int>(users);
+  config.num_movies = static_cast<int>(movies);
+  config.seed = static_cast<uint64_t>(seed);
+  ProxSession session(MovieLensGenerator::Generate(config));
+
+  serve::SummaryCache::Options cache_options;
+  cache_options.max_bytes = static_cast<size_t>(cache_mb) * 1024 * 1024;
+  serve::SummaryCache cache(cache_options);
+
+  serve::Router router(&session, &cache);
+
+  serve::HttpServer::Options options;
+  options.port = static_cast<int>(port);
+  options.threads = static_cast<int>(threads);
+  options.max_inflight = static_cast<int>(max_inflight);
+  serve::HttpServer server(options, [&router](const serve::HttpRequest& req) {
+    return router.Handle(req);
+  });
+  if (Status status = server.Start(); !status.ok()) {
+    std::fprintf(stderr, "prox_server: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("prox_server: listening on 127.0.0.1:%d (%ld workers, "
+              "cache %ld MiB, max-inflight %ld, dataset %s)\n",
+              server.port(), threads, cache_mb, max_inflight,
+              router.dataset_fingerprint().c_str());
+  std::fflush(stdout);
+
+  int signal_number = 0;
+  sigwait(&shutdown_signals, &signal_number);
+  std::printf("prox_server: signal %d, draining\n", signal_number);
+  std::fflush(stdout);
+  server.Stop();
+  std::printf("prox_server: drained, bye\n");
+  return 0;
+}

@@ -13,9 +13,10 @@ if [[ ! -f "$catalogue" ]]; then
   exit 1
 fi
 
-# Metric name literals in the library, benches and examples. Quoted-string
-# matching keeps CMake target names (prox_common, ...) out; test sources
-# are excluded because they register throwaway prox_test_* metrics.
+# Metric name literals in the library (including the prox_serve_* family
+# from src/serve), benches and examples. Quoted-string matching keeps
+# CMake target names (prox_common, ...) out; test sources are excluded
+# because they register throwaway prox_test_* metrics.
 used=$(grep -rhoE '"prox_[a-z0-9_]+"' src bench examples \
          --include='*.cc' --include='*.h' --include='*.cpp' \
        | tr -d '"' | sort -u)

@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Smoke test for prox_server (docs/SERVING.md): boot on an ephemeral
+# port, exercise every endpoint with curl, check that a repeated
+# summarize is served from the SummaryCache with byte-identical body,
+# then SIGINT and require a clean drain (exit 0).
+#
+# Usage: scripts/serve_smoke.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+build_dir=${1:-build}
+server_bin="$build_dir/examples/prox_server"
+
+if [[ ! -x "$server_bin" ]]; then
+  echo "serve_smoke: $server_bin not built (cmake --build $build_dir)" >&2
+  exit 1
+fi
+
+tmpdir=$(mktemp -d)
+server_pid=
+cleanup() {
+  [[ -n "$server_pid" ]] && kill -9 "$server_pid" 2>/dev/null
+  rm -rf "$tmpdir"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "serve_smoke: FAIL: $*" >&2
+  echo "--- server log ---" >&2
+  cat "$tmpdir/server.log" >&2
+  exit 1
+}
+
+"$server_bin" --port=0 --threads=2 --cache-mb=16 --max-inflight=16 \
+  >"$tmpdir/server.log" 2>&1 &
+server_pid=$!
+
+# Wait for the listen line and pull the bound port out of it.
+port=
+for _ in $(seq 1 100); do
+  port=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+           "$tmpdir/server.log")
+  [[ -n "$port" ]] && break
+  kill -0 "$server_pid" 2>/dev/null || fail "server died during startup"
+  sleep 0.05
+done
+[[ -n "$port" ]] || fail "server never printed its listen line"
+base="http://127.0.0.1:$port"
+echo "serve_smoke: server up on port $port (pid $server_pid)"
+
+code=$(curl -s -o "$tmpdir/health.json" -w '%{http_code}' "$base/healthz")
+[[ "$code" == 200 ]] || fail "/healthz returned $code"
+grep -q '"status":"ok"' "$tmpdir/health.json" || fail "/healthz body odd"
+
+req='{"w_dist":0.7,"max_steps":5}'
+code=$(curl -s -D "$tmpdir/cold.h" -o "$tmpdir/cold.json" -w '%{http_code}' \
+         -X POST -d "$req" "$base/v1/summarize")
+[[ "$code" == 200 ]] || fail "cold summarize returned $code"
+grep -qi '^x-prox-cache: miss' "$tmpdir/cold.h" || fail "cold was not a miss"
+
+code=$(curl -s -D "$tmpdir/warm.h" -o "$tmpdir/warm.json" -w '%{http_code}' \
+         -X POST -d "$req" "$base/v1/summarize")
+[[ "$code" == 200 ]] || fail "cached summarize returned $code"
+grep -qi '^x-prox-cache: hit' "$tmpdir/warm.h" || fail "repeat was not a hit"
+cmp -s "$tmpdir/cold.json" "$tmpdir/warm.json" \
+  || fail "cold and cached bodies differ"
+
+code=$(curl -s -o "$tmpdir/groups.json" -w '%{http_code}' \
+         "$base/v1/summary/groups")
+[[ "$code" == 200 ]] || fail "/v1/summary/groups returned $code"
+
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+         -d '{"w_dist":-1}' "$base/v1/summarize")
+[[ "$code" == 400 ]] || fail "invalid knobs returned $code, want 400"
+
+curl -s "$base/metrics" >"$tmpdir/metrics.txt"
+for name in prox_serve_requests_total prox_serve_cache_hit_total \
+            prox_service_requests_total; do
+  grep -q "$name" "$tmpdir/metrics.txt" || fail "metrics missing $name"
+done
+
+kill -INT "$server_pid"
+server_exit=0
+wait "$server_pid" || server_exit=$?
+[[ $server_exit -eq 0 ]] || fail "server exited $server_exit after SIGINT"
+grep -q "drained" "$tmpdir/server.log" || fail "server never logged the drain"
+server_pid=
+
+echo "serve_smoke: OK (cold=miss, repeat=hit, byte-identical, clean drain)"

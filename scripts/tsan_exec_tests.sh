@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Configure a dedicated ThreadSanitizer build (-DPROX_SANITIZE=thread) and
-# run every CTest carrying the `tsan` label — the exec pool suite and the
-# end-to-end determinism suite — under TSan.
+# run every CTest carrying the `tsan` label — the exec pool suite, the
+# end-to-end determinism suite, and the serve loopback suite (many worker
+# threads against one session + cache) — under TSan.
 #
 # Usage: scripts/tsan_exec_tests.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -14,5 +15,5 @@ cmake -B "$build_dir" -S . \
   -DPROX_SANITIZE=thread \
   -DPROX_BUILD_BENCHMARKS=OFF \
   -DPROX_BUILD_EXAMPLES=OFF
-cmake --build "$build_dir" --target prox_exec_test -j
+cmake --build "$build_dir" --target prox_exec_test prox_serve_loopback_test -j
 ctest --test-dir "$build_dir" -L tsan --output-on-failure

@@ -1,0 +1,129 @@
+#ifndef PROX_COMMON_JSON_H_
+#define PROX_COMMON_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+
+namespace prox {
+
+/// \brief A minimal JSON document model with a strict parser and a
+/// deterministic writer — the wire format of `prox::serve` and of
+/// `prox_cli --json`.
+///
+/// Like provenance/io.h, the writer emits a *stable* ASCII encoding: object
+/// members keep insertion order, doubles render as the shortest string that
+/// round-trips to the same bits, and there is no whitespace. Two writes of
+/// equal documents are byte-identical, which is what lets the serve layer
+/// cache serialized responses and hand out the same bytes forever.
+///
+/// The parser is strict RFC 8259: UTF-8 input, `\uXXXX` escapes (including
+/// surrogate pairs), a configurable nesting depth limit, and no extensions
+/// (no comments, no trailing commas, no NaN/Infinity literals). Malformed
+/// input returns InvalidArgument — never a crash — so the server can feed
+/// it untrusted request bodies.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  /// Object members in insertion order (duplicate keys: last Set wins).
+  using Member = std::pair<std::string, JsonValue>;
+
+  /// Default-constructs null (matches the JSON literal `null`).
+  JsonValue() : repr_(nullptr) {}
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool value) { return JsonValue(Repr(value)); }
+  static JsonValue Int(int64_t value) { return JsonValue(Repr(value)); }
+  static JsonValue Double(double value) { return JsonValue(Repr(value)); }
+  static JsonValue Str(std::string value) {
+    return JsonValue(Repr(std::move(value)));
+  }
+  static JsonValue Array() { return JsonValue(Repr(ArrayStorage())); }
+  static JsonValue Object() { return JsonValue(Repr(ObjectStorage())); }
+
+  Kind kind() const { return static_cast<Kind>(repr_.index()); }
+  bool is_null() const { return kind() == Kind::kNull; }
+  bool is_bool() const { return kind() == Kind::kBool; }
+  bool is_number() const {
+    return kind() == Kind::kInt || kind() == Kind::kDouble;
+  }
+  bool is_int() const { return kind() == Kind::kInt; }
+  bool is_string() const { return kind() == Kind::kString; }
+  bool is_array() const { return kind() == Kind::kArray; }
+  bool is_object() const { return kind() == Kind::kObject; }
+
+  /// Value accessors assert the matching kind (callers check first;
+  /// number accessors accept both numeric kinds).
+  bool bool_value() const { return std::get<bool>(repr_); }
+  int64_t int_value() const {
+    return is_int() ? std::get<int64_t>(repr_)
+                    : static_cast<int64_t>(std::get<double>(repr_));
+  }
+  double double_value() const {
+    return is_int() ? static_cast<double>(std::get<int64_t>(repr_))
+                    : std::get<double>(repr_);
+  }
+  const std::string& string_value() const {
+    return std::get<std::string>(repr_);
+  }
+
+  // --- arrays ---
+  void Append(JsonValue value) {
+    std::get<ArrayStorage>(repr_).push_back(std::move(value));
+  }
+  const std::vector<JsonValue>& items() const {
+    return std::get<ArrayStorage>(repr_);
+  }
+
+  // --- objects ---
+  /// Inserts or overwrites `key` (overwrite keeps the original position).
+  void Set(std::string key, JsonValue value);
+  /// The member value, or nullptr when absent (or not an object).
+  const JsonValue* Find(std::string_view key) const;
+  const std::vector<Member>& members() const {
+    return std::get<ObjectStorage>(repr_);
+  }
+
+  /// Array / object element count, 0 for scalars.
+  size_t size() const;
+
+  bool operator==(const JsonValue& other) const { return repr_ == other.repr_; }
+  bool operator!=(const JsonValue& other) const { return !(*this == other); }
+
+ private:
+  using ArrayStorage = std::vector<JsonValue>;
+  using ObjectStorage = std::vector<Member>;
+  using Repr = std::variant<std::nullptr_t, bool, int64_t, double, std::string,
+                            ArrayStorage, ObjectStorage>;
+
+  explicit JsonValue(Repr repr) : repr_(std::move(repr)) {}
+
+  Repr repr_;
+};
+
+/// Parses one JSON document; trailing non-whitespace is an error.
+/// `max_depth` bounds array/object nesting (InvalidArgument beyond it).
+Result<JsonValue> ParseJson(std::string_view text, int max_depth = 96);
+
+/// Compact deterministic encoding (see class comment). Non-finite doubles
+/// have no JSON representation and render as `null`.
+std::string WriteJson(const JsonValue& value);
+void AppendJson(const JsonValue& value, std::string* out);
+
+/// Appends `"..."` with all mandatory escapes (quote, backslash, control
+/// characters as `\uXXXX` or the short forms `\n` `\t` `\r` `\b` `\f`).
+void AppendJsonString(std::string_view text, std::string* out);
+
+/// The shortest decimal string that strtod's back to exactly `value`
+/// (used by the writer; exposed for canonical cache keys and tests).
+std::string ShortestDouble(double value);
+
+}  // namespace prox
+
+#endif  // PROX_COMMON_JSON_H_

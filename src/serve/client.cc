@@ -1,0 +1,176 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/str_util.h"
+
+namespace prox {
+namespace serve {
+
+std::string_view ClientResponse::Header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return value;
+  }
+  return {};
+}
+
+ClientConnection::ClientConnection(ClientConnection&& other) noexcept
+    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+ClientConnection& ClientConnection::operator=(
+    ClientConnection&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+ClientConnection::~ClientConnection() { Close(); }
+
+void ClientConnection::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<ClientConnection> ClientConnection::Connect(const std::string& host,
+                                                   int port, int timeout_ms) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal("socket(): " + std::string(std::strerror(errno)));
+  }
+  timeval timeout{};
+  timeout.tv_sec = timeout_ms / 1000;
+  timeout.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status status = Status::Internal("connect(" + host + ":" +
+                                     std::to_string(port) +
+                                     "): " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  ClientConnection connection;
+  connection.fd_ = fd;
+  return connection;
+}
+
+Status ClientConnection::SendRaw(std::string_view bytes) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  while (!bytes.empty()) {
+    ssize_t n = ::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal("send(): " + std::string(std::strerror(errno)));
+    }
+    bytes.remove_prefix(static_cast<size_t>(n));
+  }
+  return Status::OK();
+}
+
+Status ClientConnection::SendRequest(const std::string& method,
+                                     const std::string& target,
+                                     const std::string& body,
+                                     const std::string& content_type) {
+  std::string request = method + " " + target + " HTTP/1.1\r\n";
+  request += "Host: loopback\r\n";
+  if (!body.empty() || method == "POST") {
+    request += "Content-Type: " + content_type + "\r\n";
+    request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  request += "\r\n";
+  request += body;
+  return SendRaw(request);
+}
+
+Result<ClientResponse> ClientConnection::ReadResponse() {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  char chunk[16 * 1024];
+  while (true) {
+    size_t header_end = buffer_.find("\r\n\r\n");
+    if (header_end != std::string::npos) {
+      // Parse the status line + headers, then wait for the full body.
+      std::string_view head(buffer_.data(), header_end);
+      size_t line_end = head.find("\r\n");
+      std::string_view status_line =
+          line_end == std::string_view::npos ? head : head.substr(0, line_end);
+      // "HTTP/1.1 NNN Reason"
+      size_t sp = status_line.find(' ');
+      if (sp == std::string_view::npos) {
+        return Status::Internal("malformed status line");
+      }
+      ClientResponse response;
+      response.status =
+          std::atoi(std::string(status_line.substr(sp + 1)).c_str());
+
+      size_t content_length = 0;
+      size_t cursor =
+          line_end == std::string_view::npos ? head.size() : line_end + 2;
+      while (cursor < head.size()) {
+        size_t next = head.find("\r\n", cursor);
+        std::string_view line = head.substr(
+            cursor, next == std::string_view::npos ? head.size() - cursor
+                                                   : next - cursor);
+        cursor = next == std::string_view::npos ? head.size() : next + 2;
+        size_t colon = line.find(':');
+        if (colon == std::string_view::npos) continue;
+        std::string name = ToLowerAscii(line.substr(0, colon));
+        std::string value(StripWhitespace(line.substr(colon + 1)));
+        if (name == "content-length") {
+          content_length = static_cast<size_t>(
+              std::strtoull(value.c_str(), nullptr, 10));
+        }
+        response.headers.emplace_back(std::move(name), std::move(value));
+      }
+
+      size_t body_start = header_end + 4;
+      if (buffer_.size() - body_start >= content_length) {
+        response.body = buffer_.substr(body_start, content_length);
+        buffer_.erase(0, body_start + content_length);
+        return response;
+      }
+    }
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) return Status::Internal("connection closed mid-response");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal("recv(): " + std::string(std::strerror(errno)));
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+Result<ClientResponse> Fetch(const std::string& host, int port,
+                             const std::string& method,
+                             const std::string& target,
+                             const std::string& body, int timeout_ms) {
+  PROX_ASSIGN_OR_RETURN(ClientConnection connection,
+                        ClientConnection::Connect(host, port, timeout_ms));
+  PROX_RETURN_NOT_OK(connection.SendRequest(method, target, body));
+  return connection.ReadResponse();
+}
+
+}  // namespace serve
+}  // namespace prox

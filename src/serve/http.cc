@@ -1,0 +1,153 @@
+#include "serve/http.h"
+
+#include <cstdlib>
+
+#include "common/str_util.h"
+
+namespace prox {
+namespace serve {
+
+namespace {
+
+/// Case-insensitive ASCII compare against an already-lower-case needle.
+bool EqualsLower(std::string_view text, std::string_view lower_needle) {
+  if (text.size() != lower_needle.size()) return false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+    if (c != lower_needle[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string_view HttpRequest::Header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return value;
+  }
+  return {};
+}
+
+bool HttpRequest::WantsClose() const {
+  if (EqualsLower(Header("connection"), "close")) return true;
+  // HTTP/1.0 defaults to close unless keep-alive was asked for.
+  return version == "HTTP/1.0" &&
+         !EqualsLower(Header("connection"), "keep-alive");
+}
+
+const char* StatusReason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 409: return "Conflict";
+    case 413: return "Content Too Large";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string RenderResponse(const HttpResponse& response) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    StatusReason(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  if (response.close_connection) out += "Connection: close\r\n";
+  for (const auto& [key, value] : response.headers) {
+    out += key + ": " + value + "\r\n";
+  }
+  out += "\r\n";
+  out += response.body;
+  return out;
+}
+
+ParseResult HttpParser::Next(HttpRequest* out) {
+  if (error_status_ != 0) return ParseResult::kError;
+
+  // Locate the end of the header block.
+  size_t header_end = buffer_.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    // Oversized header blocks fail fast, before the terminator arrives.
+    if (buffer_.size() > limits_.max_header_bytes) return Fail(431);
+    return ParseResult::kNeedMore;
+  }
+  if (header_end + 4 > limits_.max_header_bytes) return Fail(431);
+
+  std::string_view head(buffer_.data(), header_end);
+
+  // Request line: METHOD SP TARGET SP VERSION.
+  size_t line_end = head.find("\r\n");
+  std::string_view request_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  size_t sp1 = request_line.find(' ');
+  size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+    return Fail(400);
+  }
+  HttpRequest request;
+  request.method = std::string(request_line.substr(0, sp1));
+  request.target = std::string(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
+  request.version = std::string(request_line.substr(sp2 + 1));
+  if (request.method.empty() || request.target.empty() ||
+      request.target[0] != '/' ||
+      (request.version != "HTTP/1.1" && request.version != "HTTP/1.0")) {
+    return Fail(400);
+  }
+
+  // Header fields.
+  size_t content_length = 0;
+  bool has_length = false;
+  size_t cursor = line_end == std::string_view::npos ? head.size()
+                                                     : line_end + 2;
+  while (cursor < head.size()) {
+    size_t next = head.find("\r\n", cursor);
+    std::string_view line = head.substr(
+        cursor, next == std::string_view::npos ? head.size() - cursor
+                                               : next - cursor);
+    cursor = next == std::string_view::npos ? head.size() : next + 2;
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) return Fail(400);
+    std::string name = ToLowerAscii(line.substr(0, colon));
+    if (name.find(' ') != std::string::npos ||
+        name.find('\t') != std::string::npos) {
+      return Fail(400);  // whitespace before the colon is forbidden
+    }
+    std::string value(StripWhitespace(line.substr(colon + 1)));
+    if (name == "transfer-encoding") return Fail(501);
+    if (name == "content-length") {
+      if (has_length) return Fail(400);
+      // Digits only: strtoull would accept "-1" by wrapping around.
+      if (value.empty() ||
+          value.find_first_not_of("0123456789") != std::string::npos) {
+        return Fail(400);
+      }
+      char* end = nullptr;
+      unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+      if (end != value.c_str() + value.size()) return Fail(400);
+      content_length = static_cast<size_t>(parsed);
+      has_length = true;
+    }
+    request.headers.emplace_back(std::move(name), std::move(value));
+  }
+
+  if (content_length > limits_.max_body_bytes) return Fail(413);
+
+  size_t body_start = header_end + 4;
+  if (buffer_.size() - body_start < content_length) {
+    return ParseResult::kNeedMore;
+  }
+  request.body = buffer_.substr(body_start, content_length);
+  buffer_.erase(0, body_start + content_length);
+  *out = std::move(request);
+  return ParseResult::kRequest;
+}
+
+}  // namespace serve
+}  // namespace prox

@@ -1,0 +1,247 @@
+#include "serve/router.h"
+
+#include <memory>
+#include <utility>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/serve_metrics.h"
+#include "serve/wire.h"
+
+namespace prox {
+namespace serve {
+
+namespace {
+
+HttpResponse JsonResponse(int status, const JsonValue& doc) {
+  HttpResponse response;
+  response.status = status;
+  response.body = WriteJson(doc);
+  response.body.push_back('\n');
+  return response;
+}
+
+HttpResponse ErrorResponse(const Status& status) {
+  return JsonResponse(HttpStatusForCode(status.code()), StatusToJson(status));
+}
+
+HttpResponse SimpleError(int status, const std::string& message) {
+  JsonValue error = JsonValue::Object();
+  error.Set("code", JsonValue::Str(StatusReason(status)));
+  error.Set("message", JsonValue::Str(message));
+  JsonValue doc = JsonValue::Object();
+  doc.Set("error", std::move(error));
+  return JsonResponse(status, doc);
+}
+
+/// Bounded-cardinality route label for prox_serve_requests_total.
+const std::string& RouteLabel(const HttpRequest& request) {
+  static const std::string kSelect = "/v1/select";
+  static const std::string kSummarize = "/v1/summarize";
+  static const std::string kGroups = "/v1/summary/groups";
+  static const std::string kEvaluate = "/v1/evaluate";
+  static const std::string kHealthz = "/healthz";
+  static const std::string kMetrics = "/metrics";
+  static const std::string kOther = "other";
+  if (request.target == kSelect) return kSelect;
+  if (request.target == kSummarize) return kSummarize;
+  if (request.target == kGroups) return kGroups;
+  if (request.target == kEvaluate) return kEvaluate;
+  if (request.target == kHealthz) return kHealthz;
+  if (request.target == kMetrics) return kMetrics;
+  return kOther;
+}
+
+}  // namespace
+
+Router::Router(ProxSession* session, SummaryCache* cache)
+    : session_(session),
+      cache_(cache),
+      fingerprint_(DatasetFingerprint(session->dataset())),
+      selection_key_(SelectAllKey()) {
+  // The session starts with the whole provenance selected, so a summarize
+  // with no prior select is well-defined (and cacheable under "all").
+  session_->SelectAll();
+}
+
+HttpResponse Router::Handle(const HttpRequest& request) {
+  ServeRequests(RouteLabel(request))->Increment();
+  static obs::Histogram* duration = ServeDuration();
+  obs::TraceSpan span("serve.request");
+
+  HttpResponse response;
+  if (request.target == "/healthz") {
+    if (request.method != "GET") {
+      response = SimpleError(405, "use GET");
+    } else {
+      JsonValue doc = JsonValue::Object();
+      doc.Set("status", JsonValue::Str("ok"));
+      doc.Set("dataset_fingerprint", JsonValue::Str(fingerprint_));
+      response = JsonResponse(200, doc);
+    }
+  } else if (request.target == "/metrics") {
+    response = request.method == "GET" ? HandleMetrics()
+                                       : SimpleError(405, "use GET");
+  } else if (request.target == "/v1/select") {
+    response = request.method == "POST" ? HandleSelect(request)
+                                        : SimpleError(405, "use POST");
+  } else if (request.target == "/v1/summarize") {
+    response = request.method == "POST" ? HandleSummarize(request)
+                                        : SimpleError(405, "use POST");
+  } else if (request.target == "/v1/summary/groups") {
+    response = request.method == "GET" ? HandleGroups()
+                                       : SimpleError(405, "use GET");
+  } else if (request.target == "/v1/evaluate") {
+    response = request.method == "POST" ? HandleEvaluate(request)
+                                        : SimpleError(405, "use POST");
+  } else {
+    response = SimpleError(404, "no such endpoint: " + request.target);
+  }
+
+  ServeResponses(response.status)->Increment();
+  duration->Observe(static_cast<double>(span.Close()));
+  return response;
+}
+
+HttpResponse Router::HandleSelect(const HttpRequest& request) {
+  Result<JsonValue> body = ParseJson(request.body);
+  if (!body.ok()) return ErrorResponse(body.status());
+  bool select_all = false;
+  Result<SelectionCriteria> criteria =
+      SelectionCriteriaFromJson(body.value(), &select_all);
+  if (!criteria.ok()) return ErrorResponse(criteria.status());
+
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t selected_size = 0;
+  if (select_all) {
+    selected_size = session_->SelectAll();
+    selection_key_ = SelectAllKey();
+  } else {
+    Result<int64_t> size = session_->Select(criteria.value());
+    if (!size.ok()) return ErrorResponse(size.status());
+    selected_size = size.value();
+    selection_key_ = CanonicalSelectionKey(criteria.value());
+  }
+  JsonValue doc = JsonValue::Object();
+  doc.Set("selected_size", JsonValue::Int(selected_size));
+  doc.Set("selection_key", JsonValue::Str(selection_key_));
+  return JsonResponse(200, doc);
+}
+
+HttpResponse Router::HandleSummarize(const HttpRequest& request) {
+  Result<JsonValue> body = ParseJson(request.body);
+  if (!body.ok()) return ErrorResponse(body.status());
+  Result<SummarizationRequest> parsed =
+      SummarizationRequestFromJson(body.value());
+  if (!parsed.ok()) return ErrorResponse(parsed.status());
+  const SummarizationRequest& summarize_request = parsed.value();
+  if (Status valid = summarize_request.Validate(); !valid.ok()) {
+    return ErrorResponse(valid);
+  }
+
+  // Fast path: a racy snapshot of the selection key is fine — the cache
+  // key embeds it, so a stale snapshot can only yield a miss or a hit on
+  // the stale selection's (still correct) bytes.
+  std::string key;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    key = SummaryCacheKey(fingerprint_, selection_key_, summarize_request);
+  }
+  if (std::shared_ptr<const std::string> cached = cache_->Get(key)) {
+    HttpResponse response;
+    response.body = *cached;
+    response.headers.emplace_back("X-Prox-Cache", "hit");
+    return response;
+  }
+
+  // Cold path: compute under the router mutex so (a) the key matches the
+  // selection the run uses even if a /v1/select raced in, and (b)
+  // concurrent identical requests run Algorithm 1 once — the double-check
+  // below turns the rest into hits, which keeps their bodies
+  // byte-identical (reruns on the same registry would mint "#k"-suffixed
+  // summary names).
+  std::lock_guard<std::mutex> lock(mu_);
+  key = SummaryCacheKey(fingerprint_, selection_key_, summarize_request);
+  if (std::shared_ptr<const std::string> cached = cache_->Get(key)) {
+    HttpResponse response;
+    response.body = *cached;
+    response.headers.emplace_back("X-Prox-Cache", "hit");
+    return response;
+  }
+  Result<int64_t> size = session_->Summarize(summarize_request);
+  if (!size.ok()) return ErrorResponse(size.status());
+
+  JsonValue doc = SummaryOutcomeToJson(*session_->outcome(),
+                                       *session_->dataset().registry);
+  auto rendered = std::make_shared<std::string>(WriteJson(doc));
+  rendered->push_back('\n');
+  cache_->Put(key, rendered);
+
+  HttpResponse response;
+  response.body = *rendered;
+  response.headers.emplace_back("X-Prox-Cache", "miss");
+  return response;
+}
+
+HttpResponse Router::HandleGroups() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (session_->outcome() == nullptr) {
+    return ErrorResponse(
+        Status::FailedPrecondition("no summary computed yet"));
+  }
+  JsonValue outcome_doc = SummaryOutcomeToJson(*session_->outcome(),
+                                               *session_->dataset().registry);
+  JsonValue doc = JsonValue::Object();
+  const JsonValue* groups = outcome_doc.Find("groups");
+  const JsonValue* expression = outcome_doc.Find("expression");
+  doc.Set("groups", groups != nullptr ? *groups : JsonValue::Array());
+  doc.Set("expression",
+          expression != nullptr ? *expression : JsonValue::Null());
+  return JsonResponse(200, doc);
+}
+
+HttpResponse Router::HandleEvaluate(const HttpRequest& request) {
+  Result<JsonValue> body = ParseJson(request.body);
+  if (!body.ok()) return ErrorResponse(body.status());
+  if (!body.value().is_object()) {
+    return ErrorResponse(
+        Status::InvalidArgument("evaluate body must be a JSON object"));
+  }
+
+  bool on_summary = true;
+  const JsonValue* on = body.value().Find("on");
+  if (on != nullptr) {
+    if (!on->is_string() || (on->string_value() != "summary" &&
+                             on->string_value() != "selection")) {
+      return ErrorResponse(Status::InvalidArgument(
+          "field 'on' must be \"summary\" or \"selection\""));
+    }
+    on_summary = on->string_value() == "summary";
+  }
+  const JsonValue* assignment_doc = body.value().Find("assignment");
+  if (assignment_doc == nullptr) {
+    return ErrorResponse(
+        Status::InvalidArgument("missing 'assignment' object"));
+  }
+  Result<Assignment> assignment = AssignmentFromJson(*assignment_doc);
+  if (!assignment.ok()) return ErrorResponse(assignment.status());
+
+  std::lock_guard<std::mutex> lock(mu_);
+  Result<EvaluationReport> report =
+      on_summary ? session_->EvaluateOnSummary(assignment.value())
+                 : session_->EvaluateOnSelection(assignment.value());
+  if (!report.ok()) return ErrorResponse(report.status());
+  return JsonResponse(200, EvaluationReportToJson(report.value()));
+}
+
+HttpResponse Router::HandleMetrics() {
+  HttpResponse response;
+  response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  response.body =
+      obs::RenderPrometheus(obs::MetricsRegistry::Default().Snapshot());
+  return response;
+}
+
+}  // namespace serve
+}  // namespace prox

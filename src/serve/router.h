@@ -1,0 +1,66 @@
+#ifndef PROX_SERVE_ROUTER_H_
+#define PROX_SERVE_ROUTER_H_
+
+#include <mutex>
+#include <string>
+
+#include "serve/http.h"
+#include "serve/summary_cache.h"
+#include "service/session.h"
+
+namespace prox {
+namespace serve {
+
+/// \brief Maps HTTP requests onto the ProxSession workflow — the service
+/// counterpart of the Chapter 7 web UI (docs/SERVING.md documents every
+/// endpoint and schema):
+///
+///   POST /v1/select            selection view (criteria or {"all": true})
+///   POST /v1/summarize         Algorithm 1 with the request's knobs
+///   GET  /v1/summary/groups    groups subview of the latest summary
+///   POST /v1/evaluate          approximate provisioning on summary or
+///                              selection
+///   GET  /healthz              liveness
+///   GET  /metrics              Prometheus text (prox::obs registry)
+///
+/// Summarize responses are served from the SummaryCache when the
+/// `(dataset fingerprint, selection, knobs)` key is present; misses
+/// compute under the router mutex — which also guards selection changes,
+/// so a cached body always corresponds to the selection named in its key,
+/// and concurrent identical cold requests run Algorithm 1 once (the first
+/// computes and caches, the rest hit). Cached and cold bodies are
+/// byte-identical; the `X-Prox-Cache: hit|miss` response header tells
+/// them apart.
+///
+/// Thread-safe: Handle may be called from any number of server workers.
+class Router {
+ public:
+  /// `session` and `cache` must outlive the router. The dataset
+  /// fingerprint is computed here, once.
+  Router(ProxSession* session, SummaryCache* cache);
+
+  HttpResponse Handle(const HttpRequest& request);
+
+  const std::string& dataset_fingerprint() const { return fingerprint_; }
+
+ private:
+  HttpResponse HandleSelect(const HttpRequest& request);
+  HttpResponse HandleSummarize(const HttpRequest& request);
+  HttpResponse HandleGroups();
+  HttpResponse HandleEvaluate(const HttpRequest& request);
+  HttpResponse HandleMetrics();
+
+  ProxSession* session_;
+  SummaryCache* cache_;
+  std::string fingerprint_;
+
+  /// Guards selection_key_ and all session_ calls, keeping the cache key
+  /// consistent with the selection a computation actually ran on.
+  std::mutex mu_;
+  std::string selection_key_;
+};
+
+}  // namespace serve
+}  // namespace prox
+
+#endif  // PROX_SERVE_ROUTER_H_

@@ -1,0 +1,233 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "serve/serve_metrics.h"
+
+namespace prox {
+namespace serve {
+
+namespace {
+
+/// Writes all of `data`, retrying short writes. MSG_NOSIGNAL turns a dead
+/// peer into EPIPE instead of SIGPIPE.
+bool SendAll(int fd, std::string_view data) {
+  while (!data.empty()) {
+    ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<size_t>(n));
+  }
+  return true;
+}
+
+void SendCannedResponse(int fd, int status) {
+  HttpResponse response;
+  response.status = status;
+  response.content_type = "application/json";
+  response.body = "{\"error\":{\"code\":\"" + std::string(StatusReason(status)) +
+                  "\"}}\n";
+  response.close_connection = true;
+  SendAll(fd, RenderResponse(response));
+}
+
+}  // namespace
+
+HttpServer::HttpServer(Options options, Handler handler)
+    : options_(std::move(options)), handler_(std::move(handler)) {}
+
+HttpServer::~HttpServer() { Stop(); }
+
+Status HttpServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("server already started");
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal("socket(): " + std::string(std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad listen address: " + options_.host);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status status = Status::Internal("bind(" + options_.host + ":" +
+                                     std::to_string(options_.port) +
+                                     "): " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  port_ = ntohs(addr.sin_port);
+  if (::listen(fd, options_.backlog) < 0) {
+    Status status =
+        Status::Internal("listen(): " + std::string(std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+
+  // Publish the listener only once it is fully set up; Stop() takes it
+  // back with exchange(-1) so close() happens exactly once.
+  listen_fd_.store(fd, std::memory_order_release);
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  int worker_count = options_.threads < 1 ? 1 : options_.threads;
+  workers_.reserve(worker_count);
+  for (int i = 0; i < worker_count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+  // Closing the listener unblocks accept(); no new connections after this.
+  int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  // Wake workers blocked in recv(): shutting the read side down makes
+  // recv return 0, after which the worker answers what it already
+  // buffered and closes. Fully received requests still complete.
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    for (int fd : active_fds_) ::shutdown(fd, SHUT_RD);
+  }
+  // Workers drain every admitted connection, then observe stopping_ with
+  // an empty queue and exit.
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+bool HttpServer::Admit(int fd) {
+  static obs::Gauge* inflight_metric = ServeInflight();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (inflight_ >= options_.max_inflight) return false;
+    ++inflight_;
+    queue_.push_back(fd);
+  }
+  inflight_metric->Add(1.0);
+  queue_cv_.notify_one();
+  return true;
+}
+
+void HttpServer::AcceptLoop() {
+  static obs::Counter* connections_metric = ServeConnections();
+  static obs::Counter* overload_metric = ServeOverload();
+  while (!stopping_.load(std::memory_order_acquire)) {
+    int listen_fd = listen_fd_.load(std::memory_order_acquire);
+    if (listen_fd < 0) break;  // Stop() already took the listener
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed by Stop(), or fatal
+    }
+    connections_metric->Increment();
+    if (!Admit(fd)) {
+      overload_metric->Increment();
+      SendCannedResponse(fd, 503);
+      ::close(fd);
+    }
+  }
+}
+
+void HttpServer::WorkerLoop() {
+  static obs::Gauge* inflight_metric = ServeInflight();
+  while (true) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] {
+        return !queue_.empty() || stopping_.load(std::memory_order_acquire);
+      });
+      if (queue_.empty()) return;  // stopping and fully drained
+      fd = queue_.front();
+      queue_.pop_front();
+      active_fds_.push_back(fd);
+    }
+    ServeConnection(fd);
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      active_fds_.erase(
+          std::find(active_fds_.begin(), active_fds_.end(), fd));
+      --inflight_;
+    }
+    ::close(fd);
+    inflight_metric->Add(-1.0);
+  }
+}
+
+void HttpServer::ServeConnection(int fd) {
+  timeval timeout{};
+  timeout.tv_sec = options_.read_timeout_ms / 1000;
+  timeout.tv_usec = (options_.read_timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  HttpParser parser(options_.limits);
+  char buffer[16 * 1024];
+  while (true) {
+    // Answer everything already buffered (pipelining) before reading.
+    HttpRequest request;
+    ParseResult result;
+    while ((result = parser.Next(&request)) == ParseResult::kRequest) {
+      HttpResponse response = handler_(request);
+      bool close = request.WantsClose() || response.close_connection ||
+                   stopping_.load(std::memory_order_acquire);
+      response.close_connection = close;
+      if (!SendAll(fd, RenderResponse(response))) return;
+      if (close) return;
+    }
+    if (result == ParseResult::kError) {
+      SendCannedResponse(fd, parser.error_status());
+      return;
+    }
+    if (stopping_.load(std::memory_order_acquire) &&
+        parser.buffered_bytes() == 0) {
+      // Drained: don't wait for more requests on an idle keep-alive
+      // connection while the server shuts down.
+      return;
+    }
+    ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n == 0) return;  // client closed
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Read timeout. 408 only means something mid-request.
+        if (parser.buffered_bytes() > 0) SendCannedResponse(fd, 408);
+        return;
+      }
+      return;
+    }
+    parser.Feed(std::string_view(buffer, static_cast<size_t>(n)));
+  }
+}
+
+}  // namespace serve
+}  // namespace prox

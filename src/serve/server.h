@@ -1,0 +1,110 @@
+#ifndef PROX_SERVE_SERVER_H_
+#define PROX_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/http.h"
+
+namespace prox {
+namespace serve {
+
+/// \brief A dependency-free embedded HTTP/1.1 server: POSIX sockets, one
+/// blocking acceptor thread, a fixed pool of worker threads, and a bounded
+/// admission queue with 503 overload shedding.
+///
+/// Life cycle: construct with a handler, `Start()`, serve, `Stop()`.
+/// Stop is a graceful drain — the listener closes first (no new
+/// connections), then workers finish every admitted connection before
+/// joining. `prox_server` wires SIGINT to Stop(), so Ctrl-C drains
+/// in-flight requests and exits 0.
+///
+/// Admission control: at most `max_inflight` connections are admitted
+/// (queued + being served) at once. The acceptor sheds connection
+/// `max_inflight + 1` with a canned `503 Service Unavailable` and counts
+/// it in `prox_serve_overload_total` — the queue is bounded, so slow
+/// handlers translate into fast 503s instead of unbounded memory.
+///
+/// Connections are HTTP/1.1 keep-alive: each worker loops parse → handle
+/// → respond until the client closes, sends `Connection: close`, errors,
+/// or the read timeout fires (408). Pipelined requests in one buffer are
+/// answered in order. Parse failures get the parser's status (400 / 413 /
+/// 431 / 501) and close the connection.
+///
+/// Metrics (docs/OBSERVABILITY.md): `prox_serve_connections_total`,
+/// `prox_serve_overload_total`, `prox_serve_inflight`, and per-request
+/// series recorded by the handler (router.cc).
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  struct Options {
+    std::string host = "127.0.0.1";
+    int port = 0;  ///< 0 = ephemeral; see port() after Start()
+    int threads = 4;
+    int max_inflight = 64;
+    int backlog = 128;
+    int read_timeout_ms = 5000;
+    HttpParser::Limits limits;
+  };
+
+  HttpServer(Options options, Handler handler);
+  ~HttpServer();  ///< calls Stop()
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens and spawns the acceptor + workers. Fails with
+  /// Internal when the socket can't be bound.
+  Status Start();
+
+  /// Graceful drain (see class comment). Idempotent; safe to call from a
+  /// signal-watcher thread.
+  void Stop();
+
+  /// The bound port (resolves port 0 requests). Valid after Start().
+  int port() const { return port_; }
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  void ServeConnection(int fd);
+  bool Admit(int fd);
+
+  Options options_;
+  Handler handler_;
+
+  /// Atomic because Stop() closes and clears it while AcceptLoop() is
+  /// blocked in accept() on it.
+  std::atomic<int> listen_fd_{-1};
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> queue_;
+  int inflight_ = 0;  ///< admitted connections (queued + active)
+  /// Connections currently inside ServeConnection. Stop() shuts their
+  /// read side down so workers blocked in recv() wake promptly, finish
+  /// the requests they already received, and exit.
+  std::vector<int> active_fds_;
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace serve
+}  // namespace prox
+
+#endif  // PROX_SERVE_SERVER_H_

@@ -1,0 +1,90 @@
+#include "serve/summary_cache.h"
+
+#include <functional>
+
+#include "serve/serve_metrics.h"
+
+namespace prox {
+namespace serve {
+
+SummaryCache::SummaryCache(Options options) {
+  size_t shard_count = options.shards == 0 ? 1 : options.shards;
+  shards_.reserve(shard_count);
+  for (size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  per_shard_budget_ = options.max_bytes / shard_count;
+}
+
+SummaryCache::Shard& SummaryCache::ShardFor(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+std::shared_ptr<const std::string> SummaryCache::Get(const std::string& key) {
+  static obs::Counter* hit_metric = CacheHits();
+  static obs::Counter* miss_metric = CacheMisses();
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    miss_metric->Increment();
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  ++shard.hits;
+  hit_metric->Increment();
+  return it->second->value;
+}
+
+void SummaryCache::Put(const std::string& key,
+                       std::shared_ptr<const std::string> value) {
+  static obs::Counter* evict_metric = CacheEvictions();
+  static obs::Gauge* bytes_metric = CacheBytes();
+  if (value == nullptr) return;
+  size_t entry_bytes = key.size() + value->size();
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    size_t old_bytes = it->second->key.size() + it->second->value->size();
+    shard.bytes -= old_bytes;
+    bytes_metric->Add(-static_cast<double>(old_bytes));
+    it->second->value = std::move(value);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    shard.bytes += entry_bytes;
+    bytes_metric->Add(static_cast<double>(entry_bytes));
+  } else {
+    if (entry_bytes > per_shard_budget_) return;  // would never fit
+    shard.lru.push_front(Entry{key, std::move(value)});
+    shard.index.emplace(key, shard.lru.begin());
+    shard.bytes += entry_bytes;
+    bytes_metric->Add(static_cast<double>(entry_bytes));
+  }
+  while (shard.bytes > per_shard_budget_ && shard.lru.size() > 1) {
+    const Entry& victim = shard.lru.back();
+    size_t victim_bytes = victim.key.size() + victim.value->size();
+    shard.bytes -= victim_bytes;
+    bytes_metric->Add(-static_cast<double>(victim_bytes));
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+    evict_metric->Increment();
+  }
+}
+
+SummaryCache::Stats SummaryCache::stats() const {
+  Stats stats;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    stats.hits += shard->hits;
+    stats.misses += shard->misses;
+    stats.evictions += shard->evictions;
+    stats.entries += shard->lru.size();
+    stats.bytes += shard->bytes;
+  }
+  return stats;
+}
+
+}  // namespace serve
+}  // namespace prox

@@ -1,0 +1,88 @@
+#ifndef PROX_SERVE_SUMMARY_CACHE_H_
+#define PROX_SERVE_SUMMARY_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace prox {
+namespace serve {
+
+/// \brief A sharded LRU cache of serialized summarize responses.
+///
+/// Keys are the canonical `(dataset fingerprint, selection, request knobs)`
+/// strings router.cc builds (wire.h); values are the exact response bodies,
+/// shared immutably so a hit hands out the same bytes the cold request
+/// produced — byte-identical responses are the cache's contract, enabled by
+/// the determinism guarantees of the parallel engine (docs/PARALLELISM.md).
+///
+/// Concurrency: the key hash picks a shard; each shard has its own mutex
+/// and LRU list, so lookups on different shards never contend. The byte
+/// budget is split evenly across shards; inserting over budget evicts that
+/// shard's least-recently-used entries (an entry larger than a whole
+/// shard's budget is simply not cached).
+///
+/// Metrics: `prox_serve_cache_hit_total`, `prox_serve_cache_miss_total`,
+/// `prox_serve_cache_evict_total` counters and the `prox_serve_cache_bytes`
+/// gauge (docs/OBSERVABILITY.md).
+class SummaryCache {
+ public:
+  struct Options {
+    size_t shards = 8;                      ///< clamped to >= 1
+    size_t max_bytes = 64 * 1024 * 1024;    ///< total across shards
+  };
+
+  explicit SummaryCache(Options options);
+
+  SummaryCache(const SummaryCache&) = delete;
+  SummaryCache& operator=(const SummaryCache&) = delete;
+
+  /// The cached body for `key`, or nullptr on a miss. A hit refreshes the
+  /// entry's LRU position.
+  std::shared_ptr<const std::string> Get(const std::string& key);
+
+  /// Inserts (or replaces) `key`. Evicts LRU entries of the same shard
+  /// until the shard is back under its budget.
+  void Put(const std::string& key, std::shared_ptr<const std::string> value);
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    size_t entries = 0;
+    size_t bytes = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const std::string> value;
+  };
+
+  struct Shard {
+    std::mutex mu;
+    std::list<Entry> lru;  // front = most recent
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    size_t bytes = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(const std::string& key);
+  void RecordBytesLocked();
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  size_t per_shard_budget_;
+};
+
+}  // namespace serve
+}  // namespace prox
+
+#endif  // PROX_SERVE_SUMMARY_CACHE_H_

@@ -14,18 +14,21 @@ ProxSession::ProxSession(Dataset dataset)
       evaluator_service_(&dataset_) {}
 
 Result<int64_t> ProxSession::Select(const SelectionCriteria& criteria) {
+  std::lock_guard<std::mutex> lock(mu_);
   PROX_ASSIGN_OR_RETURN(selection_, selection_service_.Select(criteria));
   outcome_.reset();
   return selection_->Size();
 }
 
 int64_t ProxSession::SelectAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   selection_ = dataset_.provenance->Clone();
   outcome_.reset();
   return selection_->Size();
 }
 
 Result<int64_t> ProxSession::Summarize(const SummarizationRequest& request) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (selection_ == nullptr) {
     return Status::FailedPrecondition("no provenance selected yet");
   }
@@ -35,6 +38,7 @@ Result<int64_t> ProxSession::Summarize(const SummarizationRequest& request) {
 }
 
 std::vector<std::string> ProxSession::DescribeGroups() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> out;
   if (!outcome_.has_value()) return out;
   const AnnotationRegistry& reg = *dataset_.registry;
@@ -52,6 +56,7 @@ std::vector<std::string> ProxSession::DescribeGroups() const {
 }
 
 Result<std::string> ProxSession::SummaryExpression() const {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!outcome_.has_value()) {
     return Status::FailedPrecondition("no summary computed yet");
   }
@@ -60,6 +65,7 @@ Result<std::string> ProxSession::SummaryExpression() const {
 
 Result<EvaluationReport> ProxSession::EvaluateOnSummary(
     const Assignment& assignment) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!outcome_.has_value()) {
     return Status::FailedPrecondition("no summary computed yet");
   }
@@ -69,6 +75,7 @@ Result<EvaluationReport> ProxSession::EvaluateOnSummary(
 
 Result<EvaluationReport> ProxSession::EvaluateOnSelection(
     const Assignment& assignment) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (selection_ == nullptr) {
     return Status::FailedPrecondition("no provenance selected yet");
   }

@@ -2,6 +2,7 @@
 #define PROX_SERVICE_SESSION_H_
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -16,6 +17,18 @@ namespace prox {
 /// \brief A PROX user session: owns a dataset and drives the three-view
 /// workflow of the web UI (Chapter 7) — select provenance, summarize it,
 /// then inspect the summary's groups and evaluate assignments on it.
+///
+/// Thread-safety contract: every member function serializes behind an
+/// internal mutex, so concurrent callers (e.g. prox::serve workers
+/// sharing one session) cannot interleave mutations — Summarize writes
+/// summary annotations into the dataset's AnnotationRegistry, whose
+/// registration side is not synchronized (annotation.h), and Select
+/// swaps the expression Summarize reads. The accessors `selection()` and
+/// `outcome()` return pointers into that guarded state: they are only
+/// safe while the caller can rule out concurrent Select/Summarize calls
+/// (single-threaded use, or an external lock spanning both the call and
+/// the pointer's use). `dataset()` is safe for reads under the same
+/// condition.
 class ProxSession {
  public:
   /// Takes ownership of the dataset.
@@ -52,6 +65,10 @@ class ProxSession {
   }
 
  private:
+  /// Serializes Select/Summarize/Evaluate and the describe methods (see
+  /// class comment).
+  mutable std::mutex mu_;
+
   Dataset dataset_;
   SelectionService selection_service_;
   SummarizationService summarization_service_;

@@ -1,5 +1,7 @@
 #include "service/summarization_service.h"
 
+#include <cmath>
+
 #include "obs/trace.h"
 #include "service/service_metrics.h"
 #include "summarize/distance.h"
@@ -7,6 +9,31 @@
 #include "summarize/valuation_class.h"
 
 namespace prox {
+
+Status SummarizationRequest::Validate() const {
+  if (!std::isfinite(w_dist) || w_dist < 0) {
+    return Status::InvalidArgument("w_dist must be finite and >= 0");
+  }
+  if (!std::isfinite(w_size) || w_size < 0) {
+    return Status::InvalidArgument("w_size must be finite and >= 0");
+  }
+  if (w_dist + w_size <= 0) {
+    return Status::InvalidArgument("w_dist + w_size must be positive");
+  }
+  if (!std::isfinite(target_dist) || target_dist < 0) {
+    return Status::InvalidArgument("target_dist must be finite and >= 0");
+  }
+  if (target_size < 1) {
+    return Status::InvalidArgument("target_size must be >= 1");
+  }
+  if (max_steps < 0) {
+    return Status::InvalidArgument("max_steps must be >= 0");
+  }
+  if (threads < 0) {
+    return Status::InvalidArgument("threads must be >= 0");
+  }
+  return Status::OK();
+}
 
 Result<SummaryOutcome> SummarizationService::Summarize(
     const ProvenanceExpression& selected,
@@ -27,6 +54,7 @@ Result<SummaryOutcome> SummarizationService::Summarize(
 Result<SummaryOutcome> SummarizationService::SummarizeImpl(
     const ProvenanceExpression& selected,
     const SummarizationRequest& request) const {
+  PROX_RETURN_NOT_OK(request.Validate());
   using VC = SummarizationRequest::ValuationClassKind;
   using VF = SummarizationRequest::ValFuncKind;
 

@@ -38,6 +38,13 @@ struct SummarizationRequest {
   /// (0 = process default, 1 = serial; SummarizerOptions::threads
   /// convention). Identical results at every setting.
   int threads = 1;
+
+  /// Range checks on every knob: weights must be finite and >= 0 with a
+  /// positive sum, target_size >= 1, max_steps >= 0, threads >= 0.
+  /// InvalidArgument otherwise. SummarizationService::Summarize calls
+  /// this before running Algorithm 1 (invalid knobs used to flow into the
+  /// summarizer silently); prox::serve maps the failure to HTTP 400.
+  Status Validate() const;
 };
 
 /// \brief The PROX summarization service: wires the dataset's semantics

@@ -1,0 +1,179 @@
+#include "serve/http.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace prox {
+namespace serve {
+namespace {
+
+constexpr char kSimpleGet[] = "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n";
+
+TEST(HttpParserTest, ParsesSimpleGet) {
+  HttpParser parser;
+  parser.Feed(kSimpleGet);
+  HttpRequest request;
+  ASSERT_EQ(parser.Next(&request), ParseResult::kRequest);
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(request.target, "/healthz");
+  EXPECT_EQ(request.version, "HTTP/1.1");
+  EXPECT_EQ(request.Header("host"), "x");
+  EXPECT_TRUE(request.body.empty());
+  EXPECT_FALSE(request.WantsClose());
+  EXPECT_EQ(parser.Next(&request), ParseResult::kNeedMore);
+  EXPECT_EQ(parser.buffered_bytes(), 0u);
+}
+
+TEST(HttpParserTest, ByteAtATimeSplitReads) {
+  const std::string message =
+      "POST /v1/summarize HTTP/1.1\r\nHost: a\r\nContent-Length: 4\r\n"
+      "Content-Type: application/json\r\n\r\n{\"\":1}";
+  // Body is 6 bytes but Content-Length says 4: the request carries the
+  // first 4 and the rest stays buffered (start of the next message —
+  // which will then fail to parse, but that is the peer's bug).
+  HttpParser parser;
+  HttpRequest request;
+  ParseResult result = ParseResult::kNeedMore;
+  size_t completed_at = message.size();
+  for (size_t i = 0; i < message.size(); ++i) {
+    parser.Feed(std::string_view(&message[i], 1));
+    if (result == ParseResult::kRequest) continue;
+    result = parser.Next(&request);
+    if (result == ParseResult::kRequest) {
+      completed_at = i;
+    } else {
+      ASSERT_EQ(result, ParseResult::kNeedMore) << "byte " << i;
+    }
+  }
+  ASSERT_EQ(result, ParseResult::kRequest);
+  // Complete exactly when headers + the 4 declared body bytes are in.
+  EXPECT_EQ(completed_at, message.size() - 3);
+  EXPECT_EQ(request.method, "POST");
+  EXPECT_EQ(request.body, "{\"\":");
+  EXPECT_EQ(parser.buffered_bytes(), 2u);
+}
+
+TEST(HttpParserTest, PipelinedRequestsParseInOrder) {
+  HttpParser parser;
+  parser.Feed(
+      "GET /a HTTP/1.1\r\n\r\n"
+      "POST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi"
+      "GET /c HTTP/1.1\r\nConnection: close\r\n\r\n");
+  HttpRequest request;
+  ASSERT_EQ(parser.Next(&request), ParseResult::kRequest);
+  EXPECT_EQ(request.target, "/a");
+  ASSERT_EQ(parser.Next(&request), ParseResult::kRequest);
+  EXPECT_EQ(request.target, "/b");
+  EXPECT_EQ(request.body, "hi");
+  ASSERT_EQ(parser.Next(&request), ParseResult::kRequest);
+  EXPECT_EQ(request.target, "/c");
+  EXPECT_TRUE(request.WantsClose());
+  EXPECT_EQ(parser.Next(&request), ParseResult::kNeedMore);
+}
+
+TEST(HttpParserTest, OversizedHeadersAre431) {
+  HttpParser::Limits limits;
+  limits.max_header_bytes = 128;
+  HttpParser parser(limits);
+  parser.Feed("GET / HTTP/1.1\r\nx-pad: " + std::string(200, 'a'));
+  HttpRequest request;
+  ASSERT_EQ(parser.Next(&request), ParseResult::kError);
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(HttpParserTest, OversizedHeadersWithTerminatorAre431) {
+  HttpParser::Limits limits;
+  limits.max_header_bytes = 64;
+  HttpParser parser(limits);
+  parser.Feed("GET / HTTP/1.1\r\nx-pad: " + std::string(100, 'a') +
+              "\r\n\r\n");
+  HttpRequest request;
+  ASSERT_EQ(parser.Next(&request), ParseResult::kError);
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(HttpParserTest, OversizedBodyIs413) {
+  HttpParser::Limits limits;
+  limits.max_body_bytes = 8;
+  HttpParser parser(limits);
+  parser.Feed("POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n123456789");
+  HttpRequest request;
+  ASSERT_EQ(parser.Next(&request), ParseResult::kError);
+  EXPECT_EQ(parser.error_status(), 413);
+}
+
+TEST(HttpParserTest, ChunkedTransferIs501) {
+  HttpParser parser;
+  parser.Feed("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+  HttpRequest request;
+  ASSERT_EQ(parser.Next(&request), ParseResult::kError);
+  EXPECT_EQ(parser.error_status(), 501);
+}
+
+TEST(HttpParserTest, MalformedInputsAre400) {
+  const char* bad[] = {
+      "GET\r\n\r\n",                                      // no target
+      "GET / HTTP/2.0\r\n\r\n",                           // bad version
+      "GET nopath HTTP/1.1\r\n\r\n",                      // not origin-form
+      "GET / HTTP/1.1\r\nBroken Header: x\r\n\r\n",       // space in name
+      "GET / HTTP/1.1\r\nnocolon\r\n\r\n",                // no colon
+      "POST / HTTP/1.1\r\nContent-Length: ten\r\n\r\n",   // NaN length
+      "POST / HTTP/1.1\r\nContent-Length: -1\r\n\r\n",    // negative
+      "POST / HTTP/1.1\r\nContent-Length: 1\r\n"
+      "Content-Length: 2\r\n\r\nab",                      // conflicting dup
+  };
+  for (const char* text : bad) {
+    HttpParser parser;
+    parser.Feed(text);
+    HttpRequest request;
+    ASSERT_EQ(parser.Next(&request), ParseResult::kError) << text;
+    EXPECT_EQ(parser.error_status(), 400) << text;
+  }
+}
+
+TEST(HttpParserTest, HeaderNamesLowercasedValuesTrimmed) {
+  HttpParser parser;
+  parser.Feed("GET / HTTP/1.1\r\nX-PROX-Thing:   spaced value  \r\n\r\n");
+  HttpRequest request;
+  ASSERT_EQ(parser.Next(&request), ParseResult::kRequest);
+  EXPECT_EQ(request.Header("x-prox-thing"), "spaced value");
+  EXPECT_EQ(request.Header("absent"), "");
+}
+
+TEST(HttpParserTest, Http10DefaultsToClose) {
+  HttpParser parser;
+  parser.Feed("GET / HTTP/1.0\r\n\r\n");
+  HttpRequest request;
+  ASSERT_EQ(parser.Next(&request), ParseResult::kRequest);
+  EXPECT_TRUE(request.WantsClose());
+}
+
+TEST(HttpResponseTest, RenderIsDeterministic) {
+  HttpResponse response;
+  response.status = 200;
+  response.body = "{\"ok\":true}\n";
+  response.headers.push_back({"X-Prox-Cache", "hit"});
+  std::string first = RenderResponse(response);
+  std::string second = RenderResponse(response);
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(first.find("Content-Length: 12\r\n"), std::string::npos);
+  EXPECT_NE(first.find("X-Prox-Cache: hit\r\n"), std::string::npos);
+  // Deterministic responses must not carry a Date header.
+  EXPECT_EQ(first.find("Date:"), std::string::npos);
+}
+
+TEST(HttpResponseTest, CloseConnectionHeaderRendered) {
+  HttpResponse response;
+  response.status = 503;
+  response.close_connection = true;
+  std::string text = RenderResponse(response);
+  EXPECT_NE(text.find("HTTP/1.1 503 Service Unavailable\r\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("Connection: close\r\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace prox

@@ -1,0 +1,135 @@
+#include "serve/summary_cache.h"
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace prox {
+namespace serve {
+namespace {
+
+std::shared_ptr<const std::string> Body(const std::string& text) {
+  return std::make_shared<const std::string>(text);
+}
+
+SummaryCache::Options SingleShard(size_t max_bytes) {
+  SummaryCache::Options options;
+  options.shards = 1;  // deterministic LRU order for eviction tests
+  options.max_bytes = max_bytes;
+  return options;
+}
+
+TEST(SummaryCacheTest, MissThenHit) {
+  SummaryCache cache(SingleShard(1024));
+  EXPECT_EQ(cache.Get("k"), nullptr);
+  cache.Put("k", Body("value"));
+  auto hit = cache.Get("k");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, "value");
+
+  SummaryCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes, 0u);
+}
+
+TEST(SummaryCacheTest, HitReturnsSameBytesObject) {
+  SummaryCache cache(SingleShard(1024));
+  auto body = Body("exact bytes");
+  cache.Put("k", body);
+  // The cache hands out the same immutable buffer, not a copy — the
+  // byte-identical contract.
+  EXPECT_EQ(cache.Get("k").get(), body.get());
+}
+
+TEST(SummaryCacheTest, ReplaceUpdatesValueAndBytes) {
+  SummaryCache cache(SingleShard(1024));
+  cache.Put("k", Body("short"));
+  size_t bytes_before = cache.stats().bytes;
+  cache.Put("k", Body("a considerably longer replacement body"));
+  SummaryCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes, bytes_before);
+  EXPECT_EQ(*cache.Get("k"), "a considerably longer replacement body");
+}
+
+TEST(SummaryCacheTest, EvictsLeastRecentlyUsed) {
+  // Each entry ~= key(2) + 100 value bytes; budget fits two entries.
+  SummaryCache cache(SingleShard(260));
+  cache.Put("k1", Body(std::string(100, 'a')));
+  cache.Put("k2", Body(std::string(100, 'b')));
+  ASSERT_NE(cache.Get("k1"), nullptr);  // refresh k1: k2 is now LRU
+  cache.Put("k3", Body(std::string(100, 'c')));
+
+  EXPECT_NE(cache.Get("k1"), nullptr);
+  EXPECT_EQ(cache.Get("k2"), nullptr);  // evicted
+  EXPECT_NE(cache.Get("k3"), nullptr);
+  EXPECT_GE(cache.stats().evictions, 1u);
+}
+
+TEST(SummaryCacheTest, BudgetIsEnforced) {
+  SummaryCache cache(SingleShard(300));
+  for (int i = 0; i < 50; ++i) {
+    cache.Put("key" + std::to_string(i), Body(std::string(64, 'x')));
+  }
+  SummaryCache::Stats stats = cache.stats();
+  EXPECT_LE(stats.bytes, 300u);
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_GT(stats.entries, 0u);
+}
+
+TEST(SummaryCacheTest, EntryLargerThanBudgetNotCached) {
+  SummaryCache cache(SingleShard(64));
+  cache.Put("big", Body(std::string(1000, 'x')));
+  EXPECT_EQ(cache.Get("big"), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(SummaryCacheTest, ShardsPartitionTheBudget) {
+  SummaryCache::Options options;
+  options.shards = 4;
+  options.max_bytes = 4096;
+  SummaryCache cache(options);
+  for (int i = 0; i < 200; ++i) {
+    cache.Put("key-" + std::to_string(i), Body(std::string(32, 'x')));
+  }
+  SummaryCache::Stats stats = cache.stats();
+  EXPECT_LE(stats.bytes, 4096u);
+  EXPECT_GT(stats.entries, 4u);  // all shards hold something
+}
+
+TEST(SummaryCacheTest, ConcurrentMixedTrafficIsSafe) {
+  SummaryCache::Options options;
+  options.shards = 8;
+  options.max_bytes = 16 * 1024;
+  SummaryCache cache(options);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < 500; ++i) {
+        std::string key = "key-" + std::to_string((t * 31 + i) % 64);
+        if (i % 3 == 0) {
+          cache.Put(key, Body(std::string(48, static_cast<char>('a' + t))));
+        } else {
+          auto value = cache.Get(key);
+          if (value != nullptr) {
+            EXPECT_EQ(value->size(), 48u);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  SummaryCache::Stats stats = cache.stats();
+  EXPECT_LE(stats.bytes, 16u * 1024u);
+  // 333 Gets per thread (i % 3 != 0), every one a hit or a miss.
+  EXPECT_EQ(stats.hits + stats.misses, 8u * 333u);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace prox
