@@ -11,8 +11,18 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <vector>
+
 #include "datasets/ddp.h"
 #include "datasets/movielens.h"
+#include "ir/adopt.h"
+#include "ir/term_pool.h"
 #include "semiring/polynomial.h"
 #include "summarize/candidates.h"
 #include "summarize/distance.h"
@@ -53,6 +63,34 @@ void BM_AggregateApplyHomomorphism(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AggregateApplyHomomorphism)->Arg(20)->Arg(40)->Arg(80);
+
+void BM_IrAggregateEvaluate(benchmark::State& state) {
+  Dataset ds = MakeMovies(static_cast<int>(state.range(0)));
+  auto pool = std::make_shared<ir::TermPool>();
+  auto flat = ir::Adopt(*ds.provenance, pool);
+  MaterializedValuation v(ds.registry->size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flat->Evaluate(v));
+  }
+  state.SetItemsProcessed(state.iterations() * flat->Size());
+}
+BENCHMARK(BM_IrAggregateEvaluate)->Arg(20)->Arg(40)->Arg(80);
+
+void BM_IrAggregateApplyHomomorphism(benchmark::State& state) {
+  Dataset ds = MakeMovies(static_cast<int>(state.range(0)));
+  auto pool = std::make_shared<ir::TermPool>();
+  auto flat = ir::Adopt(*ds.provenance, pool);
+  auto users = ds.registry->AnnotationsInDomain(ds.domain("user"));
+  AnnotationId summary =
+      ds.registry->AddSummary(ds.domain("user"), "Merged");
+  Homomorphism h;
+  h.Set(users[0], summary);
+  h.Set(users[1], summary);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flat->Apply(h));
+  }
+}
+BENCHMARK(BM_IrAggregateApplyHomomorphism)->Arg(20)->Arg(40)->Arg(80);
 
 void BM_EnumeratedDistanceOneCandidate(benchmark::State& state) {
   Dataset ds = MakeMovies(static_cast<int>(state.range(0)));
@@ -145,6 +183,98 @@ void BM_PolynomialMultiply(benchmark::State& state) {
 }
 BENCHMARK(BM_PolynomialMultiply)->Arg(4)->Arg(16);
 
+// --json baseline mode (BENCH_ir.json). google-benchmark rejects flags it
+// does not know, so this is intercepted before benchmark::Initialize sees
+// argv. It times the two operations the flat core exists for — Apply and
+// Evaluate — legacy tree vs prox::ir on identical inputs, and self-checks
+// the docs/IR.md performance contract: IR >= 1.5x on both.
+
+double MinNsPerOp(const std::function<void()>& op) {
+  // Warm up, size the inner loop to ~20ms, then take the best of 5 reps
+  // (min is the right statistic for a noise-floor microbench baseline).
+  op();
+  using Clock = std::chrono::steady_clock;
+  auto time_iters = [&](long iters) {
+    auto start = Clock::now();
+    for (long i = 0; i < iters; ++i) op();
+    return std::chrono::duration<double, std::nano>(Clock::now() - start)
+        .count();
+  };
+  long iters = 1;
+  while (time_iters(iters) < 2e6 && iters < (1L << 30)) iters *= 4;
+  double best = time_iters(iters);
+  for (int rep = 1; rep < 5; ++rep) best = std::min(best, time_iters(iters));
+  return best / static_cast<double>(iters);
+}
+
+int RunJsonBaseline() {
+  struct Row {
+    const char* op;
+    int users;
+    double legacy_ns;
+    double ir_ns;
+  };
+  std::vector<Row> rows;
+  for (int users : {20, 80}) {
+    Dataset ds = MakeMovies(users);
+    auto pool = std::make_shared<ir::TermPool>();
+    auto flat = ir::Adopt(*ds.provenance, pool);
+    auto user_anns = ds.registry->AnnotationsInDomain(ds.domain("user"));
+    AnnotationId summary =
+        ds.registry->AddSummary(ds.domain("user"), "Merged");
+    Homomorphism h;
+    h.Set(user_anns[0], summary);
+    h.Set(user_anns[1], summary);
+    MaterializedValuation v(ds.registry->size());
+    rows.push_back({"apply", users,
+                    MinNsPerOp([&] {
+                      benchmark::DoNotOptimize(ds.provenance->Apply(h));
+                    }),
+                    MinNsPerOp([&] {
+                      benchmark::DoNotOptimize(flat->Apply(h));
+                    })});
+    rows.push_back({"evaluate", users,
+                    MinNsPerOp([&] {
+                      benchmark::DoNotOptimize(ds.provenance->Evaluate(v));
+                    }),
+                    MinNsPerOp([&] {
+                      benchmark::DoNotOptimize(flat->Evaluate(v));
+                    })});
+  }
+  double min_speedup = 1e300;
+  std::printf("{\n  \"bench\": \"bench_core_micro --json\",\n");
+  std::printf("  \"workload\": \"MovieLens 12 movies, seed 3\",\n");
+  std::printf("  \"contract\": \"ir >= 1.5x legacy on apply and evaluate\",\n");
+  std::printf("  \"results\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    double speedup = r.legacy_ns / r.ir_ns;
+    min_speedup = std::min(min_speedup, speedup);
+    std::printf("    {\"op\": \"%s\", \"users\": %d, "
+                "\"legacy_ns_per_op\": %.1f, \"ir_ns_per_op\": %.1f, "
+                "\"speedup\": %.2f}%s\n",
+                r.op, r.users, r.legacy_ns, r.ir_ns, speedup,
+                i + 1 < rows.size() ? "," : "");
+  }
+  std::printf("  ],\n  \"min_speedup\": %.2f\n}\n", min_speedup);
+  if (min_speedup < 1.5) {
+    std::fprintf(stderr,
+                 "bench_core_micro --json: FAIL min speedup %.2f < 1.5\n",
+                 min_speedup);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--json") return RunJsonBaseline();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -23,9 +23,11 @@ int main() {
   config.seed = 21;
   Dataset ds = DdpGenerator::Generate(config);
 
-  const auto* ddp = dynamic_cast<const DdpExpression*>(ds.provenance.get());
+  // Read structure through the DdpFacade: the summarizer returns a flat
+  // prox::ir expression, so a dynamic_cast to DdpExpression would fail.
+  const DdpFacade* ddp = ds.provenance->AsDdp();
   std::printf("DDP provenance: %zu executions, size %lld:\n  %s\n\n",
-              ddp->executions().size(),
+              ddp->ddp_num_executions(),
               static_cast<long long>(ds.provenance->Size()),
               ds.provenance->ToString(*ds.registry).c_str());
 
@@ -48,10 +50,9 @@ int main() {
                 outcome.status().ToString().c_str());
     return 1;
   }
-  const auto* summary_ddp =
-      dynamic_cast<const DdpExpression*>(outcome.value().summary.get());
+  const DdpFacade* summary_ddp = outcome.value().summary->AsDdp();
   std::printf("summary: %zu executions, size %lld, distance %.4f:\n  %s\n\n",
-              summary_ddp->executions().size(),
+              summary_ddp->ddp_num_executions(),
               static_cast<long long>(outcome.value().final_size),
               outcome.value().final_distance,
               outcome.value().summary->ToString(*ds.registry).c_str());

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Configure a dedicated AddressSanitizer build (-DPROX_SANITIZE=address)
+# and run the prox::ir suites under ASan: the TermPool/expression unit
+# tests (`ir` label) and the legacy-vs-IR golden byte-identity suite. The
+# IR core hands out raw spans into a shared arena and resolves
+# overlay-tagged 32-bit ids against two pools — exactly the kind of code
+# where a stale view or a mis-tagged id turns into silent corruption;
+# under ASan it turns into a report instead.
+#
+# Usage: scripts/asan_ir_tests.sh [build-dir]   (default: build-asan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+build_dir=${1:-build-asan}
+
+cmake -B "$build_dir" -S . \
+  -DPROX_SANITIZE=address \
+  -DPROX_BUILD_BENCHMARKS=OFF \
+  -DPROX_BUILD_EXAMPLES=OFF
+cmake --build "$build_dir" --target prox_ir_test prox_ir_golden_test -j
+ctest --test-dir "$build_dir" -L ir --output-on-failure
+ctest --test-dir "$build_dir" -R 'GoldenIdentityTest' --output-on-failure

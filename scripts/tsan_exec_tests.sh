@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Configure a dedicated ThreadSanitizer build (-DPROX_SANITIZE=thread) and
 # run every CTest carrying the `tsan` label — the exec pool suite, the
-# end-to-end determinism suite, and the serve loopback suite (many worker
-# threads against one session + cache) — under TSan.
+# end-to-end determinism suite, the serve loopback suite (many worker
+# threads against one session + cache), and the legacy-vs-IR golden
+# byte-identity suite (worker-overlay Apply at threads {1,8}) — under TSan.
 #
 # Usage: scripts/tsan_exec_tests.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -15,5 +16,6 @@ cmake -B "$build_dir" -S . \
   -DPROX_SANITIZE=thread \
   -DPROX_BUILD_BENCHMARKS=OFF \
   -DPROX_BUILD_EXAMPLES=OFF
-cmake --build "$build_dir" --target prox_exec_test prox_serve_loopback_test -j
+cmake --build "$build_dir" --target prox_exec_test prox_serve_loopback_test \
+  prox_ir_golden_test -j
 ctest --test-dir "$build_dir" -L tsan --output-on-failure

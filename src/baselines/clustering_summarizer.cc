@@ -4,6 +4,8 @@
 
 #include "common/timer.h"
 #include "exec/thread_pool.h"
+#include "ir/adopt.h"
+#include "ir/term_pool.h"
 
 namespace prox {
 
@@ -99,7 +101,9 @@ Result<SummaryOutcome> ClusteringSummarizer::Run() {
   SummaryOutcome outcome{nullptr, MappingState(registry_, options_.phi), {},
                          0.0, 0, false, 0, 0.0};
   MappingState& state = outcome.state;
-  std::unique_ptr<ProvenanceExpression> current = p0_->Clone();
+  // Same flat-IR hot path as the Summarizer (docs/IR.md).
+  std::unique_ptr<ProvenanceExpression> current =
+      ir::Adopt(*p0_, std::make_shared<ir::TermPool>());
   double dist = oracle_->Distance(*current, state);
 
   std::unique_ptr<ProvenanceExpression> prev_expr;

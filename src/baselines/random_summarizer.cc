@@ -1,6 +1,8 @@
 #include "baselines/random_summarizer.h"
 
 #include "common/timer.h"
+#include "ir/adopt.h"
+#include "ir/term_pool.h"
 
 namespace prox {
 
@@ -24,7 +26,10 @@ Result<SummaryOutcome> RandomSummarizer::Run() {
   SummaryOutcome outcome{nullptr, MappingState(registry_, options_.phi), {},
                          0.0, 0, false, 0, 0.0};
   MappingState& state = outcome.state;
-  std::unique_ptr<ProvenanceExpression> current = p0_->Clone();
+  // Same flat-IR hot path as the Summarizer (docs/IR.md): baselines apply
+  // homomorphisms in the same loop shape, so they adopt too.
+  std::unique_ptr<ProvenanceExpression> current =
+      ir::Adopt(*p0_, std::make_shared<ir::TermPool>());
   double dist = oracle_->Distance(*current, state);
 
   CandidateGenerator generator(constraints_, ctx_);

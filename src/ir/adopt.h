@@ -1,0 +1,29 @@
+#ifndef PROX_IR_ADOPT_H_
+#define PROX_IR_ADOPT_H_
+
+#include <memory>
+
+#include "ir/term_pool.h"
+#include "provenance/expression.h"
+
+namespace prox {
+namespace ir {
+
+/// True when the expression already is one of the prox::ir flat classes.
+bool IsIr(const ProvenanceExpression& e);
+
+/// \brief Converts any provenance expression into its flat prox::ir
+/// representation, interning monomials and guards into `pool`.
+///
+/// Aggregate and DDP structures are read through their facades, plain
+/// polynomials through PolynomialExpression; an expression that is
+/// already IR — or has no IR counterpart — is cloned unchanged. The
+/// result is canonical and evaluates/prints byte-identically to the
+/// source. Main-thread only (interning mutates the pool).
+std::unique_ptr<ProvenanceExpression> Adopt(
+    const ProvenanceExpression& e, const std::shared_ptr<TermPool>& pool);
+
+}  // namespace ir
+}  // namespace prox
+
+#endif  // PROX_IR_ADOPT_H_

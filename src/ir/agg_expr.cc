@@ -1,0 +1,345 @@
+#include "ir/agg_expr.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "common/str_util.h"
+#include "exec/thread_pool.h"
+#include "ir/metrics.h"
+#include "provenance/aggregate_expr.h"
+#include "provenance/guard.h"
+#include "provenance/monomial.h"
+
+namespace prox {
+namespace ir {
+
+namespace {
+
+/// Truth of a guard row under a materialized valuation — same decision
+/// sequence as Guard::Evaluate (body product, then the comparison).
+bool GuardTrue(const PoolView& pv, GuardId id, const MaterializedValuation& v) {
+  const GuardRow& g = pv.guard(id);
+  const AnnotationId* f = pv.mono_data(g.mono);
+  const uint32_t len = pv.mono_len(g.mono);
+  bool body_true = true;
+  for (uint32_t k = 0; k < len; ++k) {
+    if (!v.truth(f[k])) {
+      body_true = false;
+      break;
+    }
+  }
+  const double value = body_true ? g.scalar : 0.0;
+  switch (g.op) {
+    case CompareOp::kGt:
+      return value > g.threshold;
+    case CompareOp::kGe:
+      return value >= g.threshold;
+    case CompareOp::kLt:
+      return value < g.threshold;
+    case CompareOp::kLe:
+      return value <= g.threshold;
+    case CompareOp::kEq:
+      return value == g.threshold;
+    case CompareOp::kNe:
+      return value != g.threshold;
+  }
+  return false;
+}
+
+}  // namespace
+
+void IrAggregateExpression::AddTermIds(MonomialId mono, GuardId guard,
+                                       AnnotationId group, AggValue value) {
+  mono_.push_back(mono);
+  guard_.push_back(guard);
+  group_.push_back(group);
+  value_.push_back(value);
+}
+
+void IrAggregateExpression::Canonicalize() {
+  const size_t n = mono_.size();
+  const PoolView pv = view();
+
+  // Index sort with the exact decision order of the legacy TermLess
+  // comparator (group, monomial content, guard-less first, guard content):
+  // same input order + equivalent comparator => the same introsort
+  // permutation, so equal-keyed merges fold in the same float order.
+  std::vector<uint32_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0u);
+  std::sort(idx.begin(), idx.end(), [&](uint32_t a, uint32_t b) {
+    if (group_[a] != group_[b]) return group_[a] < group_[b];
+    const int mc = pv.CompareMonomials(mono_[a], mono_[b]);
+    if (mc != 0) return mc < 0;
+    const bool ag = guard_[a] != kNoGuard;
+    const bool bg = guard_[b] != kNoGuard;
+    if (ag != bg) return bg;  // guard-less terms first
+    if (!ag) return false;
+    return pv.CompareGuards(guard_[a], guard_[b]) < 0;
+  });
+
+  std::vector<MonomialId> nm;
+  std::vector<GuardId> ng;
+  std::vector<AnnotationId> ngroup;
+  std::vector<AggValue> nv;
+  nm.reserve(n);
+  ng.reserve(n);
+  ngroup.reserve(n);
+  nv.reserve(n);
+  for (uint32_t i : idx) {
+    const bool guard_equal =
+        !nm.empty() &&
+        ((ng.back() == kNoGuard && guard_[i] == kNoGuard) ||
+         (ng.back() != kNoGuard && guard_[i] != kNoGuard &&
+          pv.GuardsEqual(ng.back(), guard_[i])));
+    if (!nm.empty() && ngroup.back() == group_[i] &&
+        pv.MonomialsEqual(nm.back(), mono_[i]) && guard_equal) {
+      nv.back() = MergeAggValues(agg_, nv.back(), value_[i]);
+    } else {
+      nm.push_back(mono_[i]);
+      ng.push_back(guard_[i]);
+      ngroup.push_back(group_[i]);
+      nv.push_back(value_[i]);
+    }
+  }
+  mono_ = std::move(nm);
+  guard_ = std::move(ng);
+  group_ = std::move(ngroup);
+  value_ = std::move(nv);
+
+  // Rows are group-sorted, so distinct groups are run starts.
+  groups_.clear();
+  group_dense_.clear();
+  group_dense_.reserve(mono_.size());
+  size_ = 0;
+  for (size_t i = 0; i < mono_.size(); ++i) {
+    if (groups_.empty() || groups_.back() != group_[i]) {
+      groups_.push_back(group_[i]);
+    }
+    group_dense_.push_back(static_cast<uint32_t>(groups_.size() - 1));
+    size_ += pv.mono_len(mono_[i]);
+    if (guard_[i] != kNoGuard) size_ += pv.mono_len(pv.guard(guard_[i]).mono);
+  }
+}
+
+int64_t IrAggregateExpression::Size() const {
+  CountSizeCacheHit();
+  return size_;
+}
+
+void IrAggregateExpression::CollectAnnotations(
+    std::vector<AnnotationId>* out) const {
+  const PoolView pv = view();
+  for (size_t i = 0; i < mono_.size(); ++i) {
+    const AnnotationId* f = pv.mono_data(mono_[i]);
+    out->insert(out->end(), f, f + pv.mono_len(mono_[i]));
+    if (guard_[i] != kNoGuard) {
+      const GuardRow& g = pv.guard(guard_[i]);
+      const AnnotationId* gf = pv.mono_data(g.mono);
+      out->insert(out->end(), gf, gf + pv.mono_len(g.mono));
+    }
+    if (group_[i] != kNoAnnotation) out->push_back(group_[i]);
+  }
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+}
+
+std::unique_ptr<ProvenanceExpression> IrAggregateExpression::Apply(
+    const Homomorphism& h) const {
+  const bool worker = exec::InParallelWorker();
+  auto out = std::make_unique<IrAggregateExpression>(agg_, pool_);
+  std::shared_ptr<TermPool> fresh;
+  TermPool* target = pool_.get();
+  if (worker) {
+    fresh = std::make_shared<TermPool>();
+    target = fresh.get();
+  }
+  const PoolView pv = view();
+
+  // Per-Apply memos so each distinct source monomial / guard maps once.
+  std::vector<MonomialId> mono_memo(pool_->num_monomials(), kInvalidMonomial);
+  std::vector<MonomialId> mono_memo_ov(
+      overlay_ ? overlay_->num_monomials() : 0, kInvalidMonomial);
+  std::vector<GuardId> guard_memo(pool_->num_guards(), kInvalidMonomial);
+  std::vector<GuardId> guard_memo_ov(overlay_ ? overlay_->num_guards() : 0,
+                                     kInvalidMonomial);
+  std::vector<AnnotationId> scratch;
+  uint64_t shared_terms = 0;
+  uint64_t rewritten_terms = 0;
+
+  auto map_mono = [&](MonomialId src) -> MonomialId {
+    MonomialId& slot = (src & kOverlayBit)
+                           ? mono_memo_ov[src & ~kOverlayBit]
+                           : mono_memo[src];
+    if (slot != kInvalidMonomial) return slot;
+    const AnnotationId* data = pv.mono_data(src);
+    const uint32_t len = pv.mono_len(src);
+    scratch.assign(data, data + len);
+    bool changed = false;
+    for (uint32_t i = 0; i < len; ++i) {
+      const AnnotationId m = h.Map(scratch[i]);
+      if (m != scratch[i]) {
+        scratch[i] = m;
+        changed = true;
+      }
+    }
+    MonomialId dst;
+    if (!changed && !(src & kOverlayBit)) {
+      dst = src;  // untouched interned span: share it
+    } else {
+      if (changed) std::sort(scratch.begin(), scratch.end());
+      dst = worker ? (target->AppendMonomial(scratch.data(), scratch.size()) |
+                      kOverlayBit)
+                   : target->InternMonomial(scratch.data(), scratch.size());
+    }
+    slot = dst;
+    return dst;
+  };
+
+  auto map_guard = [&](GuardId src) -> GuardId {
+    GuardId& slot = (src & kOverlayBit) ? guard_memo_ov[src & ~kOverlayBit]
+                                        : guard_memo[src];
+    if (slot != kInvalidMonomial) return slot;
+    const GuardRow& g = pv.guard(src);
+    const MonomialId gm = map_mono(g.mono);
+    GuardId dst;
+    if (gm == g.mono && !(src & kOverlayBit)) {
+      dst = src;  // guard body untouched: keep the interned row
+    } else if (worker) {
+      dst = target->AppendGuard(gm, g.scalar, g.op, g.threshold) | kOverlayBit;
+    } else {
+      dst = target->InternGuard(gm, g.scalar, g.op, g.threshold);
+    }
+    slot = dst;
+    return dst;
+  };
+
+  const size_t n = mono_.size();
+  out->mono_.reserve(n);
+  out->guard_.reserve(n);
+  out->group_.reserve(n);
+  out->value_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const MonomialId m = map_mono(mono_[i]);
+    if (m == mono_[i]) {
+      ++shared_terms;
+    } else {
+      ++rewritten_terms;
+    }
+    out->mono_.push_back(m);
+    out->guard_.push_back(guard_[i] == kNoGuard ? kNoGuard
+                                                : map_guard(guard_[i]));
+    out->group_.push_back(h.Map(group_[i]));
+    out->value_.push_back(value_[i]);
+  }
+  if (fresh && (fresh->num_monomials() > 0 || fresh->num_guards() > 0)) {
+    out->overlay_ = std::move(fresh);
+  }
+  CountApplyTermShared(shared_terms);
+  CountApplyTermRewritten(rewritten_terms);
+  out->Canonicalize();
+  return out;
+}
+
+EvalResult IrAggregateExpression::Evaluate(
+    const MaterializedValuation& v) const {
+  const PoolView pv = view();
+  // Same accumulation as the legacy tree: one slot per distinct group
+  // (groups with no surviving tensor evaluate to 0), folded in row order —
+  // rows are group-sorted exactly like the legacy term order, so the float
+  // fold sequence per slot is identical.
+  struct Slot {
+    double value = 0.0;
+    double count = 0.0;
+    bool seen = false;
+  };
+  std::vector<Slot> slots(groups_.size());
+  for (size_t i = 0; i < mono_.size(); ++i) {
+    const AnnotationId* f = pv.mono_data(mono_[i]);
+    const uint32_t len = pv.mono_len(mono_[i]);
+    bool alive = true;
+    for (uint32_t k = 0; k < len; ++k) {
+      if (!v.truth(f[k])) {
+        alive = false;
+        break;
+      }
+    }
+    if (alive && guard_[i] != kNoGuard) alive = GuardTrue(pv, guard_[i], v);
+    if (!alive) continue;
+    Slot& slot = slots[group_dense_[i]];
+    slot.value = FoldAggregate(agg_, slot.value, value_[i], !slot.seen);
+    slot.count += value_[i].count;
+    slot.seen = true;
+  }
+  auto finalize = [this](const Slot& slot) {
+    if (agg_ != AggKind::kAvg) return slot.value;
+    return slot.count > 0 ? slot.value / slot.count : 0.0;
+  };
+  if (groups_.size() == 1 && groups_[0] == kNoAnnotation) {
+    return EvalResult::Scalar(finalize(slots[0]));
+  }
+  std::vector<EvalResult::Coord> coords;
+  coords.reserve(groups_.size());
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    coords.push_back(
+        EvalResult::Coord{groups_[g], finalize(slots[g]), slots[g].count});
+  }
+  return EvalResult::Vector(std::move(coords));
+}
+
+EvalResult IrAggregateExpression::ProjectEvalResult(
+    const EvalResult& base, const Homomorphism& h) const {
+  return ProjectAggregateEvalResult(agg_, base, h);
+}
+
+std::unique_ptr<ProvenanceExpression> IrAggregateExpression::Clone() const {
+  return std::make_unique<IrAggregateExpression>(*this);
+}
+
+std::string IrAggregateExpression::ToString(
+    const AnnotationRegistry& registry) const {
+  if (mono_.empty()) return "0";
+  const PoolView pv = view();
+  std::string out;
+  for (size_t i = 0; i < mono_.size(); ++i) {
+    if (i > 0) out += " ⊕ ";
+    out += MonomialFromSpan(pv.mono_data(mono_[i]), pv.mono_len(mono_[i]))
+               .ToString(registry);
+    if (guard_[i] != kNoGuard) {
+      const GuardRow& g = pv.guard(guard_[i]);
+      const Guard gu(MonomialFromSpan(pv.mono_data(g.mono),
+                                      pv.mono_len(g.mono)),
+                     g.scalar, g.op, g.threshold);
+      out += "·";
+      out += gu.ToString(registry);
+    }
+    out += " ⊗ (";
+    out += FormatDouble(value_[i].value, 1);
+    out += ", ";
+    out += FormatDouble(value_[i].count, 0);
+    out += ")";
+  }
+  return out;
+}
+
+AggTermView IrAggregateExpression::agg_term(size_t i) const {
+  const PoolView pv = view();
+  AggTermView view;
+  view.mono = pv.mono_data(mono_[i]);
+  view.mono_len = pv.mono_len(mono_[i]);
+  view.group = group_[i];
+  view.value = value_[i];
+  if (guard_[i] != kNoGuard) {
+    const GuardRow& g = pv.guard(guard_[i]);
+    view.has_guard = true;
+    view.guard_mono = pv.mono_data(g.mono);
+    view.guard_len = pv.mono_len(g.mono);
+    view.guard_scalar = g.scalar;
+    view.guard_op = g.op;
+    view.guard_threshold = g.threshold;
+  }
+  return view;
+}
+
+}  // namespace ir
+}  // namespace prox

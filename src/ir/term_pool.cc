@@ -1,0 +1,141 @@
+#include "ir/term_pool.h"
+
+#include <cstring>
+
+#include "ir/metrics.h"
+
+namespace prox {
+namespace ir {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+inline uint64_t FnvMix(uint64_t h, uint64_t v) {
+  h ^= v;
+  h *= kFnvPrime;
+  return h;
+}
+
+inline uint64_t DoubleBits(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+uint64_t TermPool::HashSpan(const AnnotationId* data, size_t len) const {
+  uint64_t h = kFnvOffset;
+  h = FnvMix(h, static_cast<uint64_t>(len));
+  for (size_t i = 0; i < len; ++i) h = FnvMix(h, data[i]);
+  return h;
+}
+
+uint64_t TermPool::HashGuard(MonomialId mono, double scalar, CompareOp op,
+                             double threshold) const {
+  uint64_t h = kFnvOffset;
+  h = FnvMix(h, mono);
+  h = FnvMix(h, DoubleBits(scalar));
+  h = FnvMix(h, static_cast<uint64_t>(op));
+  h = FnvMix(h, DoubleBits(threshold));
+  return h;
+}
+
+MonomialId TermPool::InternMonomial(const AnnotationId* data, size_t len) {
+  const uint64_t h = HashSpan(data, len);
+  auto& bucket = mono_index_[h];
+  for (MonomialId id : bucket) {
+    if (refs_[id].len == len &&
+        (len == 0 || std::memcmp(arena_.data() + refs_[id].off, data,
+                                 len * sizeof(AnnotationId)) == 0)) {
+      return id;
+    }
+  }
+  const MonomialId id = AppendMonomial(data, len);
+  bucket.push_back(id);
+  CountMonomialInterned();
+  return id;
+}
+
+GuardId TermPool::InternGuard(MonomialId mono, double scalar, CompareOp op,
+                              double threshold) {
+  const uint64_t h = HashGuard(mono, scalar, op, threshold);
+  auto& bucket = guard_index_[h];
+  for (GuardId id : bucket) {
+    const GuardRow& g = guards_[id];
+    if (g.mono == mono && g.scalar == scalar && g.op == op &&
+        g.threshold == threshold) {
+      return id;
+    }
+  }
+  const GuardId id = AppendGuard(mono, scalar, op, threshold);
+  bucket.push_back(id);
+  return id;
+}
+
+MonomialId TermPool::AppendMonomial(const AnnotationId* data, size_t len) {
+  Ref ref;
+  ref.off = static_cast<uint32_t>(arena_.size());
+  ref.len = static_cast<uint32_t>(len);
+  arena_.insert(arena_.end(), data, data + len);
+  refs_.push_back(ref);
+  return static_cast<MonomialId>(refs_.size() - 1);
+}
+
+GuardId TermPool::AppendGuard(MonomialId mono, double scalar, CompareOp op,
+                              double threshold) {
+  GuardRow g;
+  g.mono = mono;
+  g.scalar = scalar;
+  g.op = op;
+  g.threshold = threshold;
+  guards_.push_back(g);
+  return static_cast<GuardId>(guards_.size() - 1);
+}
+
+int PoolView::CompareMonomials(MonomialId a, MonomialId b) const {
+  if (a == b) return 0;  // same pool slot => same content
+  const AnnotationId* da = mono_data(a);
+  const AnnotationId* db = mono_data(b);
+  const uint32_t la = mono_len(a);
+  const uint32_t lb = mono_len(b);
+  const uint32_t n = la < lb ? la : lb;
+  for (uint32_t i = 0; i < n; ++i) {
+    if (da[i] != db[i]) return da[i] < db[i] ? -1 : 1;
+  }
+  if (la != lb) return la < lb ? -1 : 1;
+  return 0;
+}
+
+bool PoolView::MonomialsEqual(MonomialId a, MonomialId b) const {
+  if (a == b) return true;
+  const uint32_t la = mono_len(a);
+  if (la != mono_len(b)) return false;
+  return la == 0 || std::memcmp(mono_data(a), mono_data(b),
+                                la * sizeof(AnnotationId)) == 0;
+}
+
+int PoolView::CompareGuards(GuardId a, GuardId b) const {
+  if (a == b) return 0;
+  const GuardRow& ga = guard(a);
+  const GuardRow& gb = guard(b);
+  const int mono_cmp = CompareMonomials(ga.mono, gb.mono);
+  if (mono_cmp != 0) return mono_cmp;
+  if (ga.scalar != gb.scalar) return ga.scalar < gb.scalar ? -1 : 1;
+  if (ga.op != gb.op) return ga.op < gb.op ? -1 : 1;
+  if (ga.threshold != gb.threshold) return ga.threshold < gb.threshold ? -1 : 1;
+  return 0;
+}
+
+bool PoolView::GuardsEqual(GuardId a, GuardId b) const {
+  if (a == b) return true;
+  const GuardRow& ga = guard(a);
+  const GuardRow& gb = guard(b);
+  return MonomialsEqual(ga.mono, gb.mono) && ga.scalar == gb.scalar &&
+         ga.op == gb.op && ga.threshold == gb.threshold;
+}
+
+}  // namespace ir
+}  // namespace prox

@@ -1,0 +1,139 @@
+#ifndef PROX_IR_TERM_POOL_H_
+#define PROX_IR_TERM_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "provenance/annotation.h"
+#include "provenance/guard.h"
+
+namespace prox {
+namespace ir {
+
+/// Dense handle to an interned monomial (factor span) in a TermPool.
+using MonomialId = uint32_t;
+/// Dense handle to an interned guard row in a TermPool.
+using GuardId = uint32_t;
+
+inline constexpr MonomialId kInvalidMonomial = 0xFFFFFFFFu;
+/// Column value for "this term has no guard".
+inline constexpr GuardId kNoGuard = 0xFFFFFFFFu;
+/// High bit tagging ids that resolve against an expression-local overlay
+/// pool instead of the shared pool (see the thread contract below).
+inline constexpr uint32_t kOverlayBit = 0x80000000u;
+
+/// One interned comparison guard `[m ⊗ s OP t]`. `mono` is a full
+/// (possibly overlay-tagged) monomial id, resolvable through a PoolView.
+struct GuardRow {
+  MonomialId mono = kInvalidMonomial;
+  double scalar = 0.0;
+  CompareOp op = CompareOp::kGt;
+  double threshold = 0.0;
+};
+
+/// \brief Arena-backed store of hash-consed monomials and guards — the
+/// flat core the prox::ir expressions index into (docs/IR.md).
+///
+/// All factor spans live back-to-back in one arena vector; a monomial is
+/// an (offset, length) pair, so monomial equality inside one pool is a
+/// 32-bit id compare and evaluation walks a contiguous span.
+///
+/// Thread contract (mirrors AnnotationRegistry): interning mutates the
+/// pool and must stay single-threaded — in the summarizer that is the
+/// main thread, between parallel sections. Worker threads never intern;
+/// an Apply() on a worker appends into a fresh expression-local overlay
+/// pool via the Append* methods (no hash index maintenance) and tags the
+/// resulting ids with kOverlayBit. Concurrent *reads* of a pool that is
+/// not being mutated are safe.
+class TermPool {
+ public:
+  /// Hash-conses a factor span (must already be sorted — the canonical
+  /// monomial form). Returns the existing id when the content was seen
+  /// before, so id equality == content equality within this pool.
+  MonomialId InternMonomial(const AnnotationId* data, size_t len);
+
+  /// Hash-conses a guard row. `mono` must be an id interned in this pool
+  /// (id equality is what makes guard hashing sound).
+  GuardId InternGuard(MonomialId mono, double scalar, CompareOp op,
+                      double threshold);
+
+  /// Appends a span without hash-consing (overlay pools on workers).
+  /// Returned ids are *untagged*; the owning expression adds kOverlayBit.
+  MonomialId AppendMonomial(const AnnotationId* data, size_t len);
+  GuardId AppendGuard(MonomialId mono, double scalar, CompareOp op,
+                      double threshold);
+
+  const AnnotationId* mono_data(MonomialId id) const {
+    return arena_.data() + refs_[id].off;
+  }
+  uint32_t mono_len(MonomialId id) const { return refs_[id].len; }
+  const GuardRow& guard(GuardId id) const { return guards_[id]; }
+
+  size_t num_monomials() const { return refs_.size(); }
+  size_t num_guards() const { return guards_.size(); }
+  size_t arena_size() const { return arena_.size(); }
+
+ private:
+  struct Ref {
+    uint32_t off = 0;
+    uint32_t len = 0;
+  };
+
+  uint64_t HashSpan(const AnnotationId* data, size_t len) const;
+  uint64_t HashGuard(MonomialId mono, double scalar, CompareOp op,
+                     double threshold) const;
+
+  std::vector<AnnotationId> arena_;
+  std::vector<Ref> refs_;
+  std::vector<GuardRow> guards_;
+  // hash -> candidate ids; content-checked on collision.
+  std::unordered_map<uint64_t, std::vector<MonomialId>> mono_index_;
+  std::unordered_map<uint64_t, std::vector<GuardId>> guard_index_;
+};
+
+/// \brief Resolves possibly overlay-tagged ids against a (shared, overlay)
+/// pool pair, and compares content the way the legacy tree classes do.
+///
+/// CompareMonomials replicates Monomial's defaulted `<=>` (lexicographic
+/// factor order); CompareGuards replicates Guard's defaulted `<=>`
+/// (factors, then scalar, then op, then threshold). The IR canonical sort
+/// uses these so it produces the byte-identical term order the legacy
+/// Simplify() produces.
+class PoolView {
+ public:
+  PoolView(const TermPool* shared, const TermPool* overlay)
+      : shared_(shared), overlay_(overlay) {}
+
+  const AnnotationId* mono_data(MonomialId id) const {
+    return Pool(id)->mono_data(id & ~kOverlayBit);
+  }
+  uint32_t mono_len(MonomialId id) const {
+    return Pool(id)->mono_len(id & ~kOverlayBit);
+  }
+  const GuardRow& guard(GuardId id) const {
+    return Pool(id)->guard(id & ~kOverlayBit);
+  }
+
+  /// <0, 0, >0 — lexicographic factor comparison (Monomial order).
+  int CompareMonomials(MonomialId a, MonomialId b) const;
+  bool MonomialsEqual(MonomialId a, MonomialId b) const;
+
+  /// Guard order: factors, scalar, op, threshold (Guard's defaulted <=>).
+  int CompareGuards(GuardId a, GuardId b) const;
+  bool GuardsEqual(GuardId a, GuardId b) const;
+
+ private:
+  const TermPool* Pool(uint32_t id) const {
+    return (id & kOverlayBit) ? overlay_ : shared_;
+  }
+
+  const TermPool* shared_;
+  const TermPool* overlay_;  // may be null when the expression has none
+};
+
+}  // namespace ir
+}  // namespace prox
+
+#endif  // PROX_IR_TERM_POOL_H_

@@ -27,10 +27,12 @@ bool TermKeyEqual(const TensorTerm& a, const TensorTerm& b) {
 }  // namespace
 
 void AggregateExpression::AddTerm(TensorTerm term) {
+  size_cache_.Invalidate();
   terms_.push_back(std::move(term));
 }
 
 void AggregateExpression::Simplify() {
+  size_cache_.Invalidate();
   std::sort(terms_.begin(), terms_.end(), TermLess);
   std::vector<TensorTerm> merged;
   merged.reserve(terms_.size());
@@ -54,11 +56,14 @@ std::vector<AnnotationId> AggregateExpression::Groups() const {
 }
 
 int64_t AggregateExpression::Size() const {
+  int64_t cached = size_cache_.Lookup();
+  if (cached >= 0) return cached;
   int64_t total = 0;
   for (const auto& t : terms_) {
     total += t.monomial.Size();
     if (t.guard) total += t.guard->Size();
   }
+  size_cache_.Store(total);
   return total;
 }
 
@@ -130,8 +135,8 @@ EvalResult AggregateExpression::Evaluate(
   return EvalResult::Vector(std::move(coords));
 }
 
-EvalResult AggregateExpression::ProjectEvalResult(
-    const EvalResult& base, const Homomorphism& h) const {
+EvalResult ProjectAggregateEvalResult(AggKind agg, const EvalResult& base,
+                                      const Homomorphism& h) {
   if (base.kind() != EvalResult::Kind::kVector) return base;
   struct Slot {
     double value = 0.0;
@@ -142,14 +147,14 @@ EvalResult AggregateExpression::ProjectEvalResult(
   for (const auto& c : base.coords()) {
     AnnotationId key = h.Map(c.group);
     auto& slot = acc[key];
-    if (agg_ == AggKind::kAvg) {
+    if (agg == AggKind::kAvg) {
       // Coordinates carry averages; merge as count-weighted sums.
       slot.value += c.value * c.count;
       slot.count += c.count;
     } else {
       AggValue v{c.value, 0.0};
-      if (agg_ == AggKind::kCount) v.count = c.value;
-      slot.value = FoldAggregate(agg_, slot.value, v, !slot.seen);
+      if (agg == AggKind::kCount) v.count = c.value;
+      slot.value = FoldAggregate(agg, slot.value, v, !slot.seen);
     }
     slot.seen = true;
   }
@@ -157,7 +162,7 @@ EvalResult AggregateExpression::ProjectEvalResult(
   coords.reserve(acc.size());
   for (const auto& [group, slot] : acc) {
     double value = slot.value;
-    if (agg_ == AggKind::kAvg) {
+    if (agg == AggKind::kAvg) {
       value = slot.count > 0 ? slot.value / slot.count : 0.0;
     }
     coords.push_back(EvalResult::Coord{group, value, slot.count});
@@ -166,6 +171,29 @@ EvalResult AggregateExpression::ProjectEvalResult(
     return EvalResult::Scalar(coords[0].value);
   }
   return EvalResult::Vector(std::move(coords));
+}
+
+EvalResult AggregateExpression::ProjectEvalResult(
+    const EvalResult& base, const Homomorphism& h) const {
+  return ProjectAggregateEvalResult(agg_, base, h);
+}
+
+AggTermView AggregateExpression::agg_term(size_t i) const {
+  const TensorTerm& t = terms_[i];
+  AggTermView view;
+  view.mono = t.monomial.factors().data();
+  view.mono_len = t.monomial.factors().size();
+  view.group = t.group;
+  view.value = t.value;
+  if (t.guard) {
+    view.has_guard = true;
+    view.guard_mono = t.guard->factors().factors().data();
+    view.guard_len = t.guard->factors().factors().size();
+    view.guard_scalar = t.guard->scalar();
+    view.guard_op = t.guard->op();
+    view.guard_threshold = t.guard->threshold();
+  }
+  return view;
 }
 
 std::unique_ptr<ProvenanceExpression> AggregateExpression::Clone() const {

@@ -8,6 +8,7 @@
 
 #include "provenance/agg_value.h"
 #include "provenance/expression.h"
+#include "provenance/facade.h"
 #include "provenance/guard.h"
 #include "provenance/monomial.h"
 
@@ -27,6 +28,14 @@ struct TensorTerm {
   AggValue value;
 };
 
+/// Projects an evaluation result of the original expression into the
+/// summarized coordinate space through the cumulative homomorphism `h`
+/// (Example 5.2.1: merged group keys merge coordinates under `agg`).
+/// Shared by the legacy and IR aggregate representations so both project
+/// bit-identically.
+EvalResult ProjectAggregateEvalResult(AggKind agg, const EvalResult& base,
+                                      const Homomorphism& h);
+
 /// \brief The ⊕-sum of guarded tensors over a values monoid — the
 /// aggregate provenance structure of Section 2.2 ([7, 6]) shared by the
 /// MovieLens and Wikipedia datasets.
@@ -35,7 +44,8 @@ struct TensorTerm {
 /// (group, monomial, guard) with equal-keyed tensors merged under the
 /// congruence `k⊗v₁ ⊕ k⊗v₂ ≡ k⊗(v₁ agg v₂)` (Example 3.1.1's step from
 /// `U₁⊗(3,1) ⊕ U₂⊗(5,1)` to `Female⊗(5,2)`).
-class AggregateExpression : public ProvenanceExpression {
+class AggregateExpression : public ProvenanceExpression,
+                            public AggregateFacade {
  public:
   explicit AggregateExpression(AggKind agg) : agg_(agg) {}
 
@@ -63,10 +73,17 @@ class AggregateExpression : public ProvenanceExpression {
                                const Homomorphism& h) const override;
   std::unique_ptr<ProvenanceExpression> Clone() const override;
   std::string ToString(const AnnotationRegistry& registry) const override;
+  const AggregateFacade* AsAggregate() const override { return this; }
+
+  // AggregateFacade interface ----------------------------------------------
+  AggKind agg_kind() const override { return agg_; }
+  size_t agg_num_terms() const override { return terms_.size(); }
+  AggTermView agg_term(size_t i) const override;
 
  private:
   AggKind agg_;
   std::vector<TensorTerm> terms_;
+  SizeCache size_cache_;
 };
 
 }  // namespace prox

@@ -18,6 +18,7 @@ bool DdpTransition::operator<(const DdpTransition& other) const {
 }
 
 void DdpExpression::AddExecution(DdpExecution exec) {
+  size_cache_.Invalidate();
   executions_.push_back(std::move(exec));
 }
 
@@ -31,6 +32,7 @@ double DdpExpression::CostOf(AnnotationId cost_var) const {
 }
 
 void DdpExpression::Simplify() {
+  size_cache_.Invalidate();
   for (auto& exec : executions_) {
     std::sort(exec.transitions.begin(), exec.transitions.end());
   }
@@ -40,12 +42,15 @@ void DdpExpression::Simplify() {
 }
 
 int64_t DdpExpression::Size() const {
+  int64_t cached = size_cache_.Lookup();
+  if (cached >= 0) return cached;
   int64_t total = 0;
   for (const auto& exec : executions_) {
     for (const auto& t : exec.transitions) {
       total += (t.kind == DdpTransition::Kind::kUser) ? 1 : t.db_factors.Size();
     }
   }
+  size_cache_.Store(total);
   return total;
 }
 
@@ -128,6 +133,21 @@ EvalResult DdpExpression::ProjectEvalResult(const EvalResult& base,
 
 std::unique_ptr<ProvenanceExpression> DdpExpression::Clone() const {
   return std::make_unique<DdpExpression>(*this);
+}
+
+DdpTransitionView DdpExpression::ddp_transition(size_t exec, size_t t) const {
+  const DdpTransition& tr = executions_[exec].transitions[t];
+  DdpTransitionView view;
+  view.user = tr.kind == DdpTransition::Kind::kUser;
+  view.cost_var = tr.cost_var;
+  view.db = tr.db_factors.factors().data();
+  view.db_len = tr.db_factors.factors().size();
+  view.nonzero = tr.nonzero;
+  return view;
+}
+
+std::vector<std::pair<AnnotationId, double>> DdpExpression::ddp_costs() const {
+  return {costs_.begin(), costs_.end()};
 }
 
 std::string DdpExpression::ToString(const AnnotationRegistry& registry) const {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "provenance/expression.h"
+#include "provenance/facade.h"
 #include "provenance/monomial.h"
 
 namespace prox {
@@ -67,7 +68,7 @@ struct DdpExecution {
 /// Simplification dedupes executions that become identical after a
 /// homomorphism (Example 5.2.2's collapse to a single execution) — sound
 /// because the tropical/existential interpretation is additively idempotent.
-class DdpExpression : public ProvenanceExpression {
+class DdpExpression : public ProvenanceExpression, public DdpFacade {
  public:
   DdpExpression() = default;
 
@@ -95,10 +96,20 @@ class DdpExpression : public ProvenanceExpression {
                                const Homomorphism& h) const override;
   std::unique_ptr<ProvenanceExpression> Clone() const override;
   std::string ToString(const AnnotationRegistry& registry) const override;
+  const DdpFacade* AsDdp() const override { return this; }
+
+  // DdpFacade interface ----------------------------------------------------
+  size_t ddp_num_executions() const override { return executions_.size(); }
+  size_t ddp_num_transitions(size_t exec) const override {
+    return executions_[exec].transitions.size();
+  }
+  DdpTransitionView ddp_transition(size_t exec, size_t t) const override;
+  std::vector<std::pair<AnnotationId, double>> ddp_costs() const override;
 
  private:
   std::vector<DdpExecution> executions_;
   std::map<AnnotationId, double> costs_;
+  SizeCache size_cache_;
 };
 
 }  // namespace prox

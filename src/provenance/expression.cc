@@ -1,0 +1,15 @@
+#include "provenance/expression.h"
+
+#include "obs/metrics.h"
+
+namespace prox {
+
+void CountSizeCacheHit() {
+  static obs::Counter* hits = obs::MetricsRegistry::Default().GetCounter(
+      "prox_ir_size_cache_hits_total",
+      "Size() calls served from a cached size (IR header field or legacy "
+      "memo) instead of a full term traversal.");
+  hits->Increment();
+}
+
+}  // namespace prox

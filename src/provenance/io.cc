@@ -41,33 +41,35 @@ std::string WriteAnnotation(const AnnotationRegistry& registry,
 }
 
 std::string WriteMonomial(const AnnotationRegistry& registry,
-                          const Monomial& m) {
+                          const AnnotationId* factors, size_t len) {
   std::string out = "(mono";
-  for (AnnotationId a : m.factors()) {
+  for (size_t i = 0; i < len; ++i) {
     out += " ";
-    out += WriteAnnotation(registry, a);
+    out += WriteAnnotation(registry, factors[i]);
   }
   out += ")";
   return out;
 }
 
-std::string WriteAggregate(const AggregateExpression& expr,
+std::string WriteAggregate(const AggregateFacade& expr,
                            const AnnotationRegistry& registry) {
   std::string out = "(aggregate ";
-  out += AggKindToString(expr.agg());
-  for (const TensorTerm& t : expr.terms()) {
+  out += AggKindToString(expr.agg_kind());
+  const size_t num_terms = expr.agg_num_terms();
+  for (size_t i = 0; i < num_terms; ++i) {
+    const AggTermView t = expr.agg_term(i);
     out += "\n  (term ";
-    out += WriteMonomial(registry, t.monomial);
+    out += WriteMonomial(registry, t.mono, t.mono_len);
     if (t.group != kNoAnnotation) {
       out += " (group " + WriteAnnotation(registry, t.group) + ")";
     }
     out += " (value " + FormatDouble(t.value.value, 6) + " " +
            FormatDouble(t.value.count, 6) + ")";
-    if (t.guard.has_value()) {
-      out += " (guard " + WriteMonomial(registry, t.guard->factors()) + " " +
-             FormatDouble(t.guard->scalar(), 6) + " " +
-             CompareOpToString(t.guard->op()) + " " +
-             FormatDouble(t.guard->threshold(), 6) + ")";
+    if (t.has_guard) {
+      out += " (guard " + WriteMonomial(registry, t.guard_mono, t.guard_len) +
+             " " + FormatDouble(t.guard_scalar, 6) + " " +
+             CompareOpToString(t.guard_op) + " " +
+             FormatDouble(t.guard_threshold, 6) + ")";
     }
     out += ")";
   }
@@ -75,22 +77,25 @@ std::string WriteAggregate(const AggregateExpression& expr,
   return out;
 }
 
-std::string WriteDdp(const DdpExpression& expr,
+std::string WriteDdp(const DdpFacade& expr,
                      const AnnotationRegistry& registry) {
   std::string out = "(ddp";
-  for (const auto& [var, cost] : expr.costs()) {
+  for (const auto& [var, cost] : expr.ddp_costs()) {
     out += "\n  (cost " + WriteAnnotation(registry, var) + " " +
            FormatDouble(cost, 6) + ")";
   }
-  for (const DdpExecution& exec : expr.executions()) {
+  const size_t num_execs = expr.ddp_num_executions();
+  for (size_t e = 0; e < num_execs; ++e) {
     out += "\n  (exec";
-    for (const DdpTransition& t : exec.transitions) {
-      if (t.kind == DdpTransition::Kind::kUser) {
+    const size_t num_transitions = expr.ddp_num_transitions(e);
+    for (size_t i = 0; i < num_transitions; ++i) {
+      const DdpTransitionView t = expr.ddp_transition(e, i);
+      if (t.user) {
         out += " (user " + WriteAnnotation(registry, t.cost_var) + ")";
       } else {
         out += std::string(" (db ") + (t.nonzero ? "!=" : "==");
-        for (AnnotationId a : t.db_factors.factors()) {
-          out += " " + WriteAnnotation(registry, a);
+        for (size_t k = 0; k < t.db_len; ++k) {
+          out += " " + WriteAnnotation(registry, t.db[k]);
         }
         out += ")";
       }
@@ -414,10 +419,10 @@ Result<std::unique_ptr<ProvenanceExpression>> ParseDdp(
 
 std::string SerializeExpression(const ProvenanceExpression& expr,
                                 const AnnotationRegistry& registry) {
-  if (const auto* agg = dynamic_cast<const AggregateExpression*>(&expr)) {
+  if (const AggregateFacade* agg = expr.AsAggregate()) {
     return WriteAggregate(*agg, registry);
   }
-  if (const auto* ddp = dynamic_cast<const DdpExpression*>(&expr)) {
+  if (const DdpFacade* ddp = expr.AsDdp()) {
     return WriteDdp(*ddp, registry);
   }
   return "(unknown)\n";

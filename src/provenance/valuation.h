@@ -71,6 +71,16 @@ class MaterializedValuation {
     }
   }
 
+  /// Copies `base` and extends the bitmap to `num_annotations`, with the
+  /// new ids (annotations registered after `base` was materialized) true.
+  /// Equivalent to re-materializing base's sparse valuation at the larger
+  /// size, without re-scanning its false set.
+  MaterializedValuation(const MaterializedValuation& base,
+                        size_t num_annotations)
+      : truth_(base.truth_) {
+    if (truth_.size() < num_annotations) truth_.resize(num_annotations, 1);
+  }
+
   void Set(AnnotationId a, bool value) { truth_[a] = value ? 1 : 0; }
 
   bool truth(AnnotationId a) const {

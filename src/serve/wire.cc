@@ -79,6 +79,12 @@ Result<int64_t> IntField(const JsonValue& value, const std::string& field) {
 
 std::string DatasetFingerprint(const Dataset& dataset) {
   uint64_t hash = kFnvOffset;
+  // Expression-core version byte: bump when the summarization engine's
+  // representation changes in a way that could alter cached bodies, so
+  // pre-IR cache entries can never be served for post-IR requests (the
+  // engine guarantees byte-identity, but the cache key should not depend
+  // on that proof holding forever). "ir1" = prox::ir flat core, v1.
+  FnvMix(&hash, "ir1");
   const AnnotationRegistry& registry = *dataset.registry;
   for (size_t d = 0; d < registry.num_domains(); ++d) {
     FnvMix(&hash, registry.domain_name(static_cast<DomainId>(d)));

@@ -95,8 +95,9 @@ Result<std::unique_ptr<ProvenanceExpression>> SelectionService::Select(
 
 Result<std::unique_ptr<ProvenanceExpression>> SelectionService::SelectImpl(
     const SelectionCriteria& criteria) const {
-  const auto* agg =
-      dynamic_cast<const AggregateExpression*>(dataset_->provenance.get());
+  // Read through the facade so the dataset's provenance can be either the
+  // legacy tree or a prox::ir expression (docs/IR.md).
+  const AggregateFacade* agg = dataset_->provenance->AsAggregate();
   if (agg == nullptr) {
     return Status::FailedPrecondition(
         "selection requires an aggregate provenance expression");
@@ -105,9 +106,17 @@ Result<std::unique_ptr<ProvenanceExpression>> SelectionService::SelectImpl(
     auto found = dataset_->registry->Find(title);
     if (!found.ok()) return found.status();
   }
-  auto selected = std::make_unique<AggregateExpression>(agg->agg());
-  for (const TensorTerm& term : agg->terms()) {
-    if (GroupMatches(term.group, criteria)) selected->AddTerm(term);
+  auto selected = std::make_unique<AggregateExpression>(agg->agg_kind());
+  const size_t num_terms = agg->agg_num_terms();
+  for (size_t i = 0; i < num_terms; ++i) {
+    const AggTermView view = agg->agg_term(i);
+    if (!GroupMatches(view.group, criteria)) continue;
+    TensorTerm term;
+    term.monomial = MonomialFromSpan(view.mono, view.mono_len);
+    term.group = view.group;
+    term.value = view.value;
+    if (view.has_guard) term.guard = GuardFromView(view);
+    selected->AddTerm(std::move(term));
   }
   selected->Simplify();
   if (selected->num_terms() == 0) {

@@ -71,8 +71,10 @@ EnumeratedDistance::EnumeratedDistance(const ProvenanceExpression* p0,
       pool_(threads) {
   const size_t n = registry_->size();
   base_evals_.reserve(valuations_.size());
+  base_mats_.reserve(valuations_.size());
   for (const auto& v : valuations_) {
-    base_evals_.push_back(p0_->Evaluate(MaterializedValuation(v, n)));
+    base_mats_.emplace_back(v, n);
+    base_evals_.push_back(p0_->Evaluate(base_mats_.back()));
     total_weight_ += v.weight();
   }
   EvalResult all_true = p0_->Evaluate(MaterializedValuation(n));
@@ -106,7 +108,8 @@ double EnumeratedDistance::Distance(const ProvenanceExpression& cand,
       pool_.pool(), static_cast<int64_t>(valuations_.size()), kReductionGrain,
       [&](int64_t i) {
         const Valuation& v = valuations_[static_cast<size_t>(i)];
-        MaterializedValuation transformed = state.Transform(v, n);
+        MaterializedValuation transformed =
+            state.TransformFrom(v, base_mats_[static_cast<size_t>(i)], n);
         EvalResult summ = cand.Evaluate(transformed);
         if (identity_on_groups) {
           return v.weight() *

@@ -61,6 +61,12 @@ class EnumeratedDistance : public DistanceOracle {
   const std::vector<Valuation>& valuations() const { return valuations_; }
   /// Cached v(p₀) per valuation (used by the incremental scorer).
   const std::vector<EvalResult>& base_evals() const { return base_evals_; }
+  /// Pre-materialized base valuations, aligned with base_evals(). Distance
+  /// extends a copy per call (MappingState::TransformFrom) instead of
+  /// re-materializing each sparse valuation per call per step.
+  const std::vector<MaterializedValuation>& base_mats() const {
+    return base_mats_;
+  }
   const AnnotationRegistry* registry() const { return registry_; }
 
  private:
@@ -69,6 +75,7 @@ class EnumeratedDistance : public DistanceOracle {
   const ValFunc* val_func_;
   std::vector<Valuation> valuations_;
   std::vector<EvalResult> base_evals_;  // v(p₀) per valuation, cached
+  std::vector<MaterializedValuation> base_mats_;  // materialized once
   double total_weight_ = 0.0;
   double max_error_ = 1.0;
   exec::PoolRef pool_;

@@ -51,7 +51,7 @@ int64_t TermSize(const TensorTerm& t) {
 }  // namespace
 
 std::unique_ptr<IncrementalScorer> IncrementalScorer::Create(
-    const AggregateExpression* current, const EnumeratedDistance* oracle,
+    const ProvenanceExpression* current, const EnumeratedDistance* oracle,
     const MappingState* state, Metric metric) {
   std::unique_ptr<IncrementalScorer> scorer(
       new IncrementalScorer(current, oracle, state, metric));
@@ -59,14 +59,36 @@ std::unique_ptr<IncrementalScorer> IncrementalScorer::Create(
   return scorer;
 }
 
-IncrementalScorer::IncrementalScorer(const AggregateExpression* current,
+IncrementalScorer::IncrementalScorer(const ProvenanceExpression* current,
                                      const EnumeratedDistance* oracle,
                                      const MappingState* state,
                                      Metric metric)
     : current_(current), oracle_(oracle), state_(state), metric_(metric) {}
 
 bool IncrementalScorer::Initialize() {
-  groups_ = current_->Groups();
+  // Read the aggregate structure through the facade and snapshot it into
+  // owning terms (facade views are transient), so both the legacy tree and
+  // the prox::ir flat representation are scoreable.
+  const AggregateFacade* facade = current_->AsAggregate();
+  if (facade == nullptr) return false;
+  agg_ = facade->agg_kind();
+  const size_t num_terms = facade->agg_num_terms();
+  terms_.clear();
+  terms_.reserve(num_terms);
+  for (size_t i = 0; i < num_terms; ++i) {
+    const AggTermView view = facade->agg_term(i);
+    TensorTerm term;
+    term.monomial = MonomialFromSpan(view.mono, view.mono_len);
+    if (view.has_guard) term.guard = GuardFromView(view);
+    term.group = view.group;
+    term.value = view.value;
+    terms_.push_back(std::move(term));
+  }
+
+  groups_.clear();
+  for (const TensorTerm& t : terms_) groups_.push_back(t.group);
+  std::sort(groups_.begin(), groups_.end());
+  groups_.erase(std::unique(groups_.begin(), groups_.end()), groups_.end());
   for (size_t i = 0; i < groups_.size(); ++i) group_index_[groups_[i]] = i;
 
   // Project the cached base evaluations into the current coordinate space
@@ -103,7 +125,7 @@ bool IncrementalScorer::Initialize() {
 
   // Structure indexes.
   terms_of_group_.assign(groups_.size(), {});
-  const auto& terms = current_->terms();
+  const auto& terms = terms_;
   for (size_t t = 0; t < terms.size(); ++t) {
     terms_of_group_[group_index_.at(terms[t].group)].push_back(t);
     for (AnnotationId a : terms[t].monomial.factors()) {
@@ -141,11 +163,11 @@ bool IncrementalScorer::Initialize() {
           (!term.guard || GuardTruth(*term.guard, v, false));
       if (!alive) continue;
       size_t g = group_index_.at(term.group);
-      row[g] = FoldAggregate(current_->agg(), row[g], term.value, !seen[g]);
+      row[g] = FoldAggregate(agg_, row[g], term.value, !seen[g]);
       counts[g] += term.value.count;
       seen[g] = true;
     }
-    if (current_->agg() == AggKind::kAvg) {
+    if (agg_ == AggKind::kAvg) {
       for (size_t g = 0; g < groups_.size(); ++g) {
         row[g] = counts[g] > 0 ? row[g] / counts[g] : 0.0;
       }
@@ -171,7 +193,7 @@ bool IncrementalScorer::CanScore(
 
 IncrementalScorer::Score IncrementalScorer::ScoreMerge(
     const std::vector<AnnotationId>& roots) const {
-  const auto& terms = current_->terms();
+  const auto& terms = terms_;
 
   // Affected terms and coordinates.
   std::vector<size_t> affected;
@@ -223,7 +245,7 @@ IncrementalScorer::Score IncrementalScorer::ScoreMerge(
     }
     auto [it, inserted] = mapped.emplace(std::move(key), term.value);
     if (!inserted) {
-      it->second = MergeAggValues(current_->agg(), it->second, term.value);
+      it->second = MergeAggValues(agg_, it->second, term.value);
     }
   }
   int64_t mapped_size = 0;
@@ -286,7 +308,7 @@ IncrementalScorer::Score IncrementalScorer::ScoreMerge(
             MonomialTruth(term.monomial, v, false) &&
             (!term.guard || GuardTruth(*term.guard, v, false));
         if (!alive) continue;
-        value = FoldAggregate(current_->agg(), value, term.value, !seen);
+        value = FoldAggregate(agg_, value, term.value, !seen);
         count += term.value.count;
         seen = true;
       }
@@ -296,11 +318,11 @@ IncrementalScorer::Score IncrementalScorer::ScoreMerge(
             (!entry->first.has_guard ||
              GuardTruth(entry->first.guard, v, summary_truth));
         if (!alive) continue;
-        value = FoldAggregate(current_->agg(), value, entry->second, !seen);
+        value = FoldAggregate(agg_, value, entry->second, !seen);
         count += entry->second.count;
         seen = true;
       }
-      if (current_->agg() == AggKind::kAvg) {
+      if (agg_ == AggKind::kAvg) {
         value = count > 0 ? value / count : 0.0;
       }
       const double base = base_values_[i][g];

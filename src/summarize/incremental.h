@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "provenance/aggregate_expr.h"
+#include "provenance/expression.h"
+#include "provenance/facade.h"
 #include "summarize/distance.h"
 #include "summarize/mapping_state.h"
 
@@ -39,14 +41,16 @@ class IncrementalScorer {
   enum class Metric { kEuclidean, kL1 };
 
   /// Builds the cache. Returns nullptr when the configuration is not
-  /// scoreable incrementally (see class comment).
+  /// scoreable incrementally (see class comment) — in particular when
+  /// `current` is not an aggregate structure (AsAggregate() == nullptr).
   ///
-  /// \param current the current expression p' (must outlive the scorer)
+  /// \param current the current expression p' — either representation,
+  ///   legacy tree or prox::ir flat (must outlive the scorer)
   /// \param oracle the exact oracle whose valuations/base evaluations and
   ///   normalization this scorer reproduces (must outlive the scorer)
   /// \param state the cumulative mapping state (must outlive the scorer)
   static std::unique_ptr<IncrementalScorer> Create(
-      const AggregateExpression* current, const EnumeratedDistance* oracle,
+      const ProvenanceExpression* current, const EnumeratedDistance* oracle,
       const MappingState* state, Metric metric);
 
   /// True when a merge of exactly these current annotations is scoreable
@@ -65,16 +69,22 @@ class IncrementalScorer {
   Score ScoreMerge(const std::vector<AnnotationId>& roots) const;
 
  private:
-  IncrementalScorer(const AggregateExpression* current,
+  IncrementalScorer(const ProvenanceExpression* current,
                     const EnumeratedDistance* oracle,
                     const MappingState* state, Metric metric);
 
   bool Initialize();
 
-  const AggregateExpression* current_;
+  const ProvenanceExpression* current_;
   const EnumeratedDistance* oracle_;
   const MappingState* state_;
   Metric metric_;
+
+  // Snapshot of the aggregate structure read through the facade at
+  // construction (facade views are transient; owning copies keep the
+  // per-candidate scoring loops independent of the representation).
+  AggKind agg_ = AggKind::kSum;
+  std::vector<TensorTerm> terms_;
 
   // Structure indexes over `current_`.
   std::vector<AnnotationId> groups_;                   // sorted coordinate keys

@@ -32,11 +32,18 @@ std::vector<AnnotationId> MappingState::Members(AnnotationId root) const {
   return {root};
 }
 
-MaterializedValuation MappingState::Transform(const Valuation& base,
-                                              size_t num_annotations) const {
-  MaterializedValuation out(base, num_annotations);
-  for (const auto& [summary, members] : members_) {
-    const PhiKind phi = phi_.For(registry_->domain(summary));
+namespace {
+
+/// Writes φ(truth of members) for each summary annotation into `out` —
+/// the override pass shared by Transform and TransformFrom.
+void ApplyPhiOverrides(
+    const std::unordered_map<AnnotationId, std::vector<AnnotationId>>&
+        members_by_summary,
+    const AnnotationRegistry& registry, const PhiConfig& phi_config,
+    const Valuation& base, size_t num_annotations,
+    MaterializedValuation* out) {
+  for (const auto& [summary, members] : members_by_summary) {
+    const PhiKind phi = phi_config.For(registry.domain(summary));
     bool value;
     if (phi == PhiKind::kOr) {
       value = false;
@@ -55,8 +62,24 @@ MaterializedValuation MappingState::Transform(const Valuation& base,
         }
       }
     }
-    if (summary < num_annotations) out.Set(summary, value);
+    if (summary < num_annotations) out->Set(summary, value);
   }
+}
+
+}  // namespace
+
+MaterializedValuation MappingState::Transform(const Valuation& base,
+                                              size_t num_annotations) const {
+  MaterializedValuation out(base, num_annotations);
+  ApplyPhiOverrides(members_, *registry_, phi_, base, num_annotations, &out);
+  return out;
+}
+
+MaterializedValuation MappingState::TransformFrom(
+    const Valuation& base, const MaterializedValuation& base_mat,
+    size_t num_annotations) const {
+  MaterializedValuation out(base_mat, num_annotations);
+  ApplyPhiOverrides(members_, *registry_, phi_, base, num_annotations, &out);
   return out;
 }
 

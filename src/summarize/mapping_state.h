@@ -64,6 +64,15 @@ class MappingState {
   MaterializedValuation Transform(const Valuation& base,
                                   size_t num_annotations) const;
 
+  /// Same result as `Transform(base, num_annotations)`, but starts from
+  /// `base_mat` — a MaterializedValuation of `base` built earlier (possibly
+  /// at a smaller registry size) — so only the φ overrides are recomputed,
+  /// not the whole bitmap. Lets oracles pre-materialize their fixed
+  /// valuation set once and pay per Distance call only for the summaries.
+  MaterializedValuation TransformFrom(const Valuation& base,
+                                      const MaterializedValuation& base_mat,
+                                      size_t num_annotations) const;
+
   PhiKind PhiFor(DomainId domain) const { return phi_.For(domain); }
 
   /// Summary annotations created so far, in creation order, with members.

@@ -15,19 +15,21 @@ std::vector<GroupReport> SummaryReporter::Groups(
   std::vector<AnnotationId> present;
   outcome.summary->CollectAnnotations(&present);
 
-  // Group aggregates under the all-true valuation, when available.
+  // Group aggregates under the all-true valuation, when available. Read
+  // through the facade so both the legacy tree and prox::ir work.
   std::map<AnnotationId, double> group_agg;
-  if (const auto* agg =
-          dynamic_cast<const AggregateExpression*>(outcome.summary.get())) {
-    MaterializedValuation all_true(registry.size());
-    for (const TensorTerm& term : agg->terms()) {
-      for (AnnotationId a : term.monomial.factors()) {
+  if (const AggregateFacade* agg = outcome.summary->AsAggregate()) {
+    const size_t num_terms = agg->agg_num_terms();
+    for (size_t t = 0; t < num_terms; ++t) {
+      const AggTermView term = agg->agg_term(t);
+      for (size_t k = 0; k < term.mono_len; ++k) {
+        const AnnotationId a = term.mono[k];
         if (registry.is_summary(a)) {
           // Contribution of tensors carrying this summary annotation.
           auto [it, inserted] = group_agg.emplace(a, term.value.value);
           if (!inserted) {
-            it->second = FoldAggregate(agg->agg(), it->second, term.value,
-                                       /*first=*/false);
+            it->second = FoldAggregate(agg->agg_kind(), it->second,
+                                       term.value, /*first=*/false);
           }
         }
       }

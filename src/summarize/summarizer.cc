@@ -9,9 +9,10 @@
 
 #include "common/timer.h"
 #include "exec/thread_pool.h"
+#include "ir/adopt.h"
+#include "ir/term_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
-#include "provenance/aggregate_expr.h"
 #include "summarize/equivalence.h"
 #include "summarize/incremental.h"
 
@@ -137,7 +138,10 @@ int Summarizer::GroupEquivalent(
     ++merges;
   }
   if (merges > 0) {
-    *current = p0_->Apply(state->cumulative());
+    // `*current` still equals p0 here (the loop has not started), so
+    // applying on it instead of on p0_ keeps the result in the current
+    // representation (IR when adopted) with identical content.
+    *current = (*current)->Apply(state->cumulative());
   }
   return merges;
 }
@@ -225,7 +229,15 @@ Result<SummaryOutcome> Summarizer::Run() {
   obs::TraceSpan run_span("summarize.run");
   SummaryOutcome outcome{nullptr, MappingState(registry_, options_.phi), {},
                          0.0, 0, false, 0, 0.0, 0, 0};
-  std::unique_ptr<ProvenanceExpression> current = p0_->Clone();
+  // Adopt the input into the flat interned representation for the hot
+  // loop (docs/IR.md). The pool lives as long as the run's expressions via
+  // the shared_ptr each IR expression holds.
+  std::unique_ptr<ProvenanceExpression> current;
+  if (options_.use_ir) {
+    current = ir::Adopt(*p0_, std::make_shared<ir::TermPool>());
+  } else {
+    current = p0_->Clone();
+  }
   MappingState& state = outcome.state;
 
   if (options_.group_equivalent_first) {
@@ -278,15 +290,14 @@ Result<SummaryOutcome> Summarizer::Run() {
       }
     }
 
-    // Optional incremental scorer for this step's expression.
+    // Optional incremental scorer for this step's expression. The facade
+    // check covers both representations (legacy tree and prox::ir).
     std::unique_ptr<IncrementalScorer> incremental;
     if (want_incremental) {
-      const auto* agg =
-          dynamic_cast<const AggregateExpression*>(current.get());
       auto* enumerated = dynamic_cast<EnumeratedDistance*>(oracle_);
-      if (agg != nullptr && enumerated != nullptr) {
+      if (current->AsAggregate() != nullptr && enumerated != nullptr) {
         incremental = IncrementalScorer::Create(
-            agg, enumerated, &state,
+            current.get(), enumerated, &state,
             options_.incremental == SummarizerOptions::Incremental::kL1
                 ? IncrementalScorer::Metric::kL1
                 : IncrementalScorer::Metric::kEuclidean);

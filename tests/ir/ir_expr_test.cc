@@ -1,0 +1,291 @@
+// Representation-equivalence tests for the prox::ir flat expressions:
+// adopting a legacy tree must preserve ToString/Size/Evaluate byte for
+// byte, Apply must match the legacy result on both the main thread and
+// exec workers (copy-on-write + overlay paths), and the Size cache must
+// actually serve hits.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "exec/thread_pool.h"
+#include "ir/adopt.h"
+#include "ir/agg_expr.h"
+#include "ir/ddp_expr.h"
+#include "ir/poly_expr.h"
+#include "ir/term_pool.h"
+#include "obs/metrics.h"
+#include "provenance/aggregate_expr.h"
+#include "provenance/ddp_expr.h"
+#include "provenance/polynomial_expr.h"
+#include "testing/fixtures.h"
+
+namespace prox {
+namespace {
+
+using testing_fixtures::MovieFixture;
+
+std::shared_ptr<ir::TermPool> NewPool() {
+  return std::make_shared<ir::TermPool>();
+}
+
+TEST(IrAdoptTest, AggregateMatchesLegacyByteForByte) {
+  MovieFixture f;
+  auto adopted = ir::Adopt(*f.p0, NewPool());
+  ASSERT_TRUE(ir::IsIr(*adopted));
+
+  EXPECT_EQ(adopted->ToString(f.registry), f.p0->ToString(f.registry));
+  EXPECT_EQ(adopted->Size(), f.p0->Size());
+
+  std::vector<AnnotationId> legacy_anns, ir_anns;
+  f.p0->CollectAnnotations(&legacy_anns);
+  adopted->CollectAnnotations(&ir_anns);
+  EXPECT_EQ(ir_anns, legacy_anns);
+
+  // Facade parity, term by term.
+  const AggregateFacade* legacy = f.p0->AsAggregate();
+  const AggregateFacade* flat = adopted->AsAggregate();
+  ASSERT_NE(flat, nullptr);
+  ASSERT_EQ(flat->agg_num_terms(), legacy->agg_num_terms());
+  EXPECT_EQ(flat->agg_kind(), legacy->agg_kind());
+  for (size_t i = 0; i < legacy->agg_num_terms(); ++i) {
+    const AggTermView a = legacy->agg_term(i);
+    const AggTermView b = flat->agg_term(i);
+    EXPECT_EQ(MonomialFromSpan(b.mono, b.mono_len),
+              MonomialFromSpan(a.mono, a.mono_len));
+    EXPECT_EQ(b.group, a.group);
+    EXPECT_EQ(b.value.value, a.value.value);
+    EXPECT_EQ(b.value.count, a.value.count);
+    EXPECT_EQ(b.has_guard, a.has_guard);
+  }
+
+  // Evaluation parity under all-true and under cancellations.
+  const size_t n = f.registry.size();
+  std::vector<Valuation> valuations = {Valuation({}, "all true"),
+                                       Valuation({f.u2}, "cancel U2"),
+                                       Valuation({f.u1, f.u3}, "cancel F")};
+  for (const Valuation& v : valuations) {
+    MaterializedValuation mat(v, n);
+    EXPECT_EQ(adopted->Evaluate(mat).ToString(f.registry),
+              f.p0->Evaluate(mat).ToString(f.registry))
+        << v.label();
+  }
+}
+
+TEST(IrAdoptTest, AdoptingAnIrExpressionClones) {
+  MovieFixture f;
+  auto adopted = ir::Adopt(*f.p0, NewPool());
+  auto again = ir::Adopt(*adopted, NewPool());
+  ASSERT_TRUE(ir::IsIr(*again));
+  EXPECT_EQ(again->ToString(f.registry), f.p0->ToString(f.registry));
+}
+
+TEST(IrApplyTest, MainThreadApplyMatchesLegacyAndSharesUntouchedRows) {
+  MovieFixture f;
+  auto pool = NewPool();
+  auto adopted = ir::Adopt(*f.p0, pool);
+
+  AnnotationId audience =
+      f.registry.AddSummary(f.user_domain, "Audience");
+  Homomorphism h;
+  h.Set(f.u1, audience);
+  h.Set(f.u3, audience);
+
+  auto legacy_applied = f.p0->Apply(h);
+  auto ir_applied = adopted->Apply(h);
+  EXPECT_EQ(ir_applied->ToString(f.registry),
+            legacy_applied->ToString(f.registry));
+  EXPECT_EQ(ir_applied->Size(), legacy_applied->Size());
+
+  // Main-thread Apply interns into the shared pool: no overlay.
+  const auto* flat =
+      dynamic_cast<const ir::IrAggregateExpression*>(ir_applied.get());
+  ASSERT_NE(flat, nullptr);
+  EXPECT_FALSE(flat->has_overlay());
+
+  // An identity homomorphism shares every interned id: the pool must not
+  // grow at all (the copy-on-write fast path).
+  const size_t monos_before = pool->num_monomials();
+  auto identity_applied = adopted->Apply(Homomorphism::Identity());
+  EXPECT_EQ(pool->num_monomials(), monos_before);
+  EXPECT_EQ(identity_applied->ToString(f.registry),
+            adopted->ToString(f.registry));
+}
+
+TEST(IrApplyTest, WorkerApplyUsesOverlayAndMatchesLegacy) {
+  MovieFixture f;
+  auto adopted = ir::Adopt(*f.p0, NewPool());
+
+  AnnotationId fem = f.registry.AddSummary(f.user_domain, "F");
+  Homomorphism h;
+  h.Set(f.u1, fem);
+  h.Set(f.u2, fem);
+  auto legacy_applied = f.p0->Apply(h);
+
+  // Run the same Apply on an exec worker; the result must resolve its
+  // rewritten monomials through an expression-local overlay (workers never
+  // intern into the shared pool) yet print/evaluate identically.
+  std::unique_ptr<ProvenanceExpression> worker_result;
+  bool ran_on_worker = false;
+  exec::PoolRef pool_ref(2);
+  exec::ParallelFor(pool_ref.pool(), 0, 1, 1, [&](int64_t) {
+    ran_on_worker = exec::InParallelWorker();
+    worker_result = adopted->Apply(h);
+  });
+  ASSERT_NE(worker_result, nullptr);
+  EXPECT_EQ(worker_result->ToString(f.registry),
+            legacy_applied->ToString(f.registry));
+
+  const auto* flat =
+      dynamic_cast<const ir::IrAggregateExpression*>(worker_result.get());
+  ASSERT_NE(flat, nullptr);
+  if (ran_on_worker) {
+    EXPECT_TRUE(flat->has_overlay());
+  }
+
+  // The overlay result keeps evaluating correctly after further merges on
+  // the main thread, and a re-Apply of it matches the legacy re-Apply.
+  AnnotationId crowd = f.registry.AddSummary(f.user_domain, "Crowd");
+  Homomorphism h2;
+  h2.Set(fem, crowd);
+  h2.Set(f.u3, crowd);
+  EXPECT_EQ(worker_result->Apply(h2)->ToString(f.registry),
+            legacy_applied->Apply(h2)->ToString(f.registry));
+
+  MaterializedValuation all_true(f.registry.size());
+  EXPECT_EQ(worker_result->Evaluate(all_true).ToString(f.registry),
+            legacy_applied->Evaluate(all_true).ToString(f.registry));
+}
+
+TEST(IrDdpTest, AdoptApplyEvaluateMatchLegacy) {
+  AnnotationRegistry registry;
+  DomainId cost_domain = registry.AddDomain("cost_var");
+  DomainId db_domain = registry.AddDomain("db_var");
+  AnnotationId c1 = registry.Add(cost_domain, "c1").MoveValue();
+  AnnotationId c2 = registry.Add(cost_domain, "c2").MoveValue();
+  AnnotationId d1 = registry.Add(db_domain, "d1").MoveValue();
+  AnnotationId d2 = registry.Add(db_domain, "d2").MoveValue();
+
+  DdpExpression legacy;
+  legacy.SetCost(c1, 2.0);
+  legacy.SetCost(c2, 5.0);
+  {
+    DdpExecution e;
+    e.transitions.push_back(DdpTransition::User(c1));
+    e.transitions.push_back(DdpTransition::Db(Monomial({d1}), true));
+    legacy.AddExecution(std::move(e));
+  }
+  {
+    DdpExecution e;
+    e.transitions.push_back(DdpTransition::User(c2));
+    e.transitions.push_back(DdpTransition::Db(Monomial({d2}), false));
+    legacy.AddExecution(std::move(e));
+  }
+  legacy.Simplify();
+
+  auto adopted = ir::Adopt(legacy, NewPool());
+  ASSERT_TRUE(ir::IsIr(*adopted));
+  EXPECT_EQ(adopted->ToString(registry), legacy.ToString(registry));
+  EXPECT_EQ(adopted->Size(), legacy.Size());
+  ASSERT_NE(adopted->AsDdp(), nullptr);
+  EXPECT_EQ(adopted->AsDdp()->ddp_costs(), legacy.ddp_costs());
+
+  const size_t n = registry.size();
+  std::vector<Valuation> valuations = {
+      Valuation({}, "all"), Valuation({d1}, "drop d1"),
+      Valuation({d1, d2}, "drop both"), Valuation({c1}, "waive c1")};
+  for (const Valuation& v : valuations) {
+    MaterializedValuation mat(v, n);
+    EXPECT_EQ(adopted->Evaluate(mat).ToString(registry),
+              legacy.Evaluate(mat).ToString(registry))
+        << v.label();
+  }
+
+  // Merging the two db vars exercises the cost max-merge + dedupe path.
+  AnnotationId db_all = registry.AddSummary(db_domain, "db");
+  Homomorphism h;
+  h.Set(d1, db_all);
+  h.Set(d2, db_all);
+  auto legacy_applied = legacy.Apply(h);
+  auto ir_applied = adopted->Apply(h);
+  EXPECT_EQ(ir_applied->ToString(registry),
+            legacy_applied->ToString(registry));
+  EXPECT_EQ(ir_applied->Size(), legacy_applied->Size());
+
+  AnnotationId cost_all = registry.AddSummary(cost_domain, "c");
+  Homomorphism hc;
+  hc.Set(c1, cost_all);
+  hc.Set(c2, cost_all);
+  EXPECT_EQ(adopted->Apply(hc)->ToString(registry),
+            legacy.Apply(hc)->ToString(registry));
+}
+
+TEST(IrPolynomialTest, AdoptAndApplyMatchLegacy) {
+  AnnotationRegistry registry;
+  DomainId d = registry.AddDomain("tuple");
+  AnnotationId x = registry.Add(d, "x").MoveValue();
+  AnnotationId y = registry.Add(d, "y").MoveValue();
+  AnnotationId z = registry.Add(d, "z").MoveValue();
+
+  Polynomial poly;
+  poly.AddTerm({x, y}, 2);
+  poly.AddTerm({z}, 1);
+  poly.AddTerm({x, y}, 1);  // merges: coefficient 3
+  PolynomialExpression legacy(std::move(poly));
+
+  auto adopted = ir::Adopt(legacy, NewPool());
+  ASSERT_TRUE(ir::IsIr(*adopted));
+  EXPECT_EQ(adopted->ToString(registry), legacy.ToString(registry));
+  EXPECT_EQ(adopted->Size(), legacy.Size());
+
+  MaterializedValuation all_true(registry.size());
+  EXPECT_EQ(adopted->Evaluate(all_true).ToString(registry),
+            legacy.Evaluate(all_true).ToString(registry));
+  MaterializedValuation no_y(Valuation({y}), registry.size());
+  EXPECT_EQ(adopted->Evaluate(no_y).ToString(registry),
+            legacy.Evaluate(no_y).ToString(registry));
+
+  AnnotationId s = registry.AddSummary(d, "s");
+  Homomorphism h;
+  h.Set(x, s);
+  h.Set(z, s);
+  EXPECT_EQ(adopted->Apply(h)->ToString(registry),
+            legacy.Apply(h)->ToString(registry));
+}
+
+TEST(SizeCacheTest, RepeatedSizeCallsCountCacheHits) {
+  MovieFixture f;
+  obs::Counter* hits = obs::MetricsRegistry::Default().GetCounter(
+      "prox_ir_size_cache_hits_total", "");
+
+  // Legacy memo: the first Size() after Simplify computes, later calls hit.
+  (void)f.p0->Size();
+  const uint64_t before = hits->value();
+  (void)f.p0->Size();
+  (void)f.p0->Size();
+  EXPECT_EQ(hits->value(), before + 2);
+
+  // Mutation invalidates the memo; the next call recomputes (no new hit)
+  // but still returns the right size.
+  TensorTerm t;
+  t.monomial = Monomial({f.u1, f.blue_jasmine});
+  t.group = f.blue_jasmine;
+  t.value = AggValue{2.0, 1.0};
+  const int64_t old_size = f.p0->Size();
+  f.p0->AddTerm(std::move(t));
+  f.p0->Simplify();
+  EXPECT_GT(f.p0->Size(), old_size);
+
+  // IR expressions serve Size() from the canonical header field — every
+  // call counts as a hit.
+  auto adopted = ir::Adopt(*f.p0, NewPool());
+  const uint64_t before_ir = hits->value();
+  (void)adopted->Size();
+  (void)adopted->Size();
+  EXPECT_EQ(hits->value(), before_ir + 2);
+  EXPECT_EQ(adopted->Size(), f.p0->Size());
+}
+
+}  // namespace
+}  // namespace prox

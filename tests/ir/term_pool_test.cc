@@ -1,0 +1,174 @@
+// Unit coverage for the TermPool arena: hash-consing, overlay append, and
+// the PoolView comparators that replicate the legacy Monomial/Guard order.
+
+#include "ir/term_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "provenance/guard.h"
+#include "provenance/monomial.h"
+
+namespace prox {
+namespace ir {
+namespace {
+
+MonomialId Intern(TermPool* pool, std::vector<AnnotationId> factors) {
+  return pool->InternMonomial(factors.data(), factors.size());
+}
+
+TEST(TermPoolTest, InternMonomialHashConses) {
+  TermPool pool;
+  MonomialId a = Intern(&pool, {1, 2, 3});
+  MonomialId b = Intern(&pool, {1, 2, 3});
+  MonomialId c = Intern(&pool, {1, 2, 4});
+  EXPECT_EQ(a, b);  // id equality == content equality
+  EXPECT_NE(a, c);
+  EXPECT_EQ(pool.num_monomials(), 2u);
+
+  ASSERT_EQ(pool.mono_len(a), 3u);
+  const AnnotationId* data = pool.mono_data(a);
+  EXPECT_EQ(data[0], 1u);
+  EXPECT_EQ(data[1], 2u);
+  EXPECT_EQ(data[2], 3u);
+}
+
+TEST(TermPoolTest, EmptyMonomialInternsOnce) {
+  TermPool pool;
+  MonomialId a = Intern(&pool, {});
+  MonomialId b = Intern(&pool, {});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(pool.mono_len(a), 0u);
+}
+
+TEST(TermPoolTest, PrefixesAndPermColumnsAreDistinct) {
+  // Spans that share a prefix (or content at different lengths) must not
+  // collide: length participates in identity.
+  TermPool pool;
+  MonomialId ab = Intern(&pool, {1, 2});
+  MonomialId abc = Intern(&pool, {1, 2, 3});
+  MonomialId a = Intern(&pool, {1});
+  EXPECT_NE(ab, abc);
+  EXPECT_NE(ab, a);
+  EXPECT_NE(abc, a);
+}
+
+TEST(TermPoolTest, AppendMonomialDoesNotDedupe) {
+  // Overlay pools skip the hash index — two appends of the same content
+  // are two rows. (The owning expression tags these with kOverlayBit.)
+  TermPool overlay;
+  std::vector<AnnotationId> factors = {7, 9};
+  MonomialId a = overlay.AppendMonomial(factors.data(), factors.size());
+  MonomialId b = overlay.AppendMonomial(factors.data(), factors.size());
+  EXPECT_NE(a, b);
+  EXPECT_EQ(overlay.num_monomials(), 2u);
+}
+
+TEST(TermPoolTest, InternGuardHashConses) {
+  TermPool pool;
+  MonomialId m = Intern(&pool, {4});
+  MonomialId m2 = Intern(&pool, {5});
+  GuardId g1 = pool.InternGuard(m, 2.0, CompareOp::kGt, 3.0);
+  GuardId g2 = pool.InternGuard(m, 2.0, CompareOp::kGt, 3.0);
+  GuardId g3 = pool.InternGuard(m, 2.0, CompareOp::kGe, 3.0);
+  GuardId g4 = pool.InternGuard(m2, 2.0, CompareOp::kGt, 3.0);
+  EXPECT_EQ(g1, g2);
+  EXPECT_NE(g1, g3);  // op participates
+  EXPECT_NE(g1, g4);  // body participates
+  EXPECT_EQ(pool.num_guards(), 3u);
+
+  const GuardRow& row = pool.guard(g1);
+  EXPECT_EQ(row.mono, m);
+  EXPECT_EQ(row.scalar, 2.0);
+  EXPECT_EQ(row.op, CompareOp::kGt);
+  EXPECT_EQ(row.threshold, 3.0);
+}
+
+int Sign(int v) { return v < 0 ? -1 : (v > 0 ? 1 : 0); }
+
+int LegacyMonomialSign(const Monomial& a, const Monomial& b) {
+  if (a < b) return -1;
+  if (b < a) return 1;
+  return 0;
+}
+
+TEST(PoolViewTest, CompareMonomialsMatchesLegacyOrder) {
+  TermPool pool;
+  PoolView view(&pool, nullptr);
+  const std::vector<std::vector<AnnotationId>> spans = {
+      {}, {1}, {2}, {1, 2}, {1, 3}, {1, 2, 3}, {2, 3}};
+  std::vector<MonomialId> ids;
+  for (const auto& s : spans) {
+    std::vector<AnnotationId> copy = s;
+    ids.push_back(pool.InternMonomial(copy.data(), copy.size()));
+  }
+  for (size_t i = 0; i < spans.size(); ++i) {
+    for (size_t j = 0; j < spans.size(); ++j) {
+      Monomial ma((std::vector<AnnotationId>(spans[i])));
+      Monomial mb((std::vector<AnnotationId>(spans[j])));
+      EXPECT_EQ(Sign(view.CompareMonomials(ids[i], ids[j])),
+                LegacyMonomialSign(ma, mb))
+          << "spans " << i << " vs " << j;
+      EXPECT_EQ(view.MonomialsEqual(ids[i], ids[j]), i == j);
+    }
+  }
+}
+
+TEST(PoolViewTest, CompareGuardsMatchesLegacyOrder) {
+  TermPool pool;
+  PoolView view(&pool, nullptr);
+  struct Spec {
+    std::vector<AnnotationId> body;
+    double scalar;
+    CompareOp op;
+    double threshold;
+  };
+  const std::vector<Spec> specs = {
+      {{1}, 1.0, CompareOp::kGt, 2.0}, {{1}, 1.0, CompareOp::kGt, 3.0},
+      {{1}, 1.0, CompareOp::kLe, 2.0}, {{1}, 2.0, CompareOp::kGt, 2.0},
+      {{2}, 1.0, CompareOp::kGt, 2.0},
+  };
+  std::vector<GuardId> ids;
+  std::vector<Guard> legacy;
+  for (const Spec& s : specs) {
+    std::vector<AnnotationId> copy = s.body;
+    MonomialId m = pool.InternMonomial(copy.data(), copy.size());
+    ids.push_back(pool.InternGuard(m, s.scalar, s.op, s.threshold));
+    legacy.emplace_back(Monomial(std::vector<AnnotationId>(s.body)), s.scalar,
+                        s.op, s.threshold);
+  }
+  for (size_t i = 0; i < specs.size(); ++i) {
+    for (size_t j = 0; j < specs.size(); ++j) {
+      int expected =
+          legacy[i] < legacy[j] ? -1 : (legacy[j] < legacy[i] ? 1 : 0);
+      EXPECT_EQ(Sign(view.CompareGuards(ids[i], ids[j])), expected)
+          << "guards " << i << " vs " << j;
+      EXPECT_EQ(view.GuardsEqual(ids[i], ids[j]), i == j);
+    }
+  }
+}
+
+TEST(PoolViewTest, OverlayBitResolvesAgainstOverlayPool) {
+  TermPool shared;
+  TermPool overlay;
+  MonomialId s = Intern(&shared, {1, 2});
+  std::vector<AnnotationId> same = {1, 2};
+  std::vector<AnnotationId> other = {1, 5};
+  MonomialId o_same =
+      overlay.AppendMonomial(same.data(), same.size()) | kOverlayBit;
+  MonomialId o_other =
+      overlay.AppendMonomial(other.data(), other.size()) | kOverlayBit;
+
+  PoolView view(&shared, &overlay);
+  EXPECT_EQ(view.mono_len(o_same), 2u);
+  EXPECT_EQ(view.mono_data(o_other)[1], 5u);
+  // Cross-pool comparison is by content, not id.
+  EXPECT_TRUE(view.MonomialsEqual(s, o_same));
+  EXPECT_FALSE(view.MonomialsEqual(s, o_other));
+  EXPECT_LT(view.CompareMonomials(o_same, o_other), 0);
+}
+
+}  // namespace
+}  // namespace ir
+}  // namespace prox

@@ -54,6 +54,41 @@ TEST(HomomorphismTest, ComposeWithIdentityIsNoop) {
   EXPECT_EQ(composed.Map(0), 0u);
 }
 
+TEST(HomomorphismTest, ComposeAfterSnapshotsLaterRegistrations) {
+  // The summarizer composes per-step homomorphisms while the registry keeps
+  // growing (each step registers a fresh summary annotation). ComposeAfter
+  // is a value snapshot: mappings added to either operand afterwards do not
+  // leak into the composed hom, and ids registered after composition fall
+  // through its dense range as identity.
+  Homomorphism first, after;
+  first.Set(0, 1);
+  after.Set(1, 2);
+  Homomorphism composed = first.ComposeAfter(after);
+
+  after.Set(5, 9);   // annotation registered + mapped after composition
+  first.Set(3, 8);
+  EXPECT_EQ(composed.Map(5), 5u);  // snapshot: identity, not 9
+  EXPECT_EQ(composed.Map(3), 3u);
+  EXPECT_EQ(composed.Map(0), 2u);  // original composition intact
+  EXPECT_EQ(composed.Map(100000), 100000u);  // beyond dense range: identity
+
+  // Recomposing picks up the later registrations.
+  Homomorphism recomposed = first.ComposeAfter(after);
+  EXPECT_EQ(recomposed.Map(5), 9u);
+  EXPECT_EQ(recomposed.Map(3), 8u);
+}
+
+TEST(HomomorphismTest, MapNoAnnotationIsFixedPoint) {
+  // kNoAnnotation marks "no group key" in tensor terms; Apply must never
+  // remap it, including through compositions with non-trivial mappings.
+  Homomorphism h;
+  h.Set(0, 7);
+  EXPECT_EQ(h.Map(kNoAnnotation), kNoAnnotation);
+  EXPECT_EQ(h(kNoAnnotation), kNoAnnotation);
+  Homomorphism composed = h.ComposeAfter(h);
+  EXPECT_EQ(composed.Map(kNoAnnotation), kNoAnnotation);
+}
+
 TEST(HomomorphismTest, IdentityAfterSettingSelfMappings) {
   Homomorphism h;
   h.Set(3, 3);
