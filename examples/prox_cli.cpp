@@ -31,6 +31,12 @@
 ///   --trace-out=<path>    on exit, write the recorded trace spans
 ///                         (run/step/candidate-eval/oracle hierarchy) as
 ///                         JSON to <path>
+///   --save-snapshot=<path>
+///                         generate the dataset, write it as a PROXSNAP
+///                         binary snapshot (docs/STORE.md) and exit
+///   --load-snapshot=<path>
+///                         boot the session from a snapshot instead of
+///                         generating the dataset
 ///   --help                print usage and exit
 
 #include <cstdio>
@@ -48,6 +54,8 @@
 #include "provenance/io.h"
 #include "serve/wire.h"
 #include "service/session.h"
+#include "store/codec.h"
+#include "store/snapshot.h"
 #include "summarize/report.h"
 
 using namespace prox;
@@ -215,6 +223,9 @@ void PrintUsage() {
       "                        the prox::obs metrics registry to <path>\n"
       "  --trace-out=<path>    on exit, write the recorded trace spans as\n"
       "                        JSON to <path>\n"
+      "  --save-snapshot=<path>  write the dataset as a PROXSNAP snapshot\n"
+      "                        (docs/STORE.md) and exit\n"
+      "  --load-snapshot=<path>  boot from a snapshot instead of generating\n"
       "  --help                print this message and exit\n"
       "\n"
       "With no --demo, commands are read from stdin (type 'help').\n"
@@ -243,6 +254,8 @@ int main(int argc, char** argv) {
   int threads = 1;
   std::string metrics_out;
   std::string trace_out;
+  std::string save_snapshot;
+  std::string load_snapshot;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--demo") {
@@ -267,6 +280,10 @@ int main(int argc, char** argv) {
       metrics_out = arg.substr(std::string("--metrics-out=").size());
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       trace_out = arg.substr(std::string("--trace-out=").size());
+    } else if (arg.rfind("--save-snapshot=", 0) == 0) {
+      save_snapshot = arg.substr(std::string("--save-snapshot=").size());
+    } else if (arg.rfind("--load-snapshot=", 0) == 0) {
+      load_snapshot = arg.substr(std::string("--load-snapshot=").size());
     } else {
       std::fprintf(stderr, "prox_cli: unknown flag %s\n", arg.c_str());
       PrintUsage();
@@ -274,11 +291,40 @@ int main(int argc, char** argv) {
     }
   }
 
-  MovieLensConfig config;
-  config.num_users = 25;
-  config.num_movies = 8;
-  config.seed = 99;
-  ProxSession session(MovieLensGenerator::Generate(config));
+  Dataset dataset;
+  if (load_snapshot.empty()) {
+    MovieLensConfig config;
+    config.num_users = 25;
+    config.num_movies = 8;
+    config.seed = 99;
+    dataset = MovieLensGenerator::Generate(config);
+  } else {
+    std::shared_ptr<store::Snapshot> snapshot;
+    if (store::Status s = store::Snapshot::Open(load_snapshot, &snapshot);
+        !s.ok()) {
+      std::fprintf(stderr, "prox_cli: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    if (store::Status s =
+            store::LoadDataset(snapshot, store::LoadOptions{}, &dataset);
+        !s.ok()) {
+      std::fprintf(stderr, "prox_cli: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+
+  if (!save_snapshot.empty()) {
+    if (store::Status s =
+            store::SaveDataset(dataset, store::SaveOptions{}, save_snapshot);
+        !s.ok()) {
+      std::fprintf(stderr, "prox_cli: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("prox_cli: snapshot written to %s\n", save_snapshot.c_str());
+    return 0;
+  }
+
+  ProxSession session(std::move(dataset));
 
   std::printf("PROX — approximated provenance summarization "
               "(type 'help')\n\n");

@@ -20,19 +20,31 @@
 ///   --users=N --movies=N --seed=N
 ///                     MovieLens-style dataset shape (defaults 25/8/99,
 ///                     the prox_cli dataset)
+///   --snapshot=<path> boot from a PROXSNAP snapshot (docs/STORE.md)
+///                     instead of generating the dataset; persisted cache
+///                     entries (if any) are restored warm. A snapshot
+///                     that fails validation exits 1.
+///   --cache-persist=<path>
+///                     on shutdown, write the dataset plus the live
+///                     summary cache as a snapshot to <path>, so the next
+///                     --snapshot boot serves its first request warm
 ///
 /// SIGINT / SIGTERM drain in-flight requests and exit 0.
 
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "datasets/movielens.h"
 #include "serve/router.h"
 #include "serve/server.h"
 #include "serve/summary_cache.h"
 #include "service/session.h"
+#include "store/codec.h"
+#include "store/snapshot.h"
 
 using namespace prox;
 
@@ -42,10 +54,13 @@ void PrintUsage() {
   std::printf(
       "usage: prox_server [--port=N] [--threads=N] [--cache-mb=N]\n"
       "                   [--max-inflight=N] [--users=N] [--movies=N]\n"
-      "                   [--seed=N]\n"
+      "                   [--seed=N] [--snapshot=<path>]\n"
+      "                   [--cache-persist=<path>]\n"
       "\n"
       "Serves the PROX session workflow over HTTP/1.1 (docs/SERVING.md).\n"
-      "SIGINT drains in-flight requests and exits 0.\n");
+      "--snapshot boots from a PROXSNAP file and restores any persisted\n"
+      "summary cache warm; --cache-persist writes one on shutdown\n"
+      "(docs/STORE.md). SIGINT drains in-flight requests and exits 0.\n");
 }
 
 /// `--flag=value` integer parse; exits with usage on garbage.
@@ -72,6 +87,8 @@ int main(int argc, char** argv) {
   long users = 25;
   long movies = 8;
   long seed = 99;
+  std::string snapshot_path;
+  std::string cache_persist;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -87,6 +104,14 @@ int main(int argc, char** argv) {
         ParseIntFlag(arg, "--seed", &seed)) {
       continue;
     }
+    if (arg.rfind("--snapshot=", 0) == 0) {
+      snapshot_path = arg.substr(std::string("--snapshot=").size());
+      continue;
+    }
+    if (arg.rfind("--cache-persist=", 0) == 0) {
+      cache_persist = arg.substr(std::string("--cache-persist=").size());
+      continue;
+    }
     std::fprintf(stderr, "prox_server: unknown flag %s\n", arg.c_str());
     PrintUsage();
     return 2;
@@ -100,15 +125,40 @@ int main(int argc, char** argv) {
   sigaddset(&shutdown_signals, SIGTERM);
   pthread_sigmask(SIG_BLOCK, &shutdown_signals, nullptr);
 
-  MovieLensConfig config;
-  config.num_users = static_cast<int>(users);
-  config.num_movies = static_cast<int>(movies);
-  config.seed = static_cast<uint64_t>(seed);
-  ProxSession session(MovieLensGenerator::Generate(config));
+  Dataset dataset;
+  std::shared_ptr<store::Snapshot> snapshot;
+  if (snapshot_path.empty()) {
+    MovieLensConfig config;
+    config.num_users = static_cast<int>(users);
+    config.num_movies = static_cast<int>(movies);
+    config.seed = static_cast<uint64_t>(seed);
+    dataset = MovieLensGenerator::Generate(config);
+  } else {
+    // Boot from the snapshot: fail closed on any validation error — a
+    // server must never come up serving a corrupt dataset.
+    if (store::Status s = store::Snapshot::Open(snapshot_path, &snapshot);
+        !s.ok()) {
+      std::fprintf(stderr, "prox_server: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    if (store::Status s =
+            store::LoadDataset(snapshot, store::LoadOptions{}, &dataset);
+        !s.ok()) {
+      std::fprintf(stderr, "prox_server: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  ProxSession session(std::move(dataset));
 
   serve::SummaryCache::Options cache_options;
   cache_options.max_bytes = static_cast<size_t>(cache_mb) * 1024 * 1024;
   serve::SummaryCache cache(cache_options);
+  if (snapshot != nullptr && store::HasCacheSection(*snapshot)) {
+    if (store::Status s = store::RestoreCache(*snapshot, &cache); !s.ok()) {
+      std::fprintf(stderr, "prox_server: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
 
   serve::Router router(&session, &cache);
 
@@ -134,6 +184,24 @@ int main(int argc, char** argv) {
   std::printf("prox_server: signal %d, draining\n", signal_number);
   std::fflush(stdout);
   server.Stop();
+
+  if (!cache_persist.empty()) {
+    // Persist with the *boot-time* fingerprint: summarize runs registered
+    // summary annotations since, and cache keys must match what the next
+    // --snapshot boot computes.
+    store::SaveOptions save_options;
+    save_options.fingerprint = router.dataset_fingerprint();
+    save_options.cache = &cache;
+    if (store::Status s = store::SaveDataset(session.dataset(), save_options,
+                                             cache_persist);
+        !s.ok()) {
+      std::fprintf(stderr, "prox_server: cache-persist failed: %s\n",
+                   s.ToString().c_str());
+      return 1;
+    }
+    std::printf("prox_server: snapshot persisted to %s\n",
+                cache_persist.c_str());
+  }
   std::printf("prox_server: drained, bye\n");
   return 0;
 }

@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Configure a dedicated AddressSanitizer build (-DPROX_SANITIZE=address)
-# and run the prox::ir suites under ASan: the TermPool/expression unit
-# tests (`ir` label) and the legacy-vs-IR golden byte-identity suite. The
-# IR core hands out raw spans into a shared arena and resolves
-# overlay-tagged 32-bit ids against two pools — exactly the kind of code
-# where a stale view or a mis-tagged id turns into silent corruption;
-# under ASan it turns into a report instead.
+# and run the prox::ir and prox::store suites under ASan: the
+# TermPool/expression unit tests (`ir` label), the legacy-vs-IR golden
+# byte-identity suite, and the snapshot container/corruption suites
+# (`store` label). The IR core hands out raw spans into a shared arena
+# and resolves overlay-tagged 32-bit ids against two pools; the store
+# layer parses attacker-shaped bytes out of an mmap — exactly the kind of
+# code where a stale view, a mis-tagged id, or a lying length turns into
+# silent corruption; under ASan it turns into a report instead.
+# Fail-closed must never mean fail-by-UB.
 #
 # Usage: scripts/asan_ir_tests.sh [build-dir]   (default: build-asan)
 set -euo pipefail
@@ -18,6 +21,8 @@ cmake -B "$build_dir" -S . \
   -DPROX_SANITIZE=address \
   -DPROX_BUILD_BENCHMARKS=OFF \
   -DPROX_BUILD_EXAMPLES=OFF
-cmake --build "$build_dir" --target prox_ir_test prox_ir_golden_test -j
+cmake --build "$build_dir" \
+  --target prox_ir_test prox_ir_golden_test prox_store_test -j
 ctest --test-dir "$build_dir" -L ir --output-on-failure
+ctest --test-dir "$build_dir" -L store --output-on-failure
 ctest --test-dir "$build_dir" -R 'GoldenIdentityTest' --output-on-failure

@@ -42,6 +42,11 @@ struct Dataset {
   /// Clustering features per clusterable domain.
   std::map<DomainId, std::map<AnnotationId, RatingVector>> features;
 
+  /// Content fingerprint carried by snapshot-loaded datasets; empty for
+  /// generated datasets. serve::DatasetFingerprint returns it verbatim
+  /// when set, skipping the full ToString re-serialization (docs/STORE.md).
+  std::string fingerprint_hint;
+
   DomainId domain(const std::string& name) const { return domains.at(name); }
 };
 

@@ -107,6 +107,45 @@ void IrAggregateExpression::Canonicalize() {
   group_ = std::move(ngroup);
   value_ = std::move(nv);
 
+  RebuildDerived();
+}
+
+void IrAggregateExpression::CanonicalizeSorted() {
+  const PoolView pv = view();
+  // Strictly ascending under the canonical comparator: already sorted and
+  // no equal-keyed pair to merge, so the sort+merge pass is a no-op.
+  for (size_t i = 0; i + 1 < mono_.size(); ++i) {
+    const size_t a = i;
+    const size_t b = i + 1;
+    bool strictly_less;
+    if (group_[a] != group_[b]) {
+      strictly_less = group_[a] < group_[b];
+    } else {
+      const int mc = pv.CompareMonomials(mono_[a], mono_[b]);
+      if (mc != 0) {
+        strictly_less = mc < 0;
+      } else {
+        const bool ag = guard_[a] != kNoGuard;
+        const bool bg = guard_[b] != kNoGuard;
+        if (ag != bg) {
+          strictly_less = bg;  // guard-less terms first
+        } else if (!ag) {
+          strictly_less = false;  // equal keys => must merge
+        } else {
+          strictly_less = pv.CompareGuards(guard_[a], guard_[b]) < 0;
+        }
+      }
+    }
+    if (!strictly_less) {
+      Canonicalize();
+      return;
+    }
+  }
+  RebuildDerived();
+}
+
+void IrAggregateExpression::RebuildDerived() {
+  const PoolView pv = view();
   // Rows are group-sorted, so distinct groups are run starts.
   groups_.clear();
   group_dense_.clear();

@@ -54,6 +54,13 @@ class IrAggregateExpression : public ProvenanceExpression,
   /// cached size.
   void Canonicalize();
 
+  /// Fast path for rows appended in a known-canonical order (snapshot
+  /// load: rows were saved out of a canonical expression). Verifies the
+  /// order with one linear adjacent-pair scan — strictly ascending keys
+  /// mean nothing to sort and nothing to merge — and only rebuilds the
+  /// derived indexes; any violation falls back to the full Canonicalize().
+  void CanonicalizeSorted();
+
   // ProvenanceExpression interface -----------------------------------------
   int64_t Size() const override;
   void CollectAnnotations(std::vector<AnnotationId>* out) const override;
@@ -73,6 +80,9 @@ class IrAggregateExpression : public ProvenanceExpression,
 
  private:
   PoolView view() const { return PoolView(pool_.get(), overlay_.get()); }
+
+  /// Rebuilds groups_ / group_dense_ / size_ from canonical-order rows.
+  void RebuildDerived();
 
   AggKind agg_;
   std::shared_ptr<TermPool> pool_;

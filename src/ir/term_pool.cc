@@ -43,24 +43,44 @@ uint64_t TermPool::HashGuard(MonomialId mono, double scalar, CompareOp op,
   return h;
 }
 
+void TermPool::EnsureMonoIndexed() {
+  const uint32_t total = static_cast<uint32_t>(num_monomials());
+  for (MonomialId id = mono_indexed_; id < total; ++id) {
+    mono_index_[HashSpan(mono_data(id), mono_len(id))].push_back(id);
+  }
+  mono_indexed_ = total;
+}
+
+void TermPool::EnsureGuardIndexed() {
+  const uint32_t total = static_cast<uint32_t>(guards_.size());
+  for (GuardId id = guard_indexed_; id < total; ++id) {
+    const GuardRow& g = guards_[id];
+    guard_index_[HashGuard(g.mono, g.scalar, g.op, g.threshold)].push_back(id);
+  }
+  guard_indexed_ = total;
+}
+
 MonomialId TermPool::InternMonomial(const AnnotationId* data, size_t len) {
+  EnsureMonoIndexed();
   const uint64_t h = HashSpan(data, len);
   auto& bucket = mono_index_[h];
   for (MonomialId id : bucket) {
-    if (refs_[id].len == len &&
-        (len == 0 || std::memcmp(arena_.data() + refs_[id].off, data,
+    if (mono_len(id) == len &&
+        (len == 0 || std::memcmp(mono_data(id), data,
                                  len * sizeof(AnnotationId)) == 0)) {
       return id;
     }
   }
   const MonomialId id = AppendMonomial(data, len);
   bucket.push_back(id);
+  mono_indexed_ = static_cast<uint32_t>(num_monomials());
   CountMonomialInterned();
   return id;
 }
 
 GuardId TermPool::InternGuard(MonomialId mono, double scalar, CompareOp op,
                               double threshold) {
+  EnsureGuardIndexed();
   const uint64_t h = HashGuard(mono, scalar, op, threshold);
   auto& bucket = guard_index_[h];
   for (GuardId id : bucket) {
@@ -72,16 +92,17 @@ GuardId TermPool::InternGuard(MonomialId mono, double scalar, CompareOp op,
   }
   const GuardId id = AppendGuard(mono, scalar, op, threshold);
   bucket.push_back(id);
+  guard_indexed_ = static_cast<uint32_t>(guards_.size());
   return id;
 }
 
 MonomialId TermPool::AppendMonomial(const AnnotationId* data, size_t len) {
-  Ref ref;
-  ref.off = static_cast<uint32_t>(arena_.size());
+  MonomialRef ref;
+  ref.off = base_arena_len_ + static_cast<uint32_t>(arena_.size());
   ref.len = static_cast<uint32_t>(len);
   arena_.insert(arena_.end(), data, data + len);
   refs_.push_back(ref);
-  return static_cast<MonomialId>(refs_.size() - 1);
+  return static_cast<MonomialId>(num_monomials() - 1);
 }
 
 GuardId TermPool::AppendGuard(MonomialId mono, double scalar, CompareOp op,
@@ -93,6 +114,26 @@ GuardId TermPool::AppendGuard(MonomialId mono, double scalar, CompareOp op,
   g.threshold = threshold;
   guards_.push_back(g);
   return static_cast<GuardId>(guards_.size() - 1);
+}
+
+void TermPool::BorrowBase(const AnnotationId* arena, size_t arena_len,
+                          const MonomialRef* refs, size_t refs_len,
+                          std::shared_ptr<const void> owner) {
+  base_arena_ = arena;
+  base_arena_len_ = static_cast<uint32_t>(arena_len);
+  base_refs_ = refs;
+  base_refs_len_ = static_cast<uint32_t>(refs_len);
+  base_owner_ = std::move(owner);
+}
+
+void TermPool::LoadBase(const AnnotationId* arena, size_t arena_len,
+                        const MonomialRef* refs, size_t refs_len) {
+  arena_.assign(arena, arena + arena_len);
+  refs_.assign(refs, refs + refs_len);
+}
+
+void TermPool::LoadGuards(const GuardRow* guards, size_t len) {
+  guards_.assign(guards, guards + len);
 }
 
 int PoolView::CompareMonomials(MonomialId a, MonomialId b) const {

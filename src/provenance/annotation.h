@@ -52,6 +52,16 @@ class AnnotationRegistry {
  public:
   AnnotationRegistry() = default;
 
+  /// Pre-sizes the id vectors and name indexes for a known registration
+  /// count (snapshot load registers everything up front), avoiding
+  /// incremental rehashing.
+  void Reserve(size_t num_domains, size_t num_annotations) {
+    domain_names_.reserve(num_domains);
+    domain_by_name_.reserve(num_domains);
+    entries_.reserve(num_annotations);
+    by_name_.reserve(num_annotations);
+  }
+
   /// Registers a domain; returns the existing id if the name is known.
   DomainId AddDomain(const std::string& name);
 

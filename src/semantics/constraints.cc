@@ -131,6 +131,58 @@ MergeDecision AnyMergeRule::Evaluate(const std::vector<AnnotationId>& members,
   return decision;
 }
 
+RuleSpec SharedAttributeRule::Spec() const {
+  RuleSpec spec;
+  spec.kind = RuleSpec::Kind::kSharedAttribute;
+  spec.attrs = attrs_;
+  return spec;
+}
+
+RuleSpec AllAttributesRule::Spec() const {
+  RuleSpec spec;
+  spec.kind = RuleSpec::Kind::kAllAttributes;
+  spec.attrs = attrs_;
+  return spec;
+}
+
+RuleSpec TaxonomyAncestorRule::Spec() const {
+  RuleSpec spec;
+  spec.kind = RuleSpec::Kind::kTaxonomyAncestor;
+  spec.allow_root = allow_root_;
+  return spec;
+}
+
+RuleSpec NumericToleranceRule::Spec() const {
+  RuleSpec spec;
+  spec.kind = RuleSpec::Kind::kNumericTolerance;
+  spec.attr = attr_;
+  spec.tolerance = tolerance_;
+  return spec;
+}
+
+RuleSpec AnyMergeRule::Spec() const {
+  RuleSpec spec;
+  spec.kind = RuleSpec::Kind::kAnyMerge;
+  spec.name_prefix = name_prefix_;
+  return spec;
+}
+
+std::unique_ptr<DomainRule> RuleFromSpec(const RuleSpec& spec) {
+  switch (spec.kind) {
+    case RuleSpec::Kind::kSharedAttribute:
+      return std::make_unique<SharedAttributeRule>(spec.attrs);
+    case RuleSpec::Kind::kAllAttributes:
+      return std::make_unique<AllAttributesRule>(spec.attrs);
+    case RuleSpec::Kind::kTaxonomyAncestor:
+      return std::make_unique<TaxonomyAncestorRule>(spec.allow_root);
+    case RuleSpec::Kind::kNumericTolerance:
+      return std::make_unique<NumericToleranceRule>(spec.attr, spec.tolerance);
+    case RuleSpec::Kind::kAnyMerge:
+      return std::make_unique<AnyMergeRule>(spec.name_prefix);
+  }
+  return nullptr;
+}
+
 MergeDecision ConstraintSet::Evaluate(DomainId domain,
                                       const std::vector<AnnotationId>& members,
                                       const SemanticContext& ctx) const {

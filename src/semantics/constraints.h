@@ -26,6 +26,25 @@ struct MergeDecision {
   ConceptId concept_id = kNoConcept;
 };
 
+/// \brief Declarative description of a DomainRule — the introspection
+/// surface prox::store persists and rebuilds rules through (docs/STORE.md).
+/// Each rule kind reads only its own fields; the rest stay defaulted.
+struct RuleSpec {
+  enum class Kind : uint32_t {
+    kSharedAttribute = 1,
+    kAllAttributes = 2,
+    kTaxonomyAncestor = 3,
+    kNumericTolerance = 4,
+    kAnyMerge = 5,
+  };
+  Kind kind = Kind::kAnyMerge;
+  std::vector<AttrId> attrs;   // shared/all-attributes rules
+  AttrId attr = 0;             // numeric tolerance
+  double tolerance = 0.0;      // numeric tolerance
+  bool allow_root = false;     // taxonomy ancestor
+  std::string name_prefix;     // any-merge
+};
+
 /// \brief A per-domain rule restricting which annotations may be grouped.
 ///
 /// `members` is the full set of *original* annotations the summary would
@@ -36,7 +55,12 @@ class DomainRule {
   virtual ~DomainRule() = default;
   virtual MergeDecision Evaluate(const std::vector<AnnotationId>& members,
                                  const SemanticContext& ctx) const = 0;
+  /// The rule's persistable description (inverse of RuleFromSpec).
+  virtual RuleSpec Spec() const = 0;
 };
+
+/// Rebuilds a rule from its persisted description.
+std::unique_ptr<DomainRule> RuleFromSpec(const RuleSpec& spec);
 
 /// Members must share a value in at least one of `attrs` ("users grouped
 /// together must share a common attribute out of gender, age group, etc.").
@@ -48,6 +72,7 @@ class SharedAttributeRule : public DomainRule {
       : attrs_(std::move(attrs)) {}
   MergeDecision Evaluate(const std::vector<AnnotationId>& members,
                          const SemanticContext& ctx) const override;
+  RuleSpec Spec() const override;
 
  private:
   std::vector<AttrId> attrs_;
@@ -63,6 +88,7 @@ class AllAttributesRule : public DomainRule {
       : attrs_(std::move(attrs)) {}
   MergeDecision Evaluate(const std::vector<AnnotationId>& members,
                          const SemanticContext& ctx) const override;
+  RuleSpec Spec() const override;
 
  private:
   std::vector<AttrId> attrs_;
@@ -77,6 +103,7 @@ class TaxonomyAncestorRule : public DomainRule {
       : allow_root_(allow_root) {}
   MergeDecision Evaluate(const std::vector<AnnotationId>& members,
                          const SemanticContext& ctx) const override;
+  RuleSpec Spec() const override;
 
  private:
   bool allow_root_;
@@ -91,6 +118,7 @@ class NumericToleranceRule : public DomainRule {
       : attr_(attr), tolerance_(tolerance) {}
   MergeDecision Evaluate(const std::vector<AnnotationId>& members,
                          const SemanticContext& ctx) const override;
+  RuleSpec Spec() const override;
 
  private:
   AttrId attr_;
@@ -105,6 +133,7 @@ class AnyMergeRule : public DomainRule {
       : name_prefix_(std::move(name_prefix)) {}
   MergeDecision Evaluate(const std::vector<AnnotationId>& members,
                          const SemanticContext& ctx) const override;
+  RuleSpec Spec() const override;
 
  private:
   std::string name_prefix_;
@@ -126,6 +155,11 @@ class ConstraintSet {
   MergeDecision Evaluate(DomainId domain,
                          const std::vector<AnnotationId>& members,
                          const SemanticContext& ctx) const;
+
+  /// All configured rules, for persistence (prox::store).
+  const std::map<DomainId, std::unique_ptr<DomainRule>>& rules() const {
+    return rules_;
+  }
 
  private:
   std::map<DomainId, std::unique_ptr<DomainRule>> rules_;

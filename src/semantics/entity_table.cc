@@ -43,4 +43,21 @@ Result<uint32_t> EntityTable::AddRow(const std::vector<std::string>& values) {
   return static_cast<uint32_t>(rows_.size() - 1);
 }
 
+Result<uint32_t> EntityTable::AddRowIds(const std::vector<ValueId>& values) {
+  if (values.size() != attr_names_.size()) {
+    return Status::InvalidArgument(
+        "row arity mismatch in table " + name_ + ": expected " +
+        std::to_string(attr_names_.size()) + " values, got " +
+        std::to_string(values.size()));
+  }
+  for (ValueId v : values) {
+    if (v >= value_names_.size()) {
+      return Status::InvalidArgument("unknown value id " + std::to_string(v) +
+                                     " in table " + name_);
+    }
+  }
+  rows_.push_back(values);
+  return static_cast<uint32_t>(rows_.size() - 1);
+}
+
 }  // namespace prox

@@ -44,9 +44,15 @@ class EntityTable {
   /// Interns `value` (idempotent).
   ValueId InternValue(const std::string& value);
   const std::string& value_name(ValueId v) const { return value_names_[v]; }
+  size_t num_values() const { return value_names_.size(); }
 
   /// Appends a row given one value string per declared attribute.
   Result<uint32_t> AddRow(const std::vector<std::string>& values);
+
+  /// Appends a row of already-interned value ids (snapshot load: the value
+  /// dictionary is restored once, then rows are plain integers). Every id
+  /// must come from InternValue on this table.
+  Result<uint32_t> AddRowIds(const std::vector<ValueId>& values);
 
   size_t num_rows() const { return rows_.size(); }
 

@@ -55,6 +55,15 @@ inline obs::Histogram* ServeDuration() {
       obs::LatencyBucketsNanos());
 }
 
+/// `prox_serve_fingerprint_fallback_total` — DatasetFingerprint calls that
+/// had no snapshot checksum hint and re-hashed the full provenance text.
+inline obs::Counter* FingerprintFallbacks() {
+  return obs::MetricsRegistry::Default().GetCounter(
+      "prox_serve_fingerprint_fallback_total",
+      "Dataset fingerprints computed by re-serializing the provenance "
+      "because no snapshot checksum was available.");
+}
+
 /// `prox_serve_cache_hit_total`.
 inline obs::Counter* CacheHits() {
   return obs::MetricsRegistry::Default().GetCounter(

@@ -23,6 +23,10 @@ SummaryCache::Shard& SummaryCache::ShardFor(const std::string& key) {
 std::shared_ptr<const std::string> SummaryCache::Get(const std::string& key) {
   static obs::Counter* hit_metric = CacheHits();
   static obs::Counter* miss_metric = CacheMisses();
+  static obs::Counter* warm_hit_metric =
+      obs::MetricsRegistry::Default().GetCounter(
+          "prox_store_cache_warm_hit_total",
+          "Cache hits on entries restored from a snapshot (warm restarts).");
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key);
@@ -34,11 +38,12 @@ std::shared_ptr<const std::string> SummaryCache::Get(const std::string& key) {
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   ++shard.hits;
   hit_metric->Increment();
+  if (it->second->warm) warm_hit_metric->Increment();
   return it->second->value;
 }
 
 void SummaryCache::Put(const std::string& key,
-                       std::shared_ptr<const std::string> value) {
+                       std::shared_ptr<const std::string> value, bool warm) {
   static obs::Counter* evict_metric = CacheEvictions();
   static obs::Gauge* bytes_metric = CacheBytes();
   if (value == nullptr) return;
@@ -51,12 +56,13 @@ void SummaryCache::Put(const std::string& key,
     shard.bytes -= old_bytes;
     bytes_metric->Add(-static_cast<double>(old_bytes));
     it->second->value = std::move(value);
+    it->second->warm = warm;
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     shard.bytes += entry_bytes;
     bytes_metric->Add(static_cast<double>(entry_bytes));
   } else {
     if (entry_bytes > per_shard_budget_) return;  // would never fit
-    shard.lru.push_front(Entry{key, std::move(value)});
+    shard.lru.push_front(Entry{key, std::move(value), warm});
     shard.index.emplace(key, shard.lru.begin());
     shard.bytes += entry_bytes;
     bytes_metric->Add(static_cast<double>(entry_bytes));
@@ -71,6 +77,17 @@ void SummaryCache::Put(const std::string& key,
     ++shard.evictions;
     evict_metric->Increment();
   }
+}
+
+std::vector<SummaryCache::DumpEntry> SummaryCache::Dump() const {
+  std::vector<DumpEntry> out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const Entry& entry : shard->lru) {
+      out.push_back(DumpEntry{entry.key, entry.value});
+    }
+  }
+  return out;
 }
 
 SummaryCache::Stats SummaryCache::stats() const {

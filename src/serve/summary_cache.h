@@ -47,8 +47,21 @@ class SummaryCache {
   std::shared_ptr<const std::string> Get(const std::string& key);
 
   /// Inserts (or replaces) `key`. Evicts LRU entries of the same shard
-  /// until the shard is back under its budget.
-  void Put(const std::string& key, std::shared_ptr<const std::string> value);
+  /// until the shard is back under its budget. `warm` marks entries
+  /// restored from a snapshot (prox::store); hits on them count into
+  /// `prox_store_cache_warm_hit_total`.
+  void Put(const std::string& key, std::shared_ptr<const std::string> value,
+           bool warm = false);
+
+  /// One cache entry as persisted by prox::store snapshots.
+  struct DumpEntry {
+    std::string key;
+    std::shared_ptr<const std::string> value;
+  };
+
+  /// Every live entry, most-recently-used first within each shard — the
+  /// save-side half of warm restarts (docs/STORE.md).
+  std::vector<DumpEntry> Dump() const;
 
   struct Stats {
     uint64_t hits = 0;
@@ -63,6 +76,7 @@ class SummaryCache {
   struct Entry {
     std::string key;
     std::shared_ptr<const std::string> value;
+    bool warm = false;  // restored from a snapshot, not computed here
   };
 
   struct Shard {

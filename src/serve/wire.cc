@@ -5,6 +5,7 @@
 #include <set>
 
 #include "common/str_util.h"
+#include "serve/serve_metrics.h"
 
 namespace prox {
 namespace serve {
@@ -78,6 +79,13 @@ Result<int64_t> IntField(const JsonValue& value, const std::string& field) {
 // ---------------------------------------------------------------------------
 
 std::string DatasetFingerprint(const Dataset& dataset) {
+  // Snapshot-loaded datasets carry the fingerprint their snapshot was
+  // saved under (docs/STORE.md); returning it verbatim skips the full
+  // provenance re-serialization below — the dominant session-setup cost
+  // on large datasets — and keeps cache keys stable across save/load.
+  if (!dataset.fingerprint_hint.empty()) return dataset.fingerprint_hint;
+  static obs::Counter* fallback_metric = FingerprintFallbacks();
+  fallback_metric->Increment();
   uint64_t hash = kFnvOffset;
   // Expression-core version byte: bump when the summarization engine's
   // representation changes in a way that could alter cached bodies, so

@@ -1,0 +1,64 @@
+#ifndef PROX_STORE_CODEC_H_
+#define PROX_STORE_CODEC_H_
+
+#include <memory>
+#include <string>
+
+#include "datasets/dataset.h"
+#include "serve/summary_cache.h"
+#include "store/snapshot.h"
+#include "store/status.h"
+
+namespace prox {
+namespace store {
+
+struct SaveOptions {
+  /// The dataset fingerprint to persist as the snapshot identity (META
+  /// section). Servers pass the fingerprint their Router computed at boot
+  /// — a registry dirtied by later summary annotations must not change
+  /// the persisted cache keys. Empty = compute serve::DatasetFingerprint
+  /// here (the CLI save path, where the registry is clean).
+  std::string fingerprint;
+
+  /// When set, the cache's live entries are persisted as a kCache section
+  /// for warm restarts (--cache-persist).
+  const serve::SummaryCache* cache = nullptr;
+};
+
+/// Serializes `dataset` into a PROXSNAP file at `path`: registry, entity
+/// tables, taxonomy, constraints (via RuleSpec), agg/φ/valuation config,
+/// features, and the provenance expression re-interned into a fresh
+/// ir::TermPool whose flat arenas become near-memcpy sections. Summary
+/// annotations minted by past summarize runs are excluded — a loaded
+/// snapshot boots with the same clean registry a generator produces, so
+/// summary naming (and therefore response bytes) match a fresh process.
+Status SaveDataset(const Dataset& dataset, const SaveOptions& options,
+                   const std::string& path);
+
+struct LoadOptions {
+  /// Allow zero-copy borrowing of pool sections straight out of the mmap.
+  /// Off = always copy (tests use this to exercise the fallback path).
+  bool allow_mmap_borrow = true;
+};
+
+/// Reconstructs a serving-ready Dataset from a validated snapshot. The
+/// provenance comes back as a prox::ir expression over a TermPool whose
+/// base tier borrows the snapshot's arena/ref sections zero-copy when the
+/// mapping allows (the snapshot handle is pinned by the pool), falling
+/// back to a validated copy otherwise. `out->fingerprint_hint` is set
+/// from the META section, so serve::DatasetFingerprint short-circuits.
+Status LoadDataset(const std::shared_ptr<Snapshot>& snapshot,
+                   const LoadOptions& options, Dataset* out);
+
+/// True when the snapshot carries persisted SummaryCache entries.
+bool HasCacheSection(const Snapshot& snapshot);
+
+/// Restores persisted cache entries into `cache` (warm-flagged, counted
+/// in prox_store_cache_warm_entries_total). No-op without a kCache
+/// section.
+Status RestoreCache(const Snapshot& snapshot, serve::SummaryCache* cache);
+
+}  // namespace store
+}  // namespace prox
+
+#endif  // PROX_STORE_CODEC_H_

@@ -1,0 +1,95 @@
+#include "store/crc32c.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <nmmintrin.h>
+#define PROX_CRC32C_X86 1
+#endif
+
+namespace prox {
+namespace store {
+
+namespace {
+
+/// Reflected CRC-32C lookup tables (slice-by-8), built once on first use.
+/// Table 0 is the classic byte-at-a-time table; tables 1..7 fold eight
+/// input bytes per step so the portable path keeps up with mmap reads.
+struct Crc32cTable {
+  uint32_t entries[8][256];
+  Crc32cTable() {
+    constexpr uint32_t kPoly = 0x82F63B78u;  // 0x1EDC6F41 reflected
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      entries[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = entries[0][i];
+      for (int slice = 1; slice < 8; ++slice) {
+        crc = (crc >> 8) ^ entries[0][crc & 0xFF];
+        entries[slice][i] = crc;
+      }
+    }
+  }
+};
+
+uint32_t UpdateSliced(uint32_t crc, const uint8_t* bytes, size_t len) {
+  static const Crc32cTable table;
+  while (len >= 8) {
+    const uint32_t low = crc ^ (static_cast<uint32_t>(bytes[0]) |
+                                static_cast<uint32_t>(bytes[1]) << 8 |
+                                static_cast<uint32_t>(bytes[2]) << 16 |
+                                static_cast<uint32_t>(bytes[3]) << 24);
+    crc = table.entries[7][low & 0xFF] ^ table.entries[6][(low >> 8) & 0xFF] ^
+          table.entries[5][(low >> 16) & 0xFF] ^
+          table.entries[4][(low >> 24) & 0xFF] ^ table.entries[3][bytes[4]] ^
+          table.entries[2][bytes[5]] ^ table.entries[1][bytes[6]] ^
+          table.entries[0][bytes[7]];
+    bytes += 8;
+    len -= 8;
+  }
+  for (size_t i = 0; i < len; ++i) {
+    crc = (crc >> 8) ^ table.entries[0][(crc ^ bytes[i]) & 0xFF];
+  }
+  return crc;
+}
+
+#if PROX_CRC32C_X86
+__attribute__((target("sse4.2"))) uint32_t UpdateHardware(uint32_t crc,
+                                                          const uint8_t* bytes,
+                                                          size_t len) {
+  uint64_t crc64 = crc;
+  while (len >= 8) {
+    uint64_t chunk;
+    __builtin_memcpy(&chunk, bytes, 8);
+    crc64 = _mm_crc32_u64(crc64, chunk);
+    bytes += 8;
+    len -= 8;
+  }
+  crc = static_cast<uint32_t>(crc64);
+  for (size_t i = 0; i < len; ++i) {
+    crc = _mm_crc32_u8(crc, bytes[i]);
+  }
+  return crc;
+}
+
+bool HaveSse42() {
+  static const bool have = __builtin_cpu_supports("sse4.2");
+  return have;
+}
+#endif
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t len, uint32_t seed) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~seed;
+#if PROX_CRC32C_X86
+  if (HaveSse42()) return ~UpdateHardware(crc, bytes, len);
+#endif
+  return ~UpdateSliced(crc, bytes, len);
+}
+
+}  // namespace store
+}  // namespace prox

@@ -1,0 +1,19 @@
+#ifndef PROX_STORE_CRC32C_H_
+#define PROX_STORE_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace prox {
+namespace store {
+
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41 reflected) over `len` bytes,
+/// software table implementation — the checksum every PROXSNAP section and
+/// the header/directory carry (docs/STORE.md). `seed` chains incremental
+/// computations: `Crc32c(b, n2, Crc32c(a, n1))` == CRC of a‖b.
+uint32_t Crc32c(const void* data, size_t len, uint32_t seed = 0);
+
+}  // namespace store
+}  // namespace prox
+
+#endif  // PROX_STORE_CRC32C_H_

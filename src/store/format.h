@@ -1,0 +1,101 @@
+#ifndef PROX_STORE_FORMAT_H_
+#define PROX_STORE_FORMAT_H_
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace prox {
+namespace store {
+
+/// \file
+/// The PROXSNAP container format (docs/STORE.md gives the full layout):
+///
+///   [FileHeader 64B][section 0 …pad][section 1 …pad]…[directory]
+///
+/// All integers are little-endian; every section starts on a 64-byte
+/// boundary (zero-padded), so an mmap of the file hands out pointers whose
+/// alignment any flat payload (u32 annotation arenas, (u32,u32) monomial
+/// refs) can be read through directly. The directory — one SectionEntry
+/// per section — sits at `directory_offset` and is covered by its own
+/// CRC32C in the header; each section carries a CRC32C of its payload
+/// bytes (padding excluded). Readers validate header → directory → every
+/// section before handing out any span, so a truncated or bit-flipped
+/// file fails closed with a typed store::Status naming the section.
+
+// PROXSNAP is little-endian on disk and in these memory-mapped structs.
+static_assert(std::endian::native == std::endian::little,
+              "prox::store assumes a little-endian host");
+
+inline constexpr char kMagic[8] = {'P', 'R', 'O', 'X', 'S', 'N', 'A', 'P'};
+
+/// Bump on any incompatible layout or section-encoding change; readers
+/// reject other versions (kBadVersion) rather than guessing.
+inline constexpr uint32_t kFormatVersion = 1;
+
+/// Sections start on this boundary, zero-padded. 64 covers every payload
+/// alignment we borrow in place and matches a cache line.
+inline constexpr uint64_t kSectionAlignment = 64;
+
+constexpr uint32_t FourCc(char a, char b, char c, char d) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(a)) |
+         static_cast<uint32_t>(static_cast<unsigned char>(b)) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(c)) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(d)) << 24;
+}
+
+/// Section identities. Values are four-character codes so a hex dump of a
+/// snapshot's directory is self-describing.
+enum class SectionTag : uint32_t {
+  kNone = 0,                              ///< "no section" (header errors)
+  kMeta = FourCc('M', 'E', 'T', 'A'),         ///< fingerprint + counts
+  kRegistry = FourCc('R', 'E', 'G', 'Y'),     ///< AnnotationRegistry
+  kTables = FourCc('T', 'A', 'B', 'L'),       ///< entity tables
+  kTaxonomy = FourCc('T', 'A', 'X', 'O'),     ///< taxonomy + concept_of
+  kConstraints = FourCc('R', 'U', 'L', 'E'),  ///< per-domain RuleSpecs
+  kConfig = FourCc('C', 'O', 'N', 'F'),       ///< agg/phi/valuations/domains
+  kFeatures = FourCc('F', 'E', 'A', 'T'),     ///< clustering features
+  kPoolArena = FourCc('A', 'R', 'N', 'A'),    ///< raw AnnotationId arena
+  kPoolRefs = FourCc('R', 'E', 'F', 'S'),     ///< raw MonomialRef table
+  kPoolGuards = FourCc('G', 'R', 'D', 'S'),   ///< guard rows (re-encoded)
+  kExpression = FourCc('E', 'X', 'P', 'R'),   ///< SoA expression columns
+  kCache = FourCc('C', 'A', 'C', 'H'),        ///< SummaryCache entries
+};
+
+/// The four tag characters ("META"), or a hex rendering for unknown tags.
+std::string SectionTagName(SectionTag tag);
+
+/// First 64 bytes of every snapshot. `header_crc32c` covers the fields
+/// before it (offset 0..36); `directory_crc32c` covers the directory
+/// bytes at `directory_offset`.
+struct FileHeader {
+  char magic[8];                 // kMagic
+  uint32_t version = 0;          // kFormatVersion
+  uint32_t section_count = 0;
+  uint64_t directory_offset = 0;
+  uint64_t file_size = 0;        // total bytes, rejects silent truncation
+  uint32_t directory_crc32c = 0;
+  uint32_t header_crc32c = 0;
+  uint8_t reserved[24] = {};
+};
+static_assert(sizeof(FileHeader) == 64, "PROXSNAP header is 64 bytes");
+/// Bytes of FileHeader covered by header_crc32c (everything before it).
+inline constexpr size_t kHeaderCrcBytes = 36;
+
+/// One directory row. `offset` is from file start, 64-byte aligned;
+/// `length` is the payload length (padding excluded); `crc32c` covers
+/// exactly those payload bytes.
+struct SectionEntry {
+  uint32_t tag = 0;
+  uint32_t crc32c = 0;
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  uint8_t reserved[8] = {};
+};
+static_assert(sizeof(SectionEntry) == 32, "PROXSNAP directory row is 32 bytes");
+
+}  // namespace store
+}  // namespace prox
+
+#endif  // PROX_STORE_FORMAT_H_

@@ -1,0 +1,159 @@
+#include "store/snapshot.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "store/crc32c.h"
+#include "store/store_metrics.h"
+
+namespace prox {
+namespace store {
+
+Status Snapshot::Open(const std::string& path,
+                      std::shared_ptr<Snapshot>* out) {
+  out->reset();
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::Error(ErrorCode::kIo, SectionTag::kNone,
+                         "cannot open " + path + ": " + std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::Error(ErrorCode::kIo, SectionTag::kNone,
+                         "cannot stat " + path + ": " + std::strerror(errno));
+  }
+  const uint64_t size = static_cast<uint64_t>(st.st_size);
+
+  std::shared_ptr<Snapshot> snapshot(new Snapshot());
+  snapshot->size_ = size;
+  if (size > 0) {
+    void* mapping = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (mapping != MAP_FAILED) {
+      snapshot->base_ = static_cast<const uint8_t*>(mapping);
+      snapshot->mmapped_ = true;
+    } else {
+      // Copy fallback: read the whole file into a heap buffer. Loads from
+      // this snapshot count as copy loads (prox_store_load_copy_total).
+      snapshot->owned_.resize(size);
+      uint64_t off = 0;
+      while (off < size) {
+        const ssize_t n =
+            ::pread(fd, snapshot->owned_.data() + off, size - off, off);
+        if (n <= 0) {
+          ::close(fd);
+          return Status::Error(ErrorCode::kIo, SectionTag::kNone,
+                               "cannot read " + path);
+        }
+        off += static_cast<uint64_t>(n);
+      }
+      snapshot->base_ = snapshot->owned_.data();
+    }
+  }
+  ::close(fd);
+
+  if (Status status = snapshot->Validate(); !status.ok()) return status;
+
+  static obs::Counter* bytes_metric = BytesRead();
+  bytes_metric->Increment(size);
+  *out = std::move(snapshot);
+  return Status::Ok();
+}
+
+Status Snapshot::Validate() {
+  if (size_ < sizeof(FileHeader)) {
+    return Status::Error(ErrorCode::kTruncated, SectionTag::kNone,
+                         "file shorter than the 64-byte header (" +
+                             std::to_string(size_) + " bytes)");
+  }
+  FileHeader header;
+  std::memcpy(&header, base_, sizeof(header));
+  if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Error(ErrorCode::kBadMagic, SectionTag::kNone,
+                         "not a PROXSNAP file");
+  }
+  if (Crc32c(base_, kHeaderCrcBytes) != header.header_crc32c) {
+    return Status::Error(ErrorCode::kChecksum, SectionTag::kNone,
+                         "header CRC mismatch");
+  }
+  if (header.version != kFormatVersion) {
+    return Status::Error(ErrorCode::kBadVersion, SectionTag::kNone,
+                         "format version " + std::to_string(header.version) +
+                             ", reader supports " +
+                             std::to_string(kFormatVersion));
+  }
+  if (header.file_size != size_) {
+    return Status::Error(ErrorCode::kTruncated, SectionTag::kNone,
+                         "header records " + std::to_string(header.file_size) +
+                             " bytes, file has " + std::to_string(size_));
+  }
+  const uint64_t directory_bytes =
+      static_cast<uint64_t>(header.section_count) * sizeof(SectionEntry);
+  if (header.directory_offset > size_ ||
+      directory_bytes > size_ - header.directory_offset) {
+    return Status::Error(ErrorCode::kBadDirectory, SectionTag::kNone,
+                         "directory escapes the file");
+  }
+  if (header.directory_offset % kSectionAlignment != 0) {
+    return Status::Error(ErrorCode::kBadDirectory, SectionTag::kNone,
+                         "directory offset not 64-byte aligned");
+  }
+  const uint8_t* directory = base_ + header.directory_offset;
+  if (Crc32c(directory, directory_bytes) != header.directory_crc32c) {
+    return Status::Error(ErrorCode::kBadDirectory, SectionTag::kNone,
+                         "directory CRC mismatch");
+  }
+
+  static obs::Counter* validated_metric = SectionsValidated();
+  sections_.reserve(header.section_count);
+  for (uint32_t i = 0; i < header.section_count; ++i) {
+    SectionEntry entry;
+    std::memcpy(&entry, directory + i * sizeof(SectionEntry), sizeof(entry));
+    const SectionTag tag = static_cast<SectionTag>(entry.tag);
+    if (entry.offset % kSectionAlignment != 0) {
+      return Status::Error(ErrorCode::kMisaligned, tag,
+                           "section offset " + std::to_string(entry.offset) +
+                               " not 64-byte aligned");
+    }
+    if (entry.offset > size_ || entry.length > size_ - entry.offset) {
+      return Status::Error(
+          ErrorCode::kSectionBounds, tag,
+          "section [" + std::to_string(entry.offset) + ", +" +
+              std::to_string(entry.length) + ") escapes the file");
+    }
+    if (Find(tag) != nullptr) {
+      return Status::Error(ErrorCode::kBadDirectory, tag,
+                           "duplicate section tag");
+    }
+    const uint8_t* data = base_ + entry.offset;
+    if (Crc32c(data, entry.length) != entry.crc32c) {
+      return Status::Error(ErrorCode::kChecksum, tag,
+                           "payload CRC mismatch over " +
+                               std::to_string(entry.length) + " bytes");
+    }
+    sections_.push_back(Section{tag, data, entry.length});
+    validated_metric->Increment();
+  }
+  return Status::Ok();
+}
+
+const Snapshot::Section* Snapshot::Find(SectionTag tag) const {
+  for (const Section& section : sections_) {
+    if (section.tag == tag) return &section;
+  }
+  return nullptr;
+}
+
+Snapshot::~Snapshot() {
+  if (mmapped_ && base_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(base_), size_);
+  }
+}
+
+}  // namespace store
+}  // namespace prox

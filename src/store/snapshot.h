@@ -1,0 +1,68 @@
+#ifndef PROX_STORE_SNAPSHOT_H_
+#define PROX_STORE_SNAPSHOT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "store/format.h"
+#include "store/status.h"
+
+namespace prox {
+namespace store {
+
+/// \brief A validated, read-only view of one PROXSNAP file.
+///
+/// Open() maps the file read-only (falling back to a plain read into a
+/// heap buffer when mmap is unavailable) and validates header, directory
+/// and every section's bounds, alignment and CRC32C *before* returning —
+/// a Snapshot you hold is fully checked, so section spans can be consumed
+/// without further defensive copies. A failure at any stage returns a
+/// typed Status naming the offending section and yields no Snapshot.
+///
+/// The handle is shared: TermPool base tiers borrowed zero-copy out of
+/// the mapping pin the Snapshot via shared_ptr (term_pool.h BorrowBase),
+/// keeping the pages alive for as long as any loaded dataset reads them.
+class Snapshot {
+ public:
+  struct Section {
+    SectionTag tag = SectionTag::kNone;
+    const uint8_t* data = nullptr;
+    uint64_t size = 0;
+  };
+
+  /// Opens and fully validates `path`. On success `*out` owns the mapping.
+  static Status Open(const std::string& path, std::shared_ptr<Snapshot>* out);
+
+  ~Snapshot();
+
+  Snapshot(const Snapshot&) = delete;
+  Snapshot& operator=(const Snapshot&) = delete;
+
+  /// The section with `tag`, or nullptr when the snapshot has none.
+  const Section* Find(SectionTag tag) const;
+
+  /// True when the file is memory-mapped (spans alias the page cache);
+  /// false when it was read into a heap buffer.
+  bool mmapped() const { return mmapped_; }
+
+  uint64_t file_size() const { return size_; }
+  size_t num_sections() const { return sections_.size(); }
+  const std::vector<Section>& sections() const { return sections_; }
+
+ private:
+  Snapshot() = default;
+
+  Status Validate();
+
+  const uint8_t* base_ = nullptr;
+  uint64_t size_ = 0;
+  bool mmapped_ = false;
+  std::vector<uint8_t> owned_;  // copy-mode backing store
+  std::vector<Section> sections_;
+};
+
+}  // namespace store
+}  // namespace prox
+
+#endif  // PROX_STORE_SNAPSHOT_H_

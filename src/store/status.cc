@@ -1,0 +1,54 @@
+#include "store/status.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace prox {
+namespace store {
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "kOk";
+    case ErrorCode::kIo: return "kIo";
+    case ErrorCode::kBadMagic: return "kBadMagic";
+    case ErrorCode::kBadVersion: return "kBadVersion";
+    case ErrorCode::kTruncated: return "kTruncated";
+    case ErrorCode::kBadDirectory: return "kBadDirectory";
+    case ErrorCode::kSectionBounds: return "kSectionBounds";
+    case ErrorCode::kMisaligned: return "kMisaligned";
+    case ErrorCode::kChecksum: return "kChecksum";
+    case ErrorCode::kMissingSection: return "kMissingSection";
+    case ErrorCode::kMalformed: return "kMalformed";
+    case ErrorCode::kUnsupported: return "kUnsupported";
+  }
+  return "kUnknown";
+}
+
+std::string SectionTagName(SectionTag tag) {
+  if (tag == SectionTag::kNone) return "none";
+  const uint32_t raw = static_cast<uint32_t>(tag);
+  char chars[4] = {static_cast<char>(raw & 0xFF),
+                   static_cast<char>((raw >> 8) & 0xFF),
+                   static_cast<char>((raw >> 16) & 0xFF),
+                   static_cast<char>((raw >> 24) & 0xFF)};
+  bool printable = true;
+  for (char c : chars) {
+    if (!std::isprint(static_cast<unsigned char>(c))) printable = false;
+  }
+  if (printable) return std::string(chars, 4);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "0x%08X", raw);
+  return buf;
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "store ok";
+  std::string out = "store error ";
+  out += ErrorCodeName(code_);
+  out += " [" + SectionTagName(section_) + "]";
+  if (!message_.empty()) out += ": " + message_;
+  return out;
+}
+
+}  // namespace store
+}  // namespace prox

@@ -1,0 +1,67 @@
+#ifndef PROX_STORE_STATUS_H_
+#define PROX_STORE_STATUS_H_
+
+#include <string>
+
+#include "store/format.h"
+
+namespace prox {
+namespace store {
+
+/// What went wrong with a snapshot operation. Every failure mode a
+/// corrupt, truncated or hostile file can trigger has its own code, so
+/// tests (and operators) can tell a flipped bit (kChecksum) from a short
+/// write (kTruncated) from a directory that lies (kSectionBounds).
+enum class ErrorCode {
+  kOk = 0,
+  kIo,              ///< open/read/write/mmap syscall failure
+  kBadMagic,        ///< not a PROXSNAP file
+  kBadVersion,      ///< produced by an incompatible format version
+  kTruncated,       ///< file shorter than its own accounting
+  kBadDirectory,    ///< directory out of bounds / bad CRC / duplicate tags
+  kSectionBounds,   ///< section range escapes the file
+  kMisaligned,      ///< section offset breaks the 64-byte alignment rule
+  kChecksum,        ///< section payload CRC32C mismatch
+  kMissingSection,  ///< a required section is absent
+  kMalformed,       ///< section payload fails structural validation
+  kUnsupported,     ///< content the codec cannot (de)serialize
+};
+
+const char* ErrorCodeName(ErrorCode code);
+
+/// \brief Typed result of prox::store operations: an ErrorCode plus the
+/// section the failure was detected in (kNone for file-level failures)
+/// and a human-readable message. Never throws, never aborts — a corrupt
+/// snapshot must fail closed with a diagnostic, not UB (docs/STORE.md).
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // ok
+
+  static Status Ok() { return Status(); }
+  static Status Error(ErrorCode code, SectionTag section,
+                      std::string message) {
+    Status s;
+    s.code_ = code;
+    s.section_ = section;
+    s.message_ = std::move(message);
+    return s;
+  }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  SectionTag section() const { return section_; }
+  const std::string& message() const { return message_; }
+
+  /// "store error kChecksum [REGY]: payload CRC mismatch ...".
+  std::string ToString() const;
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  SectionTag section_ = SectionTag::kNone;
+  std::string message_;
+};
+
+}  // namespace store
+}  // namespace prox
+
+#endif  // PROX_STORE_STATUS_H_

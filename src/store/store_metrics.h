@@ -1,0 +1,63 @@
+#ifndef PROX_STORE_STORE_METRICS_H_
+#define PROX_STORE_STORE_METRICS_H_
+
+#include "obs/metrics.h"
+
+namespace prox {
+namespace store {
+
+/// \file
+/// The `prox_store_*` metric families (docs/OBSERVABILITY.md). Same shape
+/// as serve_metrics.h: call sites cache the pointer in a local static.
+/// `prox_store_cache_warm_hit_total` is registered in summary_cache.cc
+/// (the hit is observed inside serve's SummaryCache).
+
+/// `prox_store_bytes_written_total` — snapshot bytes written to disk.
+inline obs::Counter* BytesWritten() {
+  return obs::MetricsRegistry::Default().GetCounter(
+      "prox_store_bytes_written_total",
+      "Snapshot bytes written, headers and padding included.");
+}
+
+/// `prox_store_bytes_read_total` — snapshot bytes read/validated on load.
+inline obs::Counter* BytesRead() {
+  return obs::MetricsRegistry::Default().GetCounter(
+      "prox_store_bytes_read_total",
+      "Snapshot bytes read and CRC-validated on open.");
+}
+
+/// `prox_store_sections_validated_total` — sections that passed
+/// bounds + alignment + CRC validation.
+inline obs::Counter* SectionsValidated() {
+  return obs::MetricsRegistry::Default().GetCounter(
+      "prox_store_sections_validated_total",
+      "Snapshot sections that passed bounds, alignment and CRC checks.");
+}
+
+/// `prox_store_load_mmap_total` — pool loads served zero-copy from mmap.
+inline obs::Counter* LoadMmap() {
+  return obs::MetricsRegistry::Default().GetCounter(
+      "prox_store_load_mmap_total",
+      "TermPool base tiers borrowed zero-copy from an mmap'd snapshot.");
+}
+
+/// `prox_store_load_copy_total` — pool loads that fell back to a copy.
+inline obs::Counter* LoadCopy() {
+  return obs::MetricsRegistry::Default().GetCounter(
+      "prox_store_load_copy_total",
+      "TermPool base tiers loaded by validated copy (no mmap or "
+      "misaligned source).");
+}
+
+/// `prox_store_cache_warm_entries_total` — cache entries restored from a
+/// snapshot into the serve SummaryCache.
+inline obs::Counter* CacheWarmEntries() {
+  return obs::MetricsRegistry::Default().GetCounter(
+      "prox_store_cache_warm_entries_total",
+      "SummaryCache entries restored from a snapshot at boot.");
+}
+
+}  // namespace store
+}  // namespace prox
+
+#endif  // PROX_STORE_STORE_METRICS_H_

@@ -1,0 +1,92 @@
+#include "store/writer.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "store/crc32c.h"
+#include "store/store_metrics.h"
+
+namespace prox {
+namespace store {
+
+namespace {
+
+uint64_t AlignUp(uint64_t n) {
+  return (n + kSectionAlignment - 1) & ~(kSectionAlignment - 1);
+}
+
+}  // namespace
+
+void SnapshotWriter::AddSection(SectionTag tag, std::string payload) {
+  sections_.push_back(PendingSection{tag, std::move(payload)});
+}
+
+Status SnapshotWriter::WriteFile(const std::string& path) const {
+  // Lay the file out in memory first: snapshots are bounded by dataset
+  // size, and one contiguous write keeps the error handling trivial.
+  std::string file;
+  file.resize(sizeof(FileHeader), '\0');
+
+  std::vector<SectionEntry> directory;
+  directory.reserve(sections_.size());
+  for (const PendingSection& section : sections_) {
+    const uint64_t offset = AlignUp(file.size());
+    file.resize(offset, '\0');  // zero padding up to the aligned start
+    file.append(section.payload);
+
+    SectionEntry entry;
+    entry.tag = static_cast<uint32_t>(section.tag);
+    entry.offset = offset;
+    entry.length = section.payload.size();
+    entry.crc32c = Crc32c(section.payload.data(), section.payload.size());
+    directory.push_back(entry);
+  }
+
+  const uint64_t directory_offset = AlignUp(file.size());
+  file.resize(directory_offset, '\0');
+  file.append(reinterpret_cast<const char*>(directory.data()),
+              directory.size() * sizeof(SectionEntry));
+
+  FileHeader header;
+  std::memcpy(header.magic, kMagic, sizeof(kMagic));
+  header.version = kFormatVersion;
+  header.section_count = static_cast<uint32_t>(directory.size());
+  header.directory_offset = directory_offset;
+  header.file_size = file.size();
+  header.directory_crc32c =
+      Crc32c(file.data() + directory_offset, file.size() - directory_offset);
+  header.header_crc32c = Crc32c(&header, kHeaderCrcBytes);
+  std::memcpy(file.data(), &header, sizeof(header));
+
+  // Temp-and-rename so `path` is never a torn file.
+  const std::string tmp = path + ".tmp";
+  std::FILE* out = std::fopen(tmp.c_str(), "wb");
+  if (out == nullptr) {
+    return Status::Error(ErrorCode::kIo, SectionTag::kNone,
+                         "cannot open " + tmp + ": " + std::strerror(errno));
+  }
+  const size_t written = std::fwrite(file.data(), 1, file.size(), out);
+  const int fd = fileno(out);
+  const bool flushed = std::fflush(out) == 0 && fsync(fd) == 0;
+  if (std::fclose(out) != 0 || written != file.size() || !flushed) {
+    std::remove(tmp.c_str());
+    return Status::Error(ErrorCode::kIo, SectionTag::kNone,
+                         "short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Error(ErrorCode::kIo, SectionTag::kNone,
+                         "cannot rename " + tmp + " to " + path + ": " +
+                             std::strerror(errno));
+  }
+
+  static obs::Counter* bytes_metric = BytesWritten();
+  bytes_metric->Increment(file.size());
+  return Status::Ok();
+}
+
+}  // namespace store
+}  // namespace prox

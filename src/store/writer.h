@@ -1,0 +1,40 @@
+#ifndef PROX_STORE_WRITER_H_
+#define PROX_STORE_WRITER_H_
+
+#include <string>
+#include <vector>
+
+#include "store/format.h"
+#include "store/status.h"
+
+namespace prox {
+namespace store {
+
+/// \brief Assembles a PROXSNAP container: buffer section payloads, then
+/// WriteFile lays them out 64-byte aligned with the CRC'd directory and
+/// header (format.h). Single-use; the codec drives it (SaveDataset).
+class SnapshotWriter {
+ public:
+  /// Queues one section. Tags must be unique per file; payloads may be
+  /// empty (the section still appears in the directory).
+  void AddSection(SectionTag tag, std::string payload);
+
+  /// Writes the container to `path` atomically enough for our purposes:
+  /// a temp file in the same directory, fsync'd, then rename(2) — a
+  /// crashed save never leaves a half-written snapshot at `path`.
+  Status WriteFile(const std::string& path) const;
+
+  size_t num_sections() const { return sections_.size(); }
+
+ private:
+  struct PendingSection {
+    SectionTag tag;
+    std::string payload;
+  };
+  std::vector<PendingSection> sections_;
+};
+
+}  // namespace store
+}  // namespace prox
+
+#endif  // PROX_STORE_WRITER_H_

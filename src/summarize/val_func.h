@@ -72,6 +72,10 @@ class DdpDifferenceValFunc : public ValFunc {
   double MaxError(const EvalResult& all_true_orig) const override;
   std::string name() const override { return "DdpDifference"; }
 
+  /// The precomputed feasibility-mismatch bound, for persistence
+  /// (prox::store round-trips it through the constructor arguments).
+  double max_error() const { return max_error_; }
+
  private:
   double max_error_;
 };

@@ -45,6 +45,10 @@ class CancelSingleAnnotation : public ValuationClass {
                                   const SemanticContext& ctx) const override;
   std::string name() const override { return "CancelSingleAnnotation"; }
 
+  /// Configuration, for persistence (prox::store).
+  const std::vector<DomainId>& domains() const { return domains_; }
+  bool taxonomy_consistent() const { return taxonomy_consistent_; }
+
  private:
   std::vector<DomainId> domains_;
   bool taxonomy_consistent_;
@@ -71,6 +75,10 @@ class CancelSingleAttribute : public ValuationClass {
                                   const SemanticContext& ctx) const override;
   std::string name() const override { return "CancelSingleAttribute"; }
 
+  /// Configuration, for persistence (prox::store).
+  const std::vector<DomainId>& domains() const { return domains_; }
+  Weighting weighting() const { return weighting_; }
+
  private:
   std::vector<DomainId> domains_;
   Weighting weighting_;
@@ -90,6 +98,9 @@ class ExhaustiveValuations : public ValuationClass {
   std::vector<Valuation> Generate(const ProvenanceExpression& p0,
                                   const SemanticContext& ctx) const override;
   std::string name() const override { return "Exhaustive"; }
+
+  /// Configuration, for persistence (prox::store).
+  size_t max_annotations() const { return max_annotations_; }
 
  private:
   size_t max_annotations_;

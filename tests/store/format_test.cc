@@ -1,0 +1,256 @@
+// Corruption and format tests for the PROXSNAP container: every damaged
+// file must fail *closed* — Snapshot::Open returns a typed store::Status
+// naming the offending section and never crashes (scripts/asan_ir_tests.sh
+// runs this suite under AddressSanitizer to enforce the "never" part).
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "datasets/movielens.h"
+#include "store/codec.h"
+#include "store/crc32c.h"
+#include "store/format.h"
+#include "store/snapshot.h"
+
+namespace prox {
+namespace store {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  // Pid-unique: ctest -j runs each case as its own process and several
+  // cases materialize the shared pristine snapshot concurrently.
+  return ::testing::TempDir() + "prox_store_format_" +
+         std::to_string(::getpid()) + "_" + name + ".snap";
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// A pristine snapshot of a small MovieLens dataset, as raw bytes.
+std::string PristineSnapshotBytes() {
+  static const std::string bytes = [] {
+    MovieLensConfig config;
+    config.num_users = 10;
+    config.num_movies = 4;
+    config.seed = 7;
+    Dataset dataset = MovieLensGenerator::Generate(config);
+    const std::string path = TempPath("pristine");
+    Status s = SaveDataset(dataset, SaveOptions{}, path);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    return ReadFileBytes(path);
+  }();
+  return bytes;
+}
+
+FileHeader HeaderOf(const std::string& bytes) {
+  FileHeader header;
+  std::memcpy(&header, bytes.data(), sizeof(header));
+  return header;
+}
+
+std::vector<SectionEntry> DirectoryOf(const std::string& bytes) {
+  const FileHeader header = HeaderOf(bytes);
+  std::vector<SectionEntry> entries(header.section_count);
+  std::memcpy(entries.data(), bytes.data() + header.directory_offset,
+              entries.size() * sizeof(SectionEntry));
+  return entries;
+}
+
+/// Re-seals a mutated file: recomputes the directory CRC and the header
+/// CRC so validation reaches the check under test instead of tripping on
+/// the seals themselves.
+void Reseal(std::string* bytes) {
+  FileHeader header = HeaderOf(*bytes);
+  header.directory_crc32c =
+      Crc32c(bytes->data() + header.directory_offset,
+             bytes->size() - header.directory_offset);
+  header.header_crc32c = Crc32c(&header, kHeaderCrcBytes);
+  std::memcpy(bytes->data(), &header, sizeof(header));
+}
+
+Status OpenBytes(const std::string& name, const std::string& bytes) {
+  const std::string path = TempPath(name);
+  WriteFileBytes(path, bytes);
+  std::shared_ptr<Snapshot> snapshot;
+  Status status = Snapshot::Open(path, &snapshot);
+  if (!status.ok()) EXPECT_EQ(snapshot, nullptr);
+  return status;
+}
+
+TEST(SnapshotFormatTest, PristineOpens) {
+  std::shared_ptr<Snapshot> snapshot;
+  const std::string path = TempPath("opens");
+  WriteFileBytes(path, PristineSnapshotBytes());
+  Status status = Snapshot::Open(path, &snapshot);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_GE(snapshot->num_sections(), 11u);
+  EXPECT_NE(snapshot->Find(SectionTag::kRegistry), nullptr);
+  EXPECT_EQ(snapshot->Find(SectionTag::kCache), nullptr);
+}
+
+TEST(SnapshotFormatTest, MissingFile) {
+  std::shared_ptr<Snapshot> snapshot;
+  Status status = Snapshot::Open(TempPath("does_not_exist"), &snapshot);
+  EXPECT_EQ(status.code(), ErrorCode::kIo);
+}
+
+TEST(SnapshotFormatTest, WrongMagic) {
+  std::string bytes = PristineSnapshotBytes();
+  bytes[0] = 'X';
+  Status status = OpenBytes("magic", bytes);
+  EXPECT_EQ(status.code(), ErrorCode::kBadMagic);
+}
+
+TEST(SnapshotFormatTest, HeaderBitFlip) {
+  std::string bytes = PristineSnapshotBytes();
+  bytes[20] ^= 0x01;  // inside directory_offset, covered by the header CRC
+  Status status = OpenBytes("header_flip", bytes);
+  EXPECT_EQ(status.code(), ErrorCode::kChecksum);
+  EXPECT_EQ(status.section(), SectionTag::kNone);
+}
+
+TEST(SnapshotFormatTest, UnsupportedVersion) {
+  std::string bytes = PristineSnapshotBytes();
+  FileHeader header = HeaderOf(bytes);
+  header.version = kFormatVersion + 1;
+  std::memcpy(bytes.data(), &header, sizeof(header));
+  Reseal(&bytes);
+  Status status = OpenBytes("version", bytes);
+  EXPECT_EQ(status.code(), ErrorCode::kBadVersion);
+}
+
+TEST(SnapshotFormatTest, ShorterThanHeader) {
+  Status status = OpenBytes("tiny", PristineSnapshotBytes().substr(0, 10));
+  EXPECT_EQ(status.code(), ErrorCode::kTruncated);
+}
+
+TEST(SnapshotFormatTest, TruncatedMidDirectory) {
+  const std::string pristine = PristineSnapshotBytes();
+  const FileHeader header = HeaderOf(pristine);
+  // Cut inside the directory: one full entry plus half of the next.
+  const uint64_t cut =
+      header.directory_offset + sizeof(SectionEntry) + sizeof(SectionEntry) / 2;
+  ASSERT_LT(cut, pristine.size());
+  Status status = OpenBytes("mid_directory", pristine.substr(0, cut));
+  EXPECT_EQ(status.code(), ErrorCode::kTruncated);
+}
+
+TEST(SnapshotFormatTest, BitFlipEverySectionIsCaughtAndNamed) {
+  const std::string pristine = PristineSnapshotBytes();
+  const std::vector<SectionEntry> directory = DirectoryOf(pristine);
+  ASSERT_GE(directory.size(), 11u);
+  for (const SectionEntry& entry : directory) {
+    if (entry.length == 0) continue;  // no payload byte to flip
+    std::string bytes = pristine;
+    bytes[entry.offset + entry.length / 2] ^= 0x40;
+    Status status = OpenBytes("flip", bytes);
+    const SectionTag tag = static_cast<SectionTag>(entry.tag);
+    SCOPED_TRACE("section " + SectionTagName(tag));
+    EXPECT_EQ(status.code(), ErrorCode::kChecksum);
+    EXPECT_EQ(status.section(), tag);
+    // The rendered diagnostic names the section for the operator.
+    EXPECT_NE(status.ToString().find(SectionTagName(tag)), std::string::npos)
+        << status.ToString();
+  }
+}
+
+TEST(SnapshotFormatTest, MisalignedSectionOffset) {
+  std::string bytes = PristineSnapshotBytes();
+  FileHeader header = HeaderOf(bytes);
+  SectionEntry entry;
+  std::memcpy(&entry, bytes.data() + header.directory_offset, sizeof(entry));
+  entry.offset += 4;  // breaks the 64-byte alignment contract
+  std::memcpy(bytes.data() + header.directory_offset, &entry, sizeof(entry));
+  Reseal(&bytes);
+  Status status = OpenBytes("misaligned", bytes);
+  EXPECT_EQ(status.code(), ErrorCode::kMisaligned);
+  EXPECT_EQ(status.section(), static_cast<SectionTag>(entry.tag));
+}
+
+TEST(SnapshotFormatTest, SectionLengthEscapesFile) {
+  std::string bytes = PristineSnapshotBytes();
+  FileHeader header = HeaderOf(bytes);
+  SectionEntry entry;
+  std::memcpy(&entry, bytes.data() + header.directory_offset, sizeof(entry));
+  entry.length = bytes.size();  // offset + length now past EOF
+  std::memcpy(bytes.data() + header.directory_offset, &entry, sizeof(entry));
+  Reseal(&bytes);
+  Status status = OpenBytes("bounds", bytes);
+  EXPECT_EQ(status.code(), ErrorCode::kSectionBounds);
+  EXPECT_EQ(status.section(), static_cast<SectionTag>(entry.tag));
+}
+
+TEST(SnapshotFormatTest, DuplicateSectionTag) {
+  std::string bytes = PristineSnapshotBytes();
+  FileHeader header = HeaderOf(bytes);
+  ASSERT_GE(header.section_count, 2u);
+  SectionEntry first;
+  SectionEntry second;
+  std::memcpy(&first, bytes.data() + header.directory_offset, sizeof(first));
+  std::memcpy(&second,
+              bytes.data() + header.directory_offset + sizeof(SectionEntry),
+              sizeof(second));
+  second.tag = first.tag;
+  std::memcpy(bytes.data() + header.directory_offset + sizeof(SectionEntry),
+              &second, sizeof(second));
+  Reseal(&bytes);
+  Status status = OpenBytes("duplicate", bytes);
+  EXPECT_EQ(status.code(), ErrorCode::kBadDirectory);
+  EXPECT_EQ(status.section(), static_cast<SectionTag>(first.tag));
+}
+
+TEST(SnapshotFormatTest, MalformedSectionPayloadFailsLoadTyped) {
+  // A structurally valid container whose REGY payload lies about counts:
+  // load (not open) must fail with kMalformed on that section, not crash.
+  const std::string pristine = PristineSnapshotBytes();
+  const std::vector<SectionEntry> directory = DirectoryOf(pristine);
+  std::string bytes = pristine;
+  for (const SectionEntry& entry : directory) {
+    if (static_cast<SectionTag>(entry.tag) != SectionTag::kRegistry) continue;
+    const uint32_t huge = 0x00FFFFFF;
+    std::memcpy(bytes.data() + entry.offset, &huge, sizeof(huge));
+    SectionEntry fixed = entry;
+    fixed.crc32c = Crc32c(bytes.data() + entry.offset, entry.length);
+    const uint64_t dir_off = HeaderOf(bytes).directory_offset;
+    for (size_t i = 0; i < directory.size(); ++i) {
+      if (directory[i].tag == entry.tag) {
+        std::memcpy(bytes.data() + dir_off + i * sizeof(SectionEntry), &fixed,
+                    sizeof(fixed));
+      }
+    }
+  }
+  Reseal(&bytes);
+  const std::string path = TempPath("malformed_regy");
+  WriteFileBytes(path, bytes);
+  std::shared_ptr<Snapshot> snapshot;
+  ASSERT_TRUE(Snapshot::Open(path, &snapshot).ok());
+  Dataset loaded;
+  Status status = LoadDataset(snapshot, LoadOptions{}, &loaded);
+  EXPECT_EQ(status.code(), ErrorCode::kMalformed);
+  EXPECT_EQ(status.section(), SectionTag::kRegistry);
+}
+
+TEST(SnapshotFormatTest, StatusRendersCodeAndSection) {
+  Status status = Status::Error(ErrorCode::kChecksum, SectionTag::kRegistry,
+                                "payload CRC mismatch");
+  EXPECT_NE(status.ToString().find("kChecksum"), std::string::npos);
+  EXPECT_NE(status.ToString().find("REGY"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace store
+}  // namespace prox
