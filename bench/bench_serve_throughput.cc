@@ -12,7 +12,17 @@
 ///
 /// Flags: --clients=N (8) --requests=N per client per wave (16)
 ///        --threads=N server workers (4) --cache-mb=N (64)
-///        --max-steps=N summarize knob (8)
+///        --max-steps=N summarize knob (8) --slo-ms=N p99 gate (250)
+///
+/// `--json` is the committed-baseline mode (BENCH_serve.json): after the
+/// waves it reads the server-side p50/p99 from the per-endpoint
+/// `prox_serve_route_duration_nanos` rolling-window gauges, self-checks
+/// them against the client-side measurements (±15%, with an absolute
+/// floor for the sub-millisecond cached requests where loopback connect
+/// overhead dominates), verifies the histogram sample count equals the
+/// requests served, gates p99 on the `--slo-ms` objective, and prints the
+/// result as JSON on stdout (human-readable lines move to stderr). Any
+/// violated contract exits 1.
 
 #include <algorithm>
 #include <atomic>
@@ -27,6 +37,7 @@
 #include <vector>
 
 #include "datasets/movielens.h"
+#include "obs/metrics.h"
 #include "serve/client.h"
 #include "serve/router.h"
 #include "serve/server.h"
@@ -95,17 +106,64 @@ WaveResult RunWave(int port, int clients, int requests,
   return result;
 }
 
-void PrintWave(const char* label, const WaveResult& wave) {
-  std::printf("%-8s requests=%zu failures=%d p50=%.0fus p99=%.0fus "
-              "wall=%.1fms throughput=%.0f req/s\n",
-              label, wave.latencies_nanos.size(), wave.failures,
-              Percentile(wave.latencies_nanos, 0.50) / 1e3,
-              Percentile(wave.latencies_nanos, 0.99) / 1e3,
-              static_cast<double>(wave.wall_nanos) / 1e6,
-              wave.latencies_nanos.empty()
-                  ? 0.0
-                  : static_cast<double>(wave.latencies_nanos.size()) /
-                        (static_cast<double>(wave.wall_nanos) / 1e9));
+void PrintWave(std::FILE* out, const char* label, const WaveResult& wave) {
+  std::fprintf(out,
+               "%-8s requests=%zu failures=%d p50=%.0fus p99=%.0fus "
+               "wall=%.1fms throughput=%.0f req/s\n",
+               label, wave.latencies_nanos.size(), wave.failures,
+               Percentile(wave.latencies_nanos, 0.50) / 1e3,
+               Percentile(wave.latencies_nanos, 0.99) / 1e3,
+               static_cast<double>(wave.wall_nanos) / 1e6,
+               wave.latencies_nanos.empty()
+                   ? 0.0
+                   : static_cast<double>(wave.latencies_nanos.size()) /
+                         (static_cast<double>(wave.wall_nanos) / 1e9));
+}
+
+/// Server-side view of the /v1/summarize route, read from the metrics
+/// registry after RouteStats::ExportGauges().
+struct ServerSideStats {
+  uint64_t histogram_count = 0;
+  double p50_nanos = 0.0;
+  double p99_nanos = 0.0;
+  double burn_rate = 0.0;
+  bool found = false;
+};
+
+ServerSideStats ReadServerSideStats() {
+  static const char kLabels[] = "route=\"/v1/summarize\"";
+  ServerSideStats stats;
+  obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Default().Snapshot();
+  const obs::HistogramSample* histogram =
+      snapshot.FindHistogram("prox_serve_route_duration_nanos", kLabels);
+  const obs::GaugeSample* p50 =
+      snapshot.FindGauge("prox_serve_route_latency_p50_nanos", kLabels);
+  const obs::GaugeSample* p99 =
+      snapshot.FindGauge("prox_serve_route_latency_p99_nanos", kLabels);
+  const obs::GaugeSample* burn =
+      snapshot.FindGauge("prox_serve_route_slo_burn_rate", kLabels);
+  if (histogram == nullptr || p50 == nullptr || p99 == nullptr ||
+      burn == nullptr) {
+    return stats;
+  }
+  stats.histogram_count = histogram->count;
+  stats.p50_nanos = p50->value;
+  stats.p99_nanos = p99->value;
+  stats.burn_rate = burn->value;
+  stats.found = true;
+  return stats;
+}
+
+/// Server-side and client-side measure the same requests from opposite
+/// ends of the loopback socket: they must agree within 15%, plus an
+/// absolute floor for sub-millisecond samples (cache hits handle in a few
+/// microseconds server-side while the client pays ~0.5 ms of connect +
+/// write + read per request; the floor absorbs that overhead with
+/// headroom for loaded machines).
+bool WithinTolerance(double server_nanos, double client_nanos) {
+  const double tolerance =
+      std::max(0.15 * client_nanos, 2.0 * 1000.0 * 1000.0);  // 2 ms floor
+  return std::abs(server_nanos - client_nanos) <= tolerance;
 }
 
 long IntFlag(const std::string& arg, const char* flag, long fallback,
@@ -127,8 +185,14 @@ int main(int argc, char** argv) {
   long threads = 4;
   long cache_mb = 64;
   long max_steps = 8;
+  long slo_ms = 250;
+  bool json_mode = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    if (arg == "--json") {
+      json_mode = true;
+      continue;
+    }
     bool matched = false;
     clients = IntFlag(arg, "--clients", clients, &matched);
     if (matched) continue;
@@ -140,11 +204,22 @@ int main(int argc, char** argv) {
     if (matched) continue;
     max_steps = IntFlag(arg, "--max-steps", max_steps, &matched);
     if (matched) continue;
+    slo_ms = IntFlag(arg, "--slo-ms", slo_ms, &matched);
+    if (matched) continue;
     std::fprintf(stderr,
                  "usage: bench_serve_throughput [--clients=N] [--requests=N]"
-                 " [--threads=N] [--cache-mb=N] [--max-steps=N]\n");
+                 " [--threads=N] [--cache-mb=N] [--max-steps=N]"
+                 " [--slo-ms=N] [--json]\n");
     return 2;
   }
+  if (json_mode && !obs::Enabled()) {
+    std::fprintf(stderr,
+                 "bench_serve_throughput: --json reads the per-endpoint "
+                 "histograms and needs obs recording on (unset PROX_OBS)\n");
+    return 2;
+  }
+  // Human-readable lines move to stderr in --json mode; stdout is the doc.
+  std::FILE* out = json_mode ? stderr : stdout;
 
   MovieLensConfig config;
   config.num_users = 25;
@@ -155,7 +230,9 @@ int main(int argc, char** argv) {
   serve::SummaryCache::Options cache_options;
   cache_options.max_bytes = static_cast<size_t>(cache_mb) * 1024 * 1024;
   serve::SummaryCache cache(cache_options);
-  serve::Router router(&session, &cache);
+  serve::Router::Options router_options;
+  router_options.route_stats.slo_latency_nanos = slo_ms * 1'000'000;
+  serve::Router router(&session, &cache, router_options);
 
   serve::HttpServer::Options options;
   options.port = 0;
@@ -172,9 +249,10 @@ int main(int argc, char** argv) {
 
   const std::string body = "{\"w_dist\":0.7,\"w_size\":0.3,\"max_steps\":" +
                            std::to_string(max_steps) + "}";
-  std::printf("bench_serve_throughput: port=%d clients=%ld requests=%ld "
-              "threads=%ld\n",
-              server.port(), clients, requests, threads);
+  std::fprintf(out,
+               "bench_serve_throughput: port=%d clients=%ld requests=%ld "
+               "threads=%ld\n",
+               server.port(), clients, requests, threads);
 
   WaveResult cold = RunWave(server.port(), static_cast<int>(clients),
                             static_cast<int>(requests), body);
@@ -183,20 +261,26 @@ int main(int argc, char** argv) {
                               static_cast<int>(requests), body);
   serve::SummaryCache::Stats after_cached = cache.stats();
 
-  PrintWave("cold", cold);
-  PrintWave("cached", cached);
+  PrintWave(out, "cold", cold);
+  PrintWave(out, "cached", cached);
 
   uint64_t wave2_hits = after_cached.hits - after_cold.hits;
   uint64_t total_lookups = after_cached.hits + after_cached.misses;
-  std::printf("cache: hits=%llu misses=%llu hit_rate=%.3f "
-              "wave2_hits=%llu entries=%zu bytes=%zu\n",
-              static_cast<unsigned long long>(after_cached.hits),
-              static_cast<unsigned long long>(after_cached.misses),
-              total_lookups == 0 ? 0.0
-                                 : static_cast<double>(after_cached.hits) /
-                                       static_cast<double>(total_lookups),
-              static_cast<unsigned long long>(wave2_hits),
-              after_cached.entries, after_cached.bytes);
+  std::fprintf(out,
+               "cache: hits=%llu misses=%llu hit_rate=%.3f "
+               "wave2_hits=%llu entries=%zu bytes=%zu\n",
+               static_cast<unsigned long long>(after_cached.hits),
+               static_cast<unsigned long long>(after_cached.misses),
+               total_lookups == 0 ? 0.0
+                                  : static_cast<double>(after_cached.hits) /
+                                        static_cast<double>(total_lookups),
+               static_cast<unsigned long long>(wave2_hits),
+               after_cached.entries, after_cached.bytes);
+
+  // Refresh the rolling-window gauges from the route rings, then read the
+  // server-side view of what the waves just did.
+  router.route_stats().ExportGauges();
+  ServerSideStats server_stats = ReadServerSideStats();
 
   server.Stop();
 
@@ -226,6 +310,81 @@ int main(int argc, char** argv) {
                  static_cast<double>(cached.wall_nanos) / 1e6,
                  static_cast<double>(cold.wall_nanos) / 1e6);
   }
-  std::printf("bench_serve_throughput: %s\n", ok ? "OK" : "FAILED");
+
+  if (json_mode) {
+    // The client saw every request the server histogram counted; compare
+    // both percentile views over the same combined sample set.
+    std::vector<int64_t> all_latencies = cold.latencies_nanos;
+    all_latencies.insert(all_latencies.end(), cached.latencies_nanos.begin(),
+                         cached.latencies_nanos.end());
+    const double client_p50 = Percentile(all_latencies, 0.50);
+    const double client_p99 = Percentile(all_latencies, 0.99);
+    const uint64_t requests_served = all_latencies.size();
+    const double slo_nanos = static_cast<double>(slo_ms) * 1e6;
+
+    if (!server_stats.found) {
+      std::fprintf(stderr,
+                   "FAIL: /v1/summarize route metrics absent from the "
+                   "registry\n");
+      ok = false;
+    } else {
+      if (server_stats.histogram_count != requests_served) {
+        std::fprintf(stderr,
+                     "FAIL: route histogram count %llu != %llu requests "
+                     "served\n",
+                     static_cast<unsigned long long>(
+                         server_stats.histogram_count),
+                     static_cast<unsigned long long>(requests_served));
+        ok = false;
+      }
+      if (!WithinTolerance(server_stats.p50_nanos, client_p50)) {
+        std::fprintf(stderr,
+                     "FAIL: server p50 %.0fus vs client p50 %.0fus outside "
+                     "tolerance\n",
+                     server_stats.p50_nanos / 1e3, client_p50 / 1e3);
+        ok = false;
+      }
+      if (!WithinTolerance(server_stats.p99_nanos, client_p99)) {
+        std::fprintf(stderr,
+                     "FAIL: server p99 %.0fus vs client p99 %.0fus outside "
+                     "tolerance\n",
+                     server_stats.p99_nanos / 1e3, client_p99 / 1e3);
+        ok = false;
+      }
+      if (server_stats.p99_nanos > slo_nanos) {
+        std::fprintf(stderr,
+                     "FAIL: server p99 %.1fms over the %ldms SLO\n",
+                     server_stats.p99_nanos / 1e6, slo_ms);
+        ok = false;
+      }
+    }
+
+    std::printf(
+        "{\n"
+        "  \"bench\": \"bench_serve_throughput --json\",\n"
+        "  \"workload\": \"MovieLens 25/8/99, %ld clients x %ld requests x "
+        "2 waves, POST /v1/summarize\",\n"
+        "  \"contract\": \"server-side p50/p99 within 15%% (2ms floor) of "
+        "client-side; route histogram count == requests served; server p99 "
+        "<= slo_ms\",\n"
+        "  \"requests_served\": %llu,\n"
+        "  \"route_histogram_count\": %llu,\n"
+        "  \"client\": {\"p50_ns\": %.0f, \"p99_ns\": %.0f},\n"
+        "  \"server\": {\"p50_ns\": %.0f, \"p99_ns\": %.0f},\n"
+        "  \"slo\": {\"latency_ms\": %ld, \"server_p99_ms\": %.3f, "
+        "\"burn_rate\": %.3f, \"pass\": %s},\n"
+        "  \"cache_wave2_hits\": %llu,\n"
+        "  \"ok\": %s\n"
+        "}\n",
+        clients, requests,
+        static_cast<unsigned long long>(requests_served),
+        static_cast<unsigned long long>(server_stats.histogram_count),
+        client_p50, client_p99, server_stats.p50_nanos, server_stats.p99_nanos,
+        slo_ms, server_stats.p99_nanos / 1e6, server_stats.burn_rate,
+        server_stats.p99_nanos <= slo_nanos ? "true" : "false",
+        static_cast<unsigned long long>(wave2_hits), ok ? "true" : "false");
+  }
+
+  std::fprintf(out, "bench_serve_throughput: %s\n", ok ? "OK" : "FAILED");
   return ok ? 0 : 1;
 }

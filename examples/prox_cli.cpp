@@ -31,6 +31,13 @@
 ///   --trace-out=<path>    on exit, write the recorded trace spans
 ///                         (run/step/candidate-eval/oracle hierarchy) as
 ///                         JSON to <path>
+///   --log-json            structured JSON-lines logging to stderr: one
+///                         access-log line per command, same schema as
+///                         prox_server --access-log
+///                         (docs/OBSERVABILITY.md)
+///   --validate-access-log read JSON lines from stdin and check each
+///                         against the access-log schema; exit 0 iff all
+///                         match (scripts/check_log_schema.sh)
 ///   --save-snapshot=<path>
 ///                         generate the dataset, write it as a PROXSNAP
 ///                         binary snapshot (docs/STORE.md) and exit
@@ -39,6 +46,7 @@
 ///                         generating the dataset
 ///   --help                print usage and exit
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -49,7 +57,9 @@
 #include "common/json.h"
 #include "datasets/movielens.h"
 #include "obs/export.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/request_context.h"
 #include "obs/trace.h"
 #include "provenance/io.h"
 #include "serve/wire.h"
@@ -207,10 +217,91 @@ int RunCommand(ProxSession& session, const std::string& line, int threads,
   return 0;
 }
 
+/// RunCommand wrapped in a request scope: the command becomes one traced,
+/// access-logged "request" (method CLI, path = the command word), so the
+/// CLI and the server produce schema-identical lines.
+int RunLoggedCommand(ProxSession& session, const std::string& line,
+                     int threads, bool json) {
+  std::istringstream in(line);
+  std::string cmd;
+  in >> cmd;
+  if (cmd.empty() || !obs::Enabled()) {
+    return RunCommand(session, line, threads, json);
+  }
+  obs::RequestContext context;
+  int result;
+  int64_t latency_nanos;
+  {
+    obs::RequestScope scope(&context);
+    obs::TraceSpan span("cli.command");
+    result = RunCommand(session, line, threads, json);
+    latency_nanos = span.Close();
+  }
+  obs::AccessLogRecord record;
+  record.method = "CLI";
+  record.path = cmd;
+  record.status = 200;
+  record.latency_us = latency_nanos / 1000;
+  record.trace_id = context.trace_id().ToHex();
+  obs::WriteAccessLog(record);
+  return result;
+}
+
+/// --validate-access-log: every stdin line must be a JSON object whose
+/// sorted key set equals the documented access-log schema.
+int ValidateAccessLogStdin() {
+  const std::vector<std::string>& schema = obs::AccessLogSchemaKeys();
+  std::string line;
+  int line_number = 0;
+  int checked = 0;
+  while (std::getline(std::cin, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    Result<JsonValue> doc = ParseJson(line);
+    if (!doc.ok()) {
+      std::fprintf(stderr, "prox_cli: line %d: %s\n", line_number,
+                   doc.status().ToString().c_str());
+      return 1;
+    }
+    if (!doc.value().is_object()) {
+      std::fprintf(stderr, "prox_cli: line %d: not a JSON object\n",
+                   line_number);
+      return 1;
+    }
+    std::vector<std::string> keys;
+    for (const auto& [key, value] : doc.value().members()) keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
+    // "suppressed" may ride along on rate-limited lines; it is not part
+    // of the fixed schema, so drop it before comparing.
+    keys.erase(std::remove(keys.begin(), keys.end(), "suppressed"),
+               keys.end());
+    if (keys != schema) {
+      std::string got;
+      for (const std::string& key : keys) {
+        if (!got.empty()) got += ",";
+        got += key;
+      }
+      std::fprintf(stderr,
+                   "prox_cli: line %d: key set [%s] does not match the "
+                   "access-log schema\n",
+                   line_number, got.c_str());
+      return 1;
+    }
+    ++checked;
+  }
+  if (checked == 0) {
+    std::fprintf(stderr, "prox_cli: no access-log lines on stdin\n");
+    return 1;
+  }
+  std::printf("prox_cli: %d access-log line(s) match the schema\n", checked);
+  return 0;
+}
+
 void PrintUsage() {
   std::printf(
       "usage: prox_cli [--demo] [--json] [--threads=N]\n"
       "                [--metrics-out=<path>] [--trace-out=<path>]\n"
+      "                [--log-json]\n"
       "\n"
       "  --demo                run the built-in demo script and exit\n"
       "  --json                summarize prints the canonical JSON\n"
@@ -223,6 +314,11 @@ void PrintUsage() {
       "                        the prox::obs metrics registry to <path>\n"
       "  --trace-out=<path>    on exit, write the recorded trace spans as\n"
       "                        JSON to <path>\n"
+      "  --log-json            JSON-lines logging to stderr: one access-log\n"
+      "                        line per command, the prox_server\n"
+      "                        --access-log schema (docs/OBSERVABILITY.md)\n"
+      "  --validate-access-log validate stdin against the access-log\n"
+      "                        schema and exit\n"
       "  --save-snapshot=<path>  write the dataset as a PROXSNAP snapshot\n"
       "                        (docs/STORE.md) and exit\n"
       "  --load-snapshot=<path>  boot from a snapshot instead of generating\n"
@@ -251,6 +347,8 @@ void WriteFileOrWarn(const std::string& path, const std::string& text) {
 int main(int argc, char** argv) {
   bool demo = false;
   bool json = false;
+  bool log_json = false;
+  bool validate_access_log = false;
   int threads = 1;
   std::string metrics_out;
   std::string trace_out;
@@ -262,6 +360,10 @@ int main(int argc, char** argv) {
       demo = true;
     } else if (arg == "--json") {
       json = true;
+    } else if (arg == "--log-json") {
+      log_json = true;
+    } else if (arg == "--validate-access-log") {
+      validate_access_log = true;
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage();
       return 0;
@@ -289,6 +391,16 @@ int main(int argc, char** argv) {
       PrintUsage();
       return 2;
     }
+  }
+
+  if (validate_access_log) return ValidateAccessLogStdin();
+
+  // The sinks are function-local statics so they outlive every logging
+  // call site; installation is what turns them on.
+  if (log_json) {
+    static obs::FileLogSink stderr_sink(stderr);
+    obs::Logger::Default().SetSink(&stderr_sink);
+    obs::SetAccessLogSink(&stderr_sink);
   }
 
   Dataset dataset;
@@ -338,19 +450,20 @@ int main(int argc, char** argv) {
                             "evalattr Gender M"};
     for (const char* line : script) {
       std::printf("prox> %s\n", line);
-      RunCommand(session, line, threads, json);
+      RunLoggedCommand(session, line, threads, json);
       std::printf("\n");
     }
   } else {
     std::string line;
     std::printf("prox> ");
     while (std::getline(std::cin, line)) {
-      if (RunCommand(session, line, threads, json) != 0) break;
+      if (RunLoggedCommand(session, line, threads, json) != 0) break;
       std::printf("prox> ");
     }
   }
 
   if (!metrics_out.empty()) {
+    obs::UpdateProcessMetrics();
     WriteFileOrWarn(metrics_out, obs::RenderPrometheus(
                                      obs::MetricsRegistry::Default().Snapshot()));
   }

@@ -28,6 +28,12 @@
 ///                     on shutdown, write the dataset plus the live
 ///                     summary cache as a snapshot to <path>, so the next
 ///                     --snapshot boot serves its first request warm
+///   --access-log[=<path>]
+///                     write one JSON access-log line per request
+///                     (docs/OBSERVABILITY.md schema) to <path>, or to
+///                     stderr when no path is given
+///   --debug-endpoints enable GET /v1/debug/requests (the flight
+///                     recorder: slowest + errored requests with spans)
 ///
 /// SIGINT / SIGTERM drain in-flight requests and exit 0.
 
@@ -39,6 +45,7 @@
 #include <utility>
 
 #include "datasets/movielens.h"
+#include "obs/log.h"
 #include "serve/router.h"
 #include "serve/server.h"
 #include "serve/summary_cache.h"
@@ -56,11 +63,15 @@ void PrintUsage() {
       "                   [--max-inflight=N] [--users=N] [--movies=N]\n"
       "                   [--seed=N] [--snapshot=<path>]\n"
       "                   [--cache-persist=<path>]\n"
+      "                   [--access-log[=<path>]] [--debug-endpoints]\n"
       "\n"
       "Serves the PROX session workflow over HTTP/1.1 (docs/SERVING.md).\n"
       "--snapshot boots from a PROXSNAP file and restores any persisted\n"
       "summary cache warm; --cache-persist writes one on shutdown\n"
-      "(docs/STORE.md). SIGINT drains in-flight requests and exits 0.\n");
+      "(docs/STORE.md). --access-log emits one JSON line per request;\n"
+      "--debug-endpoints exposes the flight recorder at\n"
+      "GET /v1/debug/requests (docs/OBSERVABILITY.md). SIGINT drains\n"
+      "in-flight requests and exits 0.\n");
 }
 
 /// `--flag=value` integer parse; exits with usage on garbage.
@@ -89,6 +100,9 @@ int main(int argc, char** argv) {
   long seed = 99;
   std::string snapshot_path;
   std::string cache_persist;
+  bool access_log = false;
+  std::string access_log_path;
+  bool debug_endpoints = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -110,6 +124,19 @@ int main(int argc, char** argv) {
     }
     if (arg.rfind("--cache-persist=", 0) == 0) {
       cache_persist = arg.substr(std::string("--cache-persist=").size());
+      continue;
+    }
+    if (arg == "--access-log") {
+      access_log = true;
+      continue;
+    }
+    if (arg.rfind("--access-log=", 0) == 0) {
+      access_log = true;
+      access_log_path = arg.substr(std::string("--access-log=").size());
+      continue;
+    }
+    if (arg == "--debug-endpoints") {
+      debug_endpoints = true;
       continue;
     }
     std::fprintf(stderr, "prox_server: unknown flag %s\n", arg.c_str());
@@ -160,7 +187,27 @@ int main(int argc, char** argv) {
     }
   }
 
-  serve::Router router(&session, &cache);
+  // The sink (and its FILE*) must outlive the server; both are released
+  // only after Stop() below has drained every worker.
+  std::FILE* access_log_file = nullptr;
+  std::unique_ptr<obs::FileLogSink> access_log_sink;
+  if (access_log) {
+    if (!access_log_path.empty()) {
+      access_log_file = std::fopen(access_log_path.c_str(), "a");
+      if (access_log_file == nullptr) {
+        std::fprintf(stderr, "prox_server: cannot open access log %s\n",
+                     access_log_path.c_str());
+        return 1;
+      }
+    }
+    access_log_sink = std::make_unique<obs::FileLogSink>(
+        access_log_file != nullptr ? access_log_file : stderr);
+    obs::SetAccessLogSink(access_log_sink.get());
+  }
+
+  serve::Router::Options router_options;
+  router_options.debug_endpoints = debug_endpoints;
+  serve::Router router(&session, &cache, router_options);
 
   serve::HttpServer::Options options;
   options.port = static_cast<int>(port);
@@ -184,6 +231,10 @@ int main(int argc, char** argv) {
   std::printf("prox_server: signal %d, draining\n", signal_number);
   std::fflush(stdout);
   server.Stop();
+  if (access_log_sink != nullptr) {
+    obs::SetAccessLogSink(nullptr);
+    if (access_log_file != nullptr) std::fclose(access_log_file);
+  }
 
   if (!cache_persist.empty()) {
     // Persist with the *boot-time* fingerprint: summarize runs registered

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Access-log schema check (docs/OBSERVABILITY.md, "Access-log schema"):
+# run the demo CLI with --log-json, feed every emitted access line back
+# through `prox_cli --validate-access-log` (which compares each line's
+# key set to obs::AccessLogSchemaKeys()), then cross-check the same key
+# set against the documented schema table. Three sources of truth — the
+# writer, the validator, the docs — must agree.
+#
+# Usage: scripts/check_log_schema.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+build_dir=${1:-build}
+cli_bin="$build_dir/examples/prox_cli"
+
+if [[ ! -x "$cli_bin" ]]; then
+  echo "check_log_schema: $cli_bin not built (cmake --build $build_dir)" >&2
+  exit 1
+fi
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+fail() {
+  echo "check_log_schema: FAIL: $*" >&2
+  exit 1
+}
+
+# 1. The demo emits JSON lines on stderr; keep only the access lines.
+"$cli_bin" --demo --log-json >/dev/null 2>"$tmpdir/log.jsonl" \
+  || fail "prox_cli --demo --log-json exited non-zero"
+grep '"event":"access"' "$tmpdir/log.jsonl" >"$tmpdir/access.jsonl" \
+  || fail "demo run emitted no access lines"
+
+# 2. Writer vs validator: every line must carry exactly the schema keys.
+"$cli_bin" --validate-access-log <"$tmpdir/access.jsonl" \
+  || fail "access lines do not match obs::AccessLogSchemaKeys()"
+
+# 3. Writer vs docs: the keys of an actual line must equal the keys
+# documented in the "Access-log schema" table.
+line_keys=$(head -1 "$tmpdir/access.jsonl" \
+            | grep -oE '"[a-z_]+":' | tr -d '":' | sort -u)
+doc_keys=$(sed -n '/^### Access-log schema/,/^#/p' docs/OBSERVABILITY.md \
+           | grep -oE '^\| `[a-z_]+`' | tr -d '|` ' | sort -u)
+[[ -n "$doc_keys" ]] || fail "no schema table found in docs/OBSERVABILITY.md"
+if ! diff <(echo "$line_keys") <(echo "$doc_keys") >"$tmpdir/keys.diff"; then
+  echo "check_log_schema: emitted keys and documented keys differ:" >&2
+  cat "$tmpdir/keys.diff" >&2
+  exit 1
+fi
+
+count=$(wc -l <"$tmpdir/access.jsonl")
+echo "check_log_schema: OK ($count access lines, schema in sync with docs)"

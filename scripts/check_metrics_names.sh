@@ -43,6 +43,27 @@ if [[ -n "$stale" ]]; then
   status=1
 fi
 
+# Naming conventions over the catalogue tables: counters must end in
+# `_total` (Prometheus convention), and no non-counter may claim the
+# suffix. The table rows carry the authoritative kind column.
+bad_counters=$(grep -E '^\| `prox_[a-z0-9_]+` \| counter \|' "$catalogue" \
+               | grep -oE '`prox_[a-z0-9_]+`' | tr -d '`' \
+               | grep -v '_total$' || true)
+if [[ -n "$bad_counters" ]]; then
+  echo "check_metrics_names: counters not ending in _total:" >&2
+  echo "$bad_counters" | sed 's/^/  /' >&2
+  status=1
+fi
+
+total_noncounters=$(grep -E '^\| `prox_[a-z0-9_]+_total` \| (gauge|histogram) \|' \
+                      "$catalogue" | grep -oE '`prox_[a-z0-9_]+`' | tr -d '`' \
+                    || true)
+if [[ -n "$total_noncounters" ]]; then
+  echo "check_metrics_names: non-counters ending in _total:" >&2
+  echo "$total_noncounters" | sed 's/^/  /' >&2
+  status=1
+fi
+
 if [[ $status -eq 0 ]]; then
   echo "check_metrics_names: $(echo "$used" | wc -l) metric names in sync"
 fi

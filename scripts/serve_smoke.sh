@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Smoke test for prox_server (docs/SERVING.md): boot on an ephemeral
-# port, exercise every endpoint with curl, check that a repeated
-# summarize is served from the SummaryCache with byte-identical body,
-# then SIGINT and require a clean drain (exit 0).
+# port with the access log and debug endpoints on, exercise every
+# endpoint with curl, check that a repeated summarize is served from the
+# SummaryCache with byte-identical body, that every response carries an
+# X-Prox-Trace-Id that also shows up in the access log and the flight
+# recorder, then SIGINT and require a clean drain (exit 0).
 #
 # Usage: scripts/serve_smoke.sh [build-dir]
 set -euo pipefail
@@ -33,6 +35,7 @@ fail() {
 }
 
 "$server_bin" --port=0 --threads=2 --cache-mb=16 --max-inflight=16 \
+  --access-log="$tmpdir/access.jsonl" --debug-endpoints \
   >"$tmpdir/server.log" 2>&1 &
 server_pid=$!
 
@@ -76,9 +79,30 @@ code=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
 
 curl -s "$base/metrics" >"$tmpdir/metrics.txt"
 for name in prox_serve_requests_total prox_serve_cache_hit_total \
-            prox_service_requests_total; do
+            prox_service_requests_total prox_serve_route_duration_nanos \
+            prox_serve_route_latency_p99_nanos prox_build_info; do
   grep -q "$name" "$tmpdir/metrics.txt" || fail "metrics missing $name"
 done
+
+# Tracing: the cold summarize's trace id must be a 32-hex string and
+# appear in both the response header and the access-log line for the
+# request, and the flight recorder must have retained the request.
+trace_id=$(grep -i '^x-prox-trace-id:' "$tmpdir/cold.h" \
+           | tr -d '\r' | awk '{print $2}')
+[[ "$trace_id" =~ ^[0-9a-f]{32}$ ]] \
+  || fail "cold response trace id '$trace_id' is not 32 hex chars"
+grep -q "\"trace_id\":\"$trace_id\"" "$tmpdir/access.jsonl" \
+  || fail "trace id $trace_id not found in the access log"
+grep -q '"event":"access"' "$tmpdir/access.jsonl" \
+  || fail "access log has no access lines"
+
+code=$(curl -s -o "$tmpdir/debug.json" -w '%{http_code}' \
+         "$base/v1/debug/requests")
+[[ "$code" == 200 ]] || fail "/v1/debug/requests returned $code"
+grep -q "\"trace_id\":\"$trace_id\"" "$tmpdir/debug.json" \
+  || fail "flight recorder did not retain trace $trace_id"
+grep -q '"spans":' "$tmpdir/debug.json" \
+  || fail "flight recorder entries carry no spans"
 
 kill -INT "$server_pid"
 server_exit=0

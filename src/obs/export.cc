@@ -84,15 +84,24 @@ std::string RenderPrometheus(const MetricsSnapshot& snapshot) {
   }
   for (const HistogramSample& h : snapshot.histograms) {
     AppendHelpType(&out, &seen, h.name, h.help, "histogram");
+    // OpenMetrics-style exemplar suffix for a bucket line; empty for
+    // buckets (and histograms) without one, leaving classic output
+    // byte-identical.
+    auto exemplar_suffix = [&h](size_t bucket) -> std::string {
+      if (bucket >= h.exemplar_trace_ids.size()) return "";
+      if (h.exemplar_trace_ids[bucket].empty()) return "";
+      return " # {trace_id=\"" + h.exemplar_trace_ids[bucket] + "\"} " +
+             FormatNumber(h.exemplar_values[bucket]);
+    };
     uint64_t cumulative = 0;
     for (size_t i = 0; i < h.bounds.size(); ++i) {
       cumulative += h.bucket_counts[i];
       out += h.name + "_bucket{" +
              LeLabel(h.labels, FormatNumber(h.bounds[i])) + "} " +
-             std::to_string(cumulative) + "\n";
+             std::to_string(cumulative) + exemplar_suffix(i) + "\n";
     }
     out += h.name + "_bucket{" + LeLabel(h.labels, "+Inf") + "} " +
-           std::to_string(h.count) + "\n";
+           std::to_string(h.count) + exemplar_suffix(h.bounds.size()) + "\n";
     out += SampleName(h.name + "_sum", h.labels) + " " +
            FormatNumber(h.sum) + "\n";
     out += SampleName(h.name + "_count", h.labels) + " " +

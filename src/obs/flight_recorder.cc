@@ -1,0 +1,58 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+
+namespace prox {
+namespace obs {
+
+FlightRecorder::FlightRecorder(Options options) : options_(options) {
+  if (options_.slowest_capacity == 0) options_.slowest_capacity = 1;
+  slowest_.reserve(options_.slowest_capacity);
+}
+
+void FlightRecorder::Record(RequestRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++recorded_total_;
+
+  if (options_.error_capacity > 0 && record.status >= options_.error_status) {
+    errors_.push_back(record);
+    if (errors_.size() > options_.error_capacity) errors_.pop_front();
+  }
+
+  const bool full = slowest_.size() >= options_.slowest_capacity;
+  if (full && record.latency_nanos <= slowest_.back().latency_nanos) {
+    return;  // not among the N slowest
+  }
+  if (full) slowest_.pop_back();  // evict the fastest retained request
+  auto insert_at = std::upper_bound(
+      slowest_.begin(), slowest_.end(), record,
+      [](const RequestRecord& a, const RequestRecord& b) {
+        return a.latency_nanos > b.latency_nanos;
+      });
+  slowest_.insert(insert_at, std::move(record));
+}
+
+std::vector<RequestRecord> FlightRecorder::SlowestSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slowest_;
+}
+
+std::vector<RequestRecord> FlightRecorder::ErrorsSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<RequestRecord>(errors_.begin(), errors_.end());
+}
+
+uint64_t FlightRecorder::recorded_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_total_;
+}
+
+void FlightRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  slowest_.clear();
+  errors_.clear();
+  recorded_total_ = 0;
+}
+
+}  // namespace obs
+}  // namespace prox

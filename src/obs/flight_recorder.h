@@ -1,0 +1,85 @@
+#ifndef PROX_OBS_FLIGHT_RECORDER_H_
+#define PROX_OBS_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace prox {
+namespace obs {
+
+/// \brief A bounded in-memory flight recorder: keeps the full span tree
+/// plus request metadata for the N *slowest* requests seen so far and,
+/// separately, the most recent M *errored* requests. `prox_server
+/// --debug-endpoints` exposes it at `GET /v1/debug/requests`
+/// (docs/OBSERVABILITY.md, "Flight recorder") so a slow `/v1/summarize`
+/// can be attributed to its selection, cache outcome, and per-step
+/// summarizer timings after the fact — without a debugger attached.
+///
+/// Eviction contract (tests/obs/flight_recorder_test.cc):
+///  * slowest set — when full, a new request only enters by beating the
+///    fastest retained one, which is evicted (keep-the-slowest order);
+///  * error ring — FIFO: the oldest error leaves when capacity is hit.
+/// Memory is bounded by `slowest_capacity + error_capacity` records of at
+/// most RequestContext::kMaxSpans spans each.
+
+/// Everything retained about one request.
+struct RequestRecord {
+  std::string trace_id;  ///< 32-hex trace id
+  std::string method;
+  std::string path;
+  int status = 0;
+  uint64_t bytes = 0;           ///< response body size
+  int64_t latency_nanos = 0;    ///< parsed request → rendered response
+  int64_t start_unix_ms = 0;    ///< wall clock at completion time
+  std::string cache;            ///< "hit" / "miss" / ""
+  std::vector<SpanRecord> spans;  ///< the request's span tree
+  uint64_t spans_dropped = 0;   ///< spans over RequestContext::kMaxSpans
+};
+
+class FlightRecorder {
+ public:
+  struct Options {
+    size_t slowest_capacity = 16;
+    size_t error_capacity = 16;
+    /// Responses with status >= this are retained in the error ring.
+    int error_status = 400;
+  };
+
+  FlightRecorder() : FlightRecorder(Options{}) {}
+  explicit FlightRecorder(Options options);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Considers one finished request for both retention sets. Thread-safe.
+  void Record(RequestRecord record);
+
+  /// The retained slowest requests, slowest first.
+  std::vector<RequestRecord> SlowestSnapshot() const;
+
+  /// The retained errored requests, oldest first.
+  std::vector<RequestRecord> ErrorsSnapshot() const;
+
+  /// Requests offered to Record() since construction.
+  uint64_t recorded_total() const;
+
+  void Clear();
+
+ private:
+  Options options_;
+  mutable std::mutex mu_;
+  /// Sorted by latency descending; back() is the eviction candidate.
+  std::vector<RequestRecord> slowest_;
+  std::deque<RequestRecord> errors_;
+  uint64_t recorded_total_ = 0;
+};
+
+}  // namespace obs
+}  // namespace prox
+
+#endif  // PROX_OBS_FLIGHT_RECORDER_H_

@@ -1,0 +1,248 @@
+#include "obs/log.h"
+
+#include <atomic>
+#include <chrono>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace prox {
+namespace obs {
+
+namespace {
+
+int64_t UnixMillisNow() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+Counter* LogLines(LogLevel level) {
+  return MetricsRegistry::Default().GetCounter(
+      "prox_log_lines_total", "Structured log lines emitted, by level.",
+      std::string("level=\"") + LogLevelName(level) + "\"");
+}
+
+Counter* LogSuppressed() {
+  return MetricsRegistry::Default().GetCounter(
+      "prox_log_suppressed_total",
+      "Warn/error log lines dropped by the per-event rate limiter.");
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "info";
+}
+
+void FileLogSink::Write(std::string_view line) {
+  if (stream_ == nullptr) return;
+  ::flockfile(stream_);
+  std::fwrite(line.data(), 1, line.size(), stream_);
+  std::fputc('\n', stream_);
+  // Per-line flush: file streams are fully buffered by default, and log
+  // lines must be visible to tail-ing readers (and survive a crash) the
+  // moment they are written.
+  std::fflush(stream_);
+  ::funlockfile(stream_);
+}
+
+void VectorLogSink::Write(std::string_view line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  lines_.emplace_back(line);
+}
+
+std::vector<std::string> VectorLogSink::lines() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lines_;
+}
+
+void VectorLogSink::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lines_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Logger
+// ---------------------------------------------------------------------------
+
+namespace {
+
+LogSink* StderrSink() {
+  static FileLogSink* sink = new FileLogSink(stderr);
+  return sink;
+}
+
+}  // namespace
+
+Logger::Logger() : sink_(StderrSink()) {}
+
+Logger& Logger::Default() {
+  static Logger* logger = new Logger();
+  return *logger;
+}
+
+void Logger::SetMinLevel(LogLevel level) {
+  std::lock_guard<std::mutex> lock(mu_);
+  min_level_ = level;
+}
+
+LogLevel Logger::min_level() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_level_;
+}
+
+void Logger::SetSink(LogSink* sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_ = sink != nullptr ? sink : StderrSink();
+}
+
+bool Logger::ShouldLog(LogLevel level) const {
+  if (!Enabled()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  return level >= min_level_;
+}
+
+bool Logger::Admit(const std::string& event, uint64_t* suppressed) {
+  const int64_t now = TraceNowNanos();
+  std::lock_guard<std::mutex> lock(mu_);
+  Bucket* bucket = nullptr;
+  for (auto& [name, b] : buckets_) {
+    if (name == event) {
+      bucket = &b;
+      break;
+    }
+  }
+  if (bucket == nullptr) {
+    buckets_.emplace_back(event, Bucket{});
+    bucket = &buckets_.back().second;
+    bucket->last_nanos = now;
+  }
+  const double elapsed_s =
+      static_cast<double>(now - bucket->last_nanos) / 1e9;
+  bucket->last_nanos = now;
+  bucket->tokens += elapsed_s * kRateLimitPerSec;
+  if (bucket->tokens > kRateLimitBurst) bucket->tokens = kRateLimitBurst;
+  if (bucket->tokens < 1.0) {
+    ++bucket->suppressed;
+    return false;
+  }
+  bucket->tokens -= 1.0;
+  *suppressed = bucket->suppressed;
+  bucket->suppressed = 0;
+  return true;
+}
+
+void Logger::Log(LogLevel level, std::string_view event,
+                 const JsonValue& fields) {
+  if (!ShouldLog(level)) return;
+  uint64_t suppressed = 0;
+  if (level >= LogLevel::kWarn) {
+    if (!Admit(std::string(event), &suppressed)) {
+      LogSuppressed()->Increment();
+      return;
+    }
+  }
+
+  JsonValue doc = JsonValue::Object();
+  doc.Set("ts_unix_ms", JsonValue::Int(UnixMillisNow()));
+  doc.Set("level", JsonValue::Str(LogLevelName(level)));
+  doc.Set("event", JsonValue::Str(std::string(event)));
+  if (fields.is_object()) {
+    for (const auto& [key, value] : fields.members()) {
+      doc.Set(key, value);
+    }
+  }
+  if (suppressed > 0) {
+    doc.Set("suppressed", JsonValue::Int(static_cast<int64_t>(suppressed)));
+  }
+  LogLines(level)->Increment();
+
+  LogSink* sink;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sink = sink_;
+  }
+  sink->Write(WriteJson(doc));
+}
+
+void LogInfo(std::string_view event, const JsonValue& fields) {
+  Logger::Default().Log(LogLevel::kInfo, event, fields);
+}
+
+void LogWarn(std::string_view event, const JsonValue& fields) {
+  Logger::Default().Log(LogLevel::kWarn, event, fields);
+}
+
+void LogError(std::string_view event, const JsonValue& fields) {
+  Logger::Default().Log(LogLevel::kError, event, fields);
+}
+
+// ---------------------------------------------------------------------------
+// Access log
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::atomic<LogSink*> g_access_sink{nullptr};
+
+Counter* AccessLines() {
+  return MetricsRegistry::Default().GetCounter(
+      "prox_log_access_lines_total", "Access-log lines written.");
+}
+
+}  // namespace
+
+const std::vector<std::string>& AccessLogSchemaKeys() {
+  static const std::vector<std::string>* keys = new std::vector<std::string>{
+      "bytes",  "cache",  "event",    "latency_us", "level", "method",
+      "path",   "shed",   "status",   "trace_id",   "ts_unix_ms"};
+  return *keys;
+}
+
+std::string RenderAccessLogLine(const AccessLogRecord& record,
+                                int64_t ts_unix_ms) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("ts_unix_ms", JsonValue::Int(ts_unix_ms));
+  doc.Set("level", JsonValue::Str("info"));
+  doc.Set("event", JsonValue::Str("access"));
+  doc.Set("method", JsonValue::Str(record.method));
+  doc.Set("path", JsonValue::Str(record.path));
+  doc.Set("status", JsonValue::Int(record.status));
+  doc.Set("bytes", JsonValue::Int(static_cast<int64_t>(record.bytes)));
+  doc.Set("latency_us", JsonValue::Int(record.latency_us));
+  doc.Set("trace_id", JsonValue::Str(record.trace_id));
+  doc.Set("cache", JsonValue::Str(record.cache));
+  doc.Set("shed", JsonValue::Bool(record.shed));
+  return WriteJson(doc);
+}
+
+void SetAccessLogSink(LogSink* sink) {
+  g_access_sink.store(sink, std::memory_order_release);
+}
+
+bool AccessLogEnabled() {
+  return Enabled() &&
+         g_access_sink.load(std::memory_order_acquire) != nullptr;
+}
+
+void WriteAccessLog(const AccessLogRecord& record) {
+  if (!Enabled()) return;
+  LogSink* sink = g_access_sink.load(std::memory_order_acquire);
+  if (sink == nullptr) return;
+  AccessLines()->Increment();
+  sink->Write(RenderAccessLogLine(record, UnixMillisNow()));
+}
+
+}  // namespace obs
+}  // namespace prox

@@ -1,0 +1,161 @@
+#ifndef PROX_OBS_LOG_H_
+#define PROX_OBS_LOG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.h"
+
+namespace prox {
+namespace obs {
+
+/// \brief Structured JSON-lines logging (docs/OBSERVABILITY.md,
+/// "Structured logging"): a leveled process logger with per-event rate
+/// limiting on warn/error, plus the per-request access log the serving
+/// layer writes behind `prox_server --access-log` / `prox_cli --log-json`.
+///
+/// Every line is one RFC 8259 JSON object built with `common/json`, so
+/// the writer and `scripts/check_log_schema.sh`'s validator agree on the
+/// encoding byte for byte. Logging honors the same kill switches as the
+/// metrics registry: with `PROX_OBS=0` nothing is emitted.
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// "debug" / "info" / "warn" / "error".
+const char* LogLevelName(LogLevel level);
+
+/// Destination for rendered lines (each `line` is one JSON object, no
+/// trailing newline — the sink appends it).
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void Write(std::string_view line) = 0;
+};
+
+/// Writes lines to a stdio stream (not owned). Thread-safe: one line per
+/// Write under flockfile, so concurrent workers never interleave bytes.
+class FileLogSink : public LogSink {
+ public:
+  explicit FileLogSink(std::FILE* stream) : stream_(stream) {}
+  void Write(std::string_view line) override;
+
+ private:
+  std::FILE* stream_;
+};
+
+/// Collects lines in memory (tests and the schema checker).
+class VectorLogSink : public LogSink {
+ public:
+  void Write(std::string_view line) override;
+  std::vector<std::string> lines() const;
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::string> lines_;
+};
+
+/// \brief The process logger. `Log()` renders `{"ts_unix_ms":...,
+/// "level":"...", "event":"...", ...fields}` and hands it to the sink.
+/// Warn/error events are rate-limited per event name (a token bucket:
+/// `kRateLimitBurst` lines, refilling `kRateLimitPerSec`/s); suppressed
+/// lines are counted in `prox_log_suppressed_total` and the next emitted
+/// line of that event carries a `"suppressed": N` field.
+class Logger {
+ public:
+  static constexpr int kRateLimitBurst = 10;
+  static constexpr int kRateLimitPerSec = 5;
+
+  static Logger& Default();
+
+  /// Below `level`, Log() is a no-op. Default: kInfo.
+  void SetMinLevel(LogLevel level);
+  LogLevel min_level() const;
+
+  /// Replaces the sink (nullptr restores the default stderr sink). The
+  /// sink must outlive its installation.
+  void SetSink(LogSink* sink);
+
+  /// Emits one line. `fields` must be a JSON object; its members are
+  /// appended after the standard ts/level/event prefix.
+  void Log(LogLevel level, std::string_view event,
+           const JsonValue& fields = JsonValue::Object());
+
+  bool ShouldLog(LogLevel level) const;
+
+ private:
+  Logger();
+
+  struct Bucket {
+    double tokens = kRateLimitBurst;
+    int64_t last_nanos = 0;
+    uint64_t suppressed = 0;
+  };
+
+  /// False when the event is over its rate; updates the bucket either way
+  /// and reports previously suppressed lines through *suppressed.
+  bool Admit(const std::string& event, uint64_t* suppressed);
+
+  mutable std::mutex mu_;
+  LogSink* sink_;
+  LogLevel min_level_ = LogLevel::kInfo;
+  std::vector<std::pair<std::string, Bucket>> buckets_;
+};
+
+/// Convenience wrappers over Logger::Default().
+void LogInfo(std::string_view event,
+             const JsonValue& fields = JsonValue::Object());
+void LogWarn(std::string_view event,
+             const JsonValue& fields = JsonValue::Object());
+void LogError(std::string_view event,
+              const JsonValue& fields = JsonValue::Object());
+
+// ---------------------------------------------------------------------------
+// Access log
+// ---------------------------------------------------------------------------
+
+/// One served request (or shed connection), the fields of the documented
+/// access-log schema. `latency_us` is wall time from parsed request to
+/// rendered response; `bytes` is the response body size; `cache` is the
+/// `X-Prox-Cache` outcome ("hit" / "miss" / "" for routes without a
+/// cache); `shed` marks connections answered with the canned overload 503
+/// before reaching the router (method/path are empty then).
+struct AccessLogRecord {
+  std::string method;
+  std::string path;
+  int status = 0;
+  uint64_t bytes = 0;
+  int64_t latency_us = 0;
+  std::string trace_id;
+  std::string cache;
+  bool shed = false;
+};
+
+/// The exact key set of an access-log line, sorted — the contract
+/// `scripts/check_log_schema.sh` and the docs table enforce.
+const std::vector<std::string>& AccessLogSchemaKeys();
+
+/// Renders the line (one JSON object, keys in schema order, no newline).
+/// `ts_unix_ms` is wall-clock milliseconds; pass a fixed value in tests
+/// for byte-stable output, or use the WriteAccessLog overload that stamps
+/// the current time.
+std::string RenderAccessLogLine(const AccessLogRecord& record,
+                                int64_t ts_unix_ms);
+
+/// Installs the access-log destination; nullptr disables (the default —
+/// access logging is opt-in via `--access-log` / `--log-json`).
+void SetAccessLogSink(LogSink* sink);
+bool AccessLogEnabled();
+
+/// Stamps the current wall clock and writes the line to the installed
+/// sink; a no-op when disabled or when obs recording is off.
+void WriteAccessLog(const AccessLogRecord& record);
+
+}  // namespace obs
+}  // namespace prox
+
+#endif  // PROX_OBS_LOG_H_

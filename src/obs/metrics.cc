@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cstdlib>
 
 #include "common/str_util.h"
@@ -41,9 +42,11 @@ Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
   std::sort(bounds_.begin(), bounds_.end());
   bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
   bucket_counts_ = std::vector<std::atomic<uint64_t>>(bounds_.size() + 1);
+  exemplars_.resize(bounds_.size() + 1);
 }
 
-void Histogram::Observe(double value) {
+void Histogram::ObserveWithExemplar(double value,
+                                    std::string_view trace_id_hex) {
   if (!Enabled()) return;
   // First bound >= value; past-the-end = the +Inf bucket.
   size_t bucket =
@@ -52,20 +55,60 @@ void Histogram::Observe(double value) {
   bucket_counts_[bucket].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   internal::AtomicAddDouble(&sum_, value);
+  if (trace_id_hex.empty()) return;
+  const size_t n = trace_id_hex.size() < 32 ? trace_id_hex.size() : 32;
+  std::lock_guard<std::mutex> lock(exemplar_mu_);
+  Exemplar& exemplar = exemplars_[bucket];
+  exemplar.value = value;
+  std::copy_n(trace_id_hex.data(), n, exemplar.trace_id);
+  exemplar.trace_id[n] = '\0';
 }
 
 void Histogram::Reset() {
   for (auto& c : bucket_counts_) c.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(exemplar_mu_);
+  std::fill(exemplars_.begin(), exemplars_.end(), Exemplar{});
 }
 
 std::vector<double> LatencyBucketsNanos() {
   return {1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10};
 }
 
+std::vector<double> RequestLatencyBucketsNanos() {
+  std::vector<double> bounds;
+  for (double decade = 1e3; decade < 1e10; decade *= 10) {
+    bounds.push_back(decade);
+    bounds.push_back(2 * decade);
+    bounds.push_back(5 * decade);
+  }
+  bounds.push_back(1e10);
+  return bounds;
+}
+
 std::vector<double> CountBuckets() {
   return {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 5000};
+}
+
+#ifndef PROX_VERSION_STRING
+#define PROX_VERSION_STRING "unknown"
+#endif
+
+void UpdateProcessMetrics() {
+  static Gauge* build_info = MetricsRegistry::Default().GetGauge(
+      "prox_build_info",
+      "Constant 1; the version label identifies the build.",
+      "version=\"" PROX_VERSION_STRING "\"");
+  static Gauge* uptime = MetricsRegistry::Default().GetGauge(
+      "prox_uptime_seconds",
+      "Seconds since prox::obs was first touched in this process.");
+  static const std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  build_info->Set(1.0);
+  uptime->Set(std::chrono::duration_cast<std::chrono::duration<double>>(
+                  std::chrono::steady_clock::now() - start)
+                  .count());
 }
 
 // ---------------------------------------------------------------------------
@@ -223,6 +266,25 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
         }
         s.count = e->histogram->count();
         s.sum = e->histogram->sum();
+        {
+          std::lock_guard<std::mutex> exemplar_lock(
+              e->histogram->exemplar_mu_);
+          const auto& exemplars = e->histogram->exemplars_;
+          bool any = false;
+          for (const auto& x : exemplars) {
+            if (x.trace_id[0] != '\0') { any = true; break; }
+          }
+          // Vectors stay empty for exemplar-free histograms so existing
+          // consumers (and the Prometheus golden output) are unaffected.
+          if (any) {
+            s.exemplar_trace_ids.reserve(exemplars.size());
+            s.exemplar_values.reserve(exemplars.size());
+            for (const auto& x : exemplars) {
+              s.exemplar_trace_ids.emplace_back(x.trace_id);
+              s.exemplar_values.push_back(x.value);
+            }
+          }
+        }
         snapshot.histograms.push_back(std::move(s));
         break;
       }

@@ -97,9 +97,26 @@ class Gauge {
 /// A fixed-bucket histogram with Prometheus `le` (inclusive upper bound)
 /// semantics: observation v lands in the first bucket whose bound >= v;
 /// values above every bound land in the implicit +Inf bucket.
+///
+/// Each bucket can carry one *exemplar* — the most recent (value,
+/// trace id) pair observed into it via ObserveWithExemplar — which the
+/// Prometheus exporter renders OpenMetrics-style after the bucket line.
+/// An exemplar links a latency bucket back to a concrete request's trace
+/// id, so "what is slow" (the histogram) answers "show me one" (the
+/// flight recorder) directly.
 class Histogram {
  public:
-  void Observe(double value);
+  /// One bucket's exemplar. `trace_id[0] == 0` means unset.
+  struct Exemplar {
+    double value = 0.0;
+    char trace_id[33] = {0};  ///< 32-hex trace id, NUL-terminated
+  };
+
+  void Observe(double value) { ObserveWithExemplar(value, {}); }
+
+  /// Observe() plus an exemplar for the landing bucket. `trace_id_hex`
+  /// longer than 32 chars is truncated; empty records no exemplar.
+  void ObserveWithExemplar(double value, std::string_view trace_id_hex);
 
   /// Sorted inclusive upper bounds (the +Inf bucket is implicit).
   const std::vector<double>& bounds() const { return bounds_; }
@@ -115,13 +132,28 @@ class Histogram {
   std::vector<std::atomic<uint64_t>> bucket_counts_;  // bounds + 1 (+Inf)
   std::atomic<uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
+  /// Guards exemplars_ only; taken when an exemplar is written/read, never
+  /// on the plain Observe path.
+  std::mutex exemplar_mu_;
+  std::vector<Exemplar> exemplars_;  // bounds + 1 (+Inf)
 };
 
 /// Latency buckets for nanosecond durations: decades from 1 µs to 10 s.
 std::vector<double> LatencyBucketsNanos();
 
+/// Finer 1-2-5 nanosecond buckets (1 µs … 10 s) for the per-endpoint
+/// request histograms, where decade resolution is too coarse to gate an
+/// SLO on.
+std::vector<double> RequestLatencyBucketsNanos();
+
 /// Buckets for small cardinalities (candidates per step and the like).
 std::vector<double> CountBuckets();
+
+/// Refreshes the process-level gauges: `prox_build_info` (constant 1,
+/// version label) and `prox_uptime_seconds` (seconds since obs was first
+/// touched in this process). Call before exporting — the /metrics route
+/// and the CLI's --metrics-out both do.
+void UpdateProcessMetrics();
 
 // ---------------------------------------------------------------------------
 // Snapshots
@@ -147,6 +179,11 @@ struct HistogramSample {
   std::string help;
   std::vector<double> bounds;
   std::vector<uint64_t> bucket_counts;  ///< per bucket, NOT cumulative
+  /// Per-bucket exemplar trace ids ("" = none) and values, parallel to
+  /// bucket_counts. Empty vectors when the histogram carries no exemplars
+  /// at all (the common case for non-request histograms).
+  std::vector<std::string> exemplar_trace_ids;
+  std::vector<double> exemplar_values;
   uint64_t count = 0;
   double sum = 0.0;
 };

@@ -1,0 +1,154 @@
+#include "obs/request_context.h"
+
+#include <atomic>
+#include <chrono>
+#include <random>
+
+namespace prox {
+namespace obs {
+
+namespace {
+
+thread_local RequestContext* tls_request_context = nullptr;
+
+const char kHexDigits[] = "0123456789abcdef";
+
+void AppendHex64(uint64_t value, std::string* out) {
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out->push_back(kHexDigits[(value >> shift) & 0xF]);
+  }
+}
+
+/// -1 on a non-hex character. Upper-case hex is rejected: the W3C spec
+/// mandates lower-case in traceparent.
+int HexNibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+
+/// Parses exactly `text.size()` lower-case hex chars; false on any other
+/// byte.
+bool ParseHex64(std::string_view text, uint64_t* out) {
+  uint64_t value = 0;
+  for (char c : text) {
+    int nibble = HexNibble(c);
+    if (nibble < 0) return false;
+    value = (value << 4) | static_cast<uint64_t>(nibble);
+  }
+  *out = value;
+  return true;
+}
+
+/// splitmix64 finalizer: decorrelates the sequential counter bits.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::string TraceId::ToHex() const {
+  std::string out;
+  out.reserve(32);
+  AppendHex64(hi, &out);
+  AppendHex64(lo, &out);
+  return out;
+}
+
+bool ParseTraceparent(std::string_view header, TraceId* trace_id,
+                      uint64_t* parent_span_id, bool* sampled) {
+  // version(2) '-' trace-id(32) '-' parent-id(16) '-' flags(2); future
+  // versions may append fields after the flags, separated by another '-'.
+  if (header.size() < 55) return false;
+  if (header[2] != '-' || header[35] != '-' || header[52] != '-') {
+    return false;
+  }
+  uint64_t version = 0;
+  if (!ParseHex64(header.substr(0, 2), &version)) return false;
+  if (version == 0xFF) return false;  // reserved
+  if (version == 0 && header.size() != 55) return false;
+  if (version != 0 && header.size() > 55 && header[55] != '-') return false;
+
+  TraceId id;
+  uint64_t parent = 0;
+  uint64_t flags = 0;
+  if (!ParseHex64(header.substr(3, 16), &id.hi)) return false;
+  if (!ParseHex64(header.substr(19, 16), &id.lo)) return false;
+  if (!ParseHex64(header.substr(36, 16), &parent)) return false;
+  if (!ParseHex64(header.substr(53, 2), &flags)) return false;
+  if (id.IsZero() || parent == 0) return false;
+
+  *trace_id = id;
+  *parent_span_id = parent;
+  *sampled = (flags & 0x1) != 0;
+  return true;
+}
+
+std::string FormatTraceparent(const TraceId& trace_id, uint64_t span_id,
+                              bool sampled) {
+  std::string out;
+  out.reserve(55);
+  out += "00-";
+  AppendHex64(trace_id.hi, &out);
+  AppendHex64(trace_id.lo, &out);
+  out.push_back('-');
+  AppendHex64(span_id, &out);
+  out += sampled ? "-01" : "-00";
+  return out;
+}
+
+TraceId MintTraceId() {
+  static const uint64_t base_hi = [] {
+    std::random_device rd;
+    return (static_cast<uint64_t>(rd()) << 32) ^ rd() ^
+           static_cast<uint64_t>(std::chrono::steady_clock::now()
+                                     .time_since_epoch()
+                                     .count());
+  }();
+  static std::atomic<uint64_t> next{1};
+  const uint64_t n = next.fetch_add(1, std::memory_order_relaxed);
+  TraceId id;
+  id.hi = Mix64(base_hi ^ n);
+  id.lo = Mix64(base_hi + n * 0x9e3779b97f4a7c15ULL + 0x517cc1b727220a95ULL);
+  if (id.IsZero()) id.lo = 1;  // the spec forbids all-zero ids
+  return id;
+}
+
+RequestContext RequestContext::FromTraceparent(std::string_view header) {
+  RequestContext context;
+  if (header.empty()) return context;
+  TraceId id;
+  uint64_t parent = 0;
+  bool sampled = true;
+  if (ParseTraceparent(header, &id, &parent, &sampled)) {
+    context.trace_id_ = id;
+    context.parent_span_id_ = parent;
+    context.sampled_ = sampled;
+    context.propagated_ = true;
+  }
+  return context;
+}
+
+void RequestContext::CollectSpan(const SpanRecord& span) {
+  if (!sampled_) return;
+  if (spans_.size() >= kMaxSpans) {
+    ++spans_dropped_;
+    return;
+  }
+  spans_.push_back(span);
+}
+
+RequestScope::RequestScope(RequestContext* context)
+    : previous_(tls_request_context) {
+  tls_request_context = context;
+}
+
+RequestScope::~RequestScope() { tls_request_context = previous_; }
+
+RequestContext* CurrentRequestContext() { return tls_request_context; }
+
+}  // namespace obs
+}  // namespace prox

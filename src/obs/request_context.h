@@ -1,0 +1,133 @@
+#ifndef PROX_OBS_REQUEST_CONTEXT_H_
+#define PROX_OBS_REQUEST_CONTEXT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace prox {
+namespace obs {
+
+/// \brief Request-scoped tracing: a 128-bit trace id plus a sampling
+/// decision, created once per inbound request and installed for the
+/// handling thread so every `TraceSpan` the request opens — router,
+/// services, summarizer — is stamped with the request's trace id and
+/// collected into a per-request span tree (docs/OBSERVABILITY.md,
+/// "Request tracing").
+///
+/// Interop follows the W3C Trace Context recommendation: an incoming
+/// `traceparent` header (`00-<32 hex trace-id>-<16 hex parent-id>-<2 hex
+/// flags>`) is honored when well-formed, otherwise a fresh id is minted.
+/// The id travels back to the client as `X-Prox-Trace-Id`, appears in the
+/// access log line, and keys the flight-recorder entries — one id
+/// correlates all three.
+
+/// A 128-bit trace id. Zero is invalid (the W3C spec reserves it).
+struct TraceId {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  bool IsZero() const { return hi == 0 && lo == 0; }
+  /// 32 lower-case hex characters, zero-padded (the traceparent field).
+  std::string ToHex() const;
+
+  bool operator==(const TraceId& other) const {
+    return hi == other.hi && lo == other.lo;
+  }
+  bool operator!=(const TraceId& other) const { return !(*this == other); }
+};
+
+/// Parses a W3C `traceparent` header value. Returns true and fills the
+/// outputs only for a well-formed header: four `-`-separated fields of
+/// exactly 2/32/16/2 lower-case hex characters, a version that is not the
+/// reserved "ff", and non-zero trace and parent ids. Future versions
+/// (anything other than "00") are accepted as long as the 00-format
+/// prefix parses — the spec's forward-compatibility rule. `*sampled` is
+/// bit 0 of the flags field.
+bool ParseTraceparent(std::string_view header, TraceId* trace_id,
+                      uint64_t* parent_span_id, bool* sampled);
+
+/// Renders a version-00 traceparent for propagating `trace_id` downstream
+/// with `span_id` as the parent.
+std::string FormatTraceparent(const TraceId& trace_id, uint64_t span_id,
+                              bool sampled);
+
+/// Mints a fresh non-zero trace id: a per-process random base mixed with
+/// an atomic counter, so ids are unique within and across processes.
+TraceId MintTraceId();
+
+/// \brief Everything the serving layer tracks about one request: identity
+/// (trace id, sampling), provenance of the id (propagated vs minted), and
+/// the bounded span tree collected while the request's `RequestScope` was
+/// installed.
+///
+/// Not thread-safe: one context belongs to the one thread handling its
+/// request (parallel summarizer workers do not record spans — see
+/// docs/PARALLELISM.md — so the collection stays single-threaded).
+class RequestContext {
+ public:
+  /// Spans retained per request; beyond this the recorder keeps the
+  /// earliest spans and counts the overflow in spans_dropped().
+  static constexpr size_t kMaxSpans = 512;
+
+  /// Builds a context from an inbound `traceparent` value. Empty or
+  /// malformed headers mint a fresh sampled id; well-formed ones are
+  /// honored (id, parent, sampling bit).
+  static RequestContext FromTraceparent(std::string_view header);
+
+  /// A fresh, sampled context with a minted id.
+  RequestContext() : trace_id_(MintTraceId()) {}
+
+  const TraceId& trace_id() const { return trace_id_; }
+  bool sampled() const { return sampled_; }
+  /// True when the id came from an inbound traceparent header.
+  bool propagated() const { return propagated_; }
+  /// The caller's span id (0 unless propagated).
+  uint64_t parent_span_id() const { return parent_span_id_; }
+
+  /// Appends one completed span (called from TraceSpan::Close via the
+  /// installed scope). Unsampled contexts collect nothing.
+  void CollectSpan(const SpanRecord& span);
+
+  const std::vector<SpanRecord>& spans() const { return spans_; }
+  uint64_t spans_dropped() const { return spans_dropped_; }
+
+  /// Releases the collected spans (the flight recorder takes them).
+  std::vector<SpanRecord> TakeSpans() { return std::move(spans_); }
+
+ private:
+  TraceId trace_id_;
+  uint64_t parent_span_id_ = 0;
+  bool sampled_ = true;
+  bool propagated_ = false;
+  std::vector<SpanRecord> spans_;
+  uint64_t spans_dropped_ = 0;
+};
+
+/// \brief RAII installer: makes `context` the current thread's request
+/// context for its lifetime (nesting restores the previous one). While
+/// installed, every TraceSpan closed on this thread is stamped with the
+/// context's trace id and collected into it.
+class RequestScope {
+ public:
+  explicit RequestScope(RequestContext* context);
+  ~RequestScope();
+
+  RequestScope(const RequestScope&) = delete;
+  RequestScope& operator=(const RequestScope&) = delete;
+
+ private:
+  RequestContext* previous_;
+};
+
+/// The installed context of the current thread, or nullptr outside any
+/// RequestScope.
+RequestContext* CurrentRequestContext();
+
+}  // namespace obs
+}  // namespace prox
+
+#endif  // PROX_OBS_REQUEST_CONTEXT_H_

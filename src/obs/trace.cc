@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "obs/metrics.h"
+#include "obs/request_context.h"
 
 namespace prox {
 namespace obs {
@@ -42,14 +43,23 @@ TraceBuffer& TraceBuffer::Default() {
 }
 
 void TraceBuffer::OnSpanEnd(const SpanRecord& span) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (ring_.size() < capacity_) {
-    ring_.push_back(span);
-  } else {
-    ring_[next_] = span;
-    next_ = (next_ + 1) % capacity_;
+  // Looked up outside the buffer lock; registration is idempotent.
+  static Counter* ring_dropped = MetricsRegistry::Default().GetCounter(
+      "prox_trace_ring_dropped_total",
+      "Spans evicted from a trace ring buffer to admit newer ones.");
+  bool evicted = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ring_.size() < capacity_) {
+      ring_.push_back(span);
+    } else {
+      ring_[next_] = span;
+      next_ = (next_ + 1) % capacity_;
+      evicted = true;
+    }
+    ++total_;
   }
-  ++total_;
+  if (evicted) ring_dropped->Increment();
 }
 
 std::vector<SpanRecord> TraceBuffer::Snapshot() const {
@@ -131,6 +141,14 @@ int64_t TraceSpan::Close() {
     record.name = name_;
     record.start_nanos = start_nanos_;
     record.duration_nanos = duration_nanos_;
+    // Stamp the request's trace id and collect the span into its context,
+    // so the global stream stays per-request attributable and the flight
+    // recorder gets the full tree (obs/request_context.h).
+    if (RequestContext* context = CurrentRequestContext()) {
+      record.trace_hi = context->trace_id().hi;
+      record.trace_lo = context->trace_id().lo;
+      context->CollectSpan(record);
+    }
     sink_->OnSpanEnd(record);
   }
   return duration_nanos_;

@@ -28,6 +28,13 @@ struct SpanRecord {
   const char* name = "";
   int64_t start_nanos = 0;  ///< since the process trace epoch (monotonic)
   int64_t duration_nanos = 0;
+  /// The 128-bit trace id of the request this span belongs to (both zero
+  /// for spans closed outside any obs::RequestScope). Stamped by
+  /// TraceSpan::Close from the installed request context
+  /// (obs/request_context.h), making the process-global span stream
+  /// attributable per request.
+  uint64_t trace_hi = 0;
+  uint64_t trace_lo = 0;
 };
 
 /// Destination for completed spans.
@@ -55,7 +62,10 @@ class TraceBuffer : public TraceSink {
   void Clear();
   size_t size() const;
   uint64_t total_recorded() const;
-  /// Spans evicted by the ring bound since construction / Clear().
+  /// Spans evicted by the ring bound since construction / Clear(). The
+  /// default buffer's evictions are also counted process-wide in
+  /// `prox_trace_ring_dropped_total` — eviction under pressure is
+  /// observable, never silent.
   uint64_t dropped() const;
 
  private:

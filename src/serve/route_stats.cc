@@ -1,0 +1,93 @@
+#include "serve/route_stats.h"
+
+#include <algorithm>
+
+namespace prox {
+namespace serve {
+
+namespace {
+
+/// Linear-rank percentile over an unsorted copy of the window (the same
+/// rank rule bench_serve_throughput applies client-side, so the two are
+/// comparable sample-for-sample).
+double Percentile(std::vector<int64_t> values, double p) {
+  if (values.empty()) return 0.0;
+  size_t rank = static_cast<size_t>(p * static_cast<double>(values.size() - 1));
+  std::nth_element(values.begin(), values.begin() + rank, values.end());
+  return static_cast<double>(values[rank]);
+}
+
+}  // namespace
+
+RouteStats::RouteStats(Options options) : options_(options) {
+  if (options_.window == 0) options_.window = 1;
+  if (options_.slo_target >= 1.0) options_.slo_target = 0.999;
+  if (options_.slo_target < 0.0) options_.slo_target = 0.0;
+}
+
+RouteStats::PerRoute& RouteStats::GetRouteLocked(const std::string& route) {
+  auto it = routes_.find(route);
+  if (it != routes_.end()) return it->second;
+
+  PerRoute state;
+  const std::string labels = "route=\"" + route + "\"";
+  auto& registry = obs::MetricsRegistry::Default();
+  state.duration = registry.GetHistogram(
+      "prox_serve_route_duration_nanos",
+      "Wall time from parsed request to rendered response, nanoseconds, "
+      "by route (1-2-5 buckets; slow buckets carry trace-id exemplars).",
+      obs::RequestLatencyBucketsNanos(), labels);
+  state.p50 = registry.GetGauge(
+      "prox_serve_route_latency_p50_nanos",
+      "Median latency over the rolling window of recent requests, by route.",
+      labels);
+  state.p99 = registry.GetGauge(
+      "prox_serve_route_latency_p99_nanos",
+      "99th-percentile latency over the rolling window of recent requests, "
+      "by route.",
+      labels);
+  state.burn_rate = registry.GetGauge(
+      "prox_serve_route_slo_burn_rate",
+      "Rate the route spends its latency error budget: fraction of "
+      "windowed requests over the SLO threshold divided by (1 - target). "
+      ">1 means the budget shrinks; sustained >1 pages.",
+      labels);
+  state.ring.reserve(options_.window);
+  return routes_.emplace(route, std::move(state)).first->second;
+}
+
+void RouteStats::Observe(const std::string& route, int64_t latency_nanos,
+                         std::string_view trace_id_hex) {
+  if (!obs::Enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  PerRoute& state = GetRouteLocked(route);
+  state.duration->ObserveWithExemplar(static_cast<double>(latency_nanos),
+                                      trace_id_hex);
+  if (state.ring.size() < options_.window) {
+    state.ring.push_back(latency_nanos);
+  } else {
+    state.ring[state.next] = latency_nanos;
+    state.next = (state.next + 1) % options_.window;
+  }
+}
+
+void RouteStats::ExportGauges() {
+  if (!obs::Enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [route, state] : routes_) {
+    (void)route;
+    if (state.ring.empty()) continue;
+    state.p50->Set(Percentile(state.ring, 0.50));
+    state.p99->Set(Percentile(state.ring, 0.99));
+    size_t over = 0;
+    for (int64_t nanos : state.ring) {
+      if (nanos > options_.slo_latency_nanos) ++over;
+    }
+    const double fraction_over =
+        static_cast<double>(over) / static_cast<double>(state.ring.size());
+    state.burn_rate->Set(fraction_over / (1.0 - options_.slo_target));
+  }
+}
+
+}  // namespace serve
+}  // namespace prox

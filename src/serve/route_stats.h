@@ -1,0 +1,79 @@
+#ifndef PROX_SERVE_ROUTE_STATS_H_
+#define PROX_SERVE_ROUTE_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace prox {
+namespace serve {
+
+/// \brief Per-endpoint latency accounting behind /metrics: a fine-grained
+/// le-histogram with trace-id exemplars, rolling-window p50/p99 gauges,
+/// and an SLO burn-rate gauge per route.
+///
+/// Observe() lands every request in
+/// `prox_serve_route_duration_nanos{route=...}` (1-2-5 buckets,
+/// obs::RequestLatencyBucketsNanos) and in a bounded ring of the most
+/// recent latencies. ExportGauges() — called by the /metrics handler just
+/// before rendering — recomputes from each ring:
+///
+///   prox_serve_route_latency_p50_nanos{route=...}
+///   prox_serve_route_latency_p99_nanos{route=...}
+///   prox_serve_route_slo_burn_rate{route=...}
+///
+/// Burn rate is the classic multi-window form collapsed to one window:
+/// (fraction of recent requests over `slo_latency_nanos`) divided by the
+/// error budget `1 - slo_target`. 1.0 means the budget is being spent
+/// exactly as fast as it accrues; above 1.0 the route is burning budget
+/// it does not have.
+///
+/// Thread-safe; Observe is called from every server worker.
+class RouteStats {
+ public:
+  struct Options {
+    size_t window = 1024;                     ///< latencies retained per route
+    int64_t slo_latency_nanos = 250'000'000;  ///< 250 ms objective
+    double slo_target = 0.99;  ///< fraction of requests that must meet it
+  };
+
+  RouteStats() : RouteStats(Options{}) {}
+  explicit RouteStats(Options options);
+
+  /// Records one request. `trace_id_hex` (32 lower-case hex chars, may be
+  /// empty) becomes the exemplar of the landing histogram bucket.
+  void Observe(const std::string& route, int64_t latency_nanos,
+               std::string_view trace_id_hex);
+
+  /// Recomputes the p50/p99 and burn-rate gauges from the current rings.
+  void ExportGauges();
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct PerRoute {
+    obs::Histogram* duration = nullptr;
+    obs::Gauge* p50 = nullptr;
+    obs::Gauge* p99 = nullptr;
+    obs::Gauge* burn_rate = nullptr;
+    std::vector<int64_t> ring;  ///< window of recent latencies
+    size_t next = 0;            ///< ring write position once full
+  };
+
+  /// Looks up (or registers) the per-route state. Caller holds mu_.
+  PerRoute& GetRouteLocked(const std::string& route);
+
+  Options options_;
+  std::mutex mu_;
+  std::map<std::string, PerRoute> routes_;
+};
+
+}  // namespace serve
+}  // namespace prox
+
+#endif  // PROX_SERVE_ROUTE_STATS_H_

@@ -1,10 +1,13 @@
 #include "serve/router.h"
 
+#include <chrono>
 #include <memory>
 #include <utility>
 
 #include "obs/export.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/request_context.h"
 #include "obs/trace.h"
 #include "serve/serve_metrics.h"
 #include "serve/wire.h"
@@ -41,6 +44,7 @@ const std::string& RouteLabel(const HttpRequest& request) {
   static const std::string kSummarize = "/v1/summarize";
   static const std::string kGroups = "/v1/summary/groups";
   static const std::string kEvaluate = "/v1/evaluate";
+  static const std::string kDebugRequests = "/v1/debug/requests";
   static const std::string kHealthz = "/healthz";
   static const std::string kMetrics = "/metrics";
   static const std::string kOther = "other";
@@ -48,17 +52,66 @@ const std::string& RouteLabel(const HttpRequest& request) {
   if (request.target == kSummarize) return kSummarize;
   if (request.target == kGroups) return kGroups;
   if (request.target == kEvaluate) return kEvaluate;
+  if (request.target == kDebugRequests) return kDebugRequests;
   if (request.target == kHealthz) return kHealthz;
   if (request.target == kMetrics) return kMetrics;
   return kOther;
 }
 
+/// The X-Prox-Cache value a handler attached, or "".
+std::string CacheOutcome(const HttpResponse& response) {
+  for (const auto& [name, value] : response.headers) {
+    if (name == "X-Prox-Cache") return value;
+  }
+  return std::string();
+}
+
+int64_t WallClockUnixMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+JsonValue SpanToJson(const obs::SpanRecord& span) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("id", JsonValue::Int(static_cast<int64_t>(span.id)));
+  doc.Set("parent", JsonValue::Int(static_cast<int64_t>(span.parent_id)));
+  doc.Set("depth", JsonValue::Int(span.depth));
+  doc.Set("name", JsonValue::Str(span.name));
+  doc.Set("start_nanos", JsonValue::Int(span.start_nanos));
+  doc.Set("duration_nanos", JsonValue::Int(span.duration_nanos));
+  return doc;
+}
+
+JsonValue RequestRecordToJson(const obs::RequestRecord& record) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("trace_id", JsonValue::Str(record.trace_id));
+  doc.Set("method", JsonValue::Str(record.method));
+  doc.Set("path", JsonValue::Str(record.path));
+  doc.Set("status", JsonValue::Int(record.status));
+  doc.Set("bytes", JsonValue::Int(static_cast<int64_t>(record.bytes)));
+  doc.Set("latency_nanos", JsonValue::Int(record.latency_nanos));
+  doc.Set("start_unix_ms", JsonValue::Int(record.start_unix_ms));
+  doc.Set("cache", JsonValue::Str(record.cache));
+  doc.Set("spans_dropped",
+          JsonValue::Int(static_cast<int64_t>(record.spans_dropped)));
+  JsonValue spans = JsonValue::Array();
+  for (const obs::SpanRecord& span : record.spans) {
+    spans.Append(SpanToJson(span));
+  }
+  doc.Set("spans", std::move(spans));
+  return doc;
+}
+
 }  // namespace
 
-Router::Router(ProxSession* session, SummaryCache* cache)
+Router::Router(ProxSession* session, SummaryCache* cache, Options options)
     : session_(session),
       cache_(cache),
+      options_(options),
       fingerprint_(DatasetFingerprint(session->dataset())),
+      route_stats_(options.route_stats),
+      recorder_(options.recorder),
       selection_key_(SelectAllKey()) {
   // The session starts with the whole provenance selected, so a summarize
   // with no prior select is well-defined (and cacheable under "all").
@@ -66,10 +119,65 @@ Router::Router(ProxSession* session, SummaryCache* cache)
 }
 
 HttpResponse Router::Handle(const HttpRequest& request) {
-  ServeRequests(RouteLabel(request))->Increment();
+  const std::string& route = RouteLabel(request);
+  ServeRequests(route)->Increment();
   static obs::Histogram* duration = ServeDuration();
-  obs::TraceSpan span("serve.request");
 
+  if (!obs::Enabled()) {
+    // Kill switch: no context, no trace header, no log, no recorder —
+    // the request costs what it did before tracing existed.
+    HttpResponse response = Dispatch(request);
+    ServeResponses(response.status)->Increment();
+    return response;
+  }
+
+  obs::RequestContext context =
+      obs::RequestContext::FromTraceparent(request.Header("traceparent"));
+  HttpResponse response;
+  int64_t latency_nanos = 0;
+  {
+    // Scope outlives the span close so serve.request itself is collected.
+    obs::RequestScope scope(&context);
+    obs::TraceSpan span("serve.request");
+    response = Dispatch(request);
+    latency_nanos = span.Close();
+  }
+
+  const std::string trace_hex = context.trace_id().ToHex();
+  response.headers.emplace_back("X-Prox-Trace-Id", trace_hex);
+  ServeResponses(response.status)->Increment();
+  duration->Observe(static_cast<double>(latency_nanos));
+  route_stats_.Observe(route, latency_nanos, trace_hex);
+
+  const std::string cache = CacheOutcome(response);
+  if (obs::AccessLogEnabled()) {
+    obs::AccessLogRecord line;
+    line.method = request.method;
+    line.path = request.target;
+    line.status = response.status;
+    line.bytes = response.body.size();
+    line.latency_us = latency_nanos / 1000;
+    line.trace_id = trace_hex;
+    line.cache = cache;
+    obs::WriteAccessLog(line);
+  }
+
+  obs::RequestRecord record;
+  record.trace_id = trace_hex;
+  record.method = request.method;
+  record.path = request.target;
+  record.status = response.status;
+  record.bytes = response.body.size();
+  record.latency_nanos = latency_nanos;
+  record.start_unix_ms = WallClockUnixMs();
+  record.cache = cache;
+  record.spans_dropped = context.spans_dropped();
+  record.spans = context.TakeSpans();
+  recorder_.Record(std::move(record));
+  return response;
+}
+
+HttpResponse Router::Dispatch(const HttpRequest& request) {
   HttpResponse response;
   if (request.target == "/healthz") {
     if (request.method != "GET") {
@@ -95,12 +203,15 @@ HttpResponse Router::Handle(const HttpRequest& request) {
   } else if (request.target == "/v1/evaluate") {
     response = request.method == "POST" ? HandleEvaluate(request)
                                         : SimpleError(405, "use POST");
+  } else if (request.target == "/v1/debug/requests" &&
+             options_.debug_endpoints) {
+    // Without the flag the route falls through to the 404 below, exactly
+    // as if it did not exist.
+    response = request.method == "GET" ? HandleDebugRequests()
+                                       : SimpleError(405, "use GET");
   } else {
     response = SimpleError(404, "no such endpoint: " + request.target);
   }
-
-  ServeResponses(response.status)->Increment();
-  duration->Observe(static_cast<double>(span.Close()));
   return response;
 }
 
@@ -236,11 +347,30 @@ HttpResponse Router::HandleEvaluate(const HttpRequest& request) {
 }
 
 HttpResponse Router::HandleMetrics() {
+  obs::UpdateProcessMetrics();
+  route_stats_.ExportGauges();
   HttpResponse response;
   response.content_type = "text/plain; version=0.0.4; charset=utf-8";
   response.body =
       obs::RenderPrometheus(obs::MetricsRegistry::Default().Snapshot());
   return response;
+}
+
+HttpResponse Router::HandleDebugRequests() {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("recorded_total",
+          JsonValue::Int(static_cast<int64_t>(recorder_.recorded_total())));
+  JsonValue slowest = JsonValue::Array();
+  for (const obs::RequestRecord& record : recorder_.SlowestSnapshot()) {
+    slowest.Append(RequestRecordToJson(record));
+  }
+  doc.Set("slowest", std::move(slowest));
+  JsonValue errors = JsonValue::Array();
+  for (const obs::RequestRecord& record : recorder_.ErrorsSnapshot()) {
+    errors.Append(RequestRecordToJson(record));
+  }
+  doc.Set("errors", std::move(errors));
+  return JsonResponse(200, doc);
 }
 
 }  // namespace serve

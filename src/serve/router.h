@@ -4,7 +4,9 @@
 #include <mutex>
 #include <string>
 
+#include "obs/flight_recorder.h"
 #include "serve/http.h"
+#include "serve/route_stats.h"
 #include "serve/summary_cache.h"
 #include "service/session.h"
 
@@ -20,8 +22,18 @@ namespace serve {
 ///   GET  /v1/summary/groups    groups subview of the latest summary
 ///   POST /v1/evaluate          approximate provisioning on summary or
 ///                              selection
+///   GET  /v1/debug/requests    flight recorder (404 unless
+///                              Options::debug_endpoints)
 ///   GET  /healthz              liveness
 ///   GET  /metrics              Prometheus text (prox::obs registry)
+///
+/// Every request is traced: Handle builds an obs::RequestContext from the
+/// inbound `traceparent` header (minting a fresh id when absent or
+/// malformed), installs it for the handling thread so the request's spans
+/// form a per-request tree, and returns the id as `X-Prox-Trace-Id`. The
+/// same id keys the access-log line (when enabled), the route histogram
+/// exemplar, and the flight-recorder entry. With obs recording off
+/// (PROX_OBS=0) all of this is skipped — no context, no header, no log.
 ///
 /// Summarize responses are served from the SummaryCache when the
 /// `(dataset fingerprint, selection, knobs)` key is present; misses
@@ -35,24 +47,44 @@ namespace serve {
 /// Thread-safe: Handle may be called from any number of server workers.
 class Router {
  public:
+  struct Options {
+    /// Serves GET /v1/debug/requests; off by default because the flight
+    /// recorder exposes request bodies' shapes and timings.
+    bool debug_endpoints = false;
+    obs::FlightRecorder::Options recorder;
+    RouteStats::Options route_stats;
+  };
+
   /// `session` and `cache` must outlive the router. The dataset
   /// fingerprint is computed here, once.
-  Router(ProxSession* session, SummaryCache* cache);
+  Router(ProxSession* session, SummaryCache* cache)
+      : Router(session, cache, Options{}) {}
+  Router(ProxSession* session, SummaryCache* cache, Options options);
 
   HttpResponse Handle(const HttpRequest& request);
 
   const std::string& dataset_fingerprint() const { return fingerprint_; }
+  const Options& options() const { return options_; }
+  obs::FlightRecorder& flight_recorder() { return recorder_; }
+  RouteStats& route_stats() { return route_stats_; }
 
  private:
+  /// The undecorated endpoint dispatch (no tracing, headers or logging).
+  HttpResponse Dispatch(const HttpRequest& request);
+
   HttpResponse HandleSelect(const HttpRequest& request);
   HttpResponse HandleSummarize(const HttpRequest& request);
   HttpResponse HandleGroups();
   HttpResponse HandleEvaluate(const HttpRequest& request);
   HttpResponse HandleMetrics();
+  HttpResponse HandleDebugRequests();
 
   ProxSession* session_;
   SummaryCache* cache_;
+  Options options_;
   std::string fingerprint_;
+  RouteStats route_stats_;
+  obs::FlightRecorder recorder_;
 
   /// Guards selection_key_ and all session_ calls, keeping the cache key
   /// consistent with the selection a computation actually ran on.

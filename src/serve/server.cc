@@ -10,6 +10,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/log.h"
 #include "serve/serve_metrics.h"
 
 namespace prox {
@@ -150,6 +151,15 @@ void HttpServer::AcceptLoop() {
     connections_metric->Increment();
     if (!Admit(fd)) {
       overload_metric->Increment();
+      // Shed connections never reach the router, so the access-log line
+      // for them is written here: status 503, shed=true, no method/path
+      // or trace id (the request was never parsed).
+      if (obs::AccessLogEnabled()) {
+        obs::AccessLogRecord line;
+        line.status = 503;
+        line.shed = true;
+        obs::WriteAccessLog(line);
+      }
       SendCannedResponse(fd, 503);
       ::close(fd);
     }

@@ -1,0 +1,127 @@
+/// Unit tests for obs::FlightRecorder: keep-the-slowest eviction and the
+/// FIFO error ring.
+
+#include "obs/flight_recorder.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace prox {
+namespace obs {
+namespace {
+
+RequestRecord MakeRecord(int64_t latency_nanos, int status = 200,
+                         const std::string& path = "/v1/summarize") {
+  RequestRecord record;
+  record.trace_id = "0123456789abcdef0123456789abcdef";
+  record.method = "POST";
+  record.path = path;
+  record.status = status;
+  record.latency_nanos = latency_nanos;
+  return record;
+}
+
+std::vector<int64_t> Latencies(const std::vector<RequestRecord>& records) {
+  std::vector<int64_t> out;
+  for (const RequestRecord& record : records) {
+    out.push_back(record.latency_nanos);
+  }
+  return out;
+}
+
+TEST(FlightRecorderTest, KeepsTheSlowestRequestsInOrder) {
+  FlightRecorder::Options options;
+  options.slowest_capacity = 3;
+  FlightRecorder recorder(options);
+
+  for (int64_t latency : {10, 30, 20, 5, 40}) {
+    recorder.Record(MakeRecord(latency));
+  }
+  // 5 never entered (slower requests already filled the set); 10 was
+  // evicted when 40 arrived.
+  EXPECT_EQ(Latencies(recorder.SlowestSnapshot()),
+            (std::vector<int64_t>{40, 30, 20}));
+  EXPECT_EQ(recorder.recorded_total(), 5u);
+}
+
+TEST(FlightRecorderTest, TiesDoNotEvictAnExistingRecord) {
+  FlightRecorder::Options options;
+  options.slowest_capacity = 2;
+  FlightRecorder recorder(options);
+  RequestRecord first = MakeRecord(20, 200, "/first");
+  RequestRecord second = MakeRecord(10, 200, "/second");
+  RequestRecord tied = MakeRecord(10, 200, "/tied");
+  recorder.Record(first);
+  recorder.Record(second);
+  recorder.Record(tied);  // equal to the fastest retained: skipped
+  std::vector<RequestRecord> slowest = recorder.SlowestSnapshot();
+  ASSERT_EQ(slowest.size(), 2u);
+  EXPECT_EQ(slowest[1].path, "/second");
+}
+
+TEST(FlightRecorderTest, ErrorRingIsFifoAndOldestFirst) {
+  FlightRecorder::Options options;
+  options.error_capacity = 2;
+  FlightRecorder recorder(options);
+  recorder.Record(MakeRecord(1, 400, "/a"));
+  recorder.Record(MakeRecord(1, 500, "/b"));
+  recorder.Record(MakeRecord(1, 404, "/c"));  // evicts /a
+  std::vector<RequestRecord> errors = recorder.ErrorsSnapshot();
+  ASSERT_EQ(errors.size(), 2u);
+  EXPECT_EQ(errors[0].path, "/b");
+  EXPECT_EQ(errors[1].path, "/c");
+}
+
+TEST(FlightRecorderTest, ErrorsAreRetainedRegardlessOfLatency) {
+  FlightRecorder::Options options;
+  options.slowest_capacity = 1;
+  FlightRecorder recorder(options);
+  recorder.Record(MakeRecord(1000, 200));
+  recorder.Record(MakeRecord(1, 500, "/fast-failure"));
+  // Too fast for the slowest set, but errors always land in the ring.
+  ASSERT_EQ(recorder.SlowestSnapshot().size(), 1u);
+  EXPECT_EQ(recorder.SlowestSnapshot()[0].status, 200);
+  ASSERT_EQ(recorder.ErrorsSnapshot().size(), 1u);
+  EXPECT_EQ(recorder.ErrorsSnapshot()[0].path, "/fast-failure");
+}
+
+TEST(FlightRecorderTest, SuccessesBelowTheErrorThresholdStayOut) {
+  FlightRecorder recorder;
+  recorder.Record(MakeRecord(1, 200));
+  recorder.Record(MakeRecord(1, 399));
+  EXPECT_TRUE(recorder.ErrorsSnapshot().empty());
+  recorder.Record(MakeRecord(1, 400));
+  EXPECT_EQ(recorder.ErrorsSnapshot().size(), 1u);
+}
+
+TEST(FlightRecorderTest, ClearResetsEverything) {
+  FlightRecorder recorder;
+  recorder.Record(MakeRecord(10, 200));
+  recorder.Record(MakeRecord(20, 500));
+  EXPECT_EQ(recorder.recorded_total(), 2u);
+  recorder.Clear();
+  EXPECT_TRUE(recorder.SlowestSnapshot().empty());
+  EXPECT_TRUE(recorder.ErrorsSnapshot().empty());
+  EXPECT_EQ(recorder.recorded_total(), 0u);
+}
+
+TEST(FlightRecorderTest, SpanTreesRideAlongWithTheRecord) {
+  FlightRecorder recorder;
+  RequestRecord record = MakeRecord(77);
+  SpanRecord span;
+  span.name = "serve.request";
+  record.spans.push_back(span);
+  record.spans_dropped = 3;
+  recorder.Record(std::move(record));
+  std::vector<RequestRecord> slowest = recorder.SlowestSnapshot();
+  ASSERT_EQ(slowest.size(), 1u);
+  ASSERT_EQ(slowest[0].spans.size(), 1u);
+  EXPECT_STREQ(slowest[0].spans[0].name, "serve.request");
+  EXPECT_EQ(slowest[0].spans_dropped, 3u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace prox

@@ -1,0 +1,160 @@
+/// Unit tests for obs::Logger and the access log: line schema, level
+/// filtering, and the per-event warn/error rate limiter.
+
+#include "obs/log.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "obs/metrics.h"
+
+namespace prox {
+namespace obs {
+namespace {
+
+std::vector<std::string> SortedKeys(const JsonValue& doc) {
+  std::vector<std::string> keys;
+  for (const auto& [key, value] : doc.members()) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+/// Installs a VectorLogSink for the test's lifetime.
+class SinkInstaller {
+ public:
+  SinkInstaller() { Logger::Default().SetSink(&sink_); }
+  ~SinkInstaller() {
+    Logger::Default().SetSink(nullptr);
+    Logger::Default().SetMinLevel(LogLevel::kInfo);
+  }
+  VectorLogSink& sink() { return sink_; }
+
+ private:
+  VectorLogSink sink_;
+};
+
+TEST(AccessLogTest, SchemaKeysAreSortedAndMatchTheRenderedLine) {
+  const std::vector<std::string>& schema = AccessLogSchemaKeys();
+  ASSERT_TRUE(std::is_sorted(schema.begin(), schema.end()));
+
+  AccessLogRecord record;
+  record.method = "POST";
+  record.path = "/v1/summarize";
+  record.status = 200;
+  record.bytes = 4092;
+  record.latency_us = 74354;
+  record.trace_id = "0123456789abcdef0123456789abcdef";
+  record.cache = "miss";
+  record.shed = false;
+  std::string line = RenderAccessLogLine(record, 1754000000000);
+
+  Result<JsonValue> doc = ParseJson(line);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(SortedKeys(doc.value()), schema);
+  EXPECT_EQ(doc.value().Find("event")->string_value(), "access");
+  EXPECT_EQ(doc.value().Find("trace_id")->string_value(), record.trace_id);
+  EXPECT_EQ(doc.value().Find("status")->int_value(), 200);
+}
+
+TEST(AccessLogTest, RenderedLineIsByteStable) {
+  AccessLogRecord record;
+  record.method = "GET";
+  record.path = "/healthz";
+  record.status = 200;
+  record.bytes = 57;
+  record.latency_us = 8;
+  record.trace_id = "00000000000000000000000000000001";
+  record.cache = "";
+  record.shed = false;
+  EXPECT_EQ(RenderAccessLogLine(record, 42),
+            "{\"ts_unix_ms\":42,\"level\":\"info\",\"event\":\"access\","
+            "\"method\":\"GET\",\"path\":\"/healthz\",\"status\":200,"
+            "\"bytes\":57,\"latency_us\":8,"
+            "\"trace_id\":\"00000000000000000000000000000001\","
+            "\"cache\":\"\",\"shed\":false}");
+}
+
+TEST(AccessLogTest, DisabledByDefaultAndGatedOnObs) {
+  AccessLogRecord record;
+  record.status = 503;
+  record.shed = true;
+  EXPECT_FALSE(AccessLogEnabled());
+  WriteAccessLog(record);  // no sink: must be a silent no-op
+
+  VectorLogSink sink;
+  SetAccessLogSink(&sink);
+  EXPECT_TRUE(AccessLogEnabled());
+  WriteAccessLog(record);
+  ASSERT_EQ(sink.lines().size(), 1u);
+  Result<JsonValue> doc = ParseJson(sink.lines()[0]);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(SortedKeys(doc.value()), AccessLogSchemaKeys());
+  EXPECT_TRUE(doc.value().Find("shed")->bool_value());
+
+  SetEnabled(false);
+  EXPECT_FALSE(AccessLogEnabled());
+  WriteAccessLog(record);
+  SetEnabled(true);
+  EXPECT_EQ(sink.lines().size(), 1u);  // nothing written while disabled
+  SetAccessLogSink(nullptr);
+}
+
+TEST(LoggerTest, LinesBelowMinLevelAreDropped) {
+  SinkInstaller installer;
+  LogInfo("test.info");
+  Logger::Default().Log(LogLevel::kDebug, "test.debug");
+  ASSERT_EQ(installer.sink().lines().size(), 1u);
+  EXPECT_NE(installer.sink().lines()[0].find("\"event\":\"test.info\""),
+            std::string::npos);
+
+  Logger::Default().SetMinLevel(LogLevel::kError);
+  LogWarn("test.warn");
+  EXPECT_EQ(installer.sink().lines().size(), 1u);
+  LogError("test.error");
+  EXPECT_EQ(installer.sink().lines().size(), 2u);
+}
+
+TEST(LoggerTest, StandardPrefixAndFieldsAppearInOrder) {
+  SinkInstaller installer;
+  JsonValue fields = JsonValue::Object();
+  fields.Set("port", JsonValue::Int(8080));
+  LogInfo("test.fields", fields);
+  ASSERT_EQ(installer.sink().lines().size(), 1u);
+  Result<JsonValue> doc = ParseJson(installer.sink().lines()[0]);
+  ASSERT_TRUE(doc.ok());
+  const auto& members = doc.value().members();
+  ASSERT_GE(members.size(), 4u);
+  EXPECT_EQ(members[0].first, "ts_unix_ms");
+  EXPECT_EQ(members[1].first, "level");
+  EXPECT_EQ(members[2].first, "event");
+  EXPECT_EQ(members[3].first, "port");
+  EXPECT_EQ(members[3].second.int_value(), 8080);
+}
+
+TEST(LoggerTest, WarnLinesAreRateLimitedPerEvent) {
+  SinkInstaller installer;
+  const int emitted = Logger::kRateLimitBurst * 3;
+  for (int i = 0; i < emitted; ++i) LogWarn("test.flood");
+  const size_t flood_lines = installer.sink().lines().size();
+  // The burst passes; the rest is suppressed (the refill over this
+  // sub-millisecond loop admits at most one extra line).
+  EXPECT_GE(flood_lines, static_cast<size_t>(Logger::kRateLimitBurst));
+  EXPECT_LE(flood_lines, static_cast<size_t>(Logger::kRateLimitBurst) + 1);
+
+  // A different event has its own bucket and is not affected.
+  LogWarn("test.other");
+  EXPECT_EQ(installer.sink().lines().size(), flood_lines + 1);
+
+  // Info lines are never rate-limited.
+  installer.sink().Clear();
+  for (int i = 0; i < emitted; ++i) LogInfo("test.info_flood");
+  EXPECT_EQ(installer.sink().lines().size(), static_cast<size_t>(emitted));
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace prox

@@ -1,0 +1,211 @@
+/// Unit tests for obs::RequestContext: W3C traceparent parsing edges, id
+/// minting, and the thread-local RequestScope span-collection contract.
+
+#include "obs/request_context.h"
+
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace prox {
+namespace obs {
+namespace {
+
+constexpr char kValidTraceparent[] =
+    "00-0123456789abcdef0123456789abcdef-00f067aa0ba902b7-01";
+
+TEST(ParseTraceparentTest, WellFormedHeaderParses) {
+  TraceId id;
+  uint64_t parent = 0;
+  bool sampled = false;
+  ASSERT_TRUE(ParseTraceparent(kValidTraceparent, &id, &parent, &sampled));
+  EXPECT_EQ(id.hi, 0x0123456789abcdefULL);
+  EXPECT_EQ(id.lo, 0x0123456789abcdefULL);
+  EXPECT_EQ(parent, 0x00f067aa0ba902b7ULL);
+  EXPECT_TRUE(sampled);
+  EXPECT_EQ(id.ToHex(), "0123456789abcdef0123456789abcdef");
+}
+
+TEST(ParseTraceparentTest, FlagsBitZeroIsTheSamplingDecision) {
+  TraceId id;
+  uint64_t parent = 0;
+  bool sampled = true;
+  ASSERT_TRUE(ParseTraceparent(
+      "00-0123456789abcdef0123456789abcdef-00f067aa0ba902b7-00", &id, &parent,
+      &sampled));
+  EXPECT_FALSE(sampled);
+  // Bit 0 of 0x03 is set: sampled even though other bits are too.
+  ASSERT_TRUE(ParseTraceparent(
+      "00-0123456789abcdef0123456789abcdef-00f067aa0ba902b7-03", &id, &parent,
+      &sampled));
+  EXPECT_TRUE(sampled);
+}
+
+TEST(ParseTraceparentTest, MalformedHeadersAreRejected) {
+  TraceId id;
+  uint64_t parent = 0;
+  bool sampled = false;
+  const char* malformed[] = {
+      "",
+      "00",
+      // too short by one
+      "00-0123456789abcdef0123456789abcdef-00f067aa0ba902b7-0",
+      // wrong separators
+      "00_0123456789abcdef0123456789abcdef-00f067aa0ba902b7-01",
+      "00-0123456789abcdef0123456789abcdef_00f067aa0ba902b7-01",
+      // upper-case hex (the spec mandates lower-case)
+      "00-0123456789ABCDEF0123456789abcdef-00f067aa0ba902b7-01",
+      // non-hex bytes
+      "00-0123456789abcdeg0123456789abcdef-00f067aa0ba902b7-01",
+      // all-zero trace id / parent id are reserved
+      "00-00000000000000000000000000000000-00f067aa0ba902b7-01",
+      "00-0123456789abcdef0123456789abcdef-0000000000000000-01",
+      // version ff is reserved
+      "ff-0123456789abcdef0123456789abcdef-00f067aa0ba902b7-01",
+      // version 00 must be exactly 55 chars
+      "00-0123456789abcdef0123456789abcdef-00f067aa0ba902b7-01-extra",
+  };
+  for (const char* header : malformed) {
+    EXPECT_FALSE(ParseTraceparent(header, &id, &parent, &sampled))
+        << "accepted: " << header;
+  }
+}
+
+TEST(ParseTraceparentTest, FutureVersionsParseByTheirPrefix) {
+  TraceId id;
+  uint64_t parent = 0;
+  bool sampled = false;
+  // A future version may append '-'-separated fields after the flags.
+  EXPECT_TRUE(ParseTraceparent(
+      "cc-0123456789abcdef0123456789abcdef-00f067aa0ba902b7-01-what-ever",
+      &id, &parent, &sampled));
+  EXPECT_EQ(id.hi, 0x0123456789abcdefULL);
+  // ...but extra bytes without the separator are malformed.
+  EXPECT_FALSE(ParseTraceparent(
+      "cc-0123456789abcdef0123456789abcdef-00f067aa0ba902b7-01extra", &id,
+      &parent, &sampled));
+}
+
+TEST(ParseTraceparentTest, FormatRoundTrips) {
+  TraceId id;
+  id.hi = 0xdeadbeefcafef00dULL;
+  id.lo = 0x0123456789abcdefULL;
+  std::string header = FormatTraceparent(id, 0x00f067aa0ba902b7ULL, true);
+  EXPECT_EQ(header,
+            "00-deadbeefcafef00d0123456789abcdef-00f067aa0ba902b7-01");
+  TraceId parsed;
+  uint64_t parent = 0;
+  bool sampled = false;
+  ASSERT_TRUE(ParseTraceparent(header, &parsed, &parent, &sampled));
+  EXPECT_EQ(parsed, id);
+  EXPECT_EQ(parent, 0x00f067aa0ba902b7ULL);
+  EXPECT_TRUE(sampled);
+  EXPECT_EQ(FormatTraceparent(id, 1, false).substr(53), "00");
+}
+
+TEST(MintTraceIdTest, MintedIdsAreUniqueAndNonZero) {
+  std::set<std::string> seen;
+  for (int i = 0; i < 1000; ++i) {
+    TraceId id = MintTraceId();
+    EXPECT_FALSE(id.IsZero());
+    EXPECT_TRUE(seen.insert(id.ToHex()).second);
+  }
+}
+
+TEST(RequestContextTest, FromTraceparentHonorsWellFormedHeaders) {
+  RequestContext context = RequestContext::FromTraceparent(kValidTraceparent);
+  EXPECT_TRUE(context.propagated());
+  EXPECT_EQ(context.trace_id().ToHex(),
+            "0123456789abcdef0123456789abcdef");
+  EXPECT_EQ(context.parent_span_id(), 0x00f067aa0ba902b7ULL);
+  EXPECT_TRUE(context.sampled());
+}
+
+TEST(RequestContextTest, EmptyOrMalformedHeadersMintFreshSampledIds) {
+  RequestContext from_empty = RequestContext::FromTraceparent("");
+  EXPECT_FALSE(from_empty.propagated());
+  EXPECT_FALSE(from_empty.trace_id().IsZero());
+  EXPECT_TRUE(from_empty.sampled());
+
+  RequestContext from_garbage = RequestContext::FromTraceparent("not-a-header");
+  EXPECT_FALSE(from_garbage.propagated());
+  EXPECT_FALSE(from_garbage.trace_id().IsZero());
+  EXPECT_NE(from_garbage.trace_id(), from_empty.trace_id());
+}
+
+TEST(RequestScopeTest, SpansClosedInScopeAreStampedAndCollected) {
+  SetEnabled(true);
+  RequestContext context;
+  ASSERT_EQ(CurrentRequestContext(), nullptr);
+  {
+    RequestScope scope(&context);
+    ASSERT_EQ(CurrentRequestContext(), &context);
+    TraceSpan outer("test.outer");
+    { TraceSpan inner("test.inner"); }
+    outer.Close();
+  }
+  EXPECT_EQ(CurrentRequestContext(), nullptr);
+  ASSERT_EQ(context.spans().size(), 2u);  // inner closes first
+  EXPECT_STREQ(context.spans()[0].name, "test.inner");
+  EXPECT_STREQ(context.spans()[1].name, "test.outer");
+  for (const SpanRecord& span : context.spans()) {
+    EXPECT_EQ(span.trace_hi, context.trace_id().hi);
+    EXPECT_EQ(span.trace_lo, context.trace_id().lo);
+  }
+}
+
+TEST(RequestScopeTest, NestedScopesRestoreThePreviousContext) {
+  RequestContext outer_context;
+  RequestContext inner_context;
+  RequestScope outer(&outer_context);
+  {
+    RequestScope inner(&inner_context);
+    EXPECT_EQ(CurrentRequestContext(), &inner_context);
+  }
+  EXPECT_EQ(CurrentRequestContext(), &outer_context);
+}
+
+TEST(RequestContextTest, CollectionIsBoundedAndCountsDrops) {
+  RequestContext context;
+  SpanRecord span;
+  span.name = "test.flood";
+  for (size_t i = 0; i < RequestContext::kMaxSpans + 7; ++i) {
+    context.CollectSpan(span);
+  }
+  EXPECT_EQ(context.spans().size(), RequestContext::kMaxSpans);
+  EXPECT_EQ(context.spans_dropped(), 7u);
+  std::vector<SpanRecord> taken = context.TakeSpans();
+  EXPECT_EQ(taken.size(), RequestContext::kMaxSpans);
+}
+
+TEST(RequestContextTest, UnsampledContextsCollectNothing) {
+  // flags 00: the caller decided against sampling; honor it.
+  RequestContext context = RequestContext::FromTraceparent(
+      "00-0123456789abcdef0123456789abcdef-00f067aa0ba902b7-00");
+  ASSERT_FALSE(context.sampled());
+  SpanRecord span;
+  context.CollectSpan(span);
+  EXPECT_TRUE(context.spans().empty());
+  EXPECT_EQ(context.spans_dropped(), 0u);
+}
+
+TEST(RequestScopeTest, DisabledRecordingCollectsNothing) {
+  SetEnabled(false);
+  RequestContext context;
+  {
+    RequestScope scope(&context);
+    TraceSpan span("test.disabled");
+  }
+  SetEnabled(true);
+  EXPECT_TRUE(context.spans().empty());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace prox
