@@ -19,10 +19,14 @@
 #include <string_view>
 #include <vector>
 
+#include "common/cpu_features.h"
 #include "datasets/ddp.h"
 #include "datasets/movielens.h"
 #include "ir/adopt.h"
 #include "ir/term_pool.h"
+#include "kernels/batch_eval.h"
+#include "kernels/metrics.h"
+#include "kernels/valuation_block.h"
 #include "semiring/polynomial.h"
 #include "summarize/candidates.h"
 #include "summarize/distance.h"
@@ -171,6 +175,67 @@ void BM_DdpEvaluate(benchmark::State& state) {
 }
 BENCHMARK(BM_DdpEvaluate)->Arg(8)->Arg(32);
 
+// Batch kernels (docs/KERNELS.md): one EvaluateBlock pass over a grain-8
+// valuation block vs eight per-valuation Evaluate() walks of the same
+// flat expression — the raw speedup the oracles' batch path buys before
+// any VAL-FUNC reduction. PROX_SIMD / --simd caps apply, so
+// `PROX_SIMD=0 bench_core_micro` measures the scalar kernels.
+
+void BM_BatchEvaluateBlock(benchmark::State& state) {
+  Dataset ds = MakeMovies(static_cast<int>(state.range(0)));
+  auto pool = std::make_shared<ir::TermPool>();
+  auto flat = ir::Adopt(*ds.provenance, pool);
+  const kernels::BatchEvalFacade* facade = flat->AsBatchEval();
+  if (facade == nullptr) {
+    state.SkipWithError("no batch lowering");
+    return;
+  }
+  const kernels::BatchProgram program = facade->LowerBatch();
+  const size_t n = ds.registry->size();
+  std::vector<Valuation> valuations =
+      ds.valuation_class->Generate(*ds.provenance, ds.ctx);
+  const size_t width =
+      std::min<size_t>(EnumeratedDistance::kReductionGrain,
+                       valuations.size());
+  kernels::ValuationBlock block;
+  block.Reset(n, width);
+  for (size_t l = 0; l < width; ++l) {
+    block.FillLane(l, MaterializedValuation(valuations[l], n));
+  }
+  kernels::BlockEval evals;
+  for (auto _ : state) {
+    kernels::EvaluateBlock(program, block, &evals);
+    benchmark::DoNotOptimize(evals.values.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(width));
+}
+BENCHMARK(BM_BatchEvaluateBlock)->Arg(20)->Arg(40)->Arg(80);
+
+void BM_PerValuationEvaluateBlock(benchmark::State& state) {
+  Dataset ds = MakeMovies(static_cast<int>(state.range(0)));
+  auto pool = std::make_shared<ir::TermPool>();
+  auto flat = ir::Adopt(*ds.provenance, pool);
+  const size_t n = ds.registry->size();
+  std::vector<Valuation> valuations =
+      ds.valuation_class->Generate(*ds.provenance, ds.ctx);
+  const size_t width =
+      std::min<size_t>(EnumeratedDistance::kReductionGrain,
+                       valuations.size());
+  std::vector<MaterializedValuation> mats;
+  for (size_t l = 0; l < width; ++l) {
+    mats.emplace_back(valuations[l], n);
+  }
+  for (auto _ : state) {
+    for (const MaterializedValuation& mat : mats) {
+      benchmark::DoNotOptimize(flat->Evaluate(mat));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(width));
+}
+BENCHMARK(BM_PerValuationEvaluateBlock)->Arg(20)->Arg(40)->Arg(80);
+
 void BM_PolynomialMultiply(benchmark::State& state) {
   Polynomial a, b;
   for (int i = 0; i < state.range(0); ++i) {
@@ -266,11 +331,109 @@ int RunJsonBaseline() {
   return 0;
 }
 
+// --json-kernels baseline mode (BENCH_kernels.json). Times one full
+// EnumeratedDistance candidate pricing — the batched kernel path vs the
+// exact per-valuation scalar loop it replaced — on identical inputs, and
+// self-checks the docs/KERNELS.md performance contract: batched >= 2x
+// per-valuation on the largest config. The batch engagement is verified
+// through the prox_kernel_batch_evals_total counter first, so a silently
+// disengaged fast path fails instead of benchmarking scalar vs scalar.
+
+int RunKernelsJsonBaseline() {
+  struct Row {
+    int users;
+    size_t valuations;
+    double scalar_ns;
+    double batched_ns;
+  };
+  std::vector<Row> rows;
+  for (int users : {20, 40, 80}) {
+    Dataset ds = MakeMovies(users);
+    std::vector<Valuation> valuations =
+        ds.valuation_class->Generate(*ds.provenance, ds.ctx);
+    EnumeratedDistance oracle(ds.provenance.get(), ds.registry.get(),
+                              ds.val_func.get(), valuations, /*threads=*/1);
+    auto user_anns = ds.registry->AnnotationsInDomain(ds.domain("user"));
+    AnnotationId summary =
+        ds.registry->AddSummary(ds.domain("user"), "Merged");
+    MappingState mapping(ds.registry.get(), ds.phi);
+    mapping.Merge({user_anns[0], user_anns[1]}, summary);
+    Homomorphism h;
+    h.Set(user_anns[0], summary);
+    h.Set(user_anns[1], summary);
+    auto pool = std::make_shared<ir::TermPool>();
+    auto cand = ir::Adopt(*ds.provenance->Apply(h), pool);
+
+    const uint64_t evals_before = kernels::BatchEvalsForTesting();
+    benchmark::DoNotOptimize(oracle.Distance(*cand, mapping));
+    if (kernels::BatchEvalsForTesting() == evals_before) {
+      std::fprintf(stderr,
+                   "bench_core_micro --json-kernels: FAIL batch path did "
+                   "not engage at users=%d\n",
+                   users);
+      return 1;
+    }
+
+    const double batched_ns = MinNsPerOp([&] {
+      benchmark::DoNotOptimize(oracle.Distance(*cand, mapping));
+    });
+    // The per-valuation loop the batch path replaced, verbatim from the
+    // oracle's fallback (identity-on-groups branch, serial).
+    const std::vector<EvalResult>& base_evals = oracle.base_evals();
+    const std::vector<MaterializedValuation>& base_mats = oracle.base_mats();
+    const double scalar_ns = MinNsPerOp([&] {
+      const size_t n = ds.registry->size();
+      double total = 0.0;
+      for (size_t i = 0; i < valuations.size(); ++i) {
+        MaterializedValuation transformed =
+            mapping.TransformFrom(valuations[i], base_mats[i], n);
+        EvalResult summ = cand->Evaluate(transformed);
+        total += valuations[i].weight() *
+                 ds.val_func->Compute(base_evals[i], summ);
+      }
+      benchmark::DoNotOptimize(total);
+    });
+    rows.push_back({users, valuations.size(), scalar_ns, batched_ns});
+  }
+  double largest_speedup = 0.0;
+  std::printf("{\n  \"bench\": \"bench_core_micro --json-kernels\",\n");
+  std::printf("  \"workload\": \"MovieLens 12 movies, seed 3; one "
+              "candidate priced against the full valuation class\",\n");
+  std::printf("  \"simd_tier\": \"%s\",\n",
+              common::SimdTierName(common::ActiveSimdTier()));
+  std::printf("  \"contract\": \"batched distance >= 2x the per-valuation "
+              "scalar loop on the largest config\",\n");
+  std::printf("  \"results\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    const double speedup = r.scalar_ns / r.batched_ns;
+    largest_speedup = speedup;  // rows are ordered smallest to largest
+    std::printf("    {\"users\": %d, \"valuations\": %zu, "
+                "\"scalar_ns_per_candidate\": %.1f, "
+                "\"batched_ns_per_candidate\": %.1f, \"speedup\": %.2f}%s\n",
+                r.users, r.valuations, r.scalar_ns, r.batched_ns, speedup,
+                i + 1 < rows.size() ? "," : "");
+  }
+  std::printf("  ],\n  \"largest_config_speedup\": %.2f\n}\n",
+              largest_speedup);
+  if (largest_speedup < 2.0) {
+    std::fprintf(stderr,
+                 "bench_core_micro --json-kernels: FAIL largest-config "
+                 "speedup %.2f < 2.0\n",
+                 largest_speedup);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::string_view(argv[i]) == "--json") return RunJsonBaseline();
+    if (std::string_view(argv[i]) == "--json-kernels") {
+      return RunKernelsJsonBaseline();
+    }
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

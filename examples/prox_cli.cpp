@@ -54,6 +54,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cpu_features.h"
 #include "common/json.h"
 #include "datasets/movielens.h"
 #include "obs/export.h"
@@ -310,6 +311,11 @@ void PrintUsage() {
       "                        returns; see docs/SERVING.md)\n"
       "  --threads=N           worker threads for summarization (0 = auto\n"
       "                        via PROX_THREADS / hardware, 1 = serial)\n"
+      "  --simd=TIER           cap the batch-kernel SIMD tier: off|scalar,\n"
+      "                        sse4.2, or auto|avx2 (default). Results are\n"
+      "                        bit-identical at every tier; the PROX_SIMD\n"
+      "                        env var is the equivalent kill switch\n"
+      "                        (docs/KERNELS.md)\n"
       "  --metrics-out=<path>  on exit, write a Prometheus text snapshot of\n"
       "                        the prox::obs metrics registry to <path>\n"
       "  --trace-out=<path>    on exit, write the recorded trace spans as\n"
@@ -375,6 +381,19 @@ int main(int argc, char** argv) {
       }
       if (threads < 0) {
         std::fprintf(stderr, "prox_cli: bad --threads value in %s\n",
+                     arg.c_str());
+        return 2;
+      }
+    } else if (arg.rfind("--simd=", 0) == 0) {
+      const std::string value = arg.substr(std::string("--simd=").size());
+      if (value == "off" || value == "scalar" || value == "0") {
+        prox::common::SetSimdTierCap(prox::common::SimdTier::kScalar);
+      } else if (value == "sse4.2" || value == "sse42" || value == "1") {
+        prox::common::SetSimdTierCap(prox::common::SimdTier::kSse42);
+      } else if (value == "auto" || value == "avx2" || value == "2") {
+        prox::common::SetSimdTierCap(prox::common::SimdTier::kAvx2);
+      } else {
+        std::fprintf(stderr, "prox_cli: bad --simd value in %s\n",
                      arg.c_str());
         return 2;
       }

@@ -34,6 +34,10 @@
 ///                     stderr when no path is given
 ///   --debug-endpoints enable GET /v1/debug/requests (the flight
 ///                     recorder: slowest + errored requests with spans)
+///   --simd=TIER       cap the batch-kernel SIMD tier (docs/KERNELS.md):
+///                     off|scalar|0, sse4.2|sse42|1, auto|avx2|2. Results
+///                     are bit-identical at every tier; PROX_SIMD is the
+///                     environment equivalent.
 ///
 /// SIGINT / SIGTERM drain in-flight requests and exit 0.
 
@@ -44,6 +48,7 @@
 #include <string>
 #include <utility>
 
+#include "common/cpu_features.h"
 #include "datasets/movielens.h"
 #include "obs/log.h"
 #include "serve/router.h"
@@ -62,9 +67,12 @@ void PrintUsage() {
       "usage: prox_server [--port=N] [--threads=N] [--cache-mb=N]\n"
       "                   [--max-inflight=N] [--users=N] [--movies=N]\n"
       "                   [--seed=N] [--snapshot=<path>]\n"
-      "                   [--cache-persist=<path>]\n"
+      "                   [--cache-persist=<path>] [--simd=TIER]\n"
       "                   [--access-log[=<path>]] [--debug-endpoints]\n"
       "\n"
+      "--simd caps the batch-kernel SIMD tier (off|scalar, sse4.2,\n"
+      "auto|avx2; results are bit-identical at every tier — see\n"
+      "docs/KERNELS.md). PROX_SIMD=0 is the env equivalent.\n"
       "Serves the PROX session workflow over HTTP/1.1 (docs/SERVING.md).\n"
       "--snapshot boots from a PROXSNAP file and restores any persisted\n"
       "summary cache warm; --cache-persist writes one on shutdown\n"
@@ -116,6 +124,21 @@ int main(int argc, char** argv) {
         ParseIntFlag(arg, "--users", &users) ||
         ParseIntFlag(arg, "--movies", &movies) ||
         ParseIntFlag(arg, "--seed", &seed)) {
+      continue;
+    }
+    if (arg.rfind("--simd=", 0) == 0) {
+      const std::string value = arg.substr(std::string("--simd=").size());
+      if (value == "off" || value == "scalar" || value == "0") {
+        common::SetSimdTierCap(common::SimdTier::kScalar);
+      } else if (value == "sse4.2" || value == "sse42" || value == "1") {
+        common::SetSimdTierCap(common::SimdTier::kSse42);
+      } else if (value == "auto" || value == "avx2" || value == "2") {
+        common::SetSimdTierCap(common::SimdTier::kAvx2);
+      } else {
+        std::fprintf(stderr, "prox_server: bad --simd value in %s\n",
+                     arg.c_str());
+        return 2;
+      }
       continue;
     }
     if (arg.rfind("--snapshot=", 0) == 0) {

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Configure a dedicated AddressSanitizer build (-DPROX_SANITIZE=address)
 # and run the prox::ir and prox::store suites under ASan: the
-# TermPool/expression unit tests (`ir` label), the legacy-vs-IR golden
-# byte-identity suite, and the snapshot container/corruption suites
+# TermPool/expression unit tests (`ir` label), the batch-kernel units
+# (`ir` label too — the kernels walk borrowed monomial spans into the
+# TermPool arena), the legacy-vs-IR and batch-kernel golden
+# byte-identity suites, and the snapshot container/corruption suites
 # (`store` label). The IR core hands out raw spans into a shared arena
 # and resolves overlay-tagged 32-bit ids against two pools; the store
 # layer parses attacker-shaped bytes out of an mmap — exactly the kind of
@@ -22,7 +24,9 @@ cmake -B "$build_dir" -S . \
   -DPROX_BUILD_BENCHMARKS=OFF \
   -DPROX_BUILD_EXAMPLES=OFF
 cmake --build "$build_dir" \
-  --target prox_ir_test prox_ir_golden_test prox_store_test -j
+  --target prox_ir_test prox_ir_golden_test prox_kernels_test \
+  prox_kernels_golden_test prox_store_test -j
 ctest --test-dir "$build_dir" -L ir --output-on-failure
 ctest --test-dir "$build_dir" -L store --output-on-failure
-ctest --test-dir "$build_dir" -R 'GoldenIdentityTest' --output-on-failure
+ctest --test-dir "$build_dir" -R 'GoldenIdentityTest|GoldenKernelsTest' \
+  --output-on-failure

@@ -1,0 +1,85 @@
+#include "common/cpu_features.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace prox {
+namespace common {
+
+namespace {
+
+#if defined(__x86_64__) || defined(_M_X64)
+bool ProbeSse42() { return __builtin_cpu_supports("sse4.2"); }
+bool ProbeAvx2() { return __builtin_cpu_supports("avx2"); }
+#else
+bool ProbeSse42() { return false; }
+bool ProbeAvx2() { return false; }
+#endif
+
+/// Parses a PROX_SIMD value into a cap. Unrecognized values (and "auto")
+/// leave the hardware decision untouched, mirroring how PROX_THREADS
+/// treats garbage as unset.
+SimdTier ParseEnvCap(const char* value) {
+  if (value == nullptr) return SimdTier::kAvx2;
+  if (std::strcmp(value, "0") == 0 || std::strcmp(value, "off") == 0 ||
+      std::strcmp(value, "scalar") == 0) {
+    return SimdTier::kScalar;
+  }
+  if (std::strcmp(value, "1") == 0 || std::strcmp(value, "sse4.2") == 0 ||
+      std::strcmp(value, "sse42") == 0) {
+    return SimdTier::kSse42;
+  }
+  return SimdTier::kAvx2;  // "2", "avx2", "auto", unset, garbage
+}
+
+SimdTier EnvCap() {
+  static const SimdTier cap = ParseEnvCap(std::getenv("PROX_SIMD"));
+  return cap;
+}
+
+std::atomic<int> g_override_cap{static_cast<int>(SimdTier::kAvx2)};
+
+}  // namespace
+
+bool CpuHasSse42() {
+  static const bool have = ProbeSse42();
+  return have;
+}
+
+bool CpuHasAvx2() {
+  static const bool have = ProbeAvx2();
+  return have;
+}
+
+SimdTier DetectedSimdTier() {
+  if (CpuHasAvx2()) return SimdTier::kAvx2;
+  if (CpuHasSse42()) return SimdTier::kSse42;
+  return SimdTier::kScalar;
+}
+
+SimdTier ActiveSimdTier() {
+  int tier = static_cast<int>(DetectedSimdTier());
+  tier = std::min(tier, static_cast<int>(EnvCap()));
+  tier = std::min(tier, g_override_cap.load(std::memory_order_relaxed));
+  return static_cast<SimdTier>(tier);
+}
+
+void SetSimdTierCap(SimdTier cap) {
+  g_override_cap.store(static_cast<int>(cap), std::memory_order_relaxed);
+}
+
+const char* SimdTierName(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kScalar:
+      return "scalar";
+    case SimdTier::kSse42:
+      return "sse4.2";
+    case SimdTier::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+}  // namespace common
+}  // namespace prox

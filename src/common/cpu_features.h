@@ -1,0 +1,62 @@
+#ifndef PROX_COMMON_CPU_FEATURES_H_
+#define PROX_COMMON_CPU_FEATURES_H_
+
+namespace prox {
+namespace common {
+
+/// \brief The one runtime CPU-capability probe in the tree.
+///
+/// Both consumers of hardware-accelerated code paths — the CRC32C the
+/// snapshot store seals sections with (src/store/crc32c.cc) and the batch
+/// evaluation kernels on the distance hot path (src/kernels, see
+/// docs/KERNELS.md) — resolve their implementation tier through this
+/// header, so "what does this machine support" and "what did the operator
+/// cap it to" have exactly one answer per process.
+///
+/// The *detected* tier is what cpuid reports. The *active* tier is the
+/// detected tier clamped by the `PROX_SIMD` environment variable and/or a
+/// programmatic override (`prox_cli --simd`, tests forcing tiers):
+///
+///   PROX_SIMD=0 | off | scalar   -> kScalar (portable C++ everywhere)
+///   PROX_SIMD=1 | sse4.2 | sse42 -> at most kSse42
+///   PROX_SIMD=2 | avx2           -> at most kAvx2
+///   PROX_SIMD=auto | unset       -> the detected tier
+///
+/// A cap never *raises* the tier above what the hardware supports, so
+/// every tier request is safe on every machine. All selections are
+/// bit-identical by contract — the kill switch exists to prove that
+/// (tests/kernels golden suite) and to sideline the vector units when
+/// debugging, not to change results.
+enum class SimdTier {
+  kScalar = 0,
+  kSse42 = 1,
+  kAvx2 = 2,
+};
+
+/// cpuid-detected capabilities (memoized; first call probes).
+bool CpuHasSse42();
+bool CpuHasAvx2();
+
+/// The best tier the hardware supports.
+SimdTier DetectedSimdTier();
+
+/// The tier dispatch should use: DetectedSimdTier() clamped by PROX_SIMD
+/// (read once, at first call) and by SetSimdTierCap overrides (read every
+/// call — an override invalidates nothing and takes effect immediately).
+SimdTier ActiveSimdTier();
+
+/// Programmatic cap (e.g. `--simd=off`): subsequent ActiveSimdTier()
+/// calls return min(detected, env cap, `cap`). Pass kAvx2 to lift a
+/// previous programmatic cap back to the env/hardware decision. Intended
+/// for process setup and tests; takes effect for future kernel-dispatch
+/// decisions, not for code already mid-loop.
+void SetSimdTierCap(SimdTier cap);
+
+/// "scalar" / "sse4.2" / "avx2" — the label the `prox_simd_tier` gauge
+/// and `--simd` flag values use.
+const char* SimdTierName(SimdTier tier);
+
+}  // namespace common
+}  // namespace prox
+
+#endif  // PROX_COMMON_CPU_FEATURES_H_

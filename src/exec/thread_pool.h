@@ -183,6 +183,29 @@ double DeterministicSum(ThreadPool* pool, int64_t count, int64_t grain,
   return total;
 }
 
+/// Chunk-granular variant of DeterministicSum for the batch kernels:
+/// `chunk(lo, hi)` returns the partial for indexes [lo, hi). Provided the
+/// chunk accumulates its per-index terms in ascending index order with
+/// plain `+`, the result is bit-identical to DeterministicSum over the
+/// equivalent per-index term function, at every thread count — the chunk
+/// boundaries and the ascending partial fold are the same.
+template <typename ChunkFn>
+double DeterministicChunkSum(ThreadPool* pool, int64_t count, int64_t grain,
+                             ChunkFn&& chunk) {
+  if (count <= 0) return 0.0;
+  if (grain <= 0) grain = 1;
+  const int64_t num_chunks = (count + grain - 1) / grain;
+  std::vector<double> partials(static_cast<size_t>(num_chunks), 0.0);
+  ParallelFor(pool, 0, num_chunks, 1, [&](int64_t c) {
+    const int64_t lo = c * grain;
+    const int64_t hi = std::min(count, lo + grain);
+    partials[static_cast<size_t>(c)] = chunk(lo, hi);
+  });
+  double total = 0.0;
+  for (double partial : partials) total += partial;
+  return total;
+}
+
 }  // namespace exec
 }  // namespace prox
 

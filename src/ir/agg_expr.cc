@@ -331,6 +331,51 @@ EvalResult IrAggregateExpression::ProjectEvalResult(
   return ProjectAggregateEvalResult(agg_, base, h);
 }
 
+kernels::BatchProgram IrAggregateExpression::LowerBatch() const {
+  const PoolView pv = view();
+  kernels::BatchProgram p;
+  p.shape = kernels::BatchProgram::Shape::kAggregate;
+  p.agg = agg_;
+  switch (agg_) {
+    case AggKind::kMax:
+      p.fold = kernels::AggFold::kMax;
+      break;
+    case AggKind::kMin:
+      p.fold = kernels::AggFold::kMin;
+      break;
+    case AggKind::kSum:
+    case AggKind::kCount:
+    case AggKind::kAvg:
+      p.fold = kernels::AggFold::kAdd;
+      break;
+  }
+  p.kind = (groups_.size() == 1 && groups_[0] == kNoAnnotation)
+               ? EvalResult::Kind::kScalar
+               : EvalResult::Kind::kVector;
+  p.groups = groups_.data();
+  p.num_groups = groups_.size();
+  p.agg_rows.reserve(mono_.size());
+  for (size_t i = 0; i < mono_.size(); ++i) {
+    kernels::AggBatchRow r;
+    r.mono = kernels::MonoSpan{pv.mono_data(mono_[i]), pv.mono_len(mono_[i])};
+    if (guard_[i] != kNoGuard) {
+      const GuardRow& g = pv.guard(guard_[i]);
+      r.guard_mono = kernels::MonoSpan{pv.mono_data(g.mono), pv.mono_len(g.mono)};
+      r.has_guard = 1;
+      // GuardTrue's value is `scalar` when the body monomial holds and 0.0
+      // otherwise, so the comparison folds to these two booleans.
+      r.guard_if_true = kernels::EvalCompare(g.scalar, g.op, g.threshold);
+      r.guard_if_false = kernels::EvalCompare(0.0, g.op, g.threshold);
+    }
+    r.group = group_dense_[i];
+    r.contribution =
+        (agg_ == AggKind::kCount) ? value_[i].count : value_[i].value;
+    r.count_add = value_[i].count;
+    p.agg_rows.push_back(r);
+  }
+  return p;
+}
+
 std::unique_ptr<ProvenanceExpression> IrAggregateExpression::Clone() const {
   return std::make_unique<IrAggregateExpression>(*this);
 }

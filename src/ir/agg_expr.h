@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "ir/term_pool.h"
+#include "kernels/batch_eval.h"
 #include "provenance/agg_value.h"
 #include "provenance/expression.h"
 #include "provenance/facade.h"
@@ -31,7 +32,8 @@ namespace ir {
 /// fresh expression-local overlay pool (ids tagged kOverlayBit), so
 /// workers never mutate shared state.
 class IrAggregateExpression : public ProvenanceExpression,
-                              public AggregateFacade {
+                              public AggregateFacade,
+                              public kernels::BatchEvalFacade {
  public:
   IrAggregateExpression(AggKind agg, std::shared_ptr<TermPool> pool)
       : agg_(agg), pool_(std::move(pool)) {}
@@ -72,11 +74,15 @@ class IrAggregateExpression : public ProvenanceExpression,
   std::unique_ptr<ProvenanceExpression> Clone() const override;
   std::string ToString(const AnnotationRegistry& registry) const override;
   const AggregateFacade* AsAggregate() const override { return this; }
+  const kernels::BatchEvalFacade* AsBatchEval() const override { return this; }
 
   // AggregateFacade interface ----------------------------------------------
   AggKind agg_kind() const override { return agg_; }
   size_t agg_num_terms() const override { return mono_.size(); }
   AggTermView agg_term(size_t i) const override;
+
+  // BatchEvalFacade interface ----------------------------------------------
+  kernels::BatchProgram LowerBatch() const override;
 
  private:
   PoolView view() const { return PoolView(pool_.get(), overlay_.get()); }

@@ -263,6 +263,28 @@ std::unique_ptr<ProvenanceExpression> IrDdpExpression::Clone() const {
   return std::make_unique<IrDdpExpression>(*this);
 }
 
+kernels::BatchProgram IrDdpExpression::LowerBatch() const {
+  const PoolView pv = view();
+  kernels::BatchProgram p;
+  p.shape = kernels::BatchProgram::Shape::kDdp;
+  p.kind = EvalResult::Kind::kCostBool;
+  p.ddp_exec_off = exec_off_;
+  p.ddp_rows.reserve(rows_.size());
+  for (const TrRow& r : rows_) {
+    kernels::DdpBatchRow out;
+    out.user = r.user;
+    out.nonzero = r.nonzero;
+    if (r.user) {
+      out.cost_var = r.cost_var;
+      out.cost = CostOf(r.cost_var);  // resolved once instead of per lane
+    } else {
+      out.db = kernels::MonoSpan{pv.mono_data(r.db), pv.mono_len(r.db)};
+    }
+    p.ddp_rows.push_back(out);
+  }
+  return p;
+}
+
 std::string IrDdpExpression::ToString(const AnnotationRegistry& registry) const {
   const size_t num_exec = num_executions();
   if (num_exec == 0) return "0";

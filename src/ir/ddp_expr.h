@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "ir/term_pool.h"
+#include "kernels/batch_eval.h"
 #include "provenance/expression.h"
 #include "provenance/facade.h"
 
@@ -21,7 +22,9 @@ namespace ir {
 /// executions sorted and deduped) and evaluation order replicate the
 /// legacy class decision for decision, so costs, ToString() and the
 /// facade view are byte-identical.
-class IrDdpExpression : public ProvenanceExpression, public DdpFacade {
+class IrDdpExpression : public ProvenanceExpression,
+                        public DdpFacade,
+                        public kernels::BatchEvalFacade {
  public:
   explicit IrDdpExpression(std::shared_ptr<TermPool> pool)
       : pool_(std::move(pool)) {}
@@ -57,6 +60,10 @@ class IrDdpExpression : public ProvenanceExpression, public DdpFacade {
   std::unique_ptr<ProvenanceExpression> Clone() const override;
   std::string ToString(const AnnotationRegistry& registry) const override;
   const DdpFacade* AsDdp() const override { return this; }
+  const kernels::BatchEvalFacade* AsBatchEval() const override { return this; }
+
+  // BatchEvalFacade interface ----------------------------------------------
+  kernels::BatchProgram LowerBatch() const override;
 
   // DdpFacade interface ----------------------------------------------------
   size_t ddp_num_executions() const override { return num_executions(); }

@@ -148,6 +148,20 @@ std::unique_ptr<ProvenanceExpression> IrPolynomialExpression::Clone() const {
   return std::make_unique<IrPolynomialExpression>(*this);
 }
 
+kernels::BatchProgram IrPolynomialExpression::LowerBatch() const {
+  const PoolView pv = view();
+  kernels::BatchProgram p;
+  p.shape = kernels::BatchProgram::Shape::kPolynomial;
+  p.kind = EvalResult::Kind::kScalar;
+  p.poly_rows.reserve(mono_.size());
+  for (size_t i = 0; i < mono_.size(); ++i) {
+    p.poly_rows.push_back(kernels::PolyBatchRow{
+        kernels::MonoSpan{pv.mono_data(mono_[i]), pv.mono_len(mono_[i])},
+        coeff_[i]});
+  }
+  return p;
+}
+
 std::string IrPolynomialExpression::ToString(
     const AnnotationRegistry& registry) const {
   if (mono_.empty()) return "0";

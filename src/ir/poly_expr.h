@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "ir/term_pool.h"
+#include "kernels/batch_eval.h"
 #include "provenance/expression.h"
 
 namespace prox {
@@ -19,7 +20,8 @@ namespace ir {
 /// canonical order: monomial content ascending (the std::map<Mono,...>
 /// iteration order of the tree Polynomial), with content-equal rows
 /// merged by summing coefficients.
-class IrPolynomialExpression : public ProvenanceExpression {
+class IrPolynomialExpression : public ProvenanceExpression,
+                               public kernels::BatchEvalFacade {
  public:
   explicit IrPolynomialExpression(std::shared_ptr<TermPool> pool)
       : pool_(std::move(pool)) {}
@@ -47,6 +49,10 @@ class IrPolynomialExpression : public ProvenanceExpression {
   }
   std::unique_ptr<ProvenanceExpression> Clone() const override;
   std::string ToString(const AnnotationRegistry& registry) const override;
+  const kernels::BatchEvalFacade* AsBatchEval() const override { return this; }
+
+  // BatchEvalFacade interface ----------------------------------------------
+  kernels::BatchProgram LowerBatch() const override;
 
  private:
   PoolView view() const { return PoolView(pool_.get(), overlay_.get()); }

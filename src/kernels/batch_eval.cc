@@ -1,0 +1,135 @@
+#include "kernels/batch_eval.h"
+
+#include <utility>
+
+#include "common/cpu_features.h"
+#include "kernels/metrics.h"
+#include "kernels/tier_entry.h"
+
+namespace prox {
+namespace kernels {
+
+EvalResult BlockEval::Extract(size_t lane) const {
+  switch (kind) {
+    case EvalResult::Kind::kScalar:
+      return EvalResult::Scalar(values[lane]);
+    case EvalResult::Kind::kVector: {
+      std::vector<EvalResult::Coord> coords;
+      coords.reserve(num_groups);
+      for (size_t g = 0; g < num_groups; ++g) {
+        coords.push_back(EvalResult::Coord{groups[g], values[g * stride + lane],
+                                           counts[g * stride + lane]});
+      }
+      return EvalResult::Vector(std::move(coords));
+    }
+    case EvalResult::Kind::kCostBool:
+      return EvalResult::CostBool(costs[lane], feasible[lane] != 0);
+  }
+  return EvalResult::Scalar(0.0);
+}
+
+void EvaluateBlock(const BatchProgram& program, const ValuationBlock& block,
+                   BlockEval* out) {
+  const common::SimdTier tier = common::ActiveSimdTier();
+  PublishSimdTier(static_cast<int>(tier));
+  switch (tier) {
+    case common::SimdTier::kAvx2:
+      internal::EvalBatchAvx2(program, block, out);
+      break;
+    case common::SimdTier::kSse42:
+      internal::EvalBatchSse42(program, block, out);
+      break;
+    case common::SimdTier::kScalar:
+      internal::EvalBatchScalar(program, block, out);
+      break;
+  }
+  CountBatchEvals(block.width());
+}
+
+void ValFuncBlockErrors(ValFuncBatchKind kind, double ddp_max_error,
+                        const BlockEval& base, const BlockEval& cand,
+                        double* err) {
+  switch (common::ActiveSimdTier()) {
+    case common::SimdTier::kAvx2:
+      internal::ValFuncErrorsAvx2(kind, ddp_max_error, base, cand, err);
+      break;
+    case common::SimdTier::kSse42:
+      internal::ValFuncErrorsSse42(kind, ddp_max_error, base, cand, err);
+      break;
+    case common::SimdTier::kScalar:
+      internal::ValFuncErrorsScalar(kind, ddp_max_error, base, cand, err);
+      break;
+  }
+}
+
+bool EvalMatchesLayout(const EvalResult& e, EvalResult::Kind kind,
+                       const AnnotationId* groups, size_t num_groups) {
+  if (e.kind() != kind) return false;
+  if (kind != EvalResult::Kind::kVector) return true;
+  const std::vector<EvalResult::Coord>& coords = e.coords();
+  if (coords.size() != num_groups) return false;
+  for (size_t g = 0; g < num_groups; ++g) {
+    if (coords[g].group != groups[g]) return false;
+  }
+  return true;
+}
+
+bool ProgramMatchesLayout(const BatchProgram& p, EvalResult::Kind kind,
+                          const AnnotationId* groups, size_t num_groups) {
+  if (p.kind != kind) return false;
+  if (kind != EvalResult::Kind::kVector) return true;
+  if (p.num_groups != num_groups) return false;
+  for (size_t g = 0; g < num_groups; ++g) {
+    if (p.groups[g] != groups[g]) return false;
+  }
+  return true;
+}
+
+bool PackEvalBlock(const EvalResult* evals, size_t count,
+                   EvalResult::Kind kind, const AnnotationId* groups,
+                   size_t num_groups, BlockEval* out) {
+  if (count > kMaxLanes) return false;
+  const size_t stride = count <= 8 ? 8 : 16;
+  out->kind = kind;
+  out->width = count;
+  out->stride = stride;
+  out->feasible.fill(0);
+  if (kind == EvalResult::Kind::kVector) {
+    out->groups = groups;
+    out->num_groups = num_groups;
+    out->values.assign(num_groups * stride, 0.0);
+    out->counts.assign(num_groups * stride, 0.0);
+    out->costs.clear();
+  } else {
+    out->groups = nullptr;
+    out->num_groups = 0;
+    out->values.assign(kind == EvalResult::Kind::kScalar ? stride : 0, 0.0);
+    out->counts.clear();
+    out->costs.assign(kind == EvalResult::Kind::kCostBool ? stride : 0, 0.0);
+  }
+  for (size_t i = 0; i < count; ++i) {
+    const EvalResult& e = evals[i];
+    if (!EvalMatchesLayout(e, kind, groups, num_groups)) return false;
+    switch (kind) {
+      case EvalResult::Kind::kScalar:
+        out->values[i] = e.scalar();
+        break;
+      case EvalResult::Kind::kVector: {
+        const std::vector<EvalResult::Coord>& coords = e.coords();
+        for (size_t g = 0; g < num_groups; ++g) {
+          out->values[g * stride + i] = coords[g].value;
+          out->counts[g * stride + i] = coords[g].count;
+        }
+        break;
+      }
+      case EvalResult::Kind::kCostBool:
+        out->costs[i] = e.cost();
+        out->feasible[i] = e.feasible() ? 0xFF : 0x00;
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace kernels
+}  // namespace prox

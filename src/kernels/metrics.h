@@ -1,0 +1,34 @@
+#ifndef PROX_KERNELS_METRICS_H_
+#define PROX_KERNELS_METRICS_H_
+
+#include <cstdint>
+
+namespace prox {
+namespace kernels {
+
+/// Counter/gauge bumpers for the batch kernels (docs/OBSERVABILITY.md
+/// catalogues the names). Each caches its obs pointer in a function-local
+/// static, so the hot-path cost is one relaxed atomic op.
+
+/// Publishes `prox_simd_tier` — the numeric tier the dispatcher resolved
+/// (0 scalar, 1 sse4.2, 2 avx2). Re-published on every batch so runtime
+/// cap changes (PROX_SIMD, --simd) show up.
+void PublishSimdTier(int tier);
+
+/// `n` valuations were evaluated through the batch kernels.
+void CountBatchEvals(uint64_t n);
+
+/// An oracle fell back to the per-valuation scalar path for one Distance
+/// call (layout mismatch, non-batchable expression or VAL-FUNC).
+void CountScalarFallback(uint64_t n = 1);
+
+/// Current counter values, for tests asserting that the batch path (or
+/// the fallback) actually engaged — identity checks are vacuous if the
+/// code under test silently took the other path.
+uint64_t BatchEvalsForTesting();
+uint64_t ScalarFallbacksForTesting();
+
+}  // namespace kernels
+}  // namespace prox
+
+#endif  // PROX_KERNELS_METRICS_H_

@@ -17,6 +17,10 @@ namespace prox {
 class AggregateFacade;
 class DdpFacade;
 
+namespace kernels {
+class BatchEvalFacade;
+}
+
 /// Bumps the prox_ir_size_cache_hits_total counter: a Size() call served
 /// from a cached value (the IR header field, or the legacy memo) instead of
 /// a full traversal. Implemented in expression.cc so the metric literal has
@@ -101,6 +105,14 @@ class ProvenanceExpression {
   /// consumers, which would miss the IR representations.
   virtual const AggregateFacade* AsAggregate() const { return nullptr; }
   virtual const DdpFacade* AsDdp() const { return nullptr; }
+
+  /// Batch-evaluation capability (kernels/batch_eval.h): non-null when the
+  /// expression can lower itself into a flat BatchProgram for the SIMD
+  /// batch kernels. The prox::ir classes implement it; the oracles gate
+  /// their batched paths on it and fall back to per-valuation Evaluate().
+  virtual const kernels::BatchEvalFacade* AsBatchEval() const {
+    return nullptr;
+  }
 };
 
 }  // namespace prox

@@ -1,5 +1,7 @@
 #include "store/crc32c.h"
 
+#include "common/cpu_features.h"
+
 #if defined(__x86_64__) || defined(_M_X64)
 #include <nmmintrin.h>
 #define PROX_CRC32C_X86 1
@@ -73,11 +75,6 @@ __attribute__((target("sse4.2"))) uint32_t UpdateHardware(uint32_t crc,
   }
   return crc;
 }
-
-bool HaveSse42() {
-  static const bool have = __builtin_cpu_supports("sse4.2");
-  return have;
-}
 #endif
 
 }  // namespace
@@ -86,7 +83,11 @@ uint32_t Crc32c(const void* data, size_t len, uint32_t seed) {
   const uint8_t* bytes = static_cast<const uint8_t*>(data);
   uint32_t crc = ~seed;
 #if PROX_CRC32C_X86
-  if (HaveSse42()) return ~UpdateHardware(crc, bytes, len);
+  // Routed through the shared detector so PROX_SIMD=0 exercises the sliced
+  // path too; both paths produce the same checksum, this only picks speed.
+  if (common::ActiveSimdTier() >= common::SimdTier::kSse42) {
+    return ~UpdateHardware(crc, bytes, len);
+  }
 #endif
   return ~UpdateSliced(crc, bytes, len);
 }

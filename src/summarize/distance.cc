@@ -4,6 +4,8 @@
 #include <optional>
 
 #include "exec/thread_pool.h"
+#include "ir/adopt.h"
+#include "kernels/metrics.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -82,6 +84,36 @@ EnumeratedDistance::EnumeratedDistance(const ProvenanceExpression* p0,
   if (max_error_ <= 0.0) max_error_ = 1.0;
 }
 
+void EnumeratedDistance::EnsureBaseBlocks() {
+  std::call_once(base_blocks_once_, [&] {
+    base_kind_ = base_evals_[0].kind();
+    if (base_kind_ == EvalResult::Kind::kVector) {
+      base_groups_.reserve(base_evals_[0].coords().size());
+      for (const auto& c : base_evals_[0].coords()) {
+        base_groups_.push_back(c.group);
+      }
+    }
+    const size_t count = base_evals_.size();
+    const size_t num_chunks =
+        (count + kReductionGrain - 1) / kReductionGrain;
+    base_blocks_.resize(num_chunks);
+    base_blocks_ok_ = true;
+    for (size_t c = 0; c < num_chunks; ++c) {
+      const size_t lo = c * kReductionGrain;
+      const size_t w = std::min(count - lo, size_t{kReductionGrain});
+      // Every base eval must share the layout of the first one; a
+      // structurally heterogeneous valuation class keeps the scalar path.
+      if (!kernels::PackEvalBlock(&base_evals_[lo], w, base_kind_,
+                                  base_groups_.data(), base_groups_.size(),
+                                  &base_blocks_[c])) {
+        base_blocks_ok_ = false;
+        base_blocks_.clear();
+        return;
+      }
+    }
+  });
+}
+
 double EnumeratedDistance::Distance(const ProvenanceExpression& cand,
                                     const MappingState& state) {
   const DistanceMetrics& metrics = DistanceMetrics::Get();
@@ -104,6 +136,52 @@ double EnumeratedDistance::Distance(const ProvenanceExpression& cand,
   if (identity_on_groups) {
     metrics.base_eval_reuse->Increment(valuations_.size());
   }
+  // Batch path: the candidate lowers once into a flat program and each
+  // grain-8 chunk is evaluated in one pass over the program rows by the
+  // SIMD kernels. Chunk boundaries, per-lane arithmetic and the weighted
+  // fold order all replicate the scalar path, so the distance is
+  // bit-identical (docs/KERNELS.md); everything that does not fit —
+  // projection path, exotic VAL-FUNC, layout mismatch — falls back.
+  const kernels::ValFuncBatchKind vf_kind = val_func_->batch_kind();
+  const kernels::BatchEvalFacade* facade = cand.AsBatchEval();
+  if (identity_on_groups && facade != nullptr &&
+      vf_kind != kernels::ValFuncBatchKind::kNone) {
+    EnsureBaseBlocks();
+    if (base_blocks_ok_) {
+      const kernels::BatchProgram program = facade->LowerBatch();
+      if (kernels::ProgramMatchesLayout(program, base_kind_,
+                                        base_groups_.data(),
+                                        base_groups_.size())) {
+        const double penalty = val_func_->batch_mismatch_penalty();
+        const double total = exec::DeterministicChunkSum(
+            pool_.pool(), static_cast<int64_t>(valuations_.size()),
+            kReductionGrain, [&](int64_t lo, int64_t hi) {
+              thread_local kernels::ValuationBlock block;
+              thread_local kernels::BlockEval cand_eval;
+              const size_t w = static_cast<size_t>(hi - lo);
+              block.Reset(n, w);
+              for (size_t l = 0; l < w; ++l) {
+                state.TransformLane(valuations_[static_cast<size_t>(lo) + l],
+                                    l, &block);
+              }
+              kernels::EvaluateBlock(program, block, &cand_eval);
+              double err[kernels::kMaxLanes];
+              kernels::ValFuncBlockErrors(
+                  vf_kind, penalty,
+                  base_blocks_[static_cast<size_t>(lo / kReductionGrain)],
+                  cand_eval, err);
+              double partial = 0.0;
+              for (size_t l = 0; l < w; ++l) {
+                partial +=
+                    valuations_[static_cast<size_t>(lo) + l].weight() * err[l];
+              }
+              return partial;
+            });
+        return (total / total_weight_) / max_error_;
+      }
+    }
+  }
+  kernels::CountScalarFallback();
   const double total = exec::DeterministicSum(
       pool_.pool(), static_cast<int64_t>(valuations_.size()), kReductionGrain,
       [&](int64_t i) {
@@ -142,6 +220,26 @@ SampledDistance::SampledDistance(const ProvenanceExpression* p0,
   all_true_eval_ = p0_->Evaluate(MaterializedValuation(registry_->size()));
   max_error_ = val_func_->MaxError(all_true_eval_);
   if (max_error_ <= 0.0) max_error_ = 1.0;
+  // Base-side batch program: adopt p₀ into prox::ir (evaluates
+  // byte-identically to the source representation) and lower it once for
+  // the oracle's lifetime. Constructor runs on the main thread, which is
+  // what interning into the fresh pool requires.
+  batch_pool_ = std::make_shared<ir::TermPool>();
+  p0_ir_ = ir::Adopt(*p0_, batch_pool_);
+  const kernels::BatchEvalFacade* base_facade =
+      p0_ir_ == nullptr ? nullptr : p0_ir_->AsBatchEval();
+  if (base_facade != nullptr) {
+    base_kind_ = all_true_eval_.kind();
+    if (base_kind_ == EvalResult::Kind::kVector) {
+      base_groups_.reserve(all_true_eval_.coords().size());
+      for (const auto& c : all_true_eval_.coords()) {
+        base_groups_.push_back(c.group);
+      }
+    }
+    base_program_ = base_facade->LowerBatch();
+    base_program_ok_ = kernels::ProgramMatchesLayout(
+        base_program_, base_kind_, base_groups_.data(), base_groups_.size());
+  }
 }
 
 double SampledDistance::Distance(const ProvenanceExpression& cand,
@@ -160,6 +258,54 @@ double SampledDistance::Distance(const ProvenanceExpression& cand,
   if (identity_on_groups) {
     metrics.base_eval_reuse->Increment(num_samples_);
   }
+  // Batch path: both sides of each grain-16 sample chunk are evaluated by
+  // the SIMD kernels — the base through the pre-lowered p₀ program, the
+  // candidate through its own lowering. Sample s's Rng stream is
+  // regenerated identically, so the drawn valuations — and the resulting
+  // estimate — are bit-identical to the scalar path at any tier and any
+  // thread count.
+  const kernels::ValFuncBatchKind vf_kind = val_func_->batch_kind();
+  const kernels::BatchEvalFacade* facade = cand.AsBatchEval();
+  if (identity_on_groups && base_program_ok_ && facade != nullptr &&
+      vf_kind != kernels::ValFuncBatchKind::kNone) {
+    const kernels::BatchProgram program = facade->LowerBatch();
+    if (kernels::ProgramMatchesLayout(program, base_kind_,
+                                      base_groups_.data(),
+                                      base_groups_.size())) {
+      const double penalty = val_func_->batch_mismatch_penalty();
+      const double total = exec::DeterministicChunkSum(
+          pool_.pool(), num_samples_, kSampleGrain,
+          [&](int64_t lo, int64_t hi) {
+            thread_local kernels::ValuationBlock base_block;
+            thread_local kernels::ValuationBlock trans_block;
+            thread_local kernels::BlockEval base_eval;
+            thread_local kernels::BlockEval cand_eval;
+            const size_t w = static_cast<size_t>(hi - lo);
+            base_block.Reset(n, w);
+            trans_block.Reset(n, w);
+            for (size_t l = 0; l < w; ++l) {
+              Rng rng(options_.seed, static_cast<uint64_t>(lo) + l);
+              std::vector<AnnotationId> cancelled;
+              for (AnnotationId a : annotations_) {
+                if (rng.Bernoulli(0.5)) cancelled.push_back(a);
+              }
+              Valuation v(std::move(cancelled));
+              base_block.FillLaneSparse(l, v);
+              state.TransformLane(v, l, &trans_block);
+            }
+            kernels::EvaluateBlock(base_program_, base_block, &base_eval);
+            kernels::EvaluateBlock(program, trans_block, &cand_eval);
+            double err[kernels::kMaxLanes];
+            kernels::ValFuncBlockErrors(vf_kind, penalty, base_eval,
+                                        cand_eval, err);
+            double partial = 0.0;
+            for (size_t l = 0; l < w; ++l) partial += err[l];
+            return partial;
+          });
+      return (total / num_samples_) / max_error_;
+    }
+  }
+  kernels::CountScalarFallback();
   // Stream s of the seed drives sample s alone, so the estimate depends
   // only on (seed, num_samples) — not on thread count or sample order.
   const double total = exec::DeterministicSum(

@@ -3,10 +3,13 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/rng.h"
 #include "exec/thread_pool.h"
+#include "ir/term_pool.h"
+#include "kernels/batch_eval.h"
 #include "provenance/expression.h"
 #include "summarize/mapping_state.h"
 #include "summarize/val_func.h"
@@ -70,6 +73,11 @@ class EnumeratedDistance : public DistanceOracle {
   const AnnotationRegistry* registry() const { return registry_; }
 
  private:
+  /// Packs base_evals_ into per-chunk BlockEvals for the batch kernels
+  /// (kernels/batch_eval.h), lazily and once — Distance runs concurrently
+  /// on exec workers during candidate scoring. Sets base_blocks_ok_.
+  void EnsureBaseBlocks();
+
   const ProvenanceExpression* p0_;
   const AnnotationRegistry* registry_;
   const ValFunc* val_func_;
@@ -79,6 +87,16 @@ class EnumeratedDistance : public DistanceOracle {
   double total_weight_ = 0.0;
   double max_error_ = 1.0;
   exec::PoolRef pool_;
+
+  // Batch-kernel state (makes the oracle non-copyable; it is always used
+  // in place). base_groups_ is the shared coordinate layout of every
+  // base evaluation — candidates on the identity-on-groups path must
+  // produce exactly this layout, which ProgramMatchesLayout checks.
+  std::once_flag base_blocks_once_;
+  bool base_blocks_ok_ = false;
+  EvalResult::Kind base_kind_ = EvalResult::Kind::kScalar;
+  std::vector<AnnotationId> base_groups_;
+  std::vector<kernels::BlockEval> base_blocks_;  // one per grain-8 chunk
 };
 
 /// Monte-Carlo distance over *all* 2^n valuations — the sampling
@@ -125,6 +143,17 @@ class SampledDistance : public DistanceOracle {
   EvalResult all_true_eval_;  // group-key structure for the identity check
   double max_error_ = 1.0;
   exec::PoolRef pool_;
+
+  // Batch-kernel state. The base side has no cached per-valuation
+  // evaluations (samples are drawn fresh), so the constructor adopts p₀
+  // into prox::ir once and lowers it into base_program_; each chunk then
+  // batch-evaluates base and candidate over the same valuation block.
+  std::shared_ptr<ir::TermPool> batch_pool_;
+  std::unique_ptr<ProvenanceExpression> p0_ir_;
+  kernels::BatchProgram base_program_;
+  bool base_program_ok_ = false;
+  EvalResult::Kind base_kind_ = EvalResult::Kind::kScalar;
+  std::vector<AnnotationId> base_groups_;
 };
 
 }  // namespace prox

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "kernels/batch_eval.h"
+
 namespace prox {
 
 namespace {
@@ -151,25 +153,68 @@ bool IncrementalScorer::Initialize() {
   cached_error_.resize(valuations.size());
   for (size_t i = 0; i < valuations.size(); ++i) {
     transformed_.push_back(state_->Transform(valuations[i], n));
-    const MaterializedValuation& v = transformed_.back();
-    auto& row = cur_values_[i];
-    row.assign(groups_.size(), 0.0);
-    std::vector<double> counts(groups_.size(), 0.0);
-    std::vector<bool> seen(groups_.size(), false);
-    for (size_t t = 0; t < terms.size(); ++t) {
-      const TensorTerm& term = terms[t];
-      const bool alive =
-          MonomialTruth(term.monomial, v, false) &&
-          (!term.guard || GuardTruth(*term.guard, v, false));
-      if (!alive) continue;
-      size_t g = group_index_.at(term.group);
-      row[g] = FoldAggregate(agg_, row[g], term.value, !seen[g]);
-      counts[g] += term.value.count;
-      seen[g] = true;
+  }
+
+  // The cur_values_ build folds every term under every valuation — the
+  // one dense pass of this scorer. When `current` can lower itself into a
+  // BatchProgram with this scorer's exact coordinate layout, the batch
+  // kernels fill 8 valuations per pass; the fold order per (valuation,
+  // group) is the row order either way, so the cached values are
+  // bit-identical to the scalar build below.
+  bool batched = false;
+  if (const kernels::BatchEvalFacade* bfacade = current_->AsBatchEval()) {
+    const kernels::BatchProgram program = bfacade->LowerBatch();
+    const bool scalar_layout =
+        groups_.size() == 1 && groups_[0] == kNoAnnotation;
+    const bool layout_ok =
+        program.shape == kernels::BatchProgram::Shape::kAggregate &&
+        (scalar_layout
+             ? program.kind == EvalResult::Kind::kScalar
+             : kernels::ProgramMatchesLayout(program, EvalResult::Kind::kVector,
+                                             groups_.data(), groups_.size()));
+    if (layout_ok) {
+      batched = true;
+      kernels::ValuationBlock block;
+      kernels::BlockEval evals;
+      constexpr size_t kGrain = 8;
+      for (size_t lo = 0; lo < valuations.size(); lo += kGrain) {
+        const size_t w = std::min(valuations.size() - lo, kGrain);
+        block.Reset(n, w);
+        for (size_t l = 0; l < w; ++l) block.FillLane(l, transformed_[lo + l]);
+        kernels::EvaluateBlock(program, block, &evals);
+        for (size_t l = 0; l < w; ++l) {
+          auto& row = cur_values_[lo + l];
+          row.resize(groups_.size());
+          for (size_t g = 0; g < groups_.size(); ++g) {
+            row[g] = evals.values[g * evals.stride + l];
+          }
+        }
+      }
     }
-    if (agg_ == AggKind::kAvg) {
-      for (size_t g = 0; g < groups_.size(); ++g) {
-        row[g] = counts[g] > 0 ? row[g] / counts[g] : 0.0;
+  }
+
+  for (size_t i = 0; i < valuations.size(); ++i) {
+    const MaterializedValuation& v = transformed_[i];
+    auto& row = cur_values_[i];
+    if (!batched) {
+      row.assign(groups_.size(), 0.0);
+      std::vector<double> counts(groups_.size(), 0.0);
+      std::vector<bool> seen(groups_.size(), false);
+      for (size_t t = 0; t < terms.size(); ++t) {
+        const TensorTerm& term = terms[t];
+        const bool alive =
+            MonomialTruth(term.monomial, v, false) &&
+            (!term.guard || GuardTruth(*term.guard, v, false));
+        if (!alive) continue;
+        size_t g = group_index_.at(term.group);
+        row[g] = FoldAggregate(agg_, row[g], term.value, !seen[g]);
+        counts[g] += term.value.count;
+        seen[g] = true;
+      }
+      if (agg_ == AggKind::kAvg) {
+        for (size_t g = 0; g < groups_.size(); ++g) {
+          row[g] = counts[g] > 0 ? row[g] / counts[g] : 0.0;
+        }
       }
     }
     double acc = 0.0;

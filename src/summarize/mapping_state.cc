@@ -34,14 +34,14 @@ std::vector<AnnotationId> MappingState::Members(AnnotationId root) const {
 
 namespace {
 
-/// Writes φ(truth of members) for each summary annotation into `out` —
-/// the override pass shared by Transform and TransformFrom.
-void ApplyPhiOverrides(
+/// Calls set(summary, φ(truth of members)) for each summary annotation —
+/// the override pass shared by Transform, TransformFrom and TransformLane.
+template <typename SetFn>
+void ForEachPhiOverride(
     const std::unordered_map<AnnotationId, std::vector<AnnotationId>>&
         members_by_summary,
     const AnnotationRegistry& registry, const PhiConfig& phi_config,
-    const Valuation& base, size_t num_annotations,
-    MaterializedValuation* out) {
+    const Valuation& base, SetFn set) {
   for (const auto& [summary, members] : members_by_summary) {
     const PhiKind phi = phi_config.For(registry.domain(summary));
     bool value;
@@ -62,8 +62,20 @@ void ApplyPhiOverrides(
         }
       }
     }
-    if (summary < num_annotations) out->Set(summary, value);
+    set(summary, value);
   }
+}
+
+void ApplyPhiOverrides(
+    const std::unordered_map<AnnotationId, std::vector<AnnotationId>>&
+        members_by_summary,
+    const AnnotationRegistry& registry, const PhiConfig& phi_config,
+    const Valuation& base, size_t num_annotations,
+    MaterializedValuation* out) {
+  ForEachPhiOverride(members_by_summary, registry, phi_config, base,
+                     [&](AnnotationId summary, bool value) {
+                       if (summary < num_annotations) out->Set(summary, value);
+                     });
 }
 
 }  // namespace
@@ -81,6 +93,17 @@ MaterializedValuation MappingState::TransformFrom(
   MaterializedValuation out(base_mat, num_annotations);
   ApplyPhiOverrides(members_, *registry_, phi_, base, num_annotations, &out);
   return out;
+}
+
+void MappingState::TransformLane(const Valuation& base, size_t lane,
+                                 kernels::ValuationBlock* out) const {
+  out->FillLaneSparse(lane, base);
+  ForEachPhiOverride(members_, *registry_, phi_, base,
+                     [&](AnnotationId summary, bool value) {
+                       if (summary < out->num_annotations()) {
+                         out->Set(lane, summary, value);
+                       }
+                     });
 }
 
 }  // namespace prox

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "kernels/valuation_block.h"
 #include "provenance/annotation.h"
 #include "provenance/homomorphism.h"
 #include "provenance/valuation.h"
@@ -72,6 +73,15 @@ class MappingState {
   MaterializedValuation TransformFrom(const Valuation& base,
                                       const MaterializedValuation& base_mat,
                                       size_t num_annotations) const;
+
+  /// Batch counterpart of Transform/TransformFrom: writes v^{h,φ} for
+  /// `base` into lane `lane` of `out` (which must be Reset() for the
+  /// current registry size — lanes start all-true). Produces exactly the
+  /// truth bits of `Transform(base, out->num_annotations())`, but the φ
+  /// override pass runs per *chunk lane* instead of copy-extending a
+  /// MaterializedValuation per valuation.
+  void TransformLane(const Valuation& base, size_t lane,
+                     kernels::ValuationBlock* out) const;
 
   PhiKind PhiFor(DomainId domain) const { return phi_.For(domain); }
 

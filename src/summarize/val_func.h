@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "kernels/batch_eval.h"
 #include "provenance/eval_result.h"
 
 namespace prox {
@@ -27,6 +28,17 @@ class ValFunc {
   virtual double MaxError(const EvalResult& all_true_orig) const = 0;
 
   virtual std::string name() const = 0;
+
+  /// The batched counterpart of Compute (kernels/batch_eval.h), when one
+  /// exists. kNone (the default) makes the distance oracles keep their
+  /// per-valuation scalar path for this VAL-FUNC.
+  virtual kernels::ValFuncBatchKind batch_kind() const {
+    return kernels::ValFuncBatchKind::kNone;
+  }
+
+  /// For batch_kind() == kDdp: the feasibility-mismatch penalty the batch
+  /// error kernel applies (DdpDifferenceValFunc's max_error()).
+  virtual double batch_mismatch_penalty() const { return 0.0; }
 };
 
 /// Expected-error VAL-FUNC (Section 3.2, choice 1): |v(p) − v'(p')| on
@@ -36,6 +48,9 @@ class AbsoluteDifferenceValFunc : public ValFunc {
   double Compute(const EvalResult& orig, const EvalResult& summ) const override;
   double MaxError(const EvalResult& all_true_orig) const override;
   std::string name() const override { return "AbsoluteDifference"; }
+  kernels::ValFuncBatchKind batch_kind() const override {
+    return kernels::ValFuncBatchKind::kL1;
+  }
 };
 
 /// Fraction-of-disagreeing-valuations VAL-FUNC (choice 2): 0 when the two
@@ -46,6 +61,9 @@ class DisagreementValFunc : public ValFunc {
   double Compute(const EvalResult& orig, const EvalResult& summ) const override;
   double MaxError(const EvalResult& all_true_orig) const override;
   std::string name() const override { return "Disagreement"; }
+  kernels::ValFuncBatchKind batch_kind() const override {
+    return kernels::ValFuncBatchKind::kDisagreement;
+  }
 };
 
 /// Euclidean VAL-FUNC (choice 3): L2 distance between aggregation vectors
@@ -56,6 +74,9 @@ class EuclideanValFunc : public ValFunc {
   double Compute(const EvalResult& orig, const EvalResult& summ) const override;
   double MaxError(const EvalResult& all_true_orig) const override;
   std::string name() const override { return "Euclidean"; }
+  kernels::ValFuncBatchKind batch_kind() const override {
+    return kernels::ValFuncBatchKind::kL2;
+  }
 };
 
 /// The DDP difference function of Example 5.2.2 on ⟨cost, feasible⟩ pairs:
@@ -71,6 +92,10 @@ class DdpDifferenceValFunc : public ValFunc {
   double Compute(const EvalResult& orig, const EvalResult& summ) const override;
   double MaxError(const EvalResult& all_true_orig) const override;
   std::string name() const override { return "DdpDifference"; }
+  kernels::ValFuncBatchKind batch_kind() const override {
+    return kernels::ValFuncBatchKind::kDdp;
+  }
+  double batch_mismatch_penalty() const override { return max_error_; }
 
   /// The precomputed feasibility-mismatch bound, for persistence
   /// (prox::store round-trips it through the constructor arguments).
