@@ -44,6 +44,13 @@
 ///   --load-snapshot=<path>
 ///                         boot the session from a snapshot instead of
 ///                         generating the dataset
+///   --append-deltas=<path>
+///                         offline replay of a streaming ingest log: apply
+///                         each JSON line as a delta batch (docs/INGEST.md)
+///                         before entering the command loop; a line's
+///                         "resummarize" directive re-summarizes through
+///                         the warm-start maintainer, exactly as
+///                         prox_server's POST /v1/ingest does
 ///   --help                print usage and exit
 
 #include <algorithm>
@@ -57,6 +64,8 @@
 #include "common/cpu_features.h"
 #include "common/json.h"
 #include "datasets/movielens.h"
+#include "ingest/delta.h"
+#include "ingest/maintainer.h"
 #include "obs/export.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -328,6 +337,9 @@ void PrintUsage() {
       "  --save-snapshot=<path>  write the dataset as a PROXSNAP snapshot\n"
       "                        (docs/STORE.md) and exit\n"
       "  --load-snapshot=<path>  boot from a snapshot instead of generating\n"
+      "  --append-deltas=<path>  replay a JSON-lines delta stream through\n"
+      "                        the warm-start maintainer before the command\n"
+      "                        loop (docs/INGEST.md)\n"
       "  --help                print this message and exit\n"
       "\n"
       "With no --demo, commands are read from stdin (type 'help').\n"
@@ -360,6 +372,7 @@ int main(int argc, char** argv) {
   std::string trace_out;
   std::string save_snapshot;
   std::string load_snapshot;
+  std::string append_deltas;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--demo") {
@@ -405,6 +418,8 @@ int main(int argc, char** argv) {
       save_snapshot = arg.substr(std::string("--save-snapshot=").size());
     } else if (arg.rfind("--load-snapshot=", 0) == 0) {
       load_snapshot = arg.substr(std::string("--load-snapshot=").size());
+    } else if (arg.rfind("--append-deltas=", 0) == 0) {
+      append_deltas = arg.substr(std::string("--append-deltas=").size());
     } else {
       std::fprintf(stderr, "prox_cli: unknown flag %s\n", arg.c_str());
       PrintUsage();
@@ -456,6 +471,92 @@ int main(int argc, char** argv) {
   }
 
   ProxSession session(std::move(dataset));
+
+  if (!append_deltas.empty()) {
+    std::ifstream deltas_in(append_deltas);
+    if (!deltas_in) {
+      std::fprintf(stderr, "prox_cli: cannot open %s\n",
+                   append_deltas.c_str());
+      return 1;
+    }
+    // The replay mirrors prox_server's POST /v1/ingest: select-all first
+    // (ingest resets narrower selections anyway), then one maintainer
+    // call per line so the warm/cold decision matches the online path.
+    session.SelectAll();
+    ingest::SummaryMaintainer maintainer(&session);
+    std::string delta_line;
+    int line_number = 0;
+    while (std::getline(deltas_in, delta_line)) {
+      ++line_number;
+      if (delta_line.empty()) continue;
+      Result<JsonValue> doc = ParseJson(delta_line);
+      if (!doc.ok()) {
+        std::fprintf(stderr, "prox_cli: %s:%d: %s\n", append_deltas.c_str(),
+                     line_number, doc.status().ToString().c_str());
+        return 1;
+      }
+      Result<ingest::DeltaBatch> batch =
+          ingest::DeltaBatchFromJson(doc.value());
+      if (!batch.ok()) {
+        std::fprintf(stderr, "prox_cli: %s:%d: %s\n", append_deltas.c_str(),
+                     line_number, batch.status().ToString().c_str());
+        return 1;
+      }
+      Result<ingest::ApplyReceipt> receipt = maintainer.Ingest(batch.value());
+      if (!receipt.ok()) {
+        std::fprintf(stderr, "prox_cli: %s:%d: %s\n", append_deltas.c_str(),
+                     line_number, receipt.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("ingested batch %llu: +%lld annotations, +%lld terms, "
+                  "size %lld, digest %s\n",
+                  static_cast<unsigned long long>(receipt.value().sequence),
+                  static_cast<long long>(receipt.value().annotations_added),
+                  static_cast<long long>(receipt.value().terms_added),
+                  static_cast<long long>(receipt.value().expression_size),
+                  receipt.value().digest.c_str());
+
+      const JsonValue* directive = doc.value().Find("resummarize");
+      if (directive == nullptr ||
+          (directive->is_bool() && !directive->bool_value())) {
+        continue;
+      }
+      SummarizationRequest request;
+      if (directive->is_object()) {
+        Result<SummarizationRequest> parsed =
+            serve::SummarizationRequestFromJson(*directive);
+        if (!parsed.ok()) {
+          std::fprintf(stderr, "prox_cli: %s:%d: %s\n",
+                       append_deltas.c_str(), line_number,
+                       parsed.status().ToString().c_str());
+          return 1;
+        }
+        request = parsed.value();
+      } else if (!directive->is_bool()) {
+        std::fprintf(stderr,
+                     "prox_cli: %s:%d: 'resummarize' must be a bool or an "
+                     "object\n",
+                     append_deltas.c_str(), line_number);
+        return 1;
+      }
+      if (request.threads == 0) request.threads = threads;
+      Result<ingest::MaintainReport> report =
+          maintainer.Resummarize(request);
+      if (!report.ok()) {
+        std::fprintf(stderr, "prox_cli: %s:%d: %s\n", append_deltas.c_str(),
+                     line_number, report.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("resummarized (%s, delta %.4f): size %lld, "
+                  "distance %.4f, %d replayed merge(s), %d step(s)\n",
+                  report.value().warm ? "warm" : "full",
+                  report.value().delta_fraction,
+                  static_cast<long long>(report.value().final_size),
+                  report.value().final_distance,
+                  report.value().replayed_merges,
+                  report.value().continuation_steps);
+    }
+  }
 
   std::printf("PROX — approximated provenance summarization "
               "(type 'help')\n\n");

@@ -1,0 +1,178 @@
+#!/usr/bin/env bash
+# Smoke test for the prox::ingest streaming subsystem (docs/INGEST.md),
+# end to end through the shipped binaries:
+#
+#   1. prox_cli --save-snapshot writes the dataset;
+#   2. a server booted from that snapshot answers summarize miss-then-hit,
+#      ingests a delta batch over POST /v1/ingest (the /healthz fingerprint
+#      chains forward), and the SAME knobs then miss-then-hit again on the
+#      grown data;
+#   3. an in-call "resummarize" directive warm-starts the next summary
+#      ("warm": true) and primes the cache (the next summarize is a hit);
+#   4. replay byte-identity: a FRESH server that ingests the same delta
+#      stream and a prox_cli --append-deltas offline replay produce
+#      byte-identical summarize JSON.
+#
+# Usage: scripts/ingest_smoke.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+build_dir=${1:-build}
+cli_bin="$build_dir/examples/prox_cli"
+server_bin="$build_dir/examples/prox_server"
+
+for bin in "$cli_bin" "$server_bin"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "ingest_smoke: $bin not built (cmake --build $build_dir)" >&2
+    exit 1
+  fi
+done
+
+tmpdir=$(mktemp -d)
+server_pid=
+cleanup() {
+  [[ -n "$server_pid" ]] && kill -9 "$server_pid" 2>/dev/null
+  rm -rf "$tmpdir"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "ingest_smoke: FAIL: $*" >&2
+  exit 1
+}
+
+snap="$tmpdir/dataset.snap"
+"$cli_bin" --save-snapshot="$snap" >/dev/null || fail "save-snapshot exited $?"
+
+# Self-contained delta stream: a new movie + year + users, so every factor
+# resolves no matter what titles the generator minted. batch1 and batch2
+# are the raw stream; the *_resum variants add the resummarize directive.
+batch1='{"sequence":1,"ops":[{"op":"add_annotation","domain":"year","name":"Y2030","attrs":["2030s"]},{"op":"add_annotation","domain":"movie","name":"Smoke Movie (2030)","attrs":["Drama","2030"]},{"op":"add_annotation","domain":"user","name":"UIN_A","attrs":["F","25-34","artist","90210"]},{"op":"add_annotation","domain":"user","name":"UIN_B","attrs":["M","25-34","artist","90210"]},{"op":"add_term","factors":["UIN_A","Smoke Movie (2030)","Y2030"],"group":"Smoke Movie (2030)","value":4},{"op":"add_term","factors":["UIN_B","Smoke Movie (2030)","Y2030"],"group":"Smoke Movie (2030)","value":3}]}'
+batch2='{"sequence":2,"ops":[{"op":"add_annotation","domain":"user","name":"UIN_C","attrs":["F","25-34","artist","90210"]},{"op":"add_term","factors":["UIN_C","Smoke Movie (2030)","Y2030"],"group":"Smoke Movie (2030)","value":5}]}'
+
+printf '%s\n%s\n' "$batch1" "$batch2" >"$tmpdir/deltas_plain.jsonl"
+resum_knobs='{"w_dist":0.5,"w_size":0.5,"max_steps":5}'
+printf '%s\n%s\n' \
+  "${batch1%\}},\"resummarize\":true}" \
+  "${batch2%\}},\"resummarize\":$resum_knobs}" \
+  >"$tmpdir/deltas_resum.jsonl"
+
+req="$resum_knobs"
+
+start_server() {
+  "$server_bin" --port=0 --threads=2 "$@" >"$tmpdir/server.log" 2>&1 &
+  server_pid=$!
+  port=
+  for _ in $(seq 1 200); do
+    port=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+             "$tmpdir/server.log")
+    [[ -n "$port" ]] && break
+    kill -0 "$server_pid" 2>/dev/null || fail "server died during startup:
+$(cat "$tmpdir/server.log")"
+    sleep 0.05
+  done
+  [[ -n "$port" ]] || fail "server never printed its listen line"
+}
+
+stop_server() {
+  kill -INT "$server_pid"
+  wait "$server_pid" || fail "server exited non-zero after SIGINT"
+  server_pid=
+}
+
+post() {  # post <path> <body> <header-out> <body-out> -> status code
+  curl -s -D "$3" -o "$4" -w '%{http_code}' -X POST -d "$2" \
+    "http://127.0.0.1:$port$1"
+}
+
+fingerprint() {
+  curl -s "http://127.0.0.1:$port/healthz" \
+    | sed -n 's/.*"dataset_fingerprint": *"\([0-9a-f]*\)".*/\1/p'
+}
+
+# --- 2. miss → hit → ingest → miss → hit -----------------------------------
+start_server --snapshot="$snap"
+fp_before=$(fingerprint)
+[[ -n "$fp_before" ]] || fail "healthz has no dataset fingerprint"
+
+code=$(post /v1/summarize "$req" "$tmpdir/cold.h" "$tmpdir/cold.json")
+[[ "$code" == 200 ]] || fail "cold summarize returned $code"
+grep -qi '^x-prox-cache: miss' "$tmpdir/cold.h" \
+  || fail "cold summarize was not a miss"
+code=$(post /v1/summarize "$req" "$tmpdir/hit.h" "$tmpdir/hit.json")
+[[ "$code" == 200 ]] || fail "warm summarize returned $code"
+grep -qi '^x-prox-cache: hit' "$tmpdir/hit.h" \
+  || fail "second summarize was not a hit"
+
+code=$(post /v1/ingest "$batch1" "$tmpdir/ingest1.h" "$tmpdir/ingest1.json")
+[[ "$code" == 200 ]] || fail "ingest returned $code:
+$(cat "$tmpdir/ingest1.json")"
+grep -q '"terms_added":2' "$tmpdir/ingest1.json" \
+  || fail "receipt lacks terms_added=2: $(cat "$tmpdir/ingest1.json")"
+
+fp_after=$(fingerprint)
+[[ -n "$fp_after" && "$fp_after" != "$fp_before" ]] \
+  || fail "fingerprint did not chain forward on ingest"
+
+code=$(post /v1/summarize "$req" "$tmpdir/miss2.h" "$tmpdir/miss2.json")
+[[ "$code" == 200 ]] || fail "post-ingest summarize returned $code"
+grep -qi '^x-prox-cache: miss' "$tmpdir/miss2.h" \
+  || fail "post-ingest summarize was not a miss (stale cache served)"
+code=$(post /v1/summarize "$req" "$tmpdir/hit2.h" "$tmpdir/hit2.json")
+grep -qi '^x-prox-cache: hit' "$tmpdir/hit2.h" \
+  || fail "post-ingest second summarize was not a hit"
+cmp -s "$tmpdir/miss2.json" "$tmpdir/hit2.json" \
+  || fail "post-ingest hit served different bytes than the miss"
+
+# --- 3. in-call resummarize directive: warm + cache priming ----------------
+body="${batch2%\}},\"resummarize\":$resum_knobs}"
+code=$(post /v1/ingest "$body" "$tmpdir/ingest2.h" "$tmpdir/ingest2.json")
+[[ "$code" == 200 ]] || fail "ingest+resummarize returned $code:
+$(cat "$tmpdir/ingest2.json")"
+grep -q '"warm":true' "$tmpdir/ingest2.json" \
+  || fail "resummarize was not warm: $(cat "$tmpdir/ingest2.json")"
+code=$(post /v1/summarize "$req" "$tmpdir/primed.h" "$tmpdir/primed.json")
+grep -qi '^x-prox-cache: hit' "$tmpdir/primed.h" \
+  || fail "summarize after in-call resummarize was not a primed hit"
+
+metrics=$(curl -s "http://127.0.0.1:$port/metrics")
+echo "$metrics" | grep -q '^prox_ingest_batches_total 2' \
+  || fail "prox_ingest_batches_total != 2"
+echo "$metrics" | grep -q '^prox_warmstart_runs_total [1-9]' \
+  || fail "prox_warmstart_runs_total did not move"
+stop_server
+
+# --- 4. replay byte-identity ----------------------------------------------
+start_server --snapshot="$snap"
+code=$(post /v1/ingest "$batch1" /dev/null /dev/null)
+[[ "$code" == 200 ]] || fail "fresh-server ingest 1 returned $code"
+code=$(post /v1/ingest "$batch2" /dev/null /dev/null)
+[[ "$code" == 200 ]] || fail "fresh-server ingest 2 returned $code"
+code=$(post /v1/summarize "$req" "$tmpdir/serverB.h" "$tmpdir/serverB.json")
+[[ "$code" == 200 ]] || fail "fresh-server summarize returned $code"
+stop_server
+
+printf 'selectall\nsummarize 0.5 5\nquit\n' \
+  | "$cli_bin" --json --load-snapshot="$snap" \
+      --append-deltas="$tmpdir/deltas_plain.jsonl" \
+      >"$tmpdir/cli_plain.out" || fail "CLI replay failed"
+sed -n 's/^prox> {/{/p' "$tmpdir/cli_plain.out" >"$tmpdir/cli_plain.json"
+[[ -s "$tmpdir/cli_plain.json" ]] || fail "CLI replay produced no JSON"
+cmp -s "$tmpdir/serverB.json" "$tmpdir/cli_plain.json" \
+  || fail "CLI replay summarize differs from the server's bytes"
+
+# The offline maintainer takes the same warm path the server did.
+printf 'quit\n' \
+  | "$cli_bin" --load-snapshot="$snap" \
+      --append-deltas="$tmpdir/deltas_resum.jsonl" \
+      >"$tmpdir/cli_resum.out" || fail "CLI resummarize replay failed"
+grep -q '^resummarized (full' "$tmpdir/cli_resum.out" \
+  || fail "first CLI resummarize was not a full run:
+$(cat "$tmpdir/cli_resum.out")"
+grep -q '^resummarized (warm' "$tmpdir/cli_resum.out" \
+  || fail "second CLI resummarize was not warm:
+$(cat "$tmpdir/cli_resum.out")"
+
+echo "ingest_smoke: OK (miss→hit→ingest→miss→hit, chained fingerprint," \
+     "warm in-call resummarize, replay byte-identity)"

@@ -1,0 +1,138 @@
+#ifndef PROX_INGEST_DELTA_H_
+#define PROX_INGEST_DELTA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "datasets/dataset.h"
+
+namespace prox {
+namespace ingest {
+
+/// \file
+/// The DeltaBatch record format: the unit of streaming provenance ingest
+/// (docs/INGEST.md). A batch is an ordered list of monotone-growth
+/// operations — provenance only ever gains annotations, tensor terms and
+/// executions; nothing is removed or rewritten. That invariant is what
+/// makes warm-started re-summarization sound: every merge recorded by a
+/// previous run still refers to live members after any number of batches.
+
+/// Kinds of monotone growth a batch may apply.
+enum class DeltaOpKind {
+  /// Register a new original annotation (optionally with entity-table
+  /// attributes, optionally with a DDP cost).
+  kAddAnnotation,
+  /// Append one tensor term `(f1·f2·...) ⊗ (value, count)` to an
+  /// aggregate provenance expression.
+  kAddTerm,
+  /// Append one execution (a transition sequence) to a DDP provenance
+  /// expression.
+  kAddExecution,
+};
+
+/// Typed rejection reasons; rendered as `ingest error k<Name>: ...` in the
+/// Status message so callers and tests can route on them.
+enum class DeltaErrorKind {
+  kSequence,             ///< batch sequence != the log's next sequence
+  kUnknownDomain,        ///< add_annotation names a domain not in the registry
+  kDuplicateAnnotation,  ///< annotation name already registered / repeated
+  kUnknownAnnotation,    ///< term/execution factor never registered
+  kSummaryAnnotation,    ///< op references a summary annotation
+  kBadShape,             ///< malformed op (empty factors, wrong attr count...)
+  kNonMonotone,          ///< op would shrink or rewrite existing provenance
+  kUnsupported,          ///< op kind does not match the dataset's expression
+};
+
+const char* DeltaErrorKindToString(DeltaErrorKind kind);
+
+/// Builds the canonical `ingest error k<Kind>: <detail>` status. kSequence
+/// maps to FailedPrecondition (retryable after refresh), everything else
+/// to InvalidArgument.
+Status DeltaError(DeltaErrorKind kind, const std::string& detail);
+
+/// One transition of a kAddExecution op.
+struct DeltaTransition {
+  bool user = true;                     ///< user step vs db step
+  std::string cost_var;                 ///< kUser: cost-variable annotation
+  std::vector<std::string> db_factors;  ///< kDb: monomial factor names
+  bool nonzero = true;                  ///< kDb: "≠ 0" vs "= 0"
+};
+
+/// One monotone-growth operation. Fields are grouped by the op kind that
+/// reads them; unrelated fields are ignored.
+struct DeltaOp {
+  DeltaOpKind kind = DeltaOpKind::kAddAnnotation;
+
+  // kAddAnnotation
+  std::string domain;              ///< domain name, must pre-exist
+  std::string name;                ///< new unique annotation name
+  std::vector<std::string> attrs;  ///< entity-table row (may be empty)
+  double cost = 0.0;               ///< DDP cost (has_cost only)
+  bool has_cost = false;
+
+  // kAddTerm
+  std::vector<std::string> factors;  ///< monomial factor names
+  std::string group;                 ///< group annotation name ("" = none)
+  double value = 0.0;
+  double count = 1.0;
+
+  // kAddExecution
+  std::vector<DeltaTransition> transitions;
+};
+
+/// An ordered, atomically applied batch of growth ops. `sequence` is the
+/// position in the ingest stream (1-based); the IngestLog rejects gaps and
+/// replays so that a delta stream has exactly one canonical application.
+struct DeltaBatch {
+  uint64_t sequence = 0;
+  std::vector<DeltaOp> ops;
+};
+
+/// What one applied batch did to the dataset.
+struct ApplyReceipt {
+  uint64_t sequence = 0;
+  int64_t annotations_added = 0;
+  int64_t terms_added = 0;       ///< tensor terms + executions appended
+  int64_t expression_size = 0;   ///< provenance Size() after the batch
+  std::string digest;            ///< BatchDigest of the applied batch
+};
+
+/// Parses a batch from its JSON wire form:
+/// `{"sequence": N, "ops": [{"op": "add_annotation", ...}, ...]}`.
+/// Unknown top-level keys other than "resummarize" (a router/CLI
+/// directive, not part of the batch) are rejected.
+Result<DeltaBatch> DeltaBatchFromJson(const JsonValue& value);
+
+/// Canonical JSON form; `BatchDigest` hashes exactly this rendering.
+JsonValue DeltaBatchToJson(const DeltaBatch& batch);
+
+JsonValue ApplyReceiptToJson(const ApplyReceipt& receipt);
+
+/// FNV-1a digest (16 hex chars) of the batch's canonical JSON rendering.
+/// Replaying the same logical batch always yields the same digest.
+std::string BatchDigest(const DeltaBatch& batch);
+
+/// Chains a dataset fingerprint with a batch digest:
+/// `chained = fnv(fingerprint || 0xFF || digest)`, 16 hex chars. Cache
+/// invalidation after ingest is this chain, not a whole-dataset re-hash —
+/// two replicas replaying the same delta stream from the same snapshot
+/// agree on every intermediate fingerprint (docs/INGEST.md).
+std::string ChainFingerprint(const std::string& fingerprint,
+                             const std::string& digest);
+
+/// Validates and applies `batch` to `dataset` atomically: the whole batch
+/// is simulated first and the dataset is untouched unless every op passes.
+/// Appends registry entries / entity rows / expression rows in op order,
+/// pre-reserving capacity, then canonicalizes the expression once.
+/// Interned ids of untouched terms and all existing registry ids are
+/// stable across the call (monotone growth contract, docs/INGEST.md).
+Result<ApplyReceipt> ApplyBatch(Dataset* dataset, const DeltaBatch& batch,
+                                uint64_t expected_sequence);
+
+}  // namespace ingest
+}  // namespace prox
+
+#endif  // PROX_INGEST_DELTA_H_

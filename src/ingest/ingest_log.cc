@@ -1,0 +1,24 @@
+#include "ingest/ingest_log.h"
+
+#include <chrono>
+
+#include "ingest/ingest_metrics.h"
+
+namespace prox {
+namespace ingest {
+
+Result<ApplyReceipt> IngestLog::Append(const DeltaBatch& batch) {
+  const auto start = std::chrono::steady_clock::now();
+  PROX_ASSIGN_OR_RETURN(ApplyReceipt receipt,
+                        ApplyBatch(dataset_, batch, next_sequence_));
+  next_sequence_ = receipt.sequence + 1;
+  receipts_.push_back(receipt);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  IngestApplyDuration()->Observe(static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+          .count()));
+  return receipt;
+}
+
+}  // namespace ingest
+}  // namespace prox

@@ -1,0 +1,75 @@
+#ifndef PROX_INGEST_INGEST_METRICS_H_
+#define PROX_INGEST_INGEST_METRICS_H_
+
+#include "obs/metrics.h"
+
+namespace prox {
+namespace ingest {
+
+/// \file
+/// The `prox_ingest_*` / `prox_warmstart_*` metric families
+/// (docs/OBSERVABILITY.md). Same discipline as serve_metrics.h: hot call
+/// sites cache the pointer in a function-local static.
+
+/// `prox_ingest_batches_total` — delta batches applied.
+inline obs::Counter* IngestBatches() {
+  return obs::MetricsRegistry::Default().GetCounter(
+      "prox_ingest_batches_total", "Delta batches validated and applied.");
+}
+
+/// `prox_ingest_ops_total` — individual growth ops applied.
+inline obs::Counter* IngestOps() {
+  return obs::MetricsRegistry::Default().GetCounter(
+      "prox_ingest_ops_total", "Delta ops applied across all batches.");
+}
+
+/// `prox_ingest_annotations_added_total` — annotations registered by ingest.
+inline obs::Counter* IngestAnnotationsAdded() {
+  return obs::MetricsRegistry::Default().GetCounter(
+      "prox_ingest_annotations_added_total",
+      "Original annotations registered via delta batches.");
+}
+
+/// `prox_ingest_terms_added_total` — terms / executions appended by ingest.
+inline obs::Counter* IngestTermsAdded() {
+  return obs::MetricsRegistry::Default().GetCounter(
+      "prox_ingest_terms_added_total",
+      "Tensor terms and DDP executions appended via delta batches.");
+}
+
+/// `prox_ingest_rejected_total` — batches rejected by validation.
+inline obs::Counter* IngestRejected() {
+  return obs::MetricsRegistry::Default().GetCounter(
+      "prox_ingest_rejected_total",
+      "Delta batches rejected before any mutation (typed ingest errors).");
+}
+
+/// `prox_ingest_apply_duration_nanos` — ApplyBatch wall time.
+inline obs::Histogram* IngestApplyDuration() {
+  return obs::MetricsRegistry::Default().GetHistogram(
+      "prox_ingest_apply_duration_nanos",
+      "Delta batch validate+apply wall time, nanoseconds.",
+      obs::LatencyBucketsNanos());
+}
+
+/// `prox_warmstart_fallback_total` — maintenance runs that fell back to a
+/// full re-run (no prior summary, or delta fraction over threshold).
+inline obs::Counter* WarmstartFallbacks() {
+  return obs::MetricsRegistry::Default().GetCounter(
+      "prox_warmstart_fallback_total",
+      "Re-summarize requests that ran cold instead of warm-starting.");
+}
+
+/// `prox_warmstart_resummarize_duration_nanos` — maintainer re-summarize
+/// wall time (warm and cold paths both record here).
+inline obs::Histogram* WarmstartResummarizeDuration() {
+  return obs::MetricsRegistry::Default().GetHistogram(
+      "prox_warmstart_resummarize_duration_nanos",
+      "SummaryMaintainer re-summarize wall time, nanoseconds.",
+      obs::LatencyBucketsNanos());
+}
+
+}  // namespace ingest
+}  // namespace prox
+
+#endif  // PROX_INGEST_INGEST_METRICS_H_

@@ -1,0 +1,181 @@
+#include "ingest/synthetic.h"
+
+#include <string>
+#include <vector>
+
+#include "provenance/annotation.h"
+#include "semantics/entity_table.h"
+
+namespace prox {
+namespace ingest {
+
+namespace {
+
+// Attribute pools for synthetic users. Values deliberately repeat so the
+// new annotations are mergeable with each other (and with any existing
+// annotation sharing the value) under the shared-attribute constraints.
+const char* const kGenders[] = {"F", "M"};
+const char* const kAgeRanges[] = {"18-24", "25-34", "35-44"};
+const char* const kOccupations[] = {"engineer", "artist", "student"};
+const char* const kLevels[] = {"Low", "Medium", "High"};
+
+std::string FreshName(const AnnotationRegistry& registry,
+                      const std::string& base) {
+  std::string name = base;
+  while (registry.Find(name).ok()) name += "x";
+  return name;
+}
+
+Result<std::vector<AnnotationId>> OriginalsInDomain(const Dataset& dataset,
+                                                    const char* domain_name) {
+  PROX_ASSIGN_OR_RETURN(DomainId domain,
+                        dataset.registry->FindDomain(domain_name));
+  std::vector<AnnotationId> out;
+  for (AnnotationId a : dataset.registry->AnnotationsInDomain(domain)) {
+    if (!dataset.registry->is_summary(a)) out.push_back(a);
+  }
+  if (out.empty()) {
+    return Status::FailedPrecondition(std::string("domain '") + domain_name +
+                                      "' has no original annotations");
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<DeltaBatch> SyntheticMovieLensDelta(const Dataset& dataset,
+                                           int new_users,
+                                           int ratings_per_user,
+                                           uint64_t sequence) {
+  const AnnotationRegistry& registry = *dataset.registry;
+  PROX_ASSIGN_OR_RETURN(std::vector<AnnotationId> movies,
+                        OriginalsInDomain(dataset, "movie"));
+  PROX_ASSIGN_OR_RETURN(DomainId movie_domain,
+                        registry.FindDomain("movie"));
+  const EntityTable* movies_table = dataset.ctx.TableFor(movie_domain);
+  if (movies_table == nullptr) {
+    return Status::FailedPrecondition("movie domain has no entity table");
+  }
+  PROX_ASSIGN_OR_RETURN(AttrId year_attr,
+                        movies_table->FindAttribute("Year"));
+
+  DeltaBatch batch;
+  batch.sequence = sequence;
+  for (int u = 0; u < new_users; ++u) {
+    DeltaOp add;
+    add.kind = DeltaOpKind::kAddAnnotation;
+    add.domain = "user";
+    add.name = FreshName(registry, "UIN" + std::to_string(sequence) + "_" +
+                                       std::to_string(u));
+    add.attrs = {kGenders[u % 2], kAgeRanges[u % 3], kOccupations[u % 3],
+                 "90000"};
+    batch.ops.push_back(add);
+
+    for (int r = 0; r < ratings_per_user; ++r) {
+      const size_t m =
+          (static_cast<size_t>(u) * 7 + static_cast<size_t>(r) * 3) %
+          movies.size();
+      const AnnotationId movie = movies[m];
+      const std::string& year_value =
+          movies_table->ValueNameOf(registry.entity_row(movie), year_attr);
+      PROX_ASSIGN_OR_RETURN(AnnotationId year_ann,
+                            registry.Find("Y" + year_value));
+      DeltaOp term;
+      term.kind = DeltaOpKind::kAddTerm;
+      term.factors = {add.name, registry.name(movie),
+                      registry.name(year_ann)};
+      term.group = registry.name(movie);
+      term.value = static_cast<double>((u + r) % 5 + 1);
+      term.count = 1.0;
+      batch.ops.push_back(std::move(term));
+    }
+  }
+  return batch;
+}
+
+Result<DeltaBatch> SyntheticWikipediaDelta(const Dataset& dataset,
+                                           int new_users, int edits_per_user,
+                                           uint64_t sequence) {
+  const AnnotationRegistry& registry = *dataset.registry;
+  PROX_ASSIGN_OR_RETURN(std::vector<AnnotationId> pages,
+                        OriginalsInDomain(dataset, "page"));
+
+  DeltaBatch batch;
+  batch.sequence = sequence;
+  for (int u = 0; u < new_users; ++u) {
+    DeltaOp add;
+    add.kind = DeltaOpKind::kAddAnnotation;
+    add.domain = "wiki_user";
+    add.name = FreshName(registry, "WIN" + std::to_string(sequence) + "_" +
+                                       std::to_string(u));
+    add.attrs = {u % 2 == 0 ? "Registered" : "Anonymous", kGenders[u % 2],
+                 kLevels[u % 3]};
+    batch.ops.push_back(add);
+
+    for (int e = 0; e < edits_per_user; ++e) {
+      const size_t p =
+          (static_cast<size_t>(u) * 5 + static_cast<size_t>(e) * 2) %
+          pages.size();
+      DeltaOp term;
+      term.kind = DeltaOpKind::kAddTerm;
+      term.factors = {add.name, registry.name(pages[p])};
+      term.group = registry.name(pages[p]);
+      term.value = static_cast<double>((u + e) % 3 + 1);
+      term.count = 1.0;
+      batch.ops.push_back(std::move(term));
+    }
+  }
+  return batch;
+}
+
+Result<DeltaBatch> SyntheticDdpDelta(const Dataset& dataset,
+                                     int new_cost_vars, int new_executions,
+                                     uint64_t sequence) {
+  const AnnotationRegistry& registry = *dataset.registry;
+  PROX_ASSIGN_OR_RETURN(std::vector<AnnotationId> db_vars,
+                        OriginalsInDomain(dataset, "db_var"));
+
+  DeltaBatch batch;
+  batch.sequence = sequence;
+  std::vector<std::string> new_costs;
+  for (int c = 0; c < new_cost_vars; ++c) {
+    DeltaOp add;
+    add.kind = DeltaOpKind::kAddAnnotation;
+    add.domain = "cost_var";
+    add.name = FreshName(registry, "cin" + std::to_string(sequence) + "_" +
+                                       std::to_string(c));
+    const double cost = static_cast<double>(c % 4 + 1);
+    add.attrs = {std::to_string(cost)};
+    add.cost = cost;
+    add.has_cost = true;
+    new_costs.push_back(add.name);
+    batch.ops.push_back(std::move(add));
+  }
+  if (new_costs.empty()) {
+    return Status::InvalidArgument(
+        "SyntheticDdpDelta needs at least one new cost var");
+  }
+
+  for (int e = 0; e < new_executions; ++e) {
+    DeltaOp exec;
+    exec.kind = DeltaOpKind::kAddExecution;
+    DeltaTransition user;
+    user.user = true;
+    user.cost_var = new_costs[static_cast<size_t>(e) % new_costs.size()];
+    exec.transitions.push_back(std::move(user));
+
+    DeltaTransition db;
+    db.user = false;
+    const size_t d1 = static_cast<size_t>(e) % db_vars.size();
+    const size_t d2 = (static_cast<size_t>(e) * 3 + 1) % db_vars.size();
+    db.db_factors.push_back(registry.name(db_vars[d1]));
+    if (d2 != d1) db.db_factors.push_back(registry.name(db_vars[d2]));
+    db.nonzero = e % 2 == 0;
+    exec.transitions.push_back(std::move(db));
+    batch.ops.push_back(std::move(exec));
+  }
+  return batch;
+}
+
+}  // namespace ingest
+}  // namespace prox

@@ -1,0 +1,47 @@
+#ifndef PROX_INGEST_SYNTHETIC_H_
+#define PROX_INGEST_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "datasets/dataset.h"
+#include "ingest/delta.h"
+
+namespace prox {
+namespace ingest {
+
+/// \file
+/// Deterministic synthetic delta batches over the three generated dataset
+/// families (tests, bench_ingest, smoke tooling). Each builder reads only
+/// the live registry/entity tables — never the generator's RNG state — so
+/// the same dataset always yields the same batch, which is what the replay
+/// determinism suite leans on. No randomness by design: factor choices are
+/// simple arithmetic in the op index.
+
+/// New users rating existing movies: `new_users` annotations in the "user"
+/// domain, each with `ratings_per_user` add_term ops over existing
+/// (movie, year) pairs resolved from the Movies entity table.
+Result<DeltaBatch> SyntheticMovieLensDelta(const Dataset& dataset,
+                                           int new_users,
+                                           int ratings_per_user,
+                                           uint64_t sequence);
+
+/// New editors touching existing pages: `new_users` annotations in the
+/// "wiki_user" domain, each with `edits_per_user` add_term ops grouped by
+/// page.
+Result<DeltaBatch> SyntheticWikipediaDelta(const Dataset& dataset,
+                                           int new_users, int edits_per_user,
+                                           uint64_t sequence);
+
+/// New cost variables plus new executions over existing db variables:
+/// `new_cost_vars` annotations in the "cost_var" domain (with costs) and
+/// `new_executions` add_execution ops mixing new cost vars with existing
+/// db monomials.
+Result<DeltaBatch> SyntheticDdpDelta(const Dataset& dataset,
+                                     int new_cost_vars, int new_executions,
+                                     uint64_t sequence);
+
+}  // namespace ingest
+}  // namespace prox
+
+#endif  // PROX_INGEST_SYNTHETIC_H_

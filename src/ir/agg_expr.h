@@ -51,6 +51,15 @@ class IrAggregateExpression : public ProvenanceExpression,
   void AddTermIds(MonomialId mono, GuardId guard, AnnotationId group,
                   AggValue value);
 
+  /// Pre-reserves the four term columns for `extra` upcoming AddTermIds
+  /// calls (batched ingest appends grow once instead of per row).
+  void ReserveAdditionalTerms(size_t extra) {
+    mono_.reserve(mono_.size() + extra);
+    guard_.reserve(guard_.size() + extra);
+    group_.reserve(group_.size() + extra);
+    value_.reserve(value_.size() + extra);
+  }
+
   /// Sorts rows into the legacy canonical order, merges equal-keyed rows
   /// under the aggregation monoid, and rebuilds the group index and the
   /// cached size.

@@ -57,6 +57,12 @@ class AggregateExpression : public ProvenanceExpression,
   /// batch additions).
   void AddTerm(TensorTerm term);
 
+  /// Pre-reserves capacity for `extra` upcoming AddTerm calls (batched
+  /// ingest appends grow once instead of reallocating per term).
+  void ReserveAdditionalTerms(size_t extra) {
+    terms_.reserve(terms_.size() + extra);
+  }
+
   /// Re-canonicalizes: sorts terms and merges equal-keyed tensors.
   void Simplify();
 

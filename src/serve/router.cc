@@ -4,6 +4,7 @@
 #include <memory>
 #include <utility>
 
+#include "ingest/delta.h"
 #include "obs/export.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -42,6 +43,7 @@ HttpResponse SimpleError(int status, const std::string& message) {
 const std::string& RouteLabel(const HttpRequest& request) {
   static const std::string kSelect = "/v1/select";
   static const std::string kSummarize = "/v1/summarize";
+  static const std::string kIngest = "/v1/ingest";
   static const std::string kGroups = "/v1/summary/groups";
   static const std::string kEvaluate = "/v1/evaluate";
   static const std::string kDebugRequests = "/v1/debug/requests";
@@ -50,6 +52,7 @@ const std::string& RouteLabel(const HttpRequest& request) {
   static const std::string kOther = "other";
   if (request.target == kSelect) return kSelect;
   if (request.target == kSummarize) return kSummarize;
+  if (request.target == kIngest) return kIngest;
   if (request.target == kGroups) return kGroups;
   if (request.target == kEvaluate) return kEvaluate;
   if (request.target == kDebugRequests) return kDebugRequests;
@@ -109,10 +112,11 @@ Router::Router(ProxSession* session, SummaryCache* cache, Options options)
     : session_(session),
       cache_(cache),
       options_(options),
-      fingerprint_(DatasetFingerprint(session->dataset())),
       route_stats_(options.route_stats),
       recorder_(options.recorder),
-      selection_key_(SelectAllKey()) {
+      fingerprint_(session->fingerprint()),
+      selection_key_(SelectAllKey()),
+      maintainer_(session) {
   // The session starts with the whole provenance selected, so a summarize
   // with no prior select is well-defined (and cacheable under "all").
   session_->SelectAll();
@@ -185,7 +189,8 @@ HttpResponse Router::Dispatch(const HttpRequest& request) {
     } else {
       JsonValue doc = JsonValue::Object();
       doc.Set("status", JsonValue::Str("ok"));
-      doc.Set("dataset_fingerprint", JsonValue::Str(fingerprint_));
+      doc.Set("dataset_fingerprint",
+              JsonValue::Str(dataset_fingerprint()));
       response = JsonResponse(200, doc);
     }
   } else if (request.target == "/metrics") {
@@ -196,6 +201,9 @@ HttpResponse Router::Dispatch(const HttpRequest& request) {
                                         : SimpleError(405, "use POST");
   } else if (request.target == "/v1/summarize") {
     response = request.method == "POST" ? HandleSummarize(request)
+                                        : SimpleError(405, "use POST");
+  } else if (request.target == "/v1/ingest") {
+    response = request.method == "POST" ? HandleIngest(request)
                                         : SimpleError(405, "use POST");
   } else if (request.target == "/v1/summary/groups") {
     response = request.method == "GET" ? HandleGroups()
@@ -293,6 +301,78 @@ HttpResponse Router::HandleSummarize(const HttpRequest& request) {
   response.body = *rendered;
   response.headers.emplace_back("X-Prox-Cache", "miss");
   return response;
+}
+
+HttpResponse Router::HandleIngest(const HttpRequest& request) {
+  Result<JsonValue> body = ParseJson(request.body);
+  if (!body.ok()) return ErrorResponse(body.status());
+  Result<ingest::DeltaBatch> batch = ingest::DeltaBatchFromJson(body.value());
+  if (!batch.ok()) return ErrorResponse(batch.status());
+
+  // The optional "resummarize" directive: `true` re-summarizes with
+  // default knobs, an object carries the same knobs as /v1/summarize.
+  bool resummarize = false;
+  SummarizationRequest summarize_request;
+  if (const JsonValue* directive = body.value().Find("resummarize")) {
+    if (directive->is_bool()) {
+      resummarize = directive->bool_value();
+    } else if (directive->is_object()) {
+      resummarize = true;
+      Result<SummarizationRequest> parsed =
+          SummarizationRequestFromJson(*directive);
+      if (!parsed.ok()) return ErrorResponse(parsed.status());
+      summarize_request = parsed.value();
+    } else {
+      return ErrorResponse(Status::InvalidArgument(
+          "field 'resummarize' must be a bool or an object"));
+    }
+    if (Status valid = summarize_request.Validate(); !valid.ok()) {
+      return ErrorResponse(valid);
+    }
+  }
+
+  // Single-flight with /v1/summarize: the whole apply (and the optional
+  // re-summarize) runs under the router mutex, so a concurrent summarize
+  // either keys against the pre-ingest fingerprint (its cached bytes stay
+  // correct for that dataset version) or waits and sees the new one.
+  std::lock_guard<std::mutex> lock(mu_);
+  Result<ingest::ApplyReceipt> receipt = maintainer_.Ingest(batch.value());
+  if (!receipt.ok()) return ErrorResponse(receipt.status());
+  // Chaining the fingerprint retires every cache entry keyed under the
+  // old dataset version without touching the cache itself.
+  fingerprint_ = session_->fingerprint();
+  selection_key_ = SelectAllKey();
+
+  JsonValue doc = ingest::ApplyReceiptToJson(receipt.value());
+  doc.Set("fingerprint", JsonValue::Str(fingerprint_));
+
+  if (resummarize) {
+    Result<ingest::MaintainReport> maintained =
+        maintainer_.Resummarize(summarize_request);
+    if (!maintained.ok()) return ErrorResponse(maintained.status());
+    const ingest::MaintainReport& report = maintained.value();
+
+    // Publish the fresh summary under the post-ingest key so the next
+    // /v1/summarize with the same knobs is a hit on these exact bytes.
+    JsonValue outcome_doc = SummaryOutcomeToJson(
+        *session_->outcome(), *session_->dataset().registry);
+    auto rendered = std::make_shared<std::string>(WriteJson(outcome_doc));
+    rendered->push_back('\n');
+    cache_->Put(SummaryCacheKey(fingerprint_, selection_key_,
+                                summarize_request),
+                rendered);
+
+    JsonValue summary = JsonValue::Object();
+    summary.Set("warm", JsonValue::Bool(report.warm));
+    summary.Set("delta_fraction", JsonValue::Double(report.delta_fraction));
+    summary.Set("replayed_merges", JsonValue::Int(report.replayed_merges));
+    summary.Set("continuation_steps",
+                JsonValue::Int(report.continuation_steps));
+    summary.Set("final_size", JsonValue::Int(report.final_size));
+    summary.Set("final_distance", JsonValue::Double(report.final_distance));
+    doc.Set("resummarize", std::move(summary));
+  }
+  return JsonResponse(200, doc);
 }
 
 HttpResponse Router::HandleGroups() {

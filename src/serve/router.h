@@ -4,6 +4,7 @@
 #include <mutex>
 #include <string>
 
+#include "ingest/maintainer.h"
 #include "obs/flight_recorder.h"
 #include "serve/http.h"
 #include "serve/route_stats.h"
@@ -19,6 +20,9 @@ namespace serve {
 ///
 ///   POST /v1/select            selection view (criteria or {"all": true})
 ///   POST /v1/summarize         Algorithm 1 with the request's knobs
+///   POST /v1/ingest            streaming delta batch (docs/INGEST.md);
+///                              optional "resummarize" directive warm-
+///                              starts the next summary in the same call
 ///   GET  /v1/summary/groups    groups subview of the latest summary
 ///   POST /v1/evaluate          approximate provisioning on summary or
 ///                              selection
@@ -56,14 +60,21 @@ class Router {
   };
 
   /// `session` and `cache` must outlive the router. The dataset
-  /// fingerprint is computed here, once.
+  /// fingerprint comes from the session's memo (computed at most once;
+  /// advanced by digest chaining on ingest).
   Router(ProxSession* session, SummaryCache* cache)
       : Router(session, cache, Options{}) {}
   Router(ProxSession* session, SummaryCache* cache, Options options);
 
   HttpResponse Handle(const HttpRequest& request);
 
-  const std::string& dataset_fingerprint() const { return fingerprint_; }
+  /// The current dataset fingerprint. By value: ingest advances it by
+  /// digest chaining, so the string the caller saw may be replaced while
+  /// they hold it.
+  std::string dataset_fingerprint() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return fingerprint_;
+  }
   const Options& options() const { return options_; }
   obs::FlightRecorder& flight_recorder() { return recorder_; }
   RouteStats& route_stats() { return route_stats_; }
@@ -74,6 +85,7 @@ class Router {
 
   HttpResponse HandleSelect(const HttpRequest& request);
   HttpResponse HandleSummarize(const HttpRequest& request);
+  HttpResponse HandleIngest(const HttpRequest& request);
   HttpResponse HandleGroups();
   HttpResponse HandleEvaluate(const HttpRequest& request);
   HttpResponse HandleMetrics();
@@ -82,14 +94,16 @@ class Router {
   ProxSession* session_;
   SummaryCache* cache_;
   Options options_;
-  std::string fingerprint_;
   RouteStats route_stats_;
   obs::FlightRecorder recorder_;
 
-  /// Guards selection_key_ and all session_ calls, keeping the cache key
-  /// consistent with the selection a computation actually ran on.
-  std::mutex mu_;
+  /// Guards fingerprint_, selection_key_, maintainer_, and all session_
+  /// calls, keeping the cache key consistent with the selection (and the
+  /// dataset contents) a computation actually ran on.
+  mutable std::mutex mu_;
+  std::string fingerprint_;
   std::string selection_key_;
+  ingest::SummaryMaintainer maintainer_;
 };
 
 }  // namespace serve

@@ -6,24 +6,12 @@
 
 #include "common/str_util.h"
 #include "serve/serve_metrics.h"
+#include "service/fingerprint.h"
 
 namespace prox {
 namespace serve {
 
 namespace {
-
-constexpr uint64_t kFnvOffset = 1469598103934665603ull;
-constexpr uint64_t kFnvPrime = 1099511628211ull;
-
-void FnvMix(uint64_t* hash, std::string_view bytes) {
-  for (unsigned char c : bytes) {
-    *hash ^= c;
-    *hash *= kFnvPrime;
-  }
-  // Separator byte so ("ab","c") and ("a","bc") differ.
-  *hash ^= 0xFF;
-  *hash *= kFnvPrime;
-}
 
 std::string HexDouble(double value) {
   char buf[40];
@@ -79,34 +67,11 @@ Result<int64_t> IntField(const JsonValue& value, const std::string& field) {
 // ---------------------------------------------------------------------------
 
 std::string DatasetFingerprint(const Dataset& dataset) {
-  // Snapshot-loaded datasets carry the fingerprint their snapshot was
-  // saved under (docs/STORE.md); returning it verbatim skips the full
-  // provenance re-serialization below — the dominant session-setup cost
-  // on large datasets — and keeps cache keys stable across save/load.
-  if (!dataset.fingerprint_hint.empty()) return dataset.fingerprint_hint;
-  static obs::Counter* fallback_metric = FingerprintFallbacks();
-  fallback_metric->Increment();
-  uint64_t hash = kFnvOffset;
-  // Expression-core version byte: bump when the summarization engine's
-  // representation changes in a way that could alter cached bodies, so
-  // pre-IR cache entries can never be served for post-IR requests (the
-  // engine guarantees byte-identity, but the cache key should not depend
-  // on that proof holding forever). "ir1" = prox::ir flat core, v1.
-  FnvMix(&hash, "ir1");
-  const AnnotationRegistry& registry = *dataset.registry;
-  for (size_t d = 0; d < registry.num_domains(); ++d) {
-    FnvMix(&hash, registry.domain_name(static_cast<DomainId>(d)));
-  }
-  for (size_t a = 0; a < registry.size(); ++a) {
-    FnvMix(&hash, registry.name(static_cast<AnnotationId>(a)));
-  }
-  if (dataset.provenance != nullptr) {
-    FnvMix(&hash, dataset.provenance->ToString(registry));
-  }
-  char buf[24];
-  std::snprintf(buf, sizeof(buf), "%016llx",
-                static_cast<unsigned long long>(hash));
-  return buf;
+  // The hashing itself lives in the service layer (service/fingerprint.h)
+  // so ProxSession can memoize it and the ingest subsystem can chain it
+  // with per-batch delta digests; this wrapper keeps the serve-layer call
+  // sites and tests stable.
+  return ComputeDatasetFingerprint(dataset);
 }
 
 std::string CanonicalSelectionKey(const SelectionCriteria& criteria) {

@@ -1,0 +1,64 @@
+#include "service/fingerprint.h"
+
+#include <cstdio>
+
+#include "obs/metrics.h"
+
+namespace prox {
+
+namespace {
+
+// FNV-1a (the constants serve/wire.cc historically used; the rendered
+// fingerprints must stay bit-compatible with existing snapshots and
+// persisted caches).
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+void FnvMix(uint64_t* hash, const std::string& bytes) {
+  for (unsigned char c : bytes) {
+    *hash ^= c;
+    *hash *= kFnvPrime;
+  }
+  // Field separator so "ab"+"c" and "a"+"bc" cannot collide.
+  *hash ^= 0xFFu;
+  *hash *= kFnvPrime;
+}
+
+}  // namespace
+
+std::string ComputeDatasetFingerprint(const Dataset& dataset) {
+  // Snapshot-loaded datasets carry the fingerprint their snapshot was
+  // saved under (docs/STORE.md); returning it verbatim skips the full
+  // provenance re-serialization below — the dominant session-setup cost
+  // on large datasets — and keeps cache keys stable across save/load.
+  if (!dataset.fingerprint_hint.empty()) return dataset.fingerprint_hint;
+  static obs::Counter* fallback_metric =
+      obs::MetricsRegistry::Default().GetCounter(
+          "prox_serve_fingerprint_fallback_total",
+          "Dataset fingerprints computed by re-serializing the provenance "
+          "because no snapshot checksum was available.");
+  fallback_metric->Increment();
+  uint64_t hash = kFnvOffset;
+  // Expression-core version byte: bump when the summarization engine's
+  // representation changes in a way that could alter cached bodies, so
+  // pre-IR cache entries can never be served for post-IR requests (the
+  // engine guarantees byte-identity, but the cache key should not depend
+  // on that proof holding forever). "ir1" = prox::ir flat core, v1.
+  FnvMix(&hash, "ir1");
+  const AnnotationRegistry& registry = *dataset.registry;
+  for (size_t d = 0; d < registry.num_domains(); ++d) {
+    FnvMix(&hash, registry.domain_name(static_cast<DomainId>(d)));
+  }
+  for (size_t a = 0; a < registry.size(); ++a) {
+    FnvMix(&hash, registry.name(static_cast<AnnotationId>(a)));
+  }
+  if (dataset.provenance != nullptr) {
+    FnvMix(&hash, dataset.provenance->ToString(registry));
+  }
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+}  // namespace prox

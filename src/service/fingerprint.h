@@ -1,0 +1,22 @@
+#ifndef PROX_SERVICE_FINGERPRINT_H_
+#define PROX_SERVICE_FINGERPRINT_H_
+
+#include <string>
+
+#include "datasets/dataset.h"
+
+namespace prox {
+
+/// Content fingerprint of a dataset, 16 hex chars: either the
+/// `fingerprint_hint` a snapshot load stamped (verbatim, free), or an
+/// FNV-1a hash over the expression-core version tag, domain and
+/// annotation names, and the full provenance ToString — the slow path,
+/// counted by `prox_serve_fingerprint_fallback_total`. Cache keys, the
+/// store layer and the ingest fingerprint chain all build on this value;
+/// ProxSession memoizes it so the slow path runs at most once per session
+/// (docs/INGEST.md).
+std::string ComputeDatasetFingerprint(const Dataset& dataset);
+
+}  // namespace prox
+
+#endif  // PROX_SERVICE_FINGERPRINT_H_

@@ -1,5 +1,7 @@
 #include "service/session.h"
 
+#include "service/fingerprint.h"
+
 namespace prox {
 
 ProxSession::ProxSession(Dataset dataset)
@@ -11,7 +13,8 @@ ProxSession::ProxSession(Dataset dataset)
                                                                 .begin()
                                                                 ->first),
       summarization_service_(&dataset_),
-      evaluator_service_(&dataset_) {}
+      evaluator_service_(&dataset_),
+      ingest_log_(&dataset_) {}
 
 Result<int64_t> ProxSession::Select(const SelectionCriteria& criteria) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -35,6 +38,67 @@ Result<int64_t> ProxSession::Summarize(const SummarizationRequest& request) {
   PROX_ASSIGN_OR_RETURN(
       outcome_, summarization_service_.Summarize(*selection_, request));
   return outcome_->final_size;
+}
+
+Result<int64_t> ProxSession::Resummarize(const SummarizationRequest& request) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (selection_ == nullptr) {
+    return Status::FailedPrecondition("no provenance selected yet");
+  }
+  if (!outcome_.has_value()) {
+    return Status::FailedPrecondition(
+        "no previous summary to warm-start from");
+  }
+  // Keep the previous outcome alive while its summaries() seed the run,
+  // and restore it if the warm run fails.
+  SummaryOutcome previous = std::move(*outcome_);
+  outcome_.reset();
+  Result<SummaryOutcome> result =
+      summarization_service_.Resummarize(*selection_, request, previous);
+  if (!result.ok()) {
+    outcome_ = std::move(previous);
+    return result.status();
+  }
+  outcome_ = std::move(result).value();
+  return outcome_->final_size;
+}
+
+Result<ingest::ApplyReceipt> ProxSession::Ingest(
+    const ingest::DeltaBatch& batch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Pin the pre-ingest fingerprint before the dataset grows, so chaining
+  // always starts from the value cold requests were keyed under.
+  if (fingerprint_memo_.empty()) {
+    fingerprint_memo_ = ComputeDatasetFingerprint(dataset_);
+  }
+  PROX_ASSIGN_OR_RETURN(ingest::ApplyReceipt receipt,
+                        ingest_log_.Append(batch));
+  fingerprint_memo_ = ingest::ChainFingerprint(fingerprint_memo_,
+                                               receipt.digest);
+  if (selection_ != nullptr) {
+    // The grown provenance replaces the selection wholesale; narrower
+    // selections don't survive ingest (documented in the header).
+    selection_ = dataset_.provenance->Clone();
+  }
+  return receipt;
+}
+
+std::string ProxSession::fingerprint() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fingerprint_memo_.empty()) {
+    fingerprint_memo_ = ComputeDatasetFingerprint(dataset_);
+  }
+  return fingerprint_memo_;
+}
+
+uint64_t ProxSession::next_ingest_sequence() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ingest_log_.next_sequence();
+}
+
+int64_t ProxSession::provenance_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dataset_.provenance->Size();
 }
 
 std::vector<std::string> ProxSession::DescribeGroups() const {

@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "common/result.h"
+#include "ingest/delta.h"
+#include "ingest/ingest_log.h"
 #include "service/evaluator_service.h"
 #include "service/selection_service.h"
 #include "service/summarization_service.h"
@@ -44,6 +46,33 @@ class ProxSession {
   /// Summarization view: runs Algorithm 1 on the current selection.
   Result<int64_t> Summarize(const SummarizationRequest& request);
 
+  /// Re-runs summarization warm-started from the previous outcome's
+  /// mapping state (docs/INGEST.md): the recorded merges are replayed
+  /// instead of re-searched and the greedy loop continues from there.
+  /// Requires a selection and a previous Summarize/Resummarize outcome;
+  /// on failure the previous outcome is kept.
+  Result<int64_t> Resummarize(const SummarizationRequest& request);
+
+  /// Streaming ingest: validates and applies one delta batch to the
+  /// dataset (monotone growth only), refreshes the selection to the grown
+  /// provenance (a filtered selection is reset to select-all; callers
+  /// re-Select if they need a narrower view), and chains the memoized
+  /// dataset fingerprint with the batch digest. The previous summary
+  /// outcome is kept — it seeds the next warm Resummarize.
+  Result<ingest::ApplyReceipt> Ingest(const ingest::DeltaBatch& batch);
+
+  /// The dataset's content fingerprint (service/fingerprint.h), memoized:
+  /// the slow FNV re-hash runs at most once per session, and after that
+  /// every ingest advances the value by digest chaining instead of a
+  /// whole-dataset re-hash.
+  std::string fingerprint() const;
+
+  /// Sequence number the next ingested batch must carry.
+  uint64_t next_ingest_sequence() const;
+
+  /// Current dataset provenance Size() (thread-safe snapshot).
+  int64_t provenance_size() const;
+
   /// Summary view, groups subview: one line per summary annotation with
   /// its member names (Figure 7.5).
   std::vector<std::string> DescribeGroups() const;
@@ -73,8 +102,12 @@ class ProxSession {
   SelectionService selection_service_;
   SummarizationService summarization_service_;
   EvaluatorService evaluator_service_;
+  ingest::IngestLog ingest_log_;
   std::unique_ptr<ProvenanceExpression> selection_;
   std::optional<SummaryOutcome> outcome_;
+  /// Memoized dataset fingerprint ("" = not computed yet). Advanced by
+  /// Ingest via digest chaining; never recomputed once set.
+  mutable std::string fingerprint_memo_;
 };
 
 }  // namespace prox

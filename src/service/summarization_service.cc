@@ -43,7 +43,7 @@ Result<SummaryOutcome> SummarizationService::Summarize(
       ServiceDuration("prox_service_summarize_duration_nanos");
   requests->Increment();
   obs::TraceSpan span("service.summarize");
-  Result<SummaryOutcome> result = SummarizeImpl(selected, request);
+  Result<SummaryOutcome> result = SummarizeImpl(selected, request, nullptr);
   duration->Observe(static_cast<double>(span.Close()));
   if (!result.ok()) {
     ServiceErrors("summarize", result.status().code())->Increment();
@@ -51,9 +51,25 @@ Result<SummaryOutcome> SummarizationService::Summarize(
   return result;
 }
 
+Result<SummaryOutcome> SummarizationService::Resummarize(
+    const ProvenanceExpression& selected, const SummarizationRequest& request,
+    const SummaryOutcome& previous) const {
+  static obs::Counter* requests = ServiceRequests("resummarize");
+  static obs::Histogram* duration =
+      ServiceDuration("prox_service_summarize_duration_nanos");
+  requests->Increment();
+  obs::TraceSpan span("service.resummarize");
+  Result<SummaryOutcome> result = SummarizeImpl(selected, request, &previous);
+  duration->Observe(static_cast<double>(span.Close()));
+  if (!result.ok()) {
+    ServiceErrors("resummarize", result.status().code())->Increment();
+  }
+  return result;
+}
+
 Result<SummaryOutcome> SummarizationService::SummarizeImpl(
-    const ProvenanceExpression& selected,
-    const SummarizationRequest& request) const {
+    const ProvenanceExpression& selected, const SummarizationRequest& request,
+    const SummaryOutcome* warm_from) const {
   PROX_RETURN_NOT_OK(request.Validate());
   using VC = SummarizationRequest::ValuationClassKind;
   using VF = SummarizationRequest::ValFuncKind;
@@ -111,6 +127,18 @@ Result<SummaryOutcome> SummarizationService::SummarizeImpl(
   options.max_steps = request.max_steps;
   options.phi = dataset_->phi;
   options.threads = request.threads;
+  if (warm_from != nullptr) {
+    options.warm_seed = &warm_from->state.summaries();
+    // The incremental scorer is bit-identical where supported; the warm
+    // path opts in whenever the resolved VAL-FUNC is one of the
+    // coordinate-decomposable metrics it implements.
+    if (dynamic_cast<const EuclideanValFunc*>(val_func) != nullptr) {
+      options.incremental = SummarizerOptions::Incremental::kEuclidean;
+    } else if (dynamic_cast<const AbsoluteDifferenceValFunc*>(val_func) !=
+               nullptr) {
+      options.incremental = SummarizerOptions::Incremental::kL1;
+    }
+  }
 
   Summarizer summarizer(&selected, dataset_->registry.get(), &dataset_->ctx,
                         &dataset_->constraints, &oracle, &valuations, options);

@@ -63,10 +63,21 @@ class SummarizationService {
   Result<SummaryOutcome> Summarize(const ProvenanceExpression& selected,
                                    const SummarizationRequest& request) const;
 
+  /// Like Summarize, but warm-starts from `previous` (docs/INGEST.md):
+  /// the previous outcome's merges are replayed into the new run's
+  /// mapping state instead of re-searched, and incremental candidate
+  /// scoring is enabled when the resolved VAL-FUNC supports it.
+  /// `previous` must be an outcome computed against this dataset and must
+  /// outlive the call.
+  Result<SummaryOutcome> Resummarize(const ProvenanceExpression& selected,
+                                     const SummarizationRequest& request,
+                                     const SummaryOutcome& previous) const;
+
  private:
   Result<SummaryOutcome> SummarizeImpl(
       const ProvenanceExpression& selected,
-      const SummarizationRequest& request) const;
+      const SummarizationRequest& request,
+      const SummaryOutcome* warm_from) const;
 
   Dataset* dataset_;
 };

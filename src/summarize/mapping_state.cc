@@ -26,6 +26,30 @@ void MappingState::Merge(const std::vector<AnnotationId>& roots,
   ++num_merges_;
 }
 
+void MappingState::Replay(
+    const std::vector<std::pair<AnnotationId, std::vector<AnnotationId>>>&
+        entries) {
+  // Original annotation -> the summary currently absorbing it. A recorded
+  // entry lists *original* members; the merge that created it was over the
+  // roots live at that time, so members already absorbed by an earlier
+  // entry must re-enter via their current root or Merge would leave stale
+  // member sets behind.
+  std::unordered_map<AnnotationId, AnnotationId> root_of;
+  for (const auto& [summary, members] : entries) {
+    std::vector<AnnotationId> roots;
+    roots.reserve(members.size());
+    for (AnnotationId member : members) {
+      auto it = root_of.find(member);
+      const AnnotationId root = it == root_of.end() ? member : it->second;
+      if (std::find(roots.begin(), roots.end(), root) == roots.end()) {
+        roots.push_back(root);
+      }
+    }
+    Merge(roots, summary);
+    for (AnnotationId member : members) root_of[member] = summary;
+  }
+}
+
 std::vector<AnnotationId> MappingState::Members(AnnotationId root) const {
   auto it = members_.find(root);
   if (it != members_.end()) return it->second;

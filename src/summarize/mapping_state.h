@@ -49,6 +49,17 @@ class MappingState {
   /// Updates the cumulative homomorphism for every original member.
   void Merge(const std::vector<AnnotationId>& roots, AnnotationId summary);
 
+  /// Reconstructs a previous run's state from its `summaries()` entries
+  /// (creation order, sorted original members) — the warm-start seed of
+  /// the ingest subsystem (docs/INGEST.md). Each entry's member list is
+  /// translated back into the merge roots that were live at its creation
+  /// (members absorbed by an earlier entry map to that entry's summary),
+  /// then replayed through Merge, so the rebuilt homomorphism, member
+  /// sets and summary list are identical to the recorded run's.
+  void Replay(
+      const std::vector<std::pair<AnnotationId, std::vector<AnnotationId>>>&
+          entries);
+
   /// The cumulative h.
   const Homomorphism& cumulative() const { return hom_; }
 

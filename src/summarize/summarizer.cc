@@ -31,6 +31,8 @@ struct SummarizeMetrics {
   obs::Counter* candidate_eval_nanos_total;
   obs::Counter* incremental_hits;
   obs::Counter* incremental_fallbacks;
+  obs::Counter* warmstart_runs;
+  obs::Counter* warmstart_replayed_merges;
   obs::Histogram* step_nanos;
   obs::Histogram* run_nanos;
   obs::Histogram* candidates_per_step;
@@ -64,6 +66,13 @@ struct SummarizeMetrics {
           "prox_summarize_incremental_fallbacks_total",
           "Candidates that fell back to the general oracle path while "
           "incremental scoring was requested.");
+      m.warmstart_runs = r.GetCounter(
+          "prox_warmstart_runs_total",
+          "Summarization runs warm-started from a previous mapping state "
+          "(docs/INGEST.md).");
+      m.warmstart_replayed_merges = r.GetCounter(
+          "prox_warmstart_replayed_merges_total",
+          "Merges replayed from warm-start seeds instead of re-searched.");
       m.step_nanos = r.GetHistogram("prox_summarize_step_duration_nanos",
                                     "Wall time per committed greedy step.",
                                     obs::LatencyBucketsNanos());
@@ -228,7 +237,7 @@ Result<SummaryOutcome> Summarizer::Run() {
   metrics.runs->Increment();
   obs::TraceSpan run_span("summarize.run");
   SummaryOutcome outcome{nullptr, MappingState(registry_, options_.phi), {},
-                         0.0, 0, false, 0, 0.0, 0, 0};
+                         0.0, 0, false, 0, 0.0, 0, 0, 0};
   // Adopt the input into the flat interned representation for the hot
   // loop (docs/IR.md). The pool lives as long as the run's expressions via
   // the shared_ptr each IR expression holds.
@@ -240,7 +249,21 @@ Result<SummaryOutcome> Summarizer::Run() {
   }
   MappingState& state = outcome.state;
 
-  if (options_.group_equivalent_first) {
+  const bool warm =
+      options_.warm_seed != nullptr && !options_.warm_seed->empty();
+  if (warm) {
+    // Warm start: rebuild the previous run's mapping state and jump the
+    // expression to it, instead of re-searching merges the previous run
+    // already paid for. The seed subsumes GroupEquivalent (its run
+    // performed any distance-0 merges first), so that pass is skipped.
+    obs::TraceSpan warm_span("summarize.warm_replay");
+    state.Replay(*options_.warm_seed);
+    current = current->Apply(state.cumulative());
+    outcome.warm_replayed_merges = state.num_merges();
+    metrics.warmstart_runs->Increment();
+    metrics.warmstart_replayed_merges->Increment(
+        static_cast<uint64_t>(outcome.warm_replayed_merges));
+  } else if (options_.group_equivalent_first) {
     obs::TraceSpan equivalence_span("summarize.group_equivalent");
     outcome.equivalence_merges = GroupEquivalent(&current, &state);
     metrics.equivalence_merges->Increment(outcome.equivalence_merges);

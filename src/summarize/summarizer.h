@@ -79,6 +79,19 @@ struct SummarizerOptions {
 
   CandidateOptions candidates;
 
+  /// Warm start (docs/INGEST.md): replay a previous run's
+  /// MappingState::summaries() entries before the greedy loop instead of
+  /// starting from the identity mapping. The seed's summary annotations
+  /// must still be registered and its members must be live originals of
+  /// `p0` — guaranteed under the ingest subsystem's monotone-growth
+  /// contract. When set (non-null, non-empty), GroupEquivalent is skipped:
+  /// the seed already contains any distance-0 merges its run performed,
+  /// and the greedy loop continues from the replayed state under the same
+  /// TARGET-DIST / TARGET-SIZE / max_steps bounds. The pointee must
+  /// outlive Run().
+  const std::vector<std::pair<AnnotationId, std::vector<AnnotationId>>>*
+      warm_seed = nullptr;
+
   /// φ combiners per domain (Section 3.2).
   PhiConfig phi;
 
@@ -136,6 +149,9 @@ struct SummaryOutcome {
   /// previously silent).
   int incremental_hits = 0;
   int incremental_fallbacks = 0;
+  /// Merges replayed from SummarizerOptions::warm_seed before the greedy
+  /// loop (0 on cold runs). Not part of the serialized summary JSON.
+  int warm_replayed_merges = 0;
 };
 
 /// \brief Algorithm 1, "Provenance Summarization Algorithm": greedy search

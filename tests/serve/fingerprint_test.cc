@@ -1,0 +1,81 @@
+/// The DatasetFingerprint slow path is memoized on ProxSession: the
+/// re-serializing fallback (counted by
+/// `prox_serve_fingerprint_fallback_total`) runs at most once per session,
+/// and ingest advances the memo by digest chaining without ever paying the
+/// fallback again.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "datasets/movielens.h"
+#include "ingest/delta.h"
+#include "ingest/synthetic.h"
+#include "serve/router.h"
+#include "serve/serve_metrics.h"
+#include "serve/summary_cache.h"
+#include "service/fingerprint.h"
+#include "service/session.h"
+
+namespace prox {
+namespace serve {
+namespace {
+
+Dataset MakeDataset() {
+  MovieLensConfig config;
+  config.num_users = 8;
+  config.num_movies = 4;
+  config.seed = 13;
+  return MovieLensGenerator::Generate(config);
+}
+
+TEST(FingerprintMemoTest, FallbackRunsOncePerSessionAndStopsGrowing) {
+  // Generated datasets carry no snapshot checksum, so the first
+  // fingerprint() call takes the re-serializing fallback — exactly once.
+  ProxSession session(MakeDataset());
+  const uint64_t baseline = FingerprintFallbacks()->value();
+  const std::string first = session.fingerprint();
+  EXPECT_EQ(first.size(), 16u);
+  EXPECT_EQ(FingerprintFallbacks()->value(), baseline + 1);
+
+  // Memoized: repeated reads, the router constructor, and its accessor
+  // all reuse the memo.
+  EXPECT_EQ(session.fingerprint(), first);
+  SummaryCache cache{SummaryCache::Options{}};
+  Router router(&session, &cache);
+  EXPECT_EQ(router.dataset_fingerprint(), first);
+  EXPECT_EQ(session.fingerprint(), first);
+  EXPECT_EQ(FingerprintFallbacks()->value(), baseline + 1);
+
+  // Ingest chains the memo instead of recomputing: the value changes,
+  // the fallback counter does not.
+  Result<ingest::DeltaBatch> delta =
+      ingest::SyntheticMovieLensDelta(session.dataset(), 1, 1, 1);
+  ASSERT_TRUE(delta.ok()) << delta.status().ToString();
+  const std::string digest = ingest::BatchDigest(delta.value());
+  ASSERT_TRUE(session.Ingest(delta.value()).ok());
+  EXPECT_EQ(session.fingerprint(),
+            ingest::ChainFingerprint(first, digest));
+  EXPECT_NE(session.fingerprint(), first);
+  EXPECT_EQ(FingerprintFallbacks()->value(), baseline + 1);
+}
+
+TEST(FingerprintMemoTest, SnapshotHintSkipsTheFallbackEntirely) {
+  Dataset dataset = MakeDataset();
+  dataset.fingerprint_hint = "feedfacefeedface";
+  const uint64_t baseline = FingerprintFallbacks()->value();
+  ProxSession session(std::move(dataset));
+  EXPECT_EQ(session.fingerprint(), "feedfacefeedface");
+  EXPECT_EQ(FingerprintFallbacks()->value(), baseline);
+}
+
+TEST(FingerprintMemoTest, TwinSessionsAgreeOnTheFallbackValue) {
+  ProxSession a(MakeDataset());
+  ProxSession b(MakeDataset());
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  EXPECT_EQ(a.fingerprint(), ComputeDatasetFingerprint(a.dataset()));
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace prox
