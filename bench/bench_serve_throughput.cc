@@ -30,6 +30,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <string>
@@ -38,11 +39,10 @@
 
 #include "datasets/movielens.h"
 #include "obs/metrics.h"
+#include "engine/engine.h"
 #include "serve/client.h"
 #include "serve/router.h"
 #include "serve/server.h"
-#include "serve/summary_cache.h"
-#include "service/session.h"
 
 using namespace prox;
 
@@ -225,14 +225,14 @@ int main(int argc, char** argv) {
   config.num_users = 25;
   config.num_movies = 8;
   config.seed = 99;
-  ProxSession session(MovieLensGenerator::Generate(config));
-
-  serve::SummaryCache::Options cache_options;
-  cache_options.max_bytes = static_cast<size_t>(cache_mb) * 1024 * 1024;
-  serve::SummaryCache cache(cache_options);
+  engine::Engine::Options engine_options;
+  engine_options.cache.max_bytes = static_cast<size_t>(cache_mb) * 1024 * 1024;
+  std::unique_ptr<engine::Engine> eng = engine::Engine::FromDataset(
+      MovieLensGenerator::Generate(config), engine_options);
+  engine::SummaryCache& cache = eng->cache();
   serve::Router::Options router_options;
   router_options.route_stats.slo_latency_nanos = slo_ms * 1'000'000;
-  serve::Router router(&session, &cache, router_options);
+  serve::Router router(eng.get(), router_options);
 
   serve::HttpServer::Options options;
   options.port = 0;
@@ -256,10 +256,10 @@ int main(int argc, char** argv) {
 
   WaveResult cold = RunWave(server.port(), static_cast<int>(clients),
                             static_cast<int>(requests), body);
-  serve::SummaryCache::Stats after_cold = cache.stats();
+  engine::SummaryCache::Stats after_cold = cache.stats();
   WaveResult cached = RunWave(server.port(), static_cast<int>(clients),
                               static_cast<int>(requests), body);
-  serve::SummaryCache::Stats after_cached = cache.stats();
+  engine::SummaryCache::Stats after_cached = cache.stats();
 
   PrintWave(out, "cold", cold);
   PrintWave(out, "cached", cached);

@@ -21,8 +21,8 @@
 #include "datasets/movielens.h"
 #include "ir/adopt.h"
 #include "ir/term_pool.h"
+#include "engine/engine.h"
 #include "serve/router.h"
-#include "serve/summary_cache.h"
 #include "service/session.h"
 #include "store/codec.h"
 #include "store/snapshot.h"
@@ -181,16 +181,11 @@ int RunJsonBaseline() {
   const int warm_users = 40;
   const std::string warm_path = "/tmp/bench_store_warm.snap";
   {
-    ProxSession session(MovieLensGenerator::Generate(Config(warm_users)));
-    serve::SummaryCache cache({});
-    serve::Router router(&session, &cache);
+    std::unique_ptr<engine::Engine> eng = engine::Engine::FromDataset(
+        MovieLensGenerator::Generate(Config(warm_users)));
+    serve::Router router(eng.get());
     if (router.Handle(post()).status != 200) std::exit(1);
-    store::SaveOptions options;
-    options.fingerprint = router.dataset_fingerprint();
-    options.cache = &cache;
-    if (!store::SaveDataset(session.dataset(), options, warm_path).ok()) {
-      std::exit(1);
-    }
+    if (!eng->PersistSnapshot(warm_path).ok()) std::exit(1);
   }
   auto median3 = [](std::vector<double> v) {
     std::sort(v.begin(), v.end());
@@ -200,22 +195,18 @@ int RunJsonBaseline() {
   std::vector<double> warm_runs;
   for (int rep = 0; rep < 3; ++rep) {
     cold_runs.push_back(OnceNs([&] {
-      ProxSession session(MovieLensGenerator::Generate(Config(warm_users)));
-      serve::SummaryCache cache({});
-      serve::Router router(&session, &cache);
+      std::unique_ptr<engine::Engine> eng = engine::Engine::FromDataset(
+          MovieLensGenerator::Generate(Config(warm_users)));
+      serve::Router router(eng.get());
       if (router.Handle(post()).status != 200) std::exit(1);
     }));
     warm_runs.push_back(OnceNs([&] {
-      std::shared_ptr<store::Snapshot> snapshot;
-      if (!store::Snapshot::Open(warm_path, &snapshot).ok()) std::exit(1);
-      Dataset loaded;
-      if (!store::LoadDataset(snapshot, store::LoadOptions{}, &loaded).ok()) {
-        std::exit(1);
-      }
-      ProxSession session(std::move(loaded));
-      serve::SummaryCache cache({});
-      if (!store::RestoreCache(*snapshot, &cache).ok()) std::exit(1);
-      serve::Router router(&session, &cache);
+      engine::Engine::Options options;
+      options.dataset.snapshot_path = warm_path;
+      Result<std::unique_ptr<engine::Engine>> booted =
+          engine::Engine::Create(options);
+      if (!booted.ok()) std::exit(1);
+      serve::Router router(booted.value().get());
       if (router.Handle(post()).status != 200) std::exit(1);
     }));
   }

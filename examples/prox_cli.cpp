@@ -1,7 +1,8 @@
 /// \file prox_cli.cpp
 /// \brief A command-line stand-in for the PROX web UI (Chapter 7): drives
-/// the three views — selection, summarization, summary/evaluation — over a
-/// MovieLens-style dataset through the ProxSession façade.
+/// the three views — selection, summarization, summary/evaluation — over
+/// the prox::engine::Engine facade (the same engine prox_server and the
+/// C ABI expose).
 ///
 /// Reads commands from stdin (scriptable); with no input it runs a demo
 /// script. Commands:
@@ -21,8 +22,11 @@
 /// Flags:
 ///   --demo                run the built-in demo script and exit
 ///   --json                summarize prints the canonical JSON outcome
-///                         serialization (serve/wire.h — the same bytes
+///                         serialization (engine/codec.h — the same bytes
 ///                         prox_server's POST /v1/summarize returns)
+///   --dataset=FAMILY      generated dataset family: movielens (default),
+///                         wikipedia, or ddp — the engine's reproducible
+///                         demo shapes (engine/engine.h DatasetSpec)
 ///   --threads=N           worker threads for summarization (0 = auto via
 ///                         PROX_THREADS / hardware, 1 = serial; results
 ///                         are identical at every setting)
@@ -42,7 +46,7 @@
 ///                         generate the dataset, write it as a PROXSNAP
 ///                         binary snapshot (docs/STORE.md) and exit
 ///   --load-snapshot=<path>
-///                         boot the session from a snapshot instead of
+///                         boot the engine from a snapshot instead of
 ///                         generating the dataset
 ///   --append-deltas=<path>
 ///                         offline replay of a streaming ingest log: apply
@@ -57,26 +61,21 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/cpu_features.h"
 #include "common/json.h"
-#include "datasets/movielens.h"
+#include "engine/codec.h"
+#include "engine/engine.h"
 #include "ingest/delta.h"
-#include "ingest/maintainer.h"
 #include "obs/export.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/request_context.h"
 #include "obs/trace.h"
-#include "provenance/io.h"
-#include "serve/wire.h"
-#include "service/session.h"
-#include "store/codec.h"
-#include "store/snapshot.h"
-#include "summarize/report.h"
 
 using namespace prox;
 
@@ -91,7 +90,7 @@ void PrintReport(const char* label, const EvaluationReport& report) {
   }
 }
 
-int RunCommand(ProxSession& session, const std::string& line, int threads,
+int RunCommand(engine::Engine& eng, const std::string& line, int threads,
                bool json) {
   std::istringstream in(line);
   std::string cmd;
@@ -104,13 +103,11 @@ int RunCommand(ProxSession& session, const std::string& line, int threads,
     std::printf("commands: titles search select selectall summarize expr "
                 "groups eval evalattr quit\n");
   } else if (cmd == "titles") {
-    SelectionService svc(&session.dataset());
-    for (const auto& t : svc.ListTitles()) std::printf("  %s\n", t.c_str());
+    for (const auto& t : eng.ListTitles()) std::printf("  %s\n", t.c_str());
   } else if (cmd == "search") {
     std::string needle;
     std::getline(in, needle);
-    SelectionService svc(&session.dataset());
-    for (const auto& t : svc.SearchTitles(
+    for (const auto& t : eng.SearchTitles(
              std::string(needle.empty() ? "" : needle.substr(1)))) {
       std::printf("  %s\n", t.c_str());
     }
@@ -120,7 +117,7 @@ int RunCommand(ProxSession& session, const std::string& line, int threads,
     if (!title.empty()) title = title.substr(1);
     SelectionCriteria criteria;
     criteria.titles = {title};
-    auto size = session.Select(criteria);
+    auto size = eng.Select(criteria);
     if (size.ok()) {
       std::printf("selected provenance size: %lld\n",
                   static_cast<long long>(size.value()));
@@ -129,7 +126,7 @@ int RunCommand(ProxSession& session, const std::string& line, int threads,
     }
   } else if (cmd == "selectall") {
     std::printf("selected provenance size: %lld\n",
-                static_cast<long long>(session.SelectAll()));
+                static_cast<long long>(eng.SelectAll()));
   } else if (cmd == "summarize") {
     SummarizationRequest request;
     request.w_dist = 0.5;
@@ -137,42 +134,38 @@ int RunCommand(ProxSession& session, const std::string& line, int threads,
     in >> request.w_dist >> request.max_steps;
     request.w_size = 1.0 - request.w_dist;
     request.threads = threads;
-    auto size = session.Summarize(request);
-    if (size.ok()) {
+    auto outcome = eng.Summarize(request);
+    if (outcome.ok()) {
       if (json) {
-        // The canonical SummaryOutcome serialization (serve/wire.h):
+        // The canonical SummaryOutcome serialization (engine/codec.h):
         // byte-identical to the POST /v1/summarize response body of
-        // prox_server over the same dataset and knobs.
-        std::printf("%s\n",
-                    WriteJson(serve::SummaryOutcomeToJson(
-                                  *session.outcome(),
-                                  *session.dataset().registry))
-                        .c_str());
+        // prox_server (and the C ABI) over the same dataset and knobs.
+        std::fputs(outcome.value().body.c_str(), stdout);
       } else {
         std::printf("summary size: %lld (distance %.4f)\n",
-                    static_cast<long long>(size.value()),
-                    session.outcome()->final_distance);
+                    static_cast<long long>(outcome.value().final_size),
+                    outcome.value().final_distance);
       }
     } else {
-      std::printf("error: %s\n", size.status().ToString().c_str());
+      std::printf("error: %s\n", outcome.status().ToString().c_str());
     }
   } else if (cmd == "expr") {
-    auto expr = session.SummaryExpression();
+    auto expr = eng.SummaryExpression();
     if (expr.ok()) {
       std::printf("%s\n", expr.value().c_str());
     } else {
       std::printf("error: %s\n", expr.status().ToString().c_str());
     }
   } else if (cmd == "groups") {
-    for (const auto& line_out : session.DescribeGroups()) {
+    for (const auto& line_out : eng.DescribeGroups()) {
       std::printf("  %s\n", line_out.c_str());
     }
   } else if (cmd == "eval") {
     Assignment assignment;
     std::string name;
     while (in >> name) assignment.false_annotations.push_back(name);
-    auto exact = session.EvaluateOnSelection(assignment);
-    auto approx = session.EvaluateOnSummary(assignment);
+    auto exact = eng.EvaluateOnSelection(assignment);
+    auto approx = eng.EvaluateOnSummary(assignment);
     if (exact.ok()) PrintReport("exact (original provenance)", exact.value());
     if (approx.ok()) PrintReport("approx (summary)", approx.value());
     if (!exact.ok()) {
@@ -183,8 +176,8 @@ int RunCommand(ProxSession& session, const std::string& line, int threads,
     in >> attr >> value;
     Assignment assignment;
     assignment.false_attributes = {{attr, value}};
-    auto exact = session.EvaluateOnSelection(assignment);
-    auto approx = session.EvaluateOnSummary(assignment);
+    auto exact = eng.EvaluateOnSelection(assignment);
+    auto approx = eng.EvaluateOnSummary(assignment);
     if (exact.ok()) PrintReport("exact (original provenance)", exact.value());
     if (approx.ok()) PrintReport("approx (summary)", approx.value());
     if (!exact.ok()) {
@@ -193,33 +186,27 @@ int RunCommand(ProxSession& session, const std::string& line, int threads,
   } else if (cmd == "step") {
     int k = 0;
     in >> k;
-    if (session.outcome() == nullptr || session.selection() == nullptr) {
-      std::printf("error: no summary computed yet\n");
+    auto at = eng.SummaryAtStep(k);
+    if (at.ok()) {
+      std::printf("after %d merge(s), size %lld:\n%s\n", k,
+                  static_cast<long long>(at.value().size),
+                  at.value().expression.c_str());
     } else {
-      auto at = ExpressionAtStep(*session.selection(), *session.outcome(), k);
-      if (at.ok()) {
-        std::printf("after %d merge(s), size %lld:\n%s\n", k,
-                    static_cast<long long>(at.value()->Size()),
-                    at.value()
-                        ->ToString(*session.dataset().registry)
-                        .c_str());
-      } else {
-        std::printf("error: %s\n", at.status().ToString().c_str());
-      }
+      std::printf("error: %s\n", at.status().message().c_str());
     }
   } else if (cmd == "save") {
     std::string path;
     in >> path;
-    if (session.outcome() == nullptr) {
-      std::printf("error: no summary computed yet\n");
+    auto text = eng.SerializedSummary();
+    if (!text.ok()) {
+      std::printf("error: %s\n", text.status().message().c_str());
     } else if (path.empty()) {
       std::printf("usage: save <file>\n");
     } else {
-      std::string text = SerializeExpression(*session.outcome()->summary,
-                                             *session.dataset().registry);
       std::ofstream out(path);
-      out << text;
-      std::printf("wrote %zu bytes to %s\n", text.size(), path.c_str());
+      out << text.value();
+      std::printf("wrote %zu bytes to %s\n", text.value().size(),
+                  path.c_str());
     }
   } else {
     std::printf("unknown command: %s (try 'help')\n", cmd.c_str());
@@ -230,13 +217,13 @@ int RunCommand(ProxSession& session, const std::string& line, int threads,
 /// RunCommand wrapped in a request scope: the command becomes one traced,
 /// access-logged "request" (method CLI, path = the command word), so the
 /// CLI and the server produce schema-identical lines.
-int RunLoggedCommand(ProxSession& session, const std::string& line,
+int RunLoggedCommand(engine::Engine& eng, const std::string& line,
                      int threads, bool json) {
   std::istringstream in(line);
   std::string cmd;
   in >> cmd;
   if (cmd.empty() || !obs::Enabled()) {
-    return RunCommand(session, line, threads, json);
+    return RunCommand(eng, line, threads, json);
   }
   obs::RequestContext context;
   int result;
@@ -244,7 +231,7 @@ int RunLoggedCommand(ProxSession& session, const std::string& line,
   {
     obs::RequestScope scope(&context);
     obs::TraceSpan span("cli.command");
-    result = RunCommand(session, line, threads, json);
+    result = RunCommand(eng, line, threads, json);
     latency_nanos = span.Close();
   }
   obs::AccessLogRecord record;
@@ -309,7 +296,7 @@ int ValidateAccessLogStdin() {
 
 void PrintUsage() {
   std::printf(
-      "usage: prox_cli [--demo] [--json] [--threads=N]\n"
+      "usage: prox_cli [--demo] [--json] [--dataset=FAMILY] [--threads=N]\n"
       "                [--metrics-out=<path>] [--trace-out=<path>]\n"
       "                [--log-json]\n"
       "\n"
@@ -318,6 +305,9 @@ void PrintUsage() {
       "                        serialization of the outcome (the same\n"
       "                        bytes prox_server's POST /v1/summarize\n"
       "                        returns; see docs/SERVING.md)\n"
+      "  --dataset=FAMILY      generated dataset family: movielens\n"
+      "                        (default), wikipedia, or ddp — the engine's\n"
+      "                        reproducible demo shapes\n"
       "  --threads=N           worker threads for summarization (0 = auto\n"
       "                        via PROX_THREADS / hardware, 1 = serial)\n"
       "  --simd=TIER           cap the batch-kernel SIMD tier: off|scalar,\n"
@@ -368,6 +358,7 @@ int main(int argc, char** argv) {
   bool log_json = false;
   bool validate_access_log = false;
   int threads = 1;
+  std::string dataset_family;
   std::string metrics_out;
   std::string trace_out;
   std::string save_snapshot;
@@ -386,6 +377,14 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage();
       return 0;
+    } else if (arg.rfind("--dataset=", 0) == 0) {
+      dataset_family = arg.substr(std::string("--dataset=").size());
+      if (dataset_family != "movielens" && dataset_family != "wikipedia" &&
+          dataset_family != "ddp") {
+        std::fprintf(stderr, "prox_cli: bad --dataset value in %s\n",
+                     arg.c_str());
+        return 2;
+      }
     } else if (arg.rfind("--threads=", 0) == 0) {
       try {
         threads = std::stoi(arg.substr(std::string("--threads=").size()));
@@ -437,40 +436,31 @@ int main(int argc, char** argv) {
     obs::SetAccessLogSink(&stderr_sink);
   }
 
-  Dataset dataset;
-  if (load_snapshot.empty()) {
-    MovieLensConfig config;
-    config.num_users = 25;
-    config.num_movies = 8;
-    config.seed = 99;
-    dataset = MovieLensGenerator::Generate(config);
-  } else {
-    std::shared_ptr<store::Snapshot> snapshot;
-    if (store::Status s = store::Snapshot::Open(load_snapshot, &snapshot);
-        !s.ok()) {
-      std::fprintf(stderr, "prox_cli: %s\n", s.ToString().c_str());
-      return 1;
-    }
-    if (store::Status s =
-            store::LoadDataset(snapshot, store::LoadOptions{}, &dataset);
-        !s.ok()) {
-      std::fprintf(stderr, "prox_cli: %s\n", s.ToString().c_str());
-      return 1;
-    }
+  engine::Engine::Options engine_options;
+  if (!load_snapshot.empty()) {
+    engine_options.dataset.snapshot_path = load_snapshot;
+  } else if (dataset_family == "wikipedia") {
+    engine_options.dataset.family = engine::DatasetSpec::Family::kWikipedia;
+  } else if (dataset_family == "ddp") {
+    engine_options.dataset.family = engine::DatasetSpec::Family::kDdp;
   }
+  Result<std::unique_ptr<engine::Engine>> booted =
+      engine::Engine::Create(engine_options);
+  if (!booted.ok()) {
+    std::fprintf(stderr, "prox_cli: %s\n",
+                 booted.status().ToString().c_str());
+    return 1;
+  }
+  engine::Engine& eng = *booted.value();
 
   if (!save_snapshot.empty()) {
-    if (store::Status s =
-            store::SaveDataset(dataset, store::SaveOptions{}, save_snapshot);
-        !s.ok()) {
+    if (Status s = eng.PersistSnapshot(save_snapshot); !s.ok()) {
       std::fprintf(stderr, "prox_cli: %s\n", s.ToString().c_str());
       return 1;
     }
     std::printf("prox_cli: snapshot written to %s\n", save_snapshot.c_str());
     return 0;
   }
-
-  ProxSession session(std::move(dataset));
 
   if (!append_deltas.empty()) {
     std::ifstream deltas_in(append_deltas);
@@ -479,11 +469,10 @@ int main(int argc, char** argv) {
                    append_deltas.c_str());
       return 1;
     }
-    // The replay mirrors prox_server's POST /v1/ingest: select-all first
-    // (ingest resets narrower selections anyway), then one maintainer
-    // call per line so the warm/cold decision matches the online path.
-    session.SelectAll();
-    ingest::SummaryMaintainer maintainer(&session);
+    // The replay mirrors prox_server's POST /v1/ingest: one engine ingest
+    // per line (ingest resets narrower selections to select-all), with
+    // the warm/cold decision made by the engine's maintainer, exactly as
+    // the online path does.
     std::string delta_line;
     int line_number = 0;
     while (std::getline(deltas_in, delta_line)) {
@@ -502,7 +491,7 @@ int main(int argc, char** argv) {
                      line_number, batch.status().ToString().c_str());
         return 1;
       }
-      Result<ingest::ApplyReceipt> receipt = maintainer.Ingest(batch.value());
+      Result<ingest::ApplyReceipt> receipt = eng.IngestDelta(batch.value());
       if (!receipt.ok()) {
         std::fprintf(stderr, "prox_cli: %s:%d: %s\n", append_deltas.c_str(),
                      line_number, receipt.status().ToString().c_str());
@@ -524,7 +513,7 @@ int main(int argc, char** argv) {
       SummarizationRequest request;
       if (directive->is_object()) {
         Result<SummarizationRequest> parsed =
-            serve::SummarizationRequestFromJson(*directive);
+            engine::SummarizationRequestFromJson(*directive);
         if (!parsed.ok()) {
           std::fprintf(stderr, "prox_cli: %s:%d: %s\n",
                        append_deltas.c_str(), line_number,
@@ -540,8 +529,7 @@ int main(int argc, char** argv) {
         return 1;
       }
       if (request.threads == 0) request.threads = threads;
-      Result<ingest::MaintainReport> report =
-          maintainer.Resummarize(request);
+      Result<ingest::MaintainReport> report = eng.Resummarize(request);
       if (!report.ok()) {
         std::fprintf(stderr, "prox_cli: %s:%d: %s\n", append_deltas.c_str(),
                      line_number, report.status().ToString().c_str());
@@ -570,14 +558,14 @@ int main(int argc, char** argv) {
                             "evalattr Gender M"};
     for (const char* line : script) {
       std::printf("prox> %s\n", line);
-      RunLoggedCommand(session, line, threads, json);
+      RunLoggedCommand(eng, line, threads, json);
       std::printf("\n");
     }
   } else {
     std::string line;
     std::printf("prox> ");
     while (std::getline(std::cin, line)) {
-      if (RunLoggedCommand(session, line, threads, json) != 0) break;
+      if (RunLoggedCommand(eng, line, threads, json) != 0) break;
       std::printf("prox> ");
     }
   }

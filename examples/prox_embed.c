@@ -1,0 +1,177 @@
+/* prox_embed.c — embedding PROX from plain C11 through the stable C ABI
+ * (include/prox_c.h, docs/EMBEDDING.md).
+ *
+ * The whole engine — dataset boot, selection, Algorithm 1, the summary
+ * cache, evaluation — sits behind one opaque handle; this program is the
+ * entire client: open, select, summarize, inspect groups, evaluate,
+ * close. No C++ anywhere (the target builds with -std=c11, proving the
+ * header is C-clean).
+ *
+ * Flags:
+ *   --family=F        generated dataset family: movielens (default),
+ *                     wikipedia, or ddp
+ *   --snapshot=PATH   boot from a PROXSNAP snapshot instead (load
+ *                     snapshot -> select -> summarize -> evaluate)
+ *   --wdist=D         summarize distance weight (default 0.5); the size
+ *                     weight is 1 - wdist, as in prox_cli
+ *   --steps=N         summarize max merge steps (default 10)
+ *   --json            print ONLY the raw summarize response body —
+ *                     byte-identical to `prox_cli --json` over the same
+ *                     dataset and knobs (scripts/capi_cli_identity.sh
+ *                     asserts exactly that)
+ *
+ * Exit: 0 on success, 1 with the engine's error document on stderr
+ * otherwise.
+ */
+
+#include <stdint.h>
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+#include "prox_c.h"
+
+static void usage(void) {
+  fprintf(stderr,
+          "usage: prox_embed [--family=movielens|wikipedia|ddp]\n"
+          "                  [--snapshot=PATH] [--wdist=D] [--steps=N]\n"
+          "                  [--json]\n");
+}
+
+/* Prints a failure (and the engine's error document, when present) and
+ * releases the body. */
+static int fail(const char* op, prox_status_t status, char* body) {
+  fprintf(stderr, "prox_embed: %s failed: %s\n", op,
+          prox_status_name(status));
+  if (body != NULL) {
+    fputs(body, stderr);
+    prox_string_free(body);
+  }
+  return 1;
+}
+
+int main(int argc, char** argv) {
+  const char* family = "movielens";
+  const char* snapshot = NULL;
+  double w_dist = 0.5;
+  long steps = 10;
+  int json_only = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (strncmp(arg, "--family=", 9) == 0) {
+      family = arg + 9;
+      if (strcmp(family, "movielens") != 0 &&
+          strcmp(family, "wikipedia") != 0 && strcmp(family, "ddp") != 0) {
+        usage();
+        return 2;
+      }
+    } else if (strncmp(arg, "--snapshot=", 11) == 0) {
+      snapshot = arg + 11;
+    } else if (strncmp(arg, "--wdist=", 8) == 0) {
+      char* end = NULL;
+      w_dist = strtod(arg + 8, &end);
+      if (end == arg + 8 || *end != '\0') {
+        usage();
+        return 2;
+      }
+    } else if (strncmp(arg, "--steps=", 8) == 0) {
+      char* end = NULL;
+      steps = strtol(arg + 8, &end, 10);
+      if (end == arg + 8 || *end != '\0' || steps < 0) {
+        usage();
+        return 2;
+      }
+    } else if (strcmp(arg, "--json") == 0) {
+      json_only = 1;
+    } else if (strcmp(arg, "--help") == 0 || strcmp(arg, "-h") == 0) {
+      usage();
+      return 0;
+    } else {
+      fprintf(stderr, "prox_embed: unknown flag %s\n", arg);
+      usage();
+      return 2;
+    }
+  }
+
+  if (prox_c_api_version() != PROX_C_API_VERSION) {
+    fprintf(stderr,
+            "prox_embed: built against C API v%d but library is v%d\n",
+            PROX_C_API_VERSION, (int)prox_c_api_version());
+    return 1;
+  }
+
+  /* --- open ------------------------------------------------------------ */
+  char config[512];
+  if (snapshot != NULL) {
+    snprintf(config, sizeof(config), "{\"dataset\":{\"snapshot\":\"%s\"}}",
+             snapshot);
+  } else {
+    snprintf(config, sizeof(config), "{\"dataset\":{\"family\":\"%s\"}}",
+             family);
+  }
+
+  prox_engine_t* engine = NULL;
+  char* body = NULL;
+  prox_status_t status = prox_engine_open(config, &engine, &body);
+  if (status != PROX_STATUS_OK) return fail("open", status, body);
+
+  /* --- select everything ---------------------------------------------- */
+  status = prox_engine_select(engine, "{\"all\":true}", &body);
+  if (status != PROX_STATUS_OK) return fail("select", status, body);
+  if (!json_only) {
+    printf("select: %s", body);
+  }
+  prox_string_free(body);
+  body = NULL;
+
+  /* --- summarize ------------------------------------------------------- */
+  /* w_size is computed here, in C, as 1 - w_dist — the same arithmetic
+   * prox_cli does — and shipped with enough digits (%.17g) that the JSON
+   * decoder reconstructs the identical double. That is what makes the
+   * response bytes comparable across the two clients. */
+  char request[256];
+  snprintf(request, sizeof(request),
+           "{\"w_dist\":%.17g,\"w_size\":%.17g,\"max_steps\":%ld,"
+           "\"threads\":1}",
+           w_dist, 1.0 - w_dist, steps);
+  int32_t cache_hit = -1;
+  status = prox_engine_summarize(engine, request, &body, &cache_hit);
+  if (status != PROX_STATUS_OK) return fail("summarize", status, body);
+  if (json_only) {
+    /* The raw response body, nothing else: newline-terminated JSON. */
+    fputs(body, stdout);
+    prox_string_free(body);
+    prox_engine_close(engine);
+    return 0;
+  }
+  printf("summarize (cache %s): %s",
+         cache_hit == 1 ? "hit" : cache_hit == 0 ? "miss" : "n/a", body);
+  prox_string_free(body);
+  body = NULL;
+
+  /* --- fingerprint + groups ------------------------------------------- */
+  char* fingerprint = NULL;
+  status = prox_engine_fingerprint(engine, &fingerprint);
+  if (status != PROX_STATUS_OK) return fail("fingerprint", status, NULL);
+  printf("dataset fingerprint: %s\n", fingerprint);
+  prox_string_free(fingerprint);
+
+  status = prox_engine_summary_groups(engine, &body);
+  if (status != PROX_STATUS_OK) return fail("groups", status, body);
+  printf("groups: %s", body);
+  prox_string_free(body);
+  body = NULL;
+
+  /* --- evaluate the empty assignment on the summary -------------------- */
+  status = prox_engine_evaluate(
+      engine, "{\"on\":\"summary\",\"assignment\":{}}", &body);
+  if (status != PROX_STATUS_OK) return fail("evaluate", status, body);
+  printf("evaluate: %s", body);
+  prox_string_free(body);
+  body = NULL;
+
+  status = prox_engine_close(engine);
+  if (status != PROX_STATUS_OK) return fail("close", status, NULL);
+  return 0;
+}

@@ -1,8 +1,8 @@
 /// \file prox_server.cpp
-/// \brief The PROX service, served: an embedded HTTP front end over the
-/// ProxSession workflow with a sharded summary cache, turning the
-/// Chapter 7 web UI's three views into network endpoints
-/// (docs/SERVING.md):
+/// \brief The PROX service, served: an HTTP front end over the
+/// prox::engine::Engine facade (dataset, session, sharded summary cache
+/// and ingest maintainer all live behind it), turning the Chapter 7 web
+/// UI's three views into network endpoints (docs/SERVING.md):
 ///
 ///   POST /v1/select            selection view
 ///   POST /v1/summarize         Algorithm 1 (cached by selection + knobs)
@@ -49,14 +49,10 @@
 #include <utility>
 
 #include "common/cpu_features.h"
-#include "datasets/movielens.h"
+#include "engine/engine.h"
 #include "obs/log.h"
 #include "serve/router.h"
 #include "serve/server.h"
-#include "serve/summary_cache.h"
-#include "service/session.h"
-#include "store/codec.h"
-#include "store/snapshot.h"
 
 using namespace prox;
 
@@ -175,40 +171,27 @@ int main(int argc, char** argv) {
   sigaddset(&shutdown_signals, SIGTERM);
   pthread_sigmask(SIG_BLOCK, &shutdown_signals, nullptr);
 
-  Dataset dataset;
-  std::shared_ptr<store::Snapshot> snapshot;
+  // Boot the engine: generate the demo shape, or fail closed on any
+  // snapshot validation error — a server must never come up serving a
+  // corrupt dataset. Persisted cache entries restore warm.
+  engine::Engine::Options engine_options;
   if (snapshot_path.empty()) {
-    MovieLensConfig config;
-    config.num_users = static_cast<int>(users);
-    config.num_movies = static_cast<int>(movies);
-    config.seed = static_cast<uint64_t>(seed);
-    dataset = MovieLensGenerator::Generate(config);
+    engine_options.dataset.num_users = static_cast<int>(users);
+    engine_options.dataset.num_groups = static_cast<int>(movies);
+    engine_options.dataset.seed = static_cast<uint64_t>(seed);
+    engine_options.dataset.seed_set = true;
   } else {
-    // Boot from the snapshot: fail closed on any validation error — a
-    // server must never come up serving a corrupt dataset.
-    if (store::Status s = store::Snapshot::Open(snapshot_path, &snapshot);
-        !s.ok()) {
-      std::fprintf(stderr, "prox_server: %s\n", s.ToString().c_str());
-      return 1;
-    }
-    if (store::Status s =
-            store::LoadDataset(snapshot, store::LoadOptions{}, &dataset);
-        !s.ok()) {
-      std::fprintf(stderr, "prox_server: %s\n", s.ToString().c_str());
-      return 1;
-    }
+    engine_options.dataset.snapshot_path = snapshot_path;
   }
-  ProxSession session(std::move(dataset));
-
-  serve::SummaryCache::Options cache_options;
-  cache_options.max_bytes = static_cast<size_t>(cache_mb) * 1024 * 1024;
-  serve::SummaryCache cache(cache_options);
-  if (snapshot != nullptr && store::HasCacheSection(*snapshot)) {
-    if (store::Status s = store::RestoreCache(*snapshot, &cache); !s.ok()) {
-      std::fprintf(stderr, "prox_server: %s\n", s.ToString().c_str());
-      return 1;
-    }
+  engine_options.cache.max_bytes = static_cast<size_t>(cache_mb) * 1024 * 1024;
+  Result<std::unique_ptr<engine::Engine>> booted =
+      engine::Engine::Create(engine_options);
+  if (!booted.ok()) {
+    std::fprintf(stderr, "prox_server: %s\n",
+                 booted.status().message().c_str());
+    return 1;
   }
+  engine::Engine& engine = *booted.value();
 
   // The sink (and its FILE*) must outlive the server; both are released
   // only after Stop() below has drained every worker.
@@ -230,7 +213,7 @@ int main(int argc, char** argv) {
 
   serve::Router::Options router_options;
   router_options.debug_endpoints = debug_endpoints;
-  serve::Router router(&session, &cache, router_options);
+  serve::Router router(&engine, router_options);
 
   serve::HttpServer::Options options;
   options.port = static_cast<int>(port);
@@ -260,17 +243,12 @@ int main(int argc, char** argv) {
   }
 
   if (!cache_persist.empty()) {
-    // Persist with the *boot-time* fingerprint: summarize runs registered
-    // summary annotations since, and cache keys must match what the next
-    // --snapshot boot computes.
-    store::SaveOptions save_options;
-    save_options.fingerprint = router.dataset_fingerprint();
-    save_options.cache = &cache;
-    if (store::Status s = store::SaveDataset(session.dataset(), save_options,
-                                             cache_persist);
-        !s.ok()) {
+    // The engine persists under its current fingerprint: summarize runs
+    // registered summary annotations since boot, and cache keys must
+    // match what the next --snapshot boot computes.
+    if (Status s = engine.PersistSnapshot(cache_persist); !s.ok()) {
       std::fprintf(stderr, "prox_server: cache-persist failed: %s\n",
-                   s.ToString().c_str());
+                   s.message().c_str());
       return 1;
     }
     std::printf("prox_server: snapshot persisted to %s\n",

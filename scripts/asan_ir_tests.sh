@@ -7,8 +7,11 @@
 # byte-identity suites, the snapshot container/corruption suites
 # (`store` label), and the streaming ingest suites (`ingest` label —
 # ApplyBatch appends into the interned TermPool arena and the warm-start
-# maintainer replays borrowed mapping state, docs/INGEST.md). The IR
-# core hands out raw spans into a shared arena
+# maintainer replays borrowed mapping state, docs/INGEST.md), plus the
+# engine facade and C-ABI suites (`engine` label — the flat boundary
+# hands malloc'd strings across an allocator seam and must reject
+# use-after-close without touching freed memory, docs/EMBEDDING.md).
+# The IR core hands out raw spans into a shared arena
 # and resolves overlay-tagged 32-bit ids against two pools; the store
 # layer parses attacker-shaped bytes out of an mmap — exactly the kind of
 # code where a stale view, a mis-tagged id, or a lying length turns into
@@ -28,9 +31,11 @@ cmake -B "$build_dir" -S . \
   -DPROX_BUILD_EXAMPLES=OFF
 cmake --build "$build_dir" \
   --target prox_ir_test prox_ir_golden_test prox_kernels_test \
-  prox_kernels_golden_test prox_store_test prox_ingest_test -j
+  prox_kernels_golden_test prox_store_test prox_ingest_test \
+  prox_engine_test prox_capi_test -j
 ctest --test-dir "$build_dir" -L ir --output-on-failure
 ctest --test-dir "$build_dir" -L store --output-on-failure
 ctest --test-dir "$build_dir" -L ingest --output-on-failure
+ctest --test-dir "$build_dir" -L engine --output-on-failure
 ctest --test-dir "$build_dir" -R 'GoldenIdentityTest|GoldenKernelsTest' \
   --output-on-failure

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# C-ABI byte identity (docs/EMBEDDING.md): the pure-C11 embedding demo
+# (examples/prox_embed.c, linked against libprox_c only) and the C++ CLI
+# (examples/prox_cli.cpp, driving prox::engine::Engine directly) must
+# produce byte-identical summarize response bodies over the same dataset
+# spec and knobs — on all three dataset families. Both clients bottom out
+# in the same facade, so any drift means the ABI re-encodes something it
+# should pass through.
+#
+# Usage: scripts/capi_cli_identity.sh <build-dir>
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+build_dir=${1:?usage: capi_cli_identity.sh <build-dir>}
+cli="$build_dir/examples/prox_cli"
+embed="$build_dir/examples/prox_embed"
+
+for binary in "$cli" "$embed"; do
+  if [[ ! -x "$binary" ]]; then
+    echo "capi_cli_identity: missing binary $binary (build examples first)" >&2
+    exit 1
+  fi
+done
+
+wdist=0.7
+steps=8
+workdir=$(mktemp -d /tmp/prox_capi_identity.XXXXXX)
+trap 'rm -rf "$workdir"' EXIT
+
+for family in movielens wikipedia ddp; do
+  echo "capi_cli_identity: family=$family wdist=$wdist steps=$steps"
+
+  # The C++ CLI: scripted session, canonical JSON body on the prompt line.
+  printf 'selectall\nsummarize %s %s\nquit\n' "$wdist" "$steps" \
+    | "$cli" --json --dataset="$family" --threads=1 \
+    | sed -n 's/^prox> {/{/p' > "$workdir/cli_$family.json"
+
+  # The pure-C embedder: same spec and knobs through the flat ABI.
+  "$embed" --family="$family" --wdist="$wdist" --steps="$steps" --json \
+    > "$workdir/capi_$family.json"
+
+  if [[ ! -s "$workdir/cli_$family.json" ]]; then
+    echo "capi_cli_identity: FAIL no JSON body from prox_cli ($family)" >&2
+    exit 1
+  fi
+  if ! cmp -s "$workdir/cli_$family.json" "$workdir/capi_$family.json"; then
+    echo "capi_cli_identity: FAIL bodies differ on $family" >&2
+    diff "$workdir/cli_$family.json" "$workdir/capi_$family.json" >&2 || true
+    exit 1
+  fi
+  echo "capi_cli_identity: $family OK ($(wc -c < "$workdir/cli_$family.json") bytes, byte-identical)"
+done
+
+echo "capi_cli_identity: all families byte-identical"

@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# The engine/transport seam, enforced (docs/EMBEDDING.md):
+#
+#   1. prox::serve is pure transport. No file under src/serve may include
+#      engine-internal headers (engine/codec.h, engine/summary_cache.h,
+#      engine/engine_metrics.h) or anything below the facade (service/,
+#      summarize/, ingest/, ir/, store/). The only engine header the
+#      transport may see is engine/engine.h.
+#   2. include/prox_c.h is C-clean: it must compile as pure C11, no
+#      C++-isms, no missing includes.
+#   3. libprox_c.so exports only prox_* symbols: the version script and
+#      --exclude-libs must keep the statically linked C++ engine out of
+#      the dynamic symbol table.
+#
+# Usage: scripts/check_layering.sh [build-dir]
+# The symbol check is skipped (with a note) when no build dir is given or
+# the shared library has not been built there.
+set -uo pipefail
+
+cd "$(dirname "$0")/.."
+
+build_dir=${1:-}
+failures=0
+
+note() { printf 'check_layering: %s\n' "$*"; }
+fail() {
+  printf 'check_layering: FAIL %s\n' "$*" >&2
+  failures=$((failures + 1))
+}
+
+# --- 1. serve is pure transport ------------------------------------------
+forbidden='^#include "(service|summarize|ingest|ir|store|capi)/'
+offenders=$(grep -rEn "$forbidden" src/serve || true)
+if [[ -n "$offenders" ]]; then
+  fail "src/serve includes engine-internal layers:"
+  printf '%s\n' "$offenders" >&2
+fi
+
+offenders=$(grep -rn '#include "engine/' src/serve | grep -v 'engine/engine\.h' || true)
+if [[ -n "$offenders" ]]; then
+  fail "src/serve includes engine internals (only engine/engine.h is allowed):"
+  printf '%s\n' "$offenders" >&2
+fi
+note "serve include lint: OK (transport sees only engine/engine.h)"
+
+# --- 2. prox_c.h is pure C11 ---------------------------------------------
+c_compiler=${CC:-cc}
+if command -v "$c_compiler" >/dev/null 2>&1; then
+  if ! "$c_compiler" -std=c11 -pedantic-errors -Wall -Wextra -Werror \
+      -x c -fsyntax-only include/prox_c.h; then
+    fail "include/prox_c.h does not compile as pure C11"
+  else
+    note "prox_c.h C11 syntax check: OK"
+  fi
+else
+  note "no C compiler found; skipping prox_c.h C11 check"
+fi
+
+# --- 3. libprox_c.so exports only prox_* ---------------------------------
+shared_lib=""
+if [[ -n "$build_dir" ]]; then
+  shared_lib=$(find "$build_dir" -name 'libprox_c.so*' -type f 2>/dev/null \
+    | head -n 1)
+fi
+if [[ -n "$shared_lib" ]] && command -v nm >/dev/null 2>&1; then
+  # Dynamic, defined, global symbols. Version-definition tags (PROX_C_1,
+  # type A) and the linker's bookkeeping symbols are not API surface.
+  leaked=$(nm -D --defined-only "$shared_lib" \
+    | awk '$2 != "A" && $2 != "a" { print $3 }' \
+    | grep -vE '^(prox_|__bss_start$|_edata$|_end$|_fini$|_init$)' || true)
+  if [[ -n "$leaked" ]]; then
+    fail "libprox_c.so leaks non-prox_ symbols:"
+    printf '%s\n' "$leaked" >&2
+  else
+    note "libprox_c.so symbol surface: OK (prox_* only)"
+  fi
+  exported=$(nm -D --defined-only "$shared_lib" | grep -c ' prox_' || true)
+  if [[ "$exported" -lt 10 ]]; then
+    fail "libprox_c.so exports only $exported prox_* symbols (expected the full ABI)"
+  fi
+else
+  note "libprox_c.so not found under '${build_dir:-<none>}'; skipping symbol check"
+fi
+
+if [[ "$failures" -gt 0 ]]; then
+  note "$failures check(s) failed"
+  exit 1
+fi
+note "all layering checks passed"

@@ -1,0 +1,293 @@
+/// \file prox_c.cc
+/// \brief Implements the stable C ABI (include/prox_c.h) over
+/// prox::engine::Engine.
+///
+/// Design notes:
+///  - Handles are tracked in a global live-handle registry, so calls on a
+///    closed (or never-opened) handle return PROX_STATUS_INVALID_HANDLE
+///    without dereferencing freed memory. The check is precise until the
+///    allocator recycles the address for a later open — acceptable for a
+///    misuse diagnostic, and it keeps the use-after-close tests (and
+///    ASan) deterministic.
+///  - Every out-string is a plain malloc copy released by
+///    prox_string_free, so the host never frees across an allocator
+///    boundary.
+///  - C++ exceptions never cross the ABI: every entry point has a
+///    catch-all that maps to PROX_STATUS_INTERNAL.
+
+#include "prox_c.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+#include <utility>
+
+#include "common/json.h"
+#include "engine/codec.h"
+#include "engine/engine.h"
+
+struct prox_engine {
+  std::unique_ptr<prox::engine::Engine> impl;
+};
+
+namespace {
+
+std::mutex& HandleMutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+std::unordered_set<prox_engine_t*>& LiveHandles() {
+  static std::unordered_set<prox_engine_t*>* handles =
+      new std::unordered_set<prox_engine_t*>;
+  return *handles;
+}
+
+bool IsLive(prox_engine_t* engine) {
+  std::lock_guard<std::mutex> lock(HandleMutex());
+  return LiveHandles().count(engine) != 0;
+}
+
+/// malloc-copied C string (never nullptr; aborts only if malloc fails,
+/// like every other allocation in the library).
+char* CopyString(const std::string& text) {
+  char* copy = static_cast<char*>(std::malloc(text.size() + 1));
+  if (copy == nullptr) return nullptr;
+  std::memcpy(copy, text.data(), text.size());
+  copy[text.size()] = '\0';
+  return copy;
+}
+
+prox_status_t MapCode(prox::StatusCode code) {
+  switch (code) {
+    case prox::StatusCode::kOk:
+      return PROX_STATUS_OK;
+    case prox::StatusCode::kInvalidArgument:
+      return PROX_STATUS_INVALID_ARGUMENT;
+    case prox::StatusCode::kNotFound:
+      return PROX_STATUS_NOT_FOUND;
+    case prox::StatusCode::kAlreadyExists:
+      return PROX_STATUS_ALREADY_EXISTS;
+    case prox::StatusCode::kOutOfRange:
+      return PROX_STATUS_OUT_OF_RANGE;
+    case prox::StatusCode::kFailedPrecondition:
+      return PROX_STATUS_FAILED_PRECONDITION;
+    case prox::StatusCode::kUnimplemented:
+      return PROX_STATUS_UNIMPLEMENTED;
+    case prox::StatusCode::kInternal:
+      return PROX_STATUS_INTERNAL;
+  }
+  return PROX_STATUS_INTERNAL;
+}
+
+/// Ships an engine Response across the boundary: body to the caller,
+/// status code as the return value.
+prox_status_t ShipResponse(prox::engine::Engine::Response response,
+                           char** out_response_json) {
+  if (out_response_json != nullptr) {
+    *out_response_json = CopyString(response.body);
+    if (*out_response_json == nullptr) return PROX_STATUS_INTERNAL;
+  }
+  return MapCode(response.status.code());
+}
+
+/// The common prologue of every per-engine call.
+prox_status_t CheckCall(prox_engine_t* engine, char** out_response_json) {
+  if (out_response_json != nullptr) *out_response_json = nullptr;
+  if (engine == nullptr || !IsLive(engine)) {
+    return PROX_STATUS_INVALID_HANDLE;
+  }
+  return PROX_STATUS_OK;
+}
+
+}  // namespace
+
+extern "C" {
+
+int32_t prox_c_api_version(void) { return PROX_C_API_VERSION; }
+
+const char* prox_status_name(prox_status_t status) {
+  switch (status) {
+    case PROX_STATUS_OK:
+      return "OK";
+    case PROX_STATUS_INVALID_ARGUMENT:
+      return "InvalidArgument";
+    case PROX_STATUS_NOT_FOUND:
+      return "NotFound";
+    case PROX_STATUS_ALREADY_EXISTS:
+      return "AlreadyExists";
+    case PROX_STATUS_OUT_OF_RANGE:
+      return "OutOfRange";
+    case PROX_STATUS_FAILED_PRECONDITION:
+      return "FailedPrecondition";
+    case PROX_STATUS_UNIMPLEMENTED:
+      return "Unimplemented";
+    case PROX_STATUS_INTERNAL:
+      return "Internal";
+    case PROX_STATUS_INVALID_HANDLE:
+      return "InvalidHandle";
+    case PROX_STATUS_NULL_ARGUMENT:
+      return "NullArgument";
+  }
+  return "Unknown";
+}
+
+prox_status_t prox_engine_open(const char* config_json,
+                               prox_engine_t** out_engine,
+                               char** out_error_json) {
+  if (out_error_json != nullptr) *out_error_json = nullptr;
+  if (out_engine == nullptr) return PROX_STATUS_NULL_ARGUMENT;
+  *out_engine = nullptr;
+  try {
+    const std::string config = config_json != nullptr ? config_json : "";
+    prox::Status failure = prox::Status::OK();
+    prox::Result<prox::engine::Engine::Options> options =
+        prox::engine::Engine::OptionsFromJson(config);
+    if (!options.ok()) {
+      failure = options.status();
+    } else {
+      prox::Result<std::unique_ptr<prox::engine::Engine>> engine =
+          prox::engine::Engine::Create(options.value());
+      if (!engine.ok()) {
+        failure = engine.status();
+      } else {
+        auto* handle = new prox_engine{std::move(engine).value()};
+        {
+          std::lock_guard<std::mutex> lock(HandleMutex());
+          LiveHandles().insert(handle);
+        }
+        *out_engine = handle;
+        return PROX_STATUS_OK;
+      }
+    }
+    if (out_error_json != nullptr) {
+      std::string body = prox::WriteJson(prox::engine::StatusToJson(failure));
+      body.push_back('\n');
+      *out_error_json = CopyString(body);
+    }
+    return MapCode(failure.code());
+  } catch (...) {
+    return PROX_STATUS_INTERNAL;
+  }
+}
+
+prox_status_t prox_engine_close(prox_engine_t* engine) {
+  if (engine == nullptr) return PROX_STATUS_OK;
+  {
+    std::lock_guard<std::mutex> lock(HandleMutex());
+    if (LiveHandles().erase(engine) == 0) return PROX_STATUS_INVALID_HANDLE;
+  }
+  try {
+    delete engine;
+    return PROX_STATUS_OK;
+  } catch (...) {
+    return PROX_STATUS_INTERNAL;
+  }
+}
+
+prox_status_t prox_engine_select(prox_engine_t* engine,
+                                 const char* request_json,
+                                 char** out_response_json) {
+  if (prox_status_t early = CheckCall(engine, out_response_json);
+      early != PROX_STATUS_OK) {
+    return early;
+  }
+  if (request_json == nullptr) return PROX_STATUS_NULL_ARGUMENT;
+  try {
+    return ShipResponse(engine->impl->HandleSelect(request_json),
+                        out_response_json);
+  } catch (...) {
+    return PROX_STATUS_INTERNAL;
+  }
+}
+
+prox_status_t prox_engine_summarize(prox_engine_t* engine,
+                                    const char* request_json,
+                                    char** out_response_json,
+                                    int32_t* out_cache_hit) {
+  if (out_cache_hit != nullptr) *out_cache_hit = -1;
+  if (prox_status_t early = CheckCall(engine, out_response_json);
+      early != PROX_STATUS_OK) {
+    return early;
+  }
+  if (request_json == nullptr) return PROX_STATUS_NULL_ARGUMENT;
+  try {
+    prox::engine::Engine::Response response =
+        engine->impl->HandleSummarize(request_json);
+    using CacheOutcome = prox::engine::Engine::Response::CacheOutcome;
+    if (out_cache_hit != nullptr && response.cache != CacheOutcome::kNone) {
+      *out_cache_hit = response.cache == CacheOutcome::kHit ? 1 : 0;
+    }
+    return ShipResponse(std::move(response), out_response_json);
+  } catch (...) {
+    return PROX_STATUS_INTERNAL;
+  }
+}
+
+prox_status_t prox_engine_ingest(prox_engine_t* engine,
+                                 const char* request_json,
+                                 char** out_response_json) {
+  if (prox_status_t early = CheckCall(engine, out_response_json);
+      early != PROX_STATUS_OK) {
+    return early;
+  }
+  if (request_json == nullptr) return PROX_STATUS_NULL_ARGUMENT;
+  try {
+    return ShipResponse(engine->impl->HandleIngest(request_json),
+                        out_response_json);
+  } catch (...) {
+    return PROX_STATUS_INTERNAL;
+  }
+}
+
+prox_status_t prox_engine_summary_groups(prox_engine_t* engine,
+                                         char** out_response_json) {
+  if (prox_status_t early = CheckCall(engine, out_response_json);
+      early != PROX_STATUS_OK) {
+    return early;
+  }
+  try {
+    return ShipResponse(engine->impl->HandleGroups(), out_response_json);
+  } catch (...) {
+    return PROX_STATUS_INTERNAL;
+  }
+}
+
+prox_status_t prox_engine_evaluate(prox_engine_t* engine,
+                                   const char* request_json,
+                                   char** out_response_json) {
+  if (prox_status_t early = CheckCall(engine, out_response_json);
+      early != PROX_STATUS_OK) {
+    return early;
+  }
+  if (request_json == nullptr) return PROX_STATUS_NULL_ARGUMENT;
+  try {
+    return ShipResponse(engine->impl->HandleEvaluate(request_json),
+                        out_response_json);
+  } catch (...) {
+    return PROX_STATUS_INTERNAL;
+  }
+}
+
+prox_status_t prox_engine_fingerprint(prox_engine_t* engine,
+                                      char** out_fingerprint) {
+  if (prox_status_t early = CheckCall(engine, out_fingerprint);
+      early != PROX_STATUS_OK) {
+    return early;
+  }
+  if (out_fingerprint == nullptr) return PROX_STATUS_NULL_ARGUMENT;
+  try {
+    *out_fingerprint = CopyString(engine->impl->fingerprint());
+    return *out_fingerprint != nullptr ? PROX_STATUS_OK
+                                       : PROX_STATUS_INTERNAL;
+  } catch (...) {
+    return PROX_STATUS_INTERNAL;
+  }
+}
+
+void prox_string_free(char* str) { std::free(str); }
+
+}  // extern "C"

@@ -1,15 +1,15 @@
-#include "serve/wire.h"
+#include "engine/codec.h"
 
 #include <algorithm>
 #include <cstdio>
 #include <set>
 
 #include "common/str_util.h"
-#include "serve/serve_metrics.h"
+
 #include "service/fingerprint.h"
 
 namespace prox {
-namespace serve {
+namespace engine {
 
 namespace {
 
@@ -330,5 +330,5 @@ int HttpStatusForCode(StatusCode code) {
   return 500;
 }
 
-}  // namespace serve
+}  // namespace engine
 }  // namespace prox

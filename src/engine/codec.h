@@ -1,5 +1,5 @@
-#ifndef PROX_SERVE_WIRE_H_
-#define PROX_SERVE_WIRE_H_
+#ifndef PROX_ENGINE_CODEC_H_
+#define PROX_ENGINE_CODEC_H_
 
 #include <string>
 
@@ -12,14 +12,15 @@
 #include "summarize/summarizer.h"
 
 namespace prox {
-namespace serve {
+namespace engine {
 
 /// \file
-/// The serve wire format: JSON decoding of request bodies, JSON encoding
-/// of results, and the canonical strings the SummaryCache keys on. The
-/// encoders are shared with `prox_cli --json` so the CLI and the server
-/// emit the same serialization of a SummaryOutcome (docs/SERVING.md gives
-/// the schemas).
+/// The engine's canonical JSON codec: decoding of request bodies, encoding
+/// of results, and the canonical strings the SummaryCache keys on. Every
+/// transport — the HTTP router in prox::serve, `prox_cli --json`, and the
+/// C ABI in prox_c.h — goes through these encoders, so they all emit the
+/// same serialization of a SummaryOutcome (docs/SERVING.md gives the
+/// schemas, docs/EMBEDDING.md the embedding contract).
 ///
 /// Encodings are deterministic: field order is fixed, doubles render via
 /// ShortestDouble, and nondeterministic fields (wall times, raw
@@ -92,7 +93,7 @@ JsonValue EvaluationReportToJson(const EvaluationReport& report);
 JsonValue StatusToJson(const Status& status);
 int HttpStatusForCode(StatusCode code);
 
-}  // namespace serve
+}  // namespace engine
 }  // namespace prox
 
-#endif  // PROX_SERVE_WIRE_H_
+#endif  // PROX_ENGINE_CODEC_H_

@@ -1,11 +1,11 @@
-#include "serve/summary_cache.h"
+#include "engine/summary_cache.h"
 
 #include <functional>
 
-#include "serve/serve_metrics.h"
+#include "engine/engine_metrics.h"
 
 namespace prox {
-namespace serve {
+namespace engine {
 
 SummaryCache::SummaryCache(Options options) {
   size_t shard_count = options.shards == 0 ? 1 : options.shards;
@@ -103,5 +103,5 @@ SummaryCache::Stats SummaryCache::stats() const {
   return stats;
 }
 
-}  // namespace serve
+}  // namespace engine
 }  // namespace prox

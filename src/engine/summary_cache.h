@@ -1,5 +1,5 @@
-#ifndef PROX_SERVE_SUMMARY_CACHE_H_
-#define PROX_SERVE_SUMMARY_CACHE_H_
+#ifndef PROX_ENGINE_SUMMARY_CACHE_H_
+#define PROX_ENGINE_SUMMARY_CACHE_H_
 
 #include <cstddef>
 #include <cstdint>
@@ -11,12 +11,12 @@
 #include <vector>
 
 namespace prox {
-namespace serve {
+namespace engine {
 
 /// \brief A sharded LRU cache of serialized summarize responses.
 ///
 /// Keys are the canonical `(dataset fingerprint, selection, request knobs)`
-/// strings router.cc builds (wire.h); values are the exact response bodies,
+/// strings the engine facade builds (codec.h); values are the exact response bodies,
 /// shared immutably so a hit hands out the same bytes the cold request
 /// produced — byte-identical responses are the cache's contract, enabled by
 /// the determinism guarantees of the parallel engine (docs/PARALLELISM.md).
@@ -96,7 +96,7 @@ class SummaryCache {
   size_t per_shard_budget_;
 };
 
-}  // namespace serve
+}  // namespace engine
 }  // namespace prox
 
-#endif  // PROX_SERVE_SUMMARY_CACHE_H_
+#endif  // PROX_ENGINE_SUMMARY_CACHE_H_

@@ -36,9 +36,11 @@ struct MaintainReport {
 /// between warm-starting from the previous outcome and falling back to a
 /// full re-run once the accumulated delta fraction crosses the threshold.
 ///
-/// Not internally synchronized — same external-sync contract as the
-/// session accessors it reads (the serve router serializes calls under
-/// its own mutex; offline tools are single-threaded).
+/// Not internally synchronized: the maintainer's own bookkeeping
+/// (delta-fraction counters) needs external serialization — the engine
+/// facade serializes calls under its mutex; offline tools are
+/// single-threaded. Session state itself is read through guard-scoped
+/// ProxSession::LockedView, never raw pointers.
 class SummaryMaintainer {
  public:
   explicit SummaryMaintainer(ProxSession* session,

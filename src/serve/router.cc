@@ -1,17 +1,16 @@
 #include "serve/router.h"
 
 #include <chrono>
-#include <memory>
+#include <string>
 #include <utility>
 
-#include "ingest/delta.h"
+#include "common/json.h"
 #include "obs/export.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/request_context.h"
 #include "obs/trace.h"
 #include "serve/serve_metrics.h"
-#include "serve/wire.h"
 
 namespace prox {
 namespace serve {
@@ -26,10 +25,9 @@ HttpResponse JsonResponse(int status, const JsonValue& doc) {
   return response;
 }
 
-HttpResponse ErrorResponse(const Status& status) {
-  return JsonResponse(HttpStatusForCode(status.code()), StatusToJson(status));
-}
-
+/// Transport-level errors (unknown route, wrong method) — the only error
+/// documents the router renders itself; domain errors arrive pre-rendered
+/// from the engine.
 HttpResponse SimpleError(int status, const std::string& message) {
   JsonValue error = JsonValue::Object();
   error.Set("code", JsonValue::Str(StatusReason(status)));
@@ -108,18 +106,23 @@ JsonValue RequestRecordToJson(const obs::RequestRecord& record) {
 
 }  // namespace
 
-Router::Router(ProxSession* session, SummaryCache* cache, Options options)
-    : session_(session),
-      cache_(cache),
+Router::Router(engine::Engine* engine, Options options)
+    : engine_(engine),
       options_(options),
       route_stats_(options.route_stats),
-      recorder_(options.recorder),
-      fingerprint_(session->fingerprint()),
-      selection_key_(SelectAllKey()),
-      maintainer_(session) {
-  // The session starts with the whole provenance selected, so a summarize
-  // with no prior select is well-defined (and cacheable under "all").
-  session_->SelectAll();
+      recorder_(options.recorder) {}
+
+HttpResponse Router::FromEngine(engine::Engine::Response response) {
+  HttpResponse http;
+  http.status = response.http_status;
+  http.body = std::move(response.body);
+  using CacheOutcome = engine::Engine::Response::CacheOutcome;
+  if (response.cache != CacheOutcome::kNone) {
+    http.headers.emplace_back(
+        "X-Prox-Cache",
+        response.cache == CacheOutcome::kHit ? "hit" : "miss");
+  }
+  return http;
 }
 
 HttpResponse Router::Handle(const HttpRequest& request) {
@@ -197,20 +200,25 @@ HttpResponse Router::Dispatch(const HttpRequest& request) {
     response = request.method == "GET" ? HandleMetrics()
                                        : SimpleError(405, "use GET");
   } else if (request.target == "/v1/select") {
-    response = request.method == "POST" ? HandleSelect(request)
-                                        : SimpleError(405, "use POST");
+    response = request.method == "POST"
+                   ? FromEngine(engine_->HandleSelect(request.body))
+                   : SimpleError(405, "use POST");
   } else if (request.target == "/v1/summarize") {
-    response = request.method == "POST" ? HandleSummarize(request)
-                                        : SimpleError(405, "use POST");
+    response = request.method == "POST"
+                   ? FromEngine(engine_->HandleSummarize(request.body))
+                   : SimpleError(405, "use POST");
   } else if (request.target == "/v1/ingest") {
-    response = request.method == "POST" ? HandleIngest(request)
-                                        : SimpleError(405, "use POST");
+    response = request.method == "POST"
+                   ? FromEngine(engine_->HandleIngest(request.body))
+                   : SimpleError(405, "use POST");
   } else if (request.target == "/v1/summary/groups") {
-    response = request.method == "GET" ? HandleGroups()
-                                       : SimpleError(405, "use GET");
+    response = request.method == "GET"
+                   ? FromEngine(engine_->HandleGroups())
+                   : SimpleError(405, "use GET");
   } else if (request.target == "/v1/evaluate") {
-    response = request.method == "POST" ? HandleEvaluate(request)
-                                        : SimpleError(405, "use POST");
+    response = request.method == "POST"
+                   ? FromEngine(engine_->HandleEvaluate(request.body))
+                   : SimpleError(405, "use POST");
   } else if (request.target == "/v1/debug/requests" &&
              options_.debug_endpoints) {
     // Without the flag the route falls through to the 404 below, exactly
@@ -221,209 +229,6 @@ HttpResponse Router::Dispatch(const HttpRequest& request) {
     response = SimpleError(404, "no such endpoint: " + request.target);
   }
   return response;
-}
-
-HttpResponse Router::HandleSelect(const HttpRequest& request) {
-  Result<JsonValue> body = ParseJson(request.body);
-  if (!body.ok()) return ErrorResponse(body.status());
-  bool select_all = false;
-  Result<SelectionCriteria> criteria =
-      SelectionCriteriaFromJson(body.value(), &select_all);
-  if (!criteria.ok()) return ErrorResponse(criteria.status());
-
-  std::lock_guard<std::mutex> lock(mu_);
-  int64_t selected_size = 0;
-  if (select_all) {
-    selected_size = session_->SelectAll();
-    selection_key_ = SelectAllKey();
-  } else {
-    Result<int64_t> size = session_->Select(criteria.value());
-    if (!size.ok()) return ErrorResponse(size.status());
-    selected_size = size.value();
-    selection_key_ = CanonicalSelectionKey(criteria.value());
-  }
-  JsonValue doc = JsonValue::Object();
-  doc.Set("selected_size", JsonValue::Int(selected_size));
-  doc.Set("selection_key", JsonValue::Str(selection_key_));
-  return JsonResponse(200, doc);
-}
-
-HttpResponse Router::HandleSummarize(const HttpRequest& request) {
-  Result<JsonValue> body = ParseJson(request.body);
-  if (!body.ok()) return ErrorResponse(body.status());
-  Result<SummarizationRequest> parsed =
-      SummarizationRequestFromJson(body.value());
-  if (!parsed.ok()) return ErrorResponse(parsed.status());
-  const SummarizationRequest& summarize_request = parsed.value();
-  if (Status valid = summarize_request.Validate(); !valid.ok()) {
-    return ErrorResponse(valid);
-  }
-
-  // Fast path: a racy snapshot of the selection key is fine — the cache
-  // key embeds it, so a stale snapshot can only yield a miss or a hit on
-  // the stale selection's (still correct) bytes.
-  std::string key;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    key = SummaryCacheKey(fingerprint_, selection_key_, summarize_request);
-  }
-  if (std::shared_ptr<const std::string> cached = cache_->Get(key)) {
-    HttpResponse response;
-    response.body = *cached;
-    response.headers.emplace_back("X-Prox-Cache", "hit");
-    return response;
-  }
-
-  // Cold path: compute under the router mutex so (a) the key matches the
-  // selection the run uses even if a /v1/select raced in, and (b)
-  // concurrent identical requests run Algorithm 1 once — the double-check
-  // below turns the rest into hits, which keeps their bodies
-  // byte-identical (reruns on the same registry would mint "#k"-suffixed
-  // summary names).
-  std::lock_guard<std::mutex> lock(mu_);
-  key = SummaryCacheKey(fingerprint_, selection_key_, summarize_request);
-  if (std::shared_ptr<const std::string> cached = cache_->Get(key)) {
-    HttpResponse response;
-    response.body = *cached;
-    response.headers.emplace_back("X-Prox-Cache", "hit");
-    return response;
-  }
-  Result<int64_t> size = session_->Summarize(summarize_request);
-  if (!size.ok()) return ErrorResponse(size.status());
-
-  JsonValue doc = SummaryOutcomeToJson(*session_->outcome(),
-                                       *session_->dataset().registry);
-  auto rendered = std::make_shared<std::string>(WriteJson(doc));
-  rendered->push_back('\n');
-  cache_->Put(key, rendered);
-
-  HttpResponse response;
-  response.body = *rendered;
-  response.headers.emplace_back("X-Prox-Cache", "miss");
-  return response;
-}
-
-HttpResponse Router::HandleIngest(const HttpRequest& request) {
-  Result<JsonValue> body = ParseJson(request.body);
-  if (!body.ok()) return ErrorResponse(body.status());
-  Result<ingest::DeltaBatch> batch = ingest::DeltaBatchFromJson(body.value());
-  if (!batch.ok()) return ErrorResponse(batch.status());
-
-  // The optional "resummarize" directive: `true` re-summarizes with
-  // default knobs, an object carries the same knobs as /v1/summarize.
-  bool resummarize = false;
-  SummarizationRequest summarize_request;
-  if (const JsonValue* directive = body.value().Find("resummarize")) {
-    if (directive->is_bool()) {
-      resummarize = directive->bool_value();
-    } else if (directive->is_object()) {
-      resummarize = true;
-      Result<SummarizationRequest> parsed =
-          SummarizationRequestFromJson(*directive);
-      if (!parsed.ok()) return ErrorResponse(parsed.status());
-      summarize_request = parsed.value();
-    } else {
-      return ErrorResponse(Status::InvalidArgument(
-          "field 'resummarize' must be a bool or an object"));
-    }
-    if (Status valid = summarize_request.Validate(); !valid.ok()) {
-      return ErrorResponse(valid);
-    }
-  }
-
-  // Single-flight with /v1/summarize: the whole apply (and the optional
-  // re-summarize) runs under the router mutex, so a concurrent summarize
-  // either keys against the pre-ingest fingerprint (its cached bytes stay
-  // correct for that dataset version) or waits and sees the new one.
-  std::lock_guard<std::mutex> lock(mu_);
-  Result<ingest::ApplyReceipt> receipt = maintainer_.Ingest(batch.value());
-  if (!receipt.ok()) return ErrorResponse(receipt.status());
-  // Chaining the fingerprint retires every cache entry keyed under the
-  // old dataset version without touching the cache itself.
-  fingerprint_ = session_->fingerprint();
-  selection_key_ = SelectAllKey();
-
-  JsonValue doc = ingest::ApplyReceiptToJson(receipt.value());
-  doc.Set("fingerprint", JsonValue::Str(fingerprint_));
-
-  if (resummarize) {
-    Result<ingest::MaintainReport> maintained =
-        maintainer_.Resummarize(summarize_request);
-    if (!maintained.ok()) return ErrorResponse(maintained.status());
-    const ingest::MaintainReport& report = maintained.value();
-
-    // Publish the fresh summary under the post-ingest key so the next
-    // /v1/summarize with the same knobs is a hit on these exact bytes.
-    JsonValue outcome_doc = SummaryOutcomeToJson(
-        *session_->outcome(), *session_->dataset().registry);
-    auto rendered = std::make_shared<std::string>(WriteJson(outcome_doc));
-    rendered->push_back('\n');
-    cache_->Put(SummaryCacheKey(fingerprint_, selection_key_,
-                                summarize_request),
-                rendered);
-
-    JsonValue summary = JsonValue::Object();
-    summary.Set("warm", JsonValue::Bool(report.warm));
-    summary.Set("delta_fraction", JsonValue::Double(report.delta_fraction));
-    summary.Set("replayed_merges", JsonValue::Int(report.replayed_merges));
-    summary.Set("continuation_steps",
-                JsonValue::Int(report.continuation_steps));
-    summary.Set("final_size", JsonValue::Int(report.final_size));
-    summary.Set("final_distance", JsonValue::Double(report.final_distance));
-    doc.Set("resummarize", std::move(summary));
-  }
-  return JsonResponse(200, doc);
-}
-
-HttpResponse Router::HandleGroups() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (session_->outcome() == nullptr) {
-    return ErrorResponse(
-        Status::FailedPrecondition("no summary computed yet"));
-  }
-  JsonValue outcome_doc = SummaryOutcomeToJson(*session_->outcome(),
-                                               *session_->dataset().registry);
-  JsonValue doc = JsonValue::Object();
-  const JsonValue* groups = outcome_doc.Find("groups");
-  const JsonValue* expression = outcome_doc.Find("expression");
-  doc.Set("groups", groups != nullptr ? *groups : JsonValue::Array());
-  doc.Set("expression",
-          expression != nullptr ? *expression : JsonValue::Null());
-  return JsonResponse(200, doc);
-}
-
-HttpResponse Router::HandleEvaluate(const HttpRequest& request) {
-  Result<JsonValue> body = ParseJson(request.body);
-  if (!body.ok()) return ErrorResponse(body.status());
-  if (!body.value().is_object()) {
-    return ErrorResponse(
-        Status::InvalidArgument("evaluate body must be a JSON object"));
-  }
-
-  bool on_summary = true;
-  const JsonValue* on = body.value().Find("on");
-  if (on != nullptr) {
-    if (!on->is_string() || (on->string_value() != "summary" &&
-                             on->string_value() != "selection")) {
-      return ErrorResponse(Status::InvalidArgument(
-          "field 'on' must be \"summary\" or \"selection\""));
-    }
-    on_summary = on->string_value() == "summary";
-  }
-  const JsonValue* assignment_doc = body.value().Find("assignment");
-  if (assignment_doc == nullptr) {
-    return ErrorResponse(
-        Status::InvalidArgument("missing 'assignment' object"));
-  }
-  Result<Assignment> assignment = AssignmentFromJson(*assignment_doc);
-  if (!assignment.ok()) return ErrorResponse(assignment.status());
-
-  std::lock_guard<std::mutex> lock(mu_);
-  Result<EvaluationReport> report =
-      on_summary ? session_->EvaluateOnSummary(assignment.value())
-                 : session_->EvaluateOnSelection(assignment.value());
-  if (!report.ok()) return ErrorResponse(report.status());
-  return JsonResponse(200, EvaluationReportToJson(report.value()));
 }
 
 HttpResponse Router::HandleMetrics() {

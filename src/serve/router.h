@@ -1,20 +1,17 @@
 #ifndef PROX_SERVE_ROUTER_H_
 #define PROX_SERVE_ROUTER_H_
 
-#include <mutex>
 #include <string>
 
-#include "ingest/maintainer.h"
+#include "engine/engine.h"
 #include "obs/flight_recorder.h"
 #include "serve/http.h"
 #include "serve/route_stats.h"
-#include "serve/summary_cache.h"
-#include "service/session.h"
 
 namespace prox {
 namespace serve {
 
-/// \brief Maps HTTP requests onto the ProxSession workflow — the service
+/// \brief Maps HTTP requests onto the prox::engine facade — the service
 /// counterpart of the Chapter 7 web UI (docs/SERVING.md documents every
 /// endpoint and schema):
 ///
@@ -31,6 +28,14 @@ namespace serve {
 ///   GET  /healthz              liveness
 ///   GET  /metrics              Prometheus text (prox::obs registry)
 ///
+/// The router is pure transport: it parses HTTP, hands the body to the
+/// Engine, and serializes the Engine's pre-rendered response — it never
+/// touches the session, the summarizer, the cache or the ingest machinery
+/// directly (scripts/check_layering.sh enforces that src/serve includes no
+/// engine-internal headers). Domain responses come back from the Engine
+/// byte-for-byte as before the engine/transport split; the engine's cache
+/// outcome is surfaced as the `X-Prox-Cache: hit|miss` header.
+///
 /// Every request is traced: Handle builds an obs::RequestContext from the
 /// inbound `traceparent` header (minting a fresh id when absent or
 /// malformed), installs it for the handling thread so the request's spans
@@ -39,16 +44,8 @@ namespace serve {
 /// exemplar, and the flight-recorder entry. With obs recording off
 /// (PROX_OBS=0) all of this is skipped — no context, no header, no log.
 ///
-/// Summarize responses are served from the SummaryCache when the
-/// `(dataset fingerprint, selection, knobs)` key is present; misses
-/// compute under the router mutex — which also guards selection changes,
-/// so a cached body always corresponds to the selection named in its key,
-/// and concurrent identical cold requests run Algorithm 1 once (the first
-/// computes and caches, the rest hit). Cached and cold bodies are
-/// byte-identical; the `X-Prox-Cache: hit|miss` response header tells
-/// them apart.
-///
-/// Thread-safe: Handle may be called from any number of server workers.
+/// Thread-safe: Handle may be called from any number of server workers
+/// (the Engine serializes domain work behind its own mutex).
 class Router {
  public:
   struct Options {
@@ -59,22 +56,16 @@ class Router {
     RouteStats::Options route_stats;
   };
 
-  /// `session` and `cache` must outlive the router. The dataset
-  /// fingerprint comes from the session's memo (computed at most once;
-  /// advanced by digest chaining on ingest).
-  Router(ProxSession* session, SummaryCache* cache)
-      : Router(session, cache, Options{}) {}
-  Router(ProxSession* session, SummaryCache* cache, Options options);
+  /// `engine` must outlive the router.
+  explicit Router(engine::Engine* engine) : Router(engine, Options{}) {}
+  Router(engine::Engine* engine, Options options);
 
   HttpResponse Handle(const HttpRequest& request);
 
   /// The current dataset fingerprint. By value: ingest advances it by
   /// digest chaining, so the string the caller saw may be replaced while
   /// they hold it.
-  std::string dataset_fingerprint() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return fingerprint_;
-  }
+  std::string dataset_fingerprint() const { return engine_->fingerprint(); }
   const Options& options() const { return options_; }
   obs::FlightRecorder& flight_recorder() { return recorder_; }
   RouteStats& route_stats() { return route_stats_; }
@@ -83,27 +74,17 @@ class Router {
   /// The undecorated endpoint dispatch (no tracing, headers or logging).
   HttpResponse Dispatch(const HttpRequest& request);
 
-  HttpResponse HandleSelect(const HttpRequest& request);
-  HttpResponse HandleSummarize(const HttpRequest& request);
-  HttpResponse HandleIngest(const HttpRequest& request);
-  HttpResponse HandleGroups();
-  HttpResponse HandleEvaluate(const HttpRequest& request);
+  /// Serializes an engine response onto the wire: status, body,
+  /// X-Prox-Cache when the engine consulted the SummaryCache.
+  static HttpResponse FromEngine(engine::Engine::Response response);
+
   HttpResponse HandleMetrics();
   HttpResponse HandleDebugRequests();
 
-  ProxSession* session_;
-  SummaryCache* cache_;
+  engine::Engine* engine_;
   Options options_;
   RouteStats route_stats_;
   obs::FlightRecorder recorder_;
-
-  /// Guards fingerprint_, selection_key_, maintainer_, and all session_
-  /// calls, keeping the cache key consistent with the selection (and the
-  /// dataset contents) a computation actually ran on.
-  mutable std::mutex mu_;
-  std::string fingerprint_;
-  std::string selection_key_;
-  ingest::SummaryMaintainer maintainer_;
 };
 
 }  // namespace serve

@@ -55,39 +55,9 @@ inline obs::Histogram* ServeDuration() {
       obs::LatencyBucketsNanos());
 }
 
-/// `prox_serve_fingerprint_fallback_total` — DatasetFingerprint calls that
-/// had no snapshot checksum hint and re-hashed the full provenance text.
-inline obs::Counter* FingerprintFallbacks() {
-  return obs::MetricsRegistry::Default().GetCounter(
-      "prox_serve_fingerprint_fallback_total",
-      "Dataset fingerprints computed by re-serializing the provenance "
-      "because no snapshot checksum was available.");
-}
-
-/// `prox_serve_cache_hit_total`.
-inline obs::Counter* CacheHits() {
-  return obs::MetricsRegistry::Default().GetCounter(
-      "prox_serve_cache_hit_total", "SummaryCache lookups served from cache.");
-}
-
-/// `prox_serve_cache_miss_total`.
-inline obs::Counter* CacheMisses() {
-  return obs::MetricsRegistry::Default().GetCounter(
-      "prox_serve_cache_miss_total", "SummaryCache lookups that missed.");
-}
-
-/// `prox_serve_cache_evict_total`.
-inline obs::Counter* CacheEvictions() {
-  return obs::MetricsRegistry::Default().GetCounter(
-      "prox_serve_cache_evict_total",
-      "SummaryCache entries evicted to stay under the byte budget.");
-}
-
-/// `prox_serve_cache_bytes` — bytes currently cached across all shards.
-inline obs::Gauge* CacheBytes() {
-  return obs::MetricsRegistry::Default().GetGauge(
-      "prox_serve_cache_bytes", "Bytes held by the SummaryCache.");
-}
+// The fingerprint-fallback and SummaryCache families moved with their
+// owners to src/engine/engine_metrics.h (same `prox_serve_` names — see
+// the note there about scrape-config compatibility).
 
 }  // namespace serve
 }  // namespace prox

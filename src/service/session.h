@@ -25,12 +25,14 @@ namespace prox {
 /// sharing one session) cannot interleave mutations — Summarize writes
 /// summary annotations into the dataset's AnnotationRegistry, whose
 /// registration side is not synchronized (annotation.h), and Select
-/// swaps the expression Summarize reads. The accessors `selection()` and
-/// `outcome()` return pointers into that guarded state: they are only
-/// safe while the caller can rule out concurrent Select/Summarize calls
-/// (single-threaded use, or an external lock spanning both the call and
-/// the pointer's use). `dataset()` is safe for reads under the same
-/// condition.
+/// swaps the expression Summarize reads. The selection and the summary
+/// outcome live inside that guarded state, so they are never handed out
+/// as raw pointers: read them through `Lock()`, whose LockedView holds
+/// the session mutex for exactly as long as the view is alive, or take
+/// value snapshots (DescribeGroups, SummaryExpression, the engine
+/// facade's accessors). `dataset()` is safe only while the caller can
+/// rule out concurrent Select/Summarize calls (single-threaded use, an
+/// external lock, or a live LockedView).
 class ProxSession {
  public:
   /// Takes ownership of the dataset.
@@ -87,11 +89,45 @@ class ProxSession {
   /// comparing accuracy and usage time (Figures 7.9 / 7.10 show both).
   Result<EvaluationReport> EvaluateOnSelection(const Assignment& assignment);
 
+  /// Guard-scoped read access to the mutex-guarded state. The view holds
+  /// the session mutex from construction to destruction, so the pointers
+  /// it exposes are valid exactly as long as the view is alive — and no
+  /// Select/Summarize/Ingest can run concurrently. Do NOT call any
+  /// ProxSession member function while a view on the same session is
+  /// alive (the mutex is not recursive; it would self-deadlock).
+  class LockedView {
+   public:
+    LockedView(LockedView&&) = default;
+    LockedView(const LockedView&) = delete;
+    LockedView& operator=(const LockedView&) = delete;
+
+    const Dataset& dataset() const { return session_->dataset_; }
+    /// nullptr when no selection has been made yet.
+    const ProvenanceExpression* selection() const {
+      return session_->selection_.get();
+    }
+    /// nullptr when no summary has been computed yet.
+    const SummaryOutcome* outcome() const {
+      return session_->outcome_.has_value() ? &*session_->outcome_ : nullptr;
+    }
+
+   private:
+    friend class ProxSession;
+    explicit LockedView(const ProxSession* session)
+        : session_(session), lock_(session->mu_) {}
+
+    const ProxSession* session_;
+    std::unique_lock<std::mutex> lock_;
+  };
+
+  /// Locks the session and returns a view over its selection/outcome/
+  /// dataset (see LockedView).
+  LockedView Lock() const { return LockedView(this); }
+
+  /// Unsynchronized dataset access — safe only while the caller can rule
+  /// out concurrent mutations (single-threaded use, an external lock, or
+  /// a live LockedView). Prefer Lock().dataset() in concurrent contexts.
   const Dataset& dataset() const { return dataset_; }
-  const ProvenanceExpression* selection() const { return selection_.get(); }
-  const SummaryOutcome* outcome() const {
-    return outcome_.has_value() ? &*outcome_ : nullptr;
-  }
 
  private:
   /// Serializes Select/Summarize/Evaluate and the describe methods (see

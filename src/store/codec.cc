@@ -9,7 +9,7 @@
 #include "ir/ddp_expr.h"
 #include "ir/term_pool.h"
 #include "provenance/facade.h"
-#include "serve/wire.h"
+#include "service/fingerprint.h"
 #include "store/store_metrics.h"
 #include "store/writer.h"
 
@@ -909,7 +909,7 @@ Status SaveDataset(const Dataset& dataset, const SaveOptions& options,
   {
     ByteWriter w;
     w.PutString(options.fingerprint.empty()
-                    ? serve::DatasetFingerprint(dataset)
+                    ? ComputeDatasetFingerprint(dataset)
                     : options.fingerprint);
     writer.AddSection(SectionTag::kMeta, w.Take());
   }
@@ -1025,7 +1025,7 @@ bool HasCacheSection(const Snapshot& snapshot) {
   return snapshot.Find(SectionTag::kCache) != nullptr;
 }
 
-Status RestoreCache(const Snapshot& snapshot, serve::SummaryCache* cache) {
+Status RestoreCache(const Snapshot& snapshot, engine::SummaryCache* cache) {
   const Snapshot::Section* section = snapshot.Find(SectionTag::kCache);
   if (section == nullptr) return Status::Ok();
   ByteReader r(section->data, section->size, SectionTag::kCache);

@@ -5,7 +5,7 @@
 #include <string>
 
 #include "datasets/dataset.h"
-#include "serve/summary_cache.h"
+#include "engine/summary_cache.h"
 #include "store/snapshot.h"
 #include "store/status.h"
 
@@ -16,13 +16,13 @@ struct SaveOptions {
   /// The dataset fingerprint to persist as the snapshot identity (META
   /// section). Servers pass the fingerprint their Router computed at boot
   /// — a registry dirtied by later summary annotations must not change
-  /// the persisted cache keys. Empty = compute serve::DatasetFingerprint
-  /// here (the CLI save path, where the registry is clean).
+  /// the persisted cache keys. Empty = compute the
+  /// dataset fingerprint here (the CLI save path, where the registry is clean).
   std::string fingerprint;
 
   /// When set, the cache's live entries are persisted as a kCache section
   /// for warm restarts (--cache-persist).
-  const serve::SummaryCache* cache = nullptr;
+  const engine::SummaryCache* cache = nullptr;
 };
 
 /// Serializes `dataset` into a PROXSNAP file at `path`: registry, entity
@@ -46,7 +46,7 @@ struct LoadOptions {
 /// base tier borrows the snapshot's arena/ref sections zero-copy when the
 /// mapping allows (the snapshot handle is pinned by the pool), falling
 /// back to a validated copy otherwise. `out->fingerprint_hint` is set
-/// from the META section, so serve::DatasetFingerprint short-circuits.
+/// from the META section, so the dataset fingerprint short-circuits.
 Status LoadDataset(const std::shared_ptr<Snapshot>& snapshot,
                    const LoadOptions& options, Dataset* out);
 
@@ -56,7 +56,7 @@ bool HasCacheSection(const Snapshot& snapshot);
 /// Restores persisted cache entries into `cache` (warm-flagged, counted
 /// in prox_store_cache_warm_entries_total). No-op without a kCache
 /// section.
-Status RestoreCache(const Snapshot& snapshot, serve::SummaryCache* cache);
+Status RestoreCache(const Snapshot& snapshot, engine::SummaryCache* cache);
 
 }  // namespace store
 }  // namespace prox

@@ -1,0 +1,225 @@
+/// Round-trips through the stable C ABI (include/prox_c.h), linked
+/// statically so AddressSanitizer sees both sides of the boundary
+/// (scripts/asan_ir_tests.sh runs this suite under ASan). The contract
+/// under test: a summarize body obtained through the C ABI is
+/// byte-identical to what the C++ engine facade produces over the same
+/// dataset spec and knobs — for all three dataset families — and every
+/// misuse path (bad JSON, bad handle, NULL argument, use-after-close)
+/// fails with a typed status instead of undefined behavior.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "engine/engine.h"
+#include "prox_c.h"
+
+namespace prox {
+namespace {
+
+/// Adopts a C-ABI string into a std::string and frees the original.
+std::string Take(char* str) {
+  if (str == nullptr) return "";
+  std::string result(str);
+  prox_string_free(str);
+  return result;
+}
+
+constexpr char kSummarizeRequest[] =
+    "{\"w_dist\":0.7,\"w_size\":0.3,\"max_steps\":8,\"threads\":1}";
+
+class CApiEngine {
+ public:
+  explicit CApiEngine(const std::string& config) {
+    char* error = nullptr;
+    status_ = prox_engine_open(config.c_str(), &engine_, &error);
+    error_ = Take(error);
+  }
+  ~CApiEngine() {
+    if (engine_ != nullptr) prox_engine_close(engine_);
+  }
+
+  prox_status_t status() const { return status_; }
+  const std::string& error() const { return error_; }
+  prox_engine_t* get() { return engine_; }
+
+  /// Closes the handle early (for use-after-close tests).
+  prox_status_t Close() {
+    prox_status_t status = prox_engine_close(engine_);
+    engine_ = nullptr;
+    return status;
+  }
+
+ private:
+  prox_engine_t* engine_ = nullptr;
+  prox_status_t status_ = PROX_STATUS_OK;
+  std::string error_;
+};
+
+TEST(CApiTest, VersionAndStatusNames) {
+  EXPECT_EQ(prox_c_api_version(), PROX_C_API_VERSION);
+  EXPECT_STREQ(prox_status_name(PROX_STATUS_OK), "OK");
+  EXPECT_STREQ(prox_status_name(PROX_STATUS_INVALID_ARGUMENT),
+               "InvalidArgument");
+  EXPECT_STREQ(prox_status_name(PROX_STATUS_FAILED_PRECONDITION),
+               "FailedPrecondition");
+  EXPECT_STREQ(prox_status_name(PROX_STATUS_INVALID_HANDLE),
+               "InvalidHandle");
+  EXPECT_STREQ(prox_status_name(PROX_STATUS_NULL_ARGUMENT), "NullArgument");
+  EXPECT_STREQ(prox_status_name(static_cast<prox_status_t>(9999)),
+               "Unknown");
+}
+
+TEST(CApiTest, SummarizeBytesMatchTheCppFacadeOnAllFamilies) {
+  for (const char* family : {"movielens", "wikipedia", "ddp"}) {
+    SCOPED_TRACE(family);
+    const std::string config =
+        std::string("{\"dataset\":{\"family\":\"") + family + "\"}}";
+
+    // C++ side: the facade over the same spec.
+    Result<engine::Engine::Options> options =
+        engine::Engine::OptionsFromJson(config);
+    ASSERT_TRUE(options.ok()) << options.status().ToString();
+    Result<std::unique_ptr<engine::Engine>> cpp =
+        engine::Engine::Create(options.value());
+    ASSERT_TRUE(cpp.ok()) << cpp.status().ToString();
+    engine::Engine::Response expected =
+        cpp.value()->HandleSummarize(kSummarizeRequest);
+    ASSERT_TRUE(expected.ok()) << expected.body;
+
+    // C side: same spec, same knobs, through the flat ABI.
+    CApiEngine c_engine(config);
+    ASSERT_EQ(c_engine.status(), PROX_STATUS_OK) << c_engine.error();
+    char* select_body = nullptr;
+    ASSERT_EQ(prox_engine_select(c_engine.get(), "{\"all\":true}",
+                                 &select_body),
+              PROX_STATUS_OK);
+    Take(select_body);
+
+    char* body = nullptr;
+    int32_t cache_hit = -1;
+    ASSERT_EQ(prox_engine_summarize(c_engine.get(), kSummarizeRequest, &body,
+                                    &cache_hit),
+              PROX_STATUS_OK);
+    EXPECT_EQ(cache_hit, 0);
+    EXPECT_EQ(Take(body), expected.body);
+
+    // Identity agrees too, and the second call is a cache hit on the
+    // identical bytes.
+    char* fingerprint = nullptr;
+    ASSERT_EQ(prox_engine_fingerprint(c_engine.get(), &fingerprint),
+              PROX_STATUS_OK);
+    EXPECT_EQ(Take(fingerprint), cpp.value()->fingerprint());
+
+    char* warm = nullptr;
+    ASSERT_EQ(prox_engine_summarize(c_engine.get(), kSummarizeRequest, &warm,
+                                    &cache_hit),
+              PROX_STATUS_OK);
+    EXPECT_EQ(cache_hit, 1);
+    EXPECT_EQ(Take(warm), expected.body);
+  }
+}
+
+TEST(CApiTest, GroupsAndEvaluateSpeakTheWireSchemas) {
+  CApiEngine engine("");
+  ASSERT_EQ(engine.status(), PROX_STATUS_OK) << engine.error();
+
+  // Groups before any summarize: typed FailedPrecondition with the
+  // canonical error document.
+  char* body = nullptr;
+  EXPECT_EQ(prox_engine_summary_groups(engine.get(), &body),
+            PROX_STATUS_FAILED_PRECONDITION);
+  std::string error_body = Take(body);
+  EXPECT_NE(error_body.find("\"error\""), std::string::npos);
+  EXPECT_NE(error_body.find("no summary computed yet"), std::string::npos);
+
+  ASSERT_EQ(prox_engine_summarize(engine.get(), "{}", &body, nullptr),
+            PROX_STATUS_OK);
+  Take(body);
+  ASSERT_EQ(prox_engine_summary_groups(engine.get(), &body), PROX_STATUS_OK);
+  std::string groups = Take(body);
+  auto parsed = ParseJson(groups);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_NE(parsed.value().Find("groups"), nullptr);
+  EXPECT_NE(parsed.value().Find("expression"), nullptr);
+
+  ASSERT_EQ(prox_engine_evaluate(engine.get(),
+                                 "{\"on\":\"summary\",\"assignment\":{}}",
+                                 &body),
+            PROX_STATUS_OK);
+  auto report = ParseJson(Take(body));
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report.value().Find("rows"), nullptr);
+}
+
+TEST(CApiTest, BadJsonSurfacesTypedStatusesAndErrorDocuments) {
+  // A malformed open config fails with the typed code and the canonical
+  // error document.
+  prox_engine_t* engine = nullptr;
+  char* error = nullptr;
+  EXPECT_EQ(prox_engine_open("{nope", &engine, &error),
+            PROX_STATUS_INVALID_ARGUMENT);
+  EXPECT_EQ(engine, nullptr);
+  std::string error_body = Take(error);
+  EXPECT_NE(error_body.find("\"error\""), std::string::npos);
+
+  // Unknown config fields are rejected, not ignored.
+  EXPECT_EQ(prox_engine_open("{\"bogus\":1}", &engine, nullptr),
+            PROX_STATUS_INVALID_ARGUMENT);
+  EXPECT_EQ(engine, nullptr);
+
+  // Malformed request bodies on a live handle: typed status, error doc.
+  CApiEngine live("");
+  ASSERT_EQ(live.status(), PROX_STATUS_OK);
+  char* body = nullptr;
+  EXPECT_EQ(prox_engine_summarize(live.get(), "{nope", &body, nullptr),
+            PROX_STATUS_INVALID_ARGUMENT);
+  EXPECT_NE(Take(body).find("\"error\""), std::string::npos);
+  int32_t cache_hit = 7;
+  EXPECT_EQ(prox_engine_summarize(live.get(), "{\"w_dist\":-1}", &body,
+                                  &cache_hit),
+            PROX_STATUS_INVALID_ARGUMENT);
+  EXPECT_EQ(cache_hit, -1);
+  Take(body);
+  EXPECT_EQ(prox_engine_select(live.get(), "{\"bogus\":1}", &body),
+            PROX_STATUS_INVALID_ARGUMENT);
+  Take(body);
+}
+
+TEST(CApiTest, HandleAndArgumentMisuseIsRejected) {
+  char* body = nullptr;
+
+  // NULL handle.
+  EXPECT_EQ(prox_engine_summarize(nullptr, "{}", &body, nullptr),
+            PROX_STATUS_INVALID_HANDLE);
+  EXPECT_EQ(body, nullptr);
+  EXPECT_EQ(prox_engine_fingerprint(nullptr, &body),
+            PROX_STATUS_INVALID_HANDLE);
+
+  // NULL required arguments.
+  CApiEngine engine("");
+  ASSERT_EQ(engine.status(), PROX_STATUS_OK);
+  EXPECT_EQ(prox_engine_summarize(engine.get(), nullptr, &body, nullptr),
+            PROX_STATUS_NULL_ARGUMENT);
+  EXPECT_EQ(prox_engine_open("", nullptr, nullptr),
+            PROX_STATUS_NULL_ARGUMENT);
+
+  // Use-after-close: remembered and rejected, never touched.
+  prox_engine_t* handle = engine.get();
+  EXPECT_EQ(engine.Close(), PROX_STATUS_OK);
+  EXPECT_EQ(prox_engine_summarize(handle, "{}", &body, nullptr),
+            PROX_STATUS_INVALID_HANDLE);
+  EXPECT_EQ(body, nullptr);
+  EXPECT_EQ(prox_engine_close(handle), PROX_STATUS_INVALID_HANDLE);
+
+  // Closing NULL is a no-op.
+  EXPECT_EQ(prox_engine_close(nullptr), PROX_STATUS_OK);
+  // Freeing NULL is a no-op.
+  prox_string_free(nullptr);
+}
+
+}  // namespace
+}  // namespace prox

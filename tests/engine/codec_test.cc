@@ -1,4 +1,4 @@
-#include "serve/wire.h"
+#include "engine/codec.h"
 
 #include <string>
 
@@ -9,7 +9,7 @@
 #include "service/session.h"
 
 namespace prox {
-namespace serve {
+namespace engine {
 namespace {
 
 JsonValue MustParse(const std::string& text) {
@@ -158,8 +158,9 @@ TEST(WireTest, SummaryOutcomeSerializationIsDeterministic) {
     session.SelectAll();
     auto size = session.Summarize(request);
     ASSERT_TRUE(size.ok()) << size.status().ToString();
-    *out = WriteJson(SummaryOutcomeToJson(*session.outcome(),
-                                          *session.dataset().registry));
+    ProxSession::LockedView view = session.Lock();
+    *out = WriteJson(SummaryOutcomeToJson(*view.outcome(),
+                                          *view.dataset().registry));
   }
   EXPECT_EQ(first, second);
 
@@ -191,5 +192,5 @@ TEST(WireTest, StatusMappings) {
 }
 
 }  // namespace
-}  // namespace serve
+}  // namespace engine
 }  // namespace prox

@@ -2,23 +2,26 @@
 /// re-serializing fallback (counted by
 /// `prox_serve_fingerprint_fallback_total`) runs at most once per session,
 /// and ingest advances the memo by digest chaining without ever paying the
-/// fallback again.
+/// fallback again. The engine facade inherits the memo — booting an
+/// Engine over a dataset costs exactly one fallback, and its fingerprint
+/// accessor reuses it.
 
+#include <memory>
 #include <string>
+#include <utility>
 
 #include <gtest/gtest.h>
 
 #include "datasets/movielens.h"
+#include "engine/engine.h"
+#include "engine/engine_metrics.h"
 #include "ingest/delta.h"
 #include "ingest/synthetic.h"
-#include "serve/router.h"
-#include "serve/serve_metrics.h"
-#include "serve/summary_cache.h"
 #include "service/fingerprint.h"
 #include "service/session.h"
 
 namespace prox {
-namespace serve {
+namespace engine {
 namespace {
 
 Dataset MakeDataset() {
@@ -38,12 +41,7 @@ TEST(FingerprintMemoTest, FallbackRunsOncePerSessionAndStopsGrowing) {
   EXPECT_EQ(first.size(), 16u);
   EXPECT_EQ(FingerprintFallbacks()->value(), baseline + 1);
 
-  // Memoized: repeated reads, the router constructor, and its accessor
-  // all reuse the memo.
-  EXPECT_EQ(session.fingerprint(), first);
-  SummaryCache cache{SummaryCache::Options{}};
-  Router router(&session, &cache);
-  EXPECT_EQ(router.dataset_fingerprint(), first);
+  // Memoized: repeated reads reuse the memo.
   EXPECT_EQ(session.fingerprint(), first);
   EXPECT_EQ(FingerprintFallbacks()->value(), baseline + 1);
 
@@ -57,6 +55,18 @@ TEST(FingerprintMemoTest, FallbackRunsOncePerSessionAndStopsGrowing) {
   EXPECT_EQ(session.fingerprint(),
             ingest::ChainFingerprint(first, digest));
   EXPECT_NE(session.fingerprint(), first);
+  EXPECT_EQ(FingerprintFallbacks()->value(), baseline + 1);
+}
+
+TEST(FingerprintMemoTest, EngineBootPaysTheFallbackExactlyOnce) {
+  const uint64_t baseline = FingerprintFallbacks()->value();
+  std::unique_ptr<Engine> engine = Engine::FromDataset(MakeDataset());
+  const std::string fingerprint = engine->fingerprint();
+  EXPECT_EQ(fingerprint.size(), 16u);
+  EXPECT_EQ(FingerprintFallbacks()->value(), baseline + 1);
+
+  // The accessor returns the memoized chain head, never recomputes.
+  EXPECT_EQ(engine->fingerprint(), fingerprint);
   EXPECT_EQ(FingerprintFallbacks()->value(), baseline + 1);
 }
 
@@ -77,5 +87,5 @@ TEST(FingerprintMemoTest, TwinSessionsAgreeOnTheFallbackValue) {
 }
 
 }  // namespace
-}  // namespace serve
+}  // namespace engine
 }  // namespace prox

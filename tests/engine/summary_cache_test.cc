@@ -1,4 +1,4 @@
-#include "serve/summary_cache.h"
+#include "engine/summary_cache.h"
 
 #include <memory>
 #include <string>
@@ -8,7 +8,7 @@
 #include <gtest/gtest.h>
 
 namespace prox {
-namespace serve {
+namespace engine {
 namespace {
 
 std::shared_ptr<const std::string> Body(const std::string& text) {
@@ -131,5 +131,5 @@ TEST(SummaryCacheTest, ConcurrentMixedTrafficIsSafe) {
 }
 
 }  // namespace
-}  // namespace serve
+}  // namespace engine
 }  // namespace prox

@@ -16,11 +16,10 @@
 #include "datasets/movielens.h"
 #include "ingest/delta.h"
 #include "ingest/synthetic.h"
+#include "engine/engine.h"
 #include "serve/client.h"
 #include "serve/router.h"
 #include "serve/server.h"
-#include "serve/summary_cache.h"
-#include "service/session.h"
 
 namespace prox {
 namespace serve {
@@ -40,8 +39,9 @@ MovieLensConfig DatasetConfig() {
 class LoopbackServer {
  public:
   LoopbackServer()
-      : session_(MovieLensGenerator::Generate(DatasetConfig())),
-        cache_(CacheOptions()), router_(&session_, &cache_) {
+      : engine_(engine::Engine::FromDataset(
+            MovieLensGenerator::Generate(DatasetConfig()), EngineOptions())),
+        router_(engine_.get()) {
     HttpServer::Options options;
     options.port = 0;
     options.threads = 4;
@@ -54,8 +54,7 @@ class LoopbackServer {
   }
 
   int port() const { return server_->port(); }
-  SummaryCache& cache() { return cache_; }
-  ProxSession& session() { return session_; }
+  engine::Engine& engine() { return *engine_; }
 
   Result<ClientResponse> Post(const std::string& target,
                               const std::string& body) {
@@ -67,14 +66,13 @@ class LoopbackServer {
   }
 
  private:
-  static SummaryCache::Options CacheOptions() {
-    SummaryCache::Options options;
-    options.max_bytes = 4 * 1024 * 1024;
+  static engine::Engine::Options EngineOptions() {
+    engine::Engine::Options options;
+    options.cache.max_bytes = 4 * 1024 * 1024;
     return options;
   }
 
-  ProxSession session_;
-  SummaryCache cache_;
+  std::unique_ptr<engine::Engine> engine_;
   Router router_;
   std::unique_ptr<HttpServer> server_;
 };
@@ -240,7 +238,7 @@ TEST(IngestLoopbackTest, ConcurrentSummarizeAndIngestStaySound) {
   for (std::thread& reader : readers) reader.join();
 
   // The final state is the fully grown dataset.
-  EXPECT_EQ(fixture.session().next_ingest_sequence(), 4u);
+  EXPECT_EQ(fixture.engine().next_ingest_sequence(), 4u);
 }
 
 }  // namespace

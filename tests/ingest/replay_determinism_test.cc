@@ -15,7 +15,7 @@
 #include "datasets/wikipedia.h"
 #include "ingest/delta.h"
 #include "ingest/synthetic.h"
-#include "serve/wire.h"
+#include "engine/codec.h"
 #include "service/session.h"
 
 namespace prox {
@@ -40,8 +40,9 @@ SummarizationRequest Request(int threads) {
 }
 
 std::string CanonicalSummaryJson(ProxSession& session) {
-  return WriteJson(serve::SummaryOutcomeToJson(
-      *session.outcome(), *session.dataset().registry));
+  ProxSession::LockedView view = session.Lock();
+  return WriteJson(engine::SummaryOutcomeToJson(
+      *view.outcome(), *view.dataset().registry));
 }
 
 /// Fresh session, ingest every batch through the session, summarize once.

@@ -21,7 +21,7 @@
 #include "ir/adopt.h"
 #include "ir/term_pool.h"
 #include "kernels/metrics.h"
-#include "serve/wire.h"
+#include "engine/codec.h"
 #include "summarize/distance.h"
 #include "summarize/summarizer.h"
 
@@ -63,7 +63,7 @@ GoldenRun RunFamily(const Config& config, bool use_ir, int threads) {
 
   GoldenRun run;
   run.expression = outcome.summary->ToString(*ds.registry);
-  run.json = WriteJson(serve::SummaryOutcomeToJson(outcome, *ds.registry));
+  run.json = WriteJson(engine::SummaryOutcomeToJson(outcome, *ds.registry));
   run.final_distance = outcome.final_distance;
   run.final_size = outcome.final_size;
   return run;

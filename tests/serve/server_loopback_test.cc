@@ -13,15 +13,16 @@
 
 #include "common/json.h"
 #include "datasets/movielens.h"
+#include "engine/engine.h"
 #include "serve/client.h"
 #include "serve/router.h"
 #include "serve/server.h"
-#include "serve/summary_cache.h"
-#include "service/session.h"
 
 namespace prox {
 namespace serve {
 namespace {
+
+using engine::SummaryCache;
 
 constexpr char kSummarizeBody[] = "{\"w_dist\":0.7,\"max_steps\":5}";
 
@@ -29,8 +30,8 @@ constexpr char kSummarizeBody[] = "{\"w_dist\":0.7,\"max_steps\":5}";
 class LoopbackServer {
  public:
   explicit LoopbackServer(int max_inflight = 32, int threads = 4)
-      : session_(MakeDataset()), cache_(CacheOptions()),
-        router_(&session_, &cache_) {
+      : engine_(engine::Engine::FromDataset(MakeDataset(), EngineOptions())),
+        router_(engine_.get()) {
     HttpServer::Options options;
     options.port = 0;
     options.threads = threads;
@@ -44,7 +45,7 @@ class LoopbackServer {
   }
 
   int port() const { return server_->port(); }
-  SummaryCache& cache() { return cache_; }
+  SummaryCache& cache() { return engine_->cache(); }
   HttpServer& server() { return *server_; }
 
   Result<ClientResponse> Post(const std::string& target,
@@ -63,14 +64,13 @@ class LoopbackServer {
     config.seed = 7;
     return MovieLensGenerator::Generate(config);
   }
-  static SummaryCache::Options CacheOptions() {
-    SummaryCache::Options options;
-    options.max_bytes = 4 * 1024 * 1024;
+  static engine::Engine::Options EngineOptions() {
+    engine::Engine::Options options;
+    options.cache.max_bytes = 4 * 1024 * 1024;
     return options;
   }
 
-  ProxSession session_;
-  SummaryCache cache_;
+  std::unique_ptr<engine::Engine> engine_;
   Router router_;
   std::unique_ptr<HttpServer> server_;
 };

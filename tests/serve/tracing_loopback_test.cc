@@ -15,11 +15,10 @@
 #include "common/json.h"
 #include "datasets/movielens.h"
 #include "obs/metrics.h"
+#include "engine/engine.h"
 #include "serve/client.h"
 #include "serve/router.h"
 #include "serve/server.h"
-#include "serve/summary_cache.h"
-#include "service/session.h"
 
 namespace prox {
 namespace serve {
@@ -40,8 +39,8 @@ bool IsLowerHex32(std::string_view text) {
 class TracingServer {
  public:
   explicit TracingServer(bool debug_endpoints = true)
-      : session_(MakeDataset()), cache_(CacheOptions()),
-        router_(&session_, &cache_, RouterOptions(debug_endpoints)) {
+      : engine_(engine::Engine::FromDataset(MakeDataset(), EngineOptions())),
+        router_(engine_.get(), RouterOptions(debug_endpoints)) {
     HttpServer::Options options;
     options.port = 0;
     options.threads = 4;
@@ -91,9 +90,9 @@ class TracingServer {
     config.seed = 7;
     return MovieLensGenerator::Generate(config);
   }
-  static SummaryCache::Options CacheOptions() {
-    SummaryCache::Options options;
-    options.max_bytes = 4 * 1024 * 1024;
+  static engine::Engine::Options EngineOptions() {
+    engine::Engine::Options options;
+    options.cache.max_bytes = 4 * 1024 * 1024;
     return options;
   }
   static Router::Options RouterOptions(bool debug_endpoints) {
@@ -102,8 +101,7 @@ class TracingServer {
     return options;
   }
 
-  ProxSession session_;
-  SummaryCache cache_;
+  std::unique_ptr<engine::Engine> engine_;
   Router router_;
   std::unique_ptr<HttpServer> server_;
 };

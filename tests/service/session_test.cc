@@ -92,9 +92,10 @@ TEST(ProxSessionTest, SummaryDistanceWithinBounds) {
   request.w_size = 0.0;
   request.max_steps = 8;
   ASSERT_TRUE(session.Summarize(request).ok());
-  ASSERT_NE(session.outcome(), nullptr);
-  EXPECT_GE(session.outcome()->final_distance, 0.0);
-  EXPECT_LE(session.outcome()->final_distance, 1.0);
+  ProxSession::LockedView view = session.Lock();
+  ASSERT_NE(view.outcome(), nullptr);
+  EXPECT_GE(view.outcome()->final_distance, 0.0);
+  EXPECT_LE(view.outcome()->final_distance, 1.0);
 }
 
 }  // namespace

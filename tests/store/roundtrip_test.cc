@@ -17,7 +17,7 @@
 #include "datasets/ddp.h"
 #include "datasets/movielens.h"
 #include "datasets/wikipedia.h"
-#include "serve/wire.h"
+#include "engine/codec.h"
 #include "store/codec.h"
 #include "store/snapshot.h"
 #include "summarize/distance.h"
@@ -64,7 +64,7 @@ std::string SummarizeJson(Dataset ds, int threads) {
   Summarizer summarizer(ds.provenance.get(), ds.registry.get(), &ds.ctx,
                         &ds.constraints, &oracle, &valuations, options);
   SummaryOutcome outcome = summarizer.Run().MoveValue();
-  return WriteJson(serve::SummaryOutcomeToJson(outcome, *ds.registry));
+  return WriteJson(engine::SummaryOutcomeToJson(outcome, *ds.registry));
 }
 
 void ExpectStructurallyEqual(const Dataset& generated, const Dataset& loaded) {

@@ -1,4 +1,4 @@
-// Serving from a snapshot: a Router booted over a snapshot-loaded session
+// Serving from a snapshot: a Router booted over a snapshot-loaded engine
 // must answer /v1/summarize with the exact bytes a generator-booted Router
 // produces, the fingerprint short-circuit must hold (snapshot datasets
 // carry their identity, so DatasetFingerprint never re-serializes), and a
@@ -16,10 +16,8 @@
 #include <vector>
 
 #include "datasets/movielens.h"
+#include "engine/engine.h"
 #include "serve/router.h"
-#include "serve/summary_cache.h"
-#include "serve/wire.h"
-#include "service/session.h"
 #include "store/codec.h"
 #include "store/snapshot.h"
 
@@ -62,14 +60,15 @@ std::string HeaderValue(const serve::HttpResponse& response,
   return "";
 }
 
-Dataset LoadFrom(const std::string& path) {
-  std::shared_ptr<Snapshot> snapshot;
-  Status opened = Snapshot::Open(path, &snapshot);
-  EXPECT_TRUE(opened.ok()) << opened.ToString();
-  Dataset dataset;
-  Status loaded = LoadDataset(snapshot, LoadOptions{}, &dataset);
-  EXPECT_TRUE(loaded.ok()) << loaded.ToString();
-  return dataset;
+/// Boots an engine from a snapshot the way prox_server --snapshot does
+/// (cache restored warm when a section is present).
+std::unique_ptr<engine::Engine> BootFrom(const std::string& path) {
+  engine::Engine::Options options;
+  options.dataset.snapshot_path = path;
+  Result<std::unique_ptr<engine::Engine>> booted =
+      engine::Engine::Create(options);
+  EXPECT_TRUE(booted.ok()) << booted.status().ToString();
+  return booted.ok() ? booted.MoveValue() : nullptr;
 }
 
 TEST(SnapshotServeTest, SummarizeBytesMatchGeneratorBoot) {
@@ -82,13 +81,13 @@ TEST(SnapshotServeTest, SummarizeBytesMatchGeneratorBoot) {
 
   for (const int threads : {1, 8}) {
     SCOPED_TRACE("threads=" + std::to_string(threads));
-    ProxSession generated(MovieLensGenerator::Generate(SmallConfig()));
-    serve::SummaryCache generated_cache({});
-    serve::Router generated_router(&generated, &generated_cache);
+    std::unique_ptr<engine::Engine> generated = engine::Engine::FromDataset(
+        MovieLensGenerator::Generate(SmallConfig()));
+    serve::Router generated_router(generated.get());
 
-    ProxSession loaded(LoadFrom(path));
-    serve::SummaryCache loaded_cache({});
-    serve::Router loaded_router(&loaded, &loaded_cache);
+    std::unique_ptr<engine::Engine> loaded = BootFrom(path);
+    ASSERT_NE(loaded, nullptr);
+    serve::Router loaded_router(loaded.get());
 
     // Same identity ⇒ same cache keys across restarts and replicas.
     EXPECT_EQ(loaded_router.dataset_fingerprint(),
@@ -112,18 +111,15 @@ TEST(SnapshotServeTest, PersistedCacheServesFirstRequestWarm) {
   {
     // "First process": generator boot, one cold summarize, then persist
     // dataset + cache the way prox_server --cache-persist does on drain.
-    ProxSession session(MovieLensGenerator::Generate(SmallConfig()));
-    serve::SummaryCache cache({});
-    serve::Router router(&session, &cache);
+    std::unique_ptr<engine::Engine> engine = engine::Engine::FromDataset(
+        MovieLensGenerator::Generate(SmallConfig()));
+    serve::Router router(engine.get());
     serve::HttpResponse response =
         router.Handle(Post("/v1/summarize", SummarizeBody(1)));
     ASSERT_EQ(response.status, 200) << response.body;
     first_body = response.body;
 
-    SaveOptions options;
-    options.fingerprint = router.dataset_fingerprint();
-    options.cache = &cache;
-    Status s = SaveDataset(session.dataset(), options, path);
+    ::prox::Status s = engine->PersistSnapshot(path);
     ASSERT_TRUE(s.ok()) << s.ToString();
   }
 
@@ -132,12 +128,9 @@ TEST(SnapshotServeTest, PersistedCacheServesFirstRequestWarm) {
   std::shared_ptr<Snapshot> snapshot;
   ASSERT_TRUE(Snapshot::Open(path, &snapshot).ok());
   ASSERT_TRUE(HasCacheSection(*snapshot));
-  Dataset dataset;
-  ASSERT_TRUE(LoadDataset(snapshot, LoadOptions{}, &dataset).ok());
-  ProxSession session(std::move(dataset));
-  serve::SummaryCache cache({});
-  ASSERT_TRUE(RestoreCache(*snapshot, &cache).ok());
-  serve::Router router(&session, &cache);
+  std::unique_ptr<engine::Engine> engine = BootFrom(path);
+  ASSERT_NE(engine, nullptr);
+  serve::Router router(engine.get());
 
   serve::HttpResponse response =
       router.Handle(Post("/v1/summarize", SummarizeBody(1)));
@@ -153,27 +146,19 @@ TEST(SnapshotServeTest, ConcurrentWarmRequestsStayConsistent) {
   const std::string path = TempPath("concurrent");
   std::string expected_body;
   {
-    ProxSession session(MovieLensGenerator::Generate(SmallConfig()));
-    serve::SummaryCache cache({});
-    serve::Router router(&session, &cache);
+    std::unique_ptr<engine::Engine> engine = engine::Engine::FromDataset(
+        MovieLensGenerator::Generate(SmallConfig()));
+    serve::Router router(engine.get());
     serve::HttpResponse response =
         router.Handle(Post("/v1/summarize", SummarizeBody(1)));
     ASSERT_EQ(response.status, 200);
     expected_body = response.body;
-    SaveOptions options;
-    options.fingerprint = router.dataset_fingerprint();
-    options.cache = &cache;
-    ASSERT_TRUE(SaveDataset(session.dataset(), options, path).ok());
+    ASSERT_TRUE(engine->PersistSnapshot(path).ok());
   }
 
-  std::shared_ptr<Snapshot> snapshot;
-  ASSERT_TRUE(Snapshot::Open(path, &snapshot).ok());
-  Dataset dataset;
-  ASSERT_TRUE(LoadDataset(snapshot, LoadOptions{}, &dataset).ok());
-  ProxSession session(std::move(dataset));
-  serve::SummaryCache cache({});
-  ASSERT_TRUE(RestoreCache(*snapshot, &cache).ok());
-  serve::Router router(&session, &cache);
+  std::unique_ptr<engine::Engine> engine = BootFrom(path);
+  ASSERT_NE(engine, nullptr);
+  serve::Router router(engine.get());
 
   constexpr int kWorkers = 8;
   constexpr int kRequestsPerWorker = 16;
