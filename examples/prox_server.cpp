@@ -13,7 +13,18 @@
 ///
 /// Flags:
 ///   --port=N          listen port (default 8080; 0 = ephemeral, printed)
-///   --threads=N       HTTP worker threads (default 4)
+///   --transport=T     blocking (default) or epoll. The epoll transport
+///                     (docs/NET.md) parks keep-alive connections in
+///                     event-loop shards instead of blocking a worker
+///                     thread per connection — same routes, byte-identical
+///                     responses, same drain contract.
+///   --shards=N        epoll event-loop shards (epoll transport only;
+///                     default: half the cores, clamped to [1, 8])
+///   --keepalive-ms=N  idle keep-alive budget before a connection is
+///                     reaped, both transports (default 15000; counted in
+///                     prox_serve_idle_reaped_total)
+///   --threads=N       request worker threads (blocking: connection
+///                     workers; epoll: handler pool) (default 4)
 ///   --cache-mb=N      SummaryCache byte budget in MiB (default 64)
 ///   --max-inflight=N  admitted-connection bound; beyond it new
 ///                     connections are shed with 503 (default 64)
@@ -50,6 +61,7 @@
 
 #include "common/cpu_features.h"
 #include "engine/engine.h"
+#include "net/epoll_server.h"
 #include "obs/log.h"
 #include "serve/router.h"
 #include "serve/server.h"
@@ -60,12 +72,18 @@ namespace {
 
 void PrintUsage() {
   std::printf(
-      "usage: prox_server [--port=N] [--threads=N] [--cache-mb=N]\n"
-      "                   [--max-inflight=N] [--users=N] [--movies=N]\n"
-      "                   [--seed=N] [--snapshot=<path>]\n"
+      "usage: prox_server [--port=N] [--transport=blocking|epoll]\n"
+      "                   [--shards=N] [--keepalive-ms=N] [--threads=N]\n"
+      "                   [--cache-mb=N] [--max-inflight=N] [--users=N]\n"
+      "                   [--movies=N] [--seed=N] [--snapshot=<path>]\n"
       "                   [--cache-persist=<path>] [--simd=TIER]\n"
       "                   [--access-log[=<path>]] [--debug-endpoints]\n"
       "\n"
+      "--transport=epoll serves the same routes over event-loop shards\n"
+      "(docs/NET.md): responses are byte-identical to the blocking\n"
+      "transport, but idle keep-alive connections cost an fd instead of\n"
+      "a thread. --shards sizes the loops, --keepalive-ms bounds idle\n"
+      "connections on either transport.\n"
       "--simd caps the batch-kernel SIMD tier (off|scalar, sse4.2,\n"
       "auto|avx2; results are bit-identical at every tier — see\n"
       "docs/KERNELS.md). PROX_SIMD=0 is the env equivalent.\n"
@@ -96,6 +114,9 @@ bool ParseIntFlag(const std::string& arg, const char* flag, long* out) {
 
 int main(int argc, char** argv) {
   long port = 8080;
+  std::string transport = "blocking";
+  long shards = 0;
+  long keepalive_ms = 15000;
   long threads = 4;
   long cache_mb = 64;
   long max_inflight = 64;
@@ -113,7 +134,18 @@ int main(int argc, char** argv) {
       PrintUsage();
       return 0;
     }
+    if (arg.rfind("--transport=", 0) == 0) {
+      transport = arg.substr(std::string("--transport=").size());
+      if (transport != "blocking" && transport != "epoll") {
+        std::fprintf(stderr, "prox_server: bad --transport value in %s\n",
+                     arg.c_str());
+        return 2;
+      }
+      continue;
+    }
     if (ParseIntFlag(arg, "--port", &port) ||
+        ParseIntFlag(arg, "--shards", &shards) ||
+        ParseIntFlag(arg, "--keepalive-ms", &keepalive_ms) ||
         ParseIntFlag(arg, "--threads", &threads) ||
         ParseIntFlag(arg, "--cache-mb", &cache_mb) ||
         ParseIntFlag(arg, "--max-inflight", &max_inflight) ||
@@ -215,20 +247,43 @@ int main(int argc, char** argv) {
   router_options.debug_endpoints = debug_endpoints;
   serve::Router router(&engine, router_options);
 
-  serve::HttpServer::Options options;
-  options.port = static_cast<int>(port);
-  options.threads = static_cast<int>(threads);
-  options.max_inflight = static_cast<int>(max_inflight);
-  serve::HttpServer server(options, [&router](const serve::HttpRequest& req) {
+  auto handler = [&router](const serve::HttpRequest& req) {
     return router.Handle(req);
-  });
-  if (Status status = server.Start(); !status.ok()) {
-    std::fprintf(stderr, "prox_server: %s\n", status.ToString().c_str());
-    return 1;
+  };
+  // Both transports share the Handler contract and the drain behavior;
+  // only the concurrency model under the socket differs.
+  std::unique_ptr<serve::HttpServer> blocking_server;
+  std::unique_ptr<net::EpollServer> epoll_server;
+  int bound_port = 0;
+  if (transport == "epoll") {
+    net::EpollServer::Options options;
+    options.port = static_cast<int>(port);
+    options.shards = static_cast<int>(shards);
+    options.handler_threads = static_cast<int>(threads);
+    options.max_inflight = static_cast<int>(max_inflight);
+    options.idle_timeout_ms = static_cast<int>(keepalive_ms);
+    epoll_server = std::make_unique<net::EpollServer>(options, handler);
+    if (Status status = epoll_server->Start(); !status.ok()) {
+      std::fprintf(stderr, "prox_server: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    bound_port = epoll_server->port();
+  } else {
+    serve::HttpServer::Options options;
+    options.port = static_cast<int>(port);
+    options.threads = static_cast<int>(threads);
+    options.max_inflight = static_cast<int>(max_inflight);
+    options.idle_timeout_ms = static_cast<int>(keepalive_ms);
+    blocking_server = std::make_unique<serve::HttpServer>(options, handler);
+    if (Status status = blocking_server->Start(); !status.ok()) {
+      std::fprintf(stderr, "prox_server: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    bound_port = blocking_server->port();
   }
-  std::printf("prox_server: listening on 127.0.0.1:%d (%ld workers, "
-              "cache %ld MiB, max-inflight %ld, dataset %s)\n",
-              server.port(), threads, cache_mb, max_inflight,
+  std::printf("prox_server: listening on 127.0.0.1:%d (%s transport, "
+              "%ld workers, cache %ld MiB, max-inflight %ld, dataset %s)\n",
+              bound_port, transport.c_str(), threads, cache_mb, max_inflight,
               router.dataset_fingerprint().c_str());
   std::fflush(stdout);
 
@@ -236,7 +291,8 @@ int main(int argc, char** argv) {
   sigwait(&shutdown_signals, &signal_number);
   std::printf("prox_server: signal %d, draining\n", signal_number);
   std::fflush(stdout);
-  server.Stop();
+  if (epoll_server != nullptr) epoll_server->Stop();
+  if (blocking_server != nullptr) blocking_server->Stop();
   if (access_log_sink != nullptr) {
     obs::SetAccessLogSink(nullptr);
     if (access_log_file != nullptr) std::fclose(access_log_file);

@@ -43,6 +43,32 @@ if [[ -n "$offenders" ]]; then
 fi
 note "serve include lint: OK (transport sees only engine/engine.h)"
 
+# --- 1b. net is pure transport too ----------------------------------------
+# prox::net (event loop + balancer) sits beside serve: it may include
+# net/, serve/, exec/, obs/ and common/ — never the engine or anything
+# below it. Handlers are opaque std::functions; the loop cannot know what
+# they compute.
+offenders=$(grep -rhn '#include "' src/net \
+  | grep -vE '#include "(net|serve|exec|obs|common)/' || true)
+if [[ -n "$offenders" ]]; then
+  fail "src/net includes layers below the transport seam:"
+  printf '%s\n' "$offenders" >&2
+fi
+note "net include lint: OK (event loop sees only serve/exec/obs/common)"
+
+# --- 1c. every socket send is SIGPIPE-proof -------------------------------
+# A peer that closes mid-write must surface as EPIPE, never as a
+# process-killing SIGPIPE: every send(2) in the transport layers carries
+# MSG_NOSIGNAL (docs/NET.md). The char class keeps string literals like
+# "send(): " out of the match.
+offenders=$(grep -rn '[^a-zA-Z_.:"]send(' src/serve src/net examples \
+  | grep -v MSG_NOSIGNAL || true)
+if [[ -n "$offenders" ]]; then
+  fail "socket send() without MSG_NOSIGNAL:"
+  printf '%s\n' "$offenders" >&2
+fi
+note "MSG_NOSIGNAL lint: OK (no raw socket sends)"
+
 # --- 2. prox_c.h is pure C11 ---------------------------------------------
 c_compiler=${CC:-cc}
 if command -v "$c_compiler" >/dev/null 2>&1; then

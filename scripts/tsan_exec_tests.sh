@@ -5,9 +5,11 @@
 # threads against one session + cache), the ingest loopback suite
 # (concurrent POST /v1/ingest writers vs summarize readers over one
 # session, docs/INGEST.md), the legacy-vs-IR golden byte-identity suite
-# (worker-overlay Apply at threads {1,8}), and the batch-kernel golden
+# (worker-overlay Apply at threads {1,8}), the batch-kernel golden
 # suite (thread-local valuation blocks + call_once base packing on exec
-# workers, docs/KERNELS.md) — under TSan.
+# workers, docs/KERNELS.md), and the epoll transport loopback suite
+# (event-loop shards + handler pool + blocking/epoll byte-identity,
+# docs/NET.md) — under TSan.
 #
 # Usage: scripts/tsan_exec_tests.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -21,5 +23,6 @@ cmake -B "$build_dir" -S . \
   -DPROX_BUILD_BENCHMARKS=OFF \
   -DPROX_BUILD_EXAMPLES=OFF
 cmake --build "$build_dir" --target prox_exec_test prox_serve_loopback_test \
-  prox_ingest_loopback_test prox_ir_golden_test prox_kernels_golden_test -j
+  prox_ingest_loopback_test prox_ir_golden_test prox_kernels_golden_test \
+  prox_net_loopback_test -j
 ctest --test-dir "$build_dir" -L tsan --output-on-failure

@@ -1,0 +1,77 @@
+#include "net/ring.h"
+
+#include <algorithm>
+
+namespace prox {
+namespace net {
+
+uint64_t Fnv1a64(std::string_view data) {
+  uint64_t hash = 14695981039346656037ull;
+  for (unsigned char byte : data) {
+    hash ^= byte;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+namespace {
+
+/// splitmix64 finalizer. FNV-1a mixes trailing-byte differences weakly
+/// into the high bits, and ring placement orders by the full 64-bit
+/// value — without this, "endpoint#0..63" vnode points cluster and the
+/// spread collapses. The finalizer keeps determinism (pure function of
+/// the FNV hash) while giving every bit full avalanche.
+uint64_t Mix64(uint64_t h) {
+  h += 0x9e3779b97f4a7c15ull;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+  return h ^ (h >> 31);
+}
+
+uint64_t RingHash(std::string_view data) { return Mix64(Fnv1a64(data)); }
+
+}  // namespace
+
+HashRing::HashRing(std::vector<std::string> endpoints, int vnodes)
+    : endpoints_(std::move(endpoints)) {
+  if (vnodes < 1) vnodes = 1;
+  points_.reserve(endpoints_.size() * static_cast<size_t>(vnodes));
+  for (uint32_t i = 0; i < endpoints_.size(); ++i) {
+    for (int v = 0; v < vnodes; ++v) {
+      points_.push_back(
+          {RingHash(endpoints_[i] + "#" + std::to_string(v)), i});
+    }
+  }
+  std::sort(points_.begin(), points_.end());
+}
+
+std::string HashRing::Pick(std::string_view key) const {
+  std::vector<std::string> picked = PickN(key, 1);
+  return picked.empty() ? std::string() : std::move(picked.front());
+}
+
+std::vector<std::string> HashRing::PickN(std::string_view key, int n) const {
+  std::vector<std::string> picked;
+  if (points_.empty() || n < 1) return picked;
+  const uint64_t hash = RingHash(key);
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), hash,
+      [](const Point& point, uint64_t value) { return point.hash < value; });
+  const size_t start = it == points_.end()
+                           ? 0
+                           : static_cast<size_t>(it - points_.begin());
+  const size_t want = std::min<size_t>(static_cast<size_t>(n),
+                                       endpoints_.size());
+  std::vector<bool> seen(endpoints_.size(), false);
+  for (size_t step = 0; step < points_.size() && picked.size() < want;
+       ++step) {
+    const Point& point = points_[(start + step) % points_.size()];
+    if (seen[point.endpoint_index]) continue;
+    seen[point.endpoint_index] = true;
+    picked.push_back(endpoints_[point.endpoint_index]);
+  }
+  return picked;
+}
+
+}  // namespace net
+}  // namespace prox

@@ -1,0 +1,64 @@
+#ifndef PROX_NET_RING_H_
+#define PROX_NET_RING_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace prox {
+namespace net {
+
+/// FNV-1a 64-bit — deterministic across processes and platforms, so every
+/// router instance maps the same key to the same replica.
+uint64_t Fnv1a64(std::string_view data);
+
+/// \brief A consistent-hash ring over replica endpoints with virtual
+/// nodes. Each endpoint is hashed `vnodes` times ("endpoint#i") onto a
+/// 64-bit circle; a key maps to the first point clockwise from its hash.
+///
+/// Properties the balancer relies on:
+///  - determinism: same endpoints + vnodes → same mapping, in every
+///    router process (Fnv1a64, sorted points, index tie-break);
+///  - minimal remapping: removing one of R endpoints moves only ~1/R of
+///    the keyspace, so replica-local summary caches stay warm through
+///    membership churn;
+///  - spread: vnodes (default 64) keep the per-endpoint share within a
+///    few percent of uniform.
+///
+/// Immutable after construction; the balancer rebuilds nothing on
+/// failure — it walks PickN's successor list instead, which is exactly
+/// the ring-without-the-dead-node mapping for the keys the dead node
+/// owned.
+class HashRing {
+ public:
+  explicit HashRing(std::vector<std::string> endpoints, int vnodes = 64);
+
+  const std::vector<std::string>& endpoints() const { return endpoints_; }
+
+  /// The endpoint owning `key` ("" when the ring is empty).
+  std::string Pick(std::string_view key) const;
+
+  /// Up to `n` distinct endpoints clockwise from the key's point — the
+  /// owner first, then the successors a failure would promote, in order.
+  std::vector<std::string> PickN(std::string_view key, int n) const;
+
+ private:
+  struct Point {
+    uint64_t hash;
+    uint32_t endpoint_index;
+    bool operator<(const Point& other) const {
+      // Index tie-break makes equal-hash collisions deterministic too.
+      return hash != other.hash ? hash < other.hash
+                                : endpoint_index < other.endpoint_index;
+    }
+  };
+
+  std::vector<std::string> endpoints_;
+  std::vector<Point> points_;  ///< sorted
+};
+
+}  // namespace net
+}  // namespace prox
+
+#endif  // PROX_NET_RING_H_

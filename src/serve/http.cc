@@ -48,9 +48,21 @@ const char* StatusReason(int status) {
     case 431: return "Request Header Fields Too Large";
     case 500: return "Internal Server Error";
     case 501: return "Not Implemented";
+    case 502: return "Bad Gateway";
     case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
     default: return "Unknown";
   }
+}
+
+HttpResponse CannedErrorResponse(int status) {
+  HttpResponse response;
+  response.status = status;
+  response.content_type = "application/json";
+  response.body = "{\"error\":{\"code\":\"" + std::string(StatusReason(status)) +
+                  "\"}}\n";
+  response.close_connection = true;
+  return response;
 }
 
 std::string RenderResponse(const HttpResponse& response) {

@@ -50,6 +50,12 @@ struct HttpResponse {
 /// ("Unknown" for anything else).
 const char* StatusReason(int status);
 
+/// The canned transport-level error document both transports (and the
+/// balancer) send when no handler response exists: 503 shed, 408 idle
+/// mid-request, parser failures, 502 from the balancer. Shared so the
+/// blocking and epoll transports stay byte-identical on every path.
+HttpResponse CannedErrorResponse(int status);
+
 /// Renders the full response message. Deterministic: no Date or Server
 /// header, so equal responses are byte-identical on the wire.
 std::string RenderResponse(const HttpResponse& response);

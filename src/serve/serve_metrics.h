@@ -47,6 +47,15 @@ inline obs::Gauge* ServeInflight() {
       "Connections currently queued or being served by a worker.");
 }
 
+/// `prox_serve_idle_reaped_total` — keep-alive connections closed because
+/// they sat idle (no request in flight, empty parse buffer) past the idle
+/// timeout. Shared by the blocking and epoll transports.
+inline obs::Counter* ServeIdleReaped() {
+  return obs::MetricsRegistry::Default().GetCounter(
+      "prox_serve_idle_reaped_total",
+      "Idle keep-alive connections reaped by the idle timeout.");
+}
+
 /// `prox_serve_request_duration_nanos` — handler wall time.
 inline obs::Histogram* ServeDuration() {
   return obs::MetricsRegistry::Default().GetHistogram(

@@ -33,13 +33,14 @@ bool SendAll(int fd, std::string_view data) {
 }
 
 void SendCannedResponse(int fd, int status) {
-  HttpResponse response;
-  response.status = status;
-  response.content_type = "application/json";
-  response.body = "{\"error\":{\"code\":\"" + std::string(StatusReason(status)) +
-                  "\"}}\n";
-  response.close_connection = true;
-  SendAll(fd, RenderResponse(response));
+  SendAll(fd, RenderResponse(CannedErrorResponse(status)));
+}
+
+void SetRecvTimeout(int fd, int timeout_ms) {
+  timeval timeout{};
+  timeout.tv_sec = timeout_ms / 1000;
+  timeout.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
 }
 
 }  // namespace
@@ -193,15 +194,17 @@ void HttpServer::WorkerLoop() {
 }
 
 void HttpServer::ServeConnection(int fd) {
-  timeval timeout{};
-  timeout.tv_sec = options_.read_timeout_ms / 1000;
-  timeout.tv_usec = (options_.read_timeout_ms % 1000) * 1000;
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  static obs::Counter* idle_reaped_metric = ServeIdleReaped();
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 
   HttpParser parser(options_.limits);
   char buffer[16 * 1024];
+  // The receive timeout is re-armed before every recv to match the
+  // connection's state: the longer idle budget between requests, the
+  // shorter read budget once a request started arriving. -1 forces the
+  // first setsockopt.
+  int armed_timeout_ms = -1;
   while (true) {
     // Answer everything already buffered (pipelining) before reading.
     HttpRequest request;
@@ -224,13 +227,25 @@ void HttpServer::ServeConnection(int fd) {
       // connection while the server shuts down.
       return;
     }
+    const bool mid_request = parser.buffered_bytes() > 0;
+    const int want_timeout_ms =
+        mid_request ? options_.read_timeout_ms : options_.idle_timeout_ms;
+    if (want_timeout_ms != armed_timeout_ms) {
+      SetRecvTimeout(fd, want_timeout_ms);
+      armed_timeout_ms = want_timeout_ms;
+    }
     ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
     if (n == 0) return;  // client closed
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        // Read timeout. 408 only means something mid-request.
-        if (parser.buffered_bytes() > 0) SendCannedResponse(fd, 408);
+        // Timeout. Mid-request silence is the client's fault (408); an
+        // idle keep-alive connection is reaped silently but accounted.
+        if (mid_request) {
+          SendCannedResponse(fd, 408);
+        } else {
+          idle_reaped_metric->Increment();
+        }
         return;
       }
       return;

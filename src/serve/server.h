@@ -52,7 +52,15 @@ class HttpServer {
     int threads = 4;
     int max_inflight = 64;
     int backlog = 128;
+    /// Mid-request budget: a connection with a partially received request
+    /// gets a 408 when no byte arrives for this long.
     int read_timeout_ms = 5000;
+    /// Keep-alive budget: an idle connection (no request in flight, empty
+    /// parse buffer) is silently reaped after this long, counted in
+    /// `prox_serve_idle_reaped_total`. Before this knob existed an idle
+    /// connection pinned its worker for read_timeout_ms per wait with no
+    /// accounting at all.
+    int idle_timeout_ms = 15000;
     HttpParser::Limits limits;
   };
 

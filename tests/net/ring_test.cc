@@ -1,0 +1,121 @@
+/// HashRing unit tests: determinism, spread across endpoints, the
+/// minimal-remapping property under membership change, and PickN's
+/// successor ordering (what the balancer's retry walks).
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/ring.h"
+
+namespace prox {
+namespace net {
+namespace {
+
+std::vector<std::string> Endpoints(int n) {
+  std::vector<std::string> endpoints;
+  for (int i = 0; i < n; ++i) {
+    endpoints.push_back("10.0.0." + std::to_string(i + 1) + ":8080");
+  }
+  return endpoints;
+}
+
+std::vector<std::string> Keys(int n) {
+  std::vector<std::string> keys;
+  for (int i = 0; i < n; ++i) {
+    keys.push_back("fp\n/v1/summarize\n{\"w_dist\":0." + std::to_string(i) +
+                   ",\"seq\":" + std::to_string(i) + "}");
+  }
+  return keys;
+}
+
+TEST(HashRingTest, Fnv1a64MatchesReferenceVectors) {
+  // Published FNV-1a 64 test vectors; determinism across platforms is
+  // what lets every router instance agree on the mapping.
+  EXPECT_EQ(Fnv1a64(""), 14695981039346656037ull);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(Fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(HashRingTest, DeterministicAcrossInstances) {
+  HashRing first(Endpoints(5), 64);
+  HashRing second(Endpoints(5), 64);
+  for (const std::string& key : Keys(200)) {
+    EXPECT_EQ(first.Pick(key), second.Pick(key));
+    EXPECT_EQ(first.PickN(key, 3), second.PickN(key, 3));
+  }
+}
+
+TEST(HashRingTest, EmptyRingAndEdgeArities) {
+  HashRing empty({}, 64);
+  EXPECT_EQ(empty.Pick("k"), "");
+  EXPECT_TRUE(empty.PickN("k", 3).empty());
+
+  HashRing one(Endpoints(1), 64);
+  EXPECT_EQ(one.Pick("k"), "10.0.0.1:8080");
+  // n beyond the endpoint count clamps; 0 asks for nothing.
+  EXPECT_EQ(one.PickN("k", 5).size(), 1u);
+  EXPECT_TRUE(one.PickN("k", 0).empty());
+}
+
+TEST(HashRingTest, PickNReturnsDistinctEndpointsOwnerFirst) {
+  HashRing ring(Endpoints(5), 64);
+  for (const std::string& key : Keys(100)) {
+    std::vector<std::string> picked = ring.PickN(key, 5);
+    ASSERT_EQ(picked.size(), 5u);
+    EXPECT_EQ(picked.front(), ring.Pick(key));
+    std::set<std::string> distinct(picked.begin(), picked.end());
+    EXPECT_EQ(distinct.size(), 5u);
+  }
+}
+
+TEST(HashRingTest, SpreadIsRoughlyUniform) {
+  const int kEndpoints = 4;
+  const int kKeys = 4000;
+  HashRing ring(Endpoints(kEndpoints), 64);
+  std::map<std::string, int> counts;
+  for (const std::string& key : Keys(kKeys)) ++counts[ring.Pick(key)];
+  ASSERT_EQ(counts.size(), static_cast<size_t>(kEndpoints));
+  // 64 vnodes keep each share within a loose factor-2 band of uniform —
+  // tight enough that no replica idles while another holds half the keys.
+  for (const auto& [endpoint, count] : counts) {
+    EXPECT_GT(count, kKeys / (2 * kEndpoints)) << endpoint;
+    EXPECT_LT(count, kKeys / kEndpoints * 2) << endpoint;
+  }
+}
+
+TEST(HashRingTest, RemovingOneEndpointRemapsOnlyItsShare) {
+  std::vector<std::string> all = Endpoints(4);
+  std::vector<std::string> without_last(all.begin(), all.end() - 1);
+  HashRing full(all, 64);
+  HashRing reduced(without_last, 64);
+
+  const std::string& removed = all.back();
+  int moved = 0;
+  int owned_by_removed = 0;
+  const int kKeys = 4000;
+  for (const std::string& key : Keys(kKeys)) {
+    const std::string before = full.Pick(key);
+    const std::string after = reduced.Pick(key);
+    if (before == removed) {
+      ++owned_by_removed;
+      // The dead endpoint's keys land on its ring successor — exactly
+      // what PickN listed second, so the balancer's retry target and the
+      // post-failure owner agree and caches stay warm.
+      EXPECT_EQ(after, full.PickN(key, 2)[1]) << key;
+    } else {
+      EXPECT_EQ(after, before) << key;  // everyone else's keys stay put
+    }
+    if (before != after) ++moved;
+  }
+  EXPECT_EQ(moved, owned_by_removed);
+  EXPECT_GT(owned_by_removed, 0);
+  EXPECT_LT(owned_by_removed, kKeys / 2);  // ~1/4 of the keyspace, not more
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace prox

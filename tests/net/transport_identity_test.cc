@@ -1,0 +1,282 @@
+/// Transport byte-identity: the blocking and epoll transports must be
+/// indistinguishable on the wire. Each transport gets a fresh engine
+/// built from the same deterministically generated dataset, receives the
+/// same request sequence in the same order, and every response —
+/// status, headers, body — must match byte for byte, modulo the
+/// per-request x-prox-trace-id (random by design). Run across all three
+/// dataset families (MovieLens, Wikipedia, DDP), so family-specific
+/// response shapes (group schemas, valuation classes) are covered.
+///
+/// Also the wire-level half of the torture suite: warmed idempotent
+/// requests are sent whole, one byte at a time, and at seeded random
+/// split points against BOTH transports, asserting byte-identical
+/// responses regardless of how the request bytes were framed.
+/// Carries the `tsan` CTest label (tests/CMakeLists.txt).
+
+#include <memory>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datasets/ddp.h"
+#include "datasets/movielens.h"
+#include "datasets/wikipedia.h"
+#include "engine/engine.h"
+#include "net/epoll_server.h"
+#include "serve/client.h"
+#include "serve/router.h"
+#include "serve/server.h"
+
+namespace prox {
+namespace net {
+namespace {
+
+using serve::ClientConnection;
+using serve::ClientResponse;
+
+constexpr char kSummarizeBody[] = "{\"w_dist\":0.7,\"max_steps\":5}";
+
+enum class Transport { kBlocking, kEpoll };
+
+const char* Name(Transport transport) {
+  return transport == Transport::kBlocking ? "blocking" : "epoll";
+}
+
+Dataset MakeDataset(const std::string& family) {
+  if (family == "movielens") {
+    MovieLensConfig config;
+    config.num_users = 12;
+    config.num_movies = 5;
+    config.seed = 7;
+    return MovieLensGenerator::Generate(config);
+  }
+  if (family == "wikipedia") {
+    WikipediaConfig config;
+    config.num_users = 10;
+    config.num_pages = 6;
+    config.seed = 11;
+    return WikipediaGenerator::Generate(config);
+  }
+  DdpConfig config;
+  config.num_executions = 6;
+  config.seed = 13;
+  return DdpGenerator::Generate(config);
+}
+
+/// A fresh engine + router behind the chosen transport. Fresh per
+/// transport so cache hit/miss sequences (X-Prox-Cache) line up exactly.
+class TransportFixture {
+ public:
+  TransportFixture(Transport transport, const std::string& family)
+      : engine_(engine::Engine::FromDataset(MakeDataset(family),
+                                            EngineOptions())),
+        router_(engine_.get()) {
+    auto handler = [this](const serve::HttpRequest& request) {
+      return router_.Handle(request);
+    };
+    if (transport == Transport::kEpoll) {
+      EpollServer::Options options;
+      options.port = 0;
+      options.shards = 2;
+      epoll_ = std::make_unique<EpollServer>(options, handler);
+      Status status = epoll_->Start();
+      EXPECT_TRUE(status.ok()) << status.ToString();
+      port_ = epoll_->port();
+    } else {
+      serve::HttpServer::Options options;
+      options.port = 0;
+      blocking_ = std::make_unique<serve::HttpServer>(options, handler);
+      Status status = blocking_->Start();
+      EXPECT_TRUE(status.ok()) << status.ToString();
+      port_ = blocking_->port();
+    }
+  }
+
+  int port() const { return port_; }
+
+ private:
+  static engine::Engine::Options EngineOptions() {
+    engine::Engine::Options options;
+    options.cache.max_bytes = 4 * 1024 * 1024;
+    return options;
+  }
+
+  std::unique_ptr<engine::Engine> engine_;
+  serve::Router router_;
+  std::unique_ptr<serve::HttpServer> blocking_;
+  std::unique_ptr<EpollServer> epoll_;
+  int port_ = 0;
+};
+
+struct Exchange {
+  std::string method;
+  std::string target;
+  std::string body;
+  /// /metrics bodies read the process-global registry, which both
+  /// transports mutate — identity there is status + content type only.
+  bool identical_body = true;
+};
+
+/// Every route, success and failure paths, with cache misses and hits at
+/// fixed positions in the sequence.
+std::vector<Exchange> Sequence() {
+  return {
+      {"GET", "/healthz", ""},
+      {"POST", "/v1/summarize", kSummarizeBody},        // miss
+      {"POST", "/v1/summarize", kSummarizeBody},        // hit, same bytes
+      {"GET", "/v1/summary/groups", ""},
+      {"POST", "/v1/select", "{\"all\":true}"},
+      {"POST", "/v1/summarize", kSummarizeBody},        // new selection: miss
+      {"POST", "/v1/evaluate",
+       "{\"assignment\":{\"false_attributes\":[{\"attribute\":\"Gender\","
+       "\"value\":\"M\"}]}}"},
+      {"POST", "/v1/ingest", "{\"sequence\":99}"},      // typed error, stable
+      {"GET", "/v1/debug/requests", ""},                // disabled → error
+      {"GET", "/nope", ""},
+      {"GET", "/v1/summarize", ""},                     // 405
+      {"POST", "/v1/summarize", "{nope"},               // 400
+      {"GET", "/metrics", "", /*identical_body=*/false},
+  };
+}
+
+/// The response as compared: trace ids are random per request, so their
+/// value is masked; everything else must match byte for byte.
+std::string Normalize(const ClientResponse& response, bool with_body) {
+  std::string out = "status=" + std::to_string(response.status) + "\n";
+  for (const auto& [name, value] : response.headers) {
+    out += name + ": ";
+    if (name == "x-prox-trace-id") {
+      out += "<trace>";
+    } else if (!with_body && name == "content-length") {
+      // Excluded bodies (/metrics) differ in size too — the global
+      // registry grows as both transports serve the same sequence.
+      out += "<len>";
+    } else {
+      out += value;
+    }
+    out += "\n";
+  }
+  if (with_body) out += "\n" + response.body;
+  return out;
+}
+
+std::vector<std::string> RunSequence(int port) {
+  std::vector<std::string> normalized;
+  for (const Exchange& exchange : Sequence()) {
+    auto response = serve::Fetch("127.0.0.1", port, exchange.method,
+                                 exchange.target, exchange.body,
+                                 /*timeout_ms=*/30000);
+    EXPECT_TRUE(response.ok())
+        << exchange.target << ": " << response.status().ToString();
+    if (!response.ok()) {
+      normalized.push_back("<transport failure>");
+      continue;
+    }
+    std::string entry = Normalize(response.value(), exchange.identical_body);
+    if (!exchange.identical_body) {
+      // Still require success and the Prometheus content type.
+      EXPECT_EQ(response.value().status, 200) << exchange.target;
+    }
+    normalized.push_back(std::move(entry));
+  }
+  return normalized;
+}
+
+class TransportIdentityTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TransportIdentityTest, AllRoutesByteIdenticalAcrossTransports) {
+  const std::string family = GetParam();
+  TransportFixture blocking(Transport::kBlocking, family);
+  TransportFixture epoll(Transport::kEpoll, family);
+
+  std::vector<std::string> blocking_wire = RunSequence(blocking.port());
+  std::vector<std::string> epoll_wire = RunSequence(epoll.port());
+
+  ASSERT_EQ(blocking_wire.size(), epoll_wire.size());
+  const std::vector<Exchange> sequence = Sequence();
+  for (size_t i = 0; i < blocking_wire.size(); ++i) {
+    EXPECT_EQ(blocking_wire[i], epoll_wire[i])
+        << "exchange " << i << " (" << sequence[i].method << " "
+        << sequence[i].target << ") diverged between transports";
+  }
+}
+
+/// Wire-level torture: after warming, each idempotent request is sent
+/// whole, then one byte at a time, then at 25 seeded random splits; all
+/// feedings must produce byte-identical responses on both transports.
+TEST_P(TransportIdentityTest, SplitFedRequestsAnswerIdenticallyOnTheWire) {
+  const std::string family = GetParam();
+  for (Transport transport : {Transport::kBlocking, Transport::kEpoll}) {
+    SCOPED_TRACE(Name(transport));
+    TransportFixture fixture(transport, family);
+    // Warm: selection + summary exist, so every request below is a pure
+    // read (summarize replays as cache hits).
+    ASSERT_EQ(serve::Fetch("127.0.0.1", fixture.port(), "POST",
+                           "/v1/summarize", kSummarizeBody, 30000)
+                  .value()
+                  .status,
+              200);
+
+    const std::vector<std::pair<std::string, std::string>> targets = {
+        {"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n", "/healthz"},
+        {"POST /v1/summarize HTTP/1.1\r\nHost: t\r\n"
+         "Content-Type: application/json\r\nContent-Length: " +
+             std::to_string(sizeof(kSummarizeBody) - 1) + "\r\n\r\n" +
+             kSummarizeBody,
+         "/v1/summarize"},
+        {"GET /v1/summary/groups HTTP/1.1\r\nHost: t\r\n\r\n", "/groups"},
+        {"GET /nope HTTP/1.1\r\nHost: t\r\n\r\n", "/nope"},
+    };
+
+    std::mt19937_64 rng(20260807);
+    for (const auto& [raw, label] : targets) {
+      SCOPED_TRACE(label);
+      std::string reference;
+      // Feeding 0 = whole buffer, 1 = one byte per send, 2.. = random
+      // split points.
+      for (int feeding = 0; feeding < 27; ++feeding) {
+        auto connection =
+            ClientConnection::Connect("127.0.0.1", fixture.port(), 30000);
+        ASSERT_TRUE(connection.ok()) << connection.status().ToString();
+        ClientConnection client = std::move(connection).value();
+        if (feeding == 0) {
+          ASSERT_TRUE(client.SendRaw(raw).ok());
+        } else if (feeding == 1) {
+          for (char byte : raw) {
+            ASSERT_TRUE(client.SendRaw(std::string_view(&byte, 1)).ok());
+          }
+        } else {
+          size_t offset = 0;
+          std::uniform_int_distribution<size_t> chunk_size(1, 13);
+          while (offset < raw.size()) {
+            size_t take = std::min(raw.size() - offset, chunk_size(rng));
+            ASSERT_TRUE(
+                client.SendRaw(std::string_view(raw).substr(offset, take))
+                    .ok());
+            offset += take;
+          }
+        }
+        auto response = client.ReadResponse();
+        ASSERT_TRUE(response.ok())
+            << "feeding " << feeding << ": " << response.status().ToString();
+        std::string normalized = Normalize(response.value(), true);
+        if (feeding == 0) {
+          reference = std::move(normalized);
+        } else {
+          ASSERT_EQ(normalized, reference) << "feeding " << feeding;
+        }
+        client.Close();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, TransportIdentityTest,
+                         ::testing::Values("movielens", "wikipedia", "ddp"));
+
+}  // namespace
+}  // namespace net
+}  // namespace prox

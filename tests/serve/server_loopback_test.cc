@@ -16,6 +16,7 @@
 #include "engine/engine.h"
 #include "serve/client.h"
 #include "serve/router.h"
+#include "serve/serve_metrics.h"
 #include "serve/server.h"
 
 namespace prox {
@@ -29,7 +30,8 @@ constexpr char kSummarizeBody[] = "{\"w_dist\":0.7,\"max_steps\":5}";
 /// One running server over a fresh small dataset; ephemeral port.
 class LoopbackServer {
  public:
-  explicit LoopbackServer(int max_inflight = 32, int threads = 4)
+  explicit LoopbackServer(int max_inflight = 32, int threads = 4,
+                          int idle_timeout_ms = 15000)
       : engine_(engine::Engine::FromDataset(MakeDataset(), EngineOptions())),
         router_(engine_.get()) {
     HttpServer::Options options;
@@ -37,6 +39,7 @@ class LoopbackServer {
     options.threads = threads;
     options.max_inflight = max_inflight;
     options.read_timeout_ms = 2000;
+    options.idle_timeout_ms = idle_timeout_ms;
     server_ = std::make_unique<HttpServer>(
         std::move(options),
         [this](const HttpRequest& request) { return router_.Handle(request); });
@@ -286,6 +289,29 @@ TEST(ServerLoopbackTest, OverloadShedsWith503) {
   EXPECT_EQ(shed.value().status, 503);
 
   held.Close();
+}
+
+TEST(ServerLoopbackTest, IdleKeepAliveConnectionsAreReapedAndCounted) {
+  // A short idle budget (and a distinct, longer read budget): a served
+  // connection that then sits idle is closed from the server side and
+  // counted in prox_serve_idle_reaped_total. Before the idle budget
+  // existed, an idle connection pinned its worker for read_timeout_ms
+  // per wait with no accounting.
+  LoopbackServer fixture(/*max_inflight=*/32, /*threads=*/4,
+                         /*idle_timeout_ms=*/150);
+  const uint64_t reaped_before = ServeIdleReaped()->value();
+
+  auto connection = ClientConnection::Connect("127.0.0.1", fixture.port());
+  ASSERT_TRUE(connection.ok());
+  ClientConnection client = std::move(connection).value();
+  ASSERT_TRUE(client.SendRequest("GET", "/healthz").ok());
+  ASSERT_EQ(client.ReadResponse().value().status, 200);
+
+  // No further request: the next read on this connection observes the
+  // server-side close, not a 408 (no request was in flight).
+  auto after = client.ReadResponse();
+  EXPECT_FALSE(after.ok());
+  EXPECT_GE(ServeIdleReaped()->value(), reaped_before + 1);
 }
 
 TEST(ServerLoopbackTest, StopDrainsAndRefusesNewWork) {
