@@ -12,7 +12,9 @@
 #include <chrono>
 #include <cstring>
 #include <mutex>
+#include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "exec/thread_pool.h"
@@ -158,10 +160,16 @@ class Shard : public ConnectionHost {
 
   void CloseConnection(Connection* conn) override {
     const int fd = conn->fd();
+    // A peer abort can close the connection while its handler is still
+    // running in the pool. The admission slot stays held until that
+    // orphaned completion arrives (CompleteHandler), so the number of
+    // concurrently running handlers never exceeds max_inflight.
+    const bool release_now = !conn->handler_inflight();
+    if (!release_now) orphaned_dispatches_.insert(conn->id());
     ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
     conns_.erase(fd);  // destroys the Connection
     ::close(fd);
-    server_->ReleaseConnection();
+    if (release_now) server_->ReleaseConnection();
   }
 
   bool stopping() const override { return server_->stopping(); }
@@ -208,7 +216,10 @@ class Shard : public ConnectionHost {
         ReapStale(now);
         next_reap_nanos = now + ReapIntervalNanos();
       }
-      if (draining_ && conns_.empty()) break;
+      // Orphaned dispatches keep the loop alive too: their completions
+      // release admission slots, and the handler pool outlives the shard
+      // threads (Stop), so they always arrive.
+      if (draining_ && conns_.empty() && orphaned_dispatches_.empty()) break;
     }
   }
 
@@ -225,7 +236,12 @@ class Shard : public ConnectionHost {
     auto it = conns_.find(fd);
     // The id check keeps a late response for a dead connection from being
     // written to a new connection that reused its fd number.
-    if (it == conns_.end() || it->second->id() != id) return;
+    if (it == conns_.end() || it->second->id() != id) {
+      // The connection closed mid-dispatch; its admission slot was kept
+      // for the running handler (CloseConnection). Release it now.
+      if (orphaned_dispatches_.erase(id) > 0) server_->ReleaseConnection();
+      return;
+    }
     it->second->OnHandlerDone(std::move(response));
   }
 
@@ -282,6 +298,10 @@ class Shard : public ConnectionHost {
   /// Loop-thread state: fd → connection. Lookup by fd on every event, so
   /// stale events for closed fds fall through harmlessly.
   std::unordered_map<int, std::unique_ptr<Connection>> conns_;
+  /// Ids of connections closed while their handler dispatch was still
+  /// running; each still holds its admission slot, released when the
+  /// orphaned completion is delivered. Loop-thread state.
+  std::unordered_set<uint64_t> orphaned_dispatches_;
   bool draining_ = false;  // loop-thread flag, set via posted BeginDrain
 
   std::mutex tasks_mu_;
@@ -373,10 +393,15 @@ void EpollServer::Stop() {
     s->Post([s] { s->BeginDrain(); });
   }
   for (auto& shard : shards_) shard->Join();
-  shards_.clear();
-  // Destroyed after the shards joined: an empty connection table means no
-  // handler completion is still pending delivery.
+  // The handler pool dies before the shards: a peer abort (EPOLLERR)
+  // can empty a shard's table — letting its loop exit — while a handler
+  // task still holds the Shard pointer, so the table being empty does
+  // NOT mean no completion is pending. The pool destructor drains and
+  // joins those tasks; their Post() onto a joined-but-alive shard just
+  // enqueues a task that never runs. Only then is it safe to destroy
+  // the shards (mutex, wake fd).
   handler_pool_.reset();
+  shards_.clear();
 }
 
 void EpollServer::AcceptLoop() {
@@ -389,8 +414,25 @@ void EpollServer::AcceptLoop() {
     if (listen_fd < 0) break;
     int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK);
     if (fd < 0) {
-      if (errno == EINTR) continue;
-      break;  // listener closed by Stop(), or fatal
+      const int err = errno;
+      // Per-connection failures: the aborted/broken connection is gone,
+      // the listener is fine.
+      if (err == EINTR || err == ECONNABORTED || err == EPROTO) continue;
+      if (stopping_.load(std::memory_order_acquire) || err == EBADF ||
+          err == EINVAL) {
+        break;  // listener closed by Stop()
+      }
+      // Everything else — fd exhaustion (EMFILE/ENFILE) under a
+      // connection wave, ENOBUFS/ENOMEM — is transient: back off briefly
+      // and keep accepting instead of silently retiring the acceptor
+      // while the server otherwise looks healthy. (The warn log is
+      // rate-limited per event by the logger.)
+      JsonValue fields = JsonValue::Object();
+      fields.Set("errno", JsonValue::Int(err));
+      fields.Set("error", JsonValue::Str(std::strerror(err)));
+      obs::LogWarn("serve.accept_retry", fields);
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
     }
     connections_metric->Increment();
     int admitted = inflight_.fetch_add(1, std::memory_order_acq_rel);

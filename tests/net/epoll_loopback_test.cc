@@ -7,6 +7,13 @@
 /// concurrent keep-alive clients on a handful of threads. Carries the
 /// `tsan` CTest label (tests/CMakeLists.txt).
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
 #include <memory>
 #include <set>
 #include <string>
@@ -286,6 +293,72 @@ TEST(EpollLoopbackTest, StopDrainsAndRefusesNewWork) {
                                          /*timeout_ms=*/500);
   EXPECT_FALSE(after.ok());
   fixture.server().Stop();  // idempotent
+}
+
+TEST(EpollLoopbackTest, PeerAbortMidHandlerKeepsSlotAndStopIsClean) {
+  // Regression for a shutdown use-after-free: a peer RST while the
+  // handler runs delivers EPOLLERR (always reported, even at interest
+  // mask 0), closing the connection while the handler-pool task still
+  // holds the Shard pointer. Stop() must join the handler pool before
+  // destroying the shards, and the admission slot must stay held until
+  // the orphaned completion is dropped — no slot leak, no handler
+  // concurrency above max_inflight.
+  std::atomic<int> entered{0};
+  std::atomic<bool> release{false};
+  EpollServer::Options options;
+  options.shards = 1;
+  options.max_inflight = 1;
+  EpollServer server(options, [&](const serve::HttpRequest&) {
+    entered.fetch_add(1, std::memory_order_acq_rel);
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return serve::HttpResponse{};
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  // Raw socket so close() can send an RST (SO_LINGER, zero timeout).
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(server.port()));
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const char request[] = "GET /slow HTTP/1.1\r\n\r\n";
+  ASSERT_EQ(::send(fd, request, sizeof(request) - 1, MSG_NOSIGNAL),
+            static_cast<ssize_t>(sizeof(request) - 1));
+  while (entered.load(std::memory_order_acquire) == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  linger lin{};
+  lin.l_onoff = 1;
+  lin.l_linger = 0;
+  ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lin, sizeof(lin));
+  ::close(fd);  // RST
+
+  // The aborted connection's handler still runs, so its admission slot
+  // is still held: a new connection is shed with the canned 503.
+  auto shed = Fetch("127.0.0.1", server.port(), "GET", "/healthz");
+  ASSERT_TRUE(shed.ok()) << shed.status().ToString();
+  EXPECT_EQ(shed.value().status, 503);
+
+  release.store(true, std::memory_order_release);
+  // Delivering (and dropping) the orphaned completion releases the slot;
+  // a fresh request then succeeds. Delivery is asynchronous — poll.
+  int status = 0;
+  for (int i = 0; i < 1000 && status != 200; ++i) {
+    auto probe =
+        Fetch("127.0.0.1", server.port(), "GET", "/healthz", "", 1000);
+    if (probe.ok()) status = probe.value().status;
+    if (status != 200) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  EXPECT_EQ(status, 200);
+
+  server.Stop();  // must not touch destroyed shards (tsan covers this)
 }
 
 TEST(EpollLoopbackTest, DispatchCounterTracksHandledRequests) {
